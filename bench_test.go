@@ -1,0 +1,114 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation at Quick scale — one testing.B benchmark per experiment —
+// plus micro-benchmarks of the public routing API. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-figure benches report ns/op for one full experiment run; the
+// interesting scientific output (the tables themselves) comes from
+// cmd/slbsim and cmd/slbstorm, and the headline quantities are attached
+// here as custom benchmark metrics where that is meaningful.
+package slb_test
+
+import (
+	"strconv"
+	"testing"
+
+	"slb"
+	"slb/internal/experiments"
+)
+
+// benchExperiment runs a registered experiment once per iteration.
+func benchExperiment(b *testing.B, name string) {
+	e, ok := experiments.Lookup(name)
+	if !ok {
+		b.Fatalf("experiment %q not registered", name)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkFig1(b *testing.B)   { benchExperiment(b, "fig1") }
+func BenchmarkFig3(b *testing.B)   { benchExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)   { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)   { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)   { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)   { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)   { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)   { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)  { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)  { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)  { benchExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B)  { benchExperiment(b, "fig14") }
+
+func BenchmarkAblateEps(b *testing.B)        { benchExperiment(b, "ablate-eps") }
+func BenchmarkAblateSketch(b *testing.B)     { benchExperiment(b, "ablate-sketch") }
+func BenchmarkAblatePrefix(b *testing.B)     { benchExperiment(b, "ablate-prefix") }
+func BenchmarkAblateMerge(b *testing.B)      { benchExperiment(b, "ablate-merge") }
+func BenchmarkAblateWindow(b *testing.B)     { benchExperiment(b, "ablate-window") }
+func BenchmarkAblateOracle(b *testing.B)     { benchExperiment(b, "ablate-oracle") }
+func BenchmarkAblateSaturation(b *testing.B) { benchExperiment(b, "ablate-saturation") }
+func BenchmarkAblateStraggler(b *testing.B)  { benchExperiment(b, "ablate-straggler") }
+func BenchmarkLiveFig13(b *testing.B)        { benchExperiment(b, "live-fig13") }
+
+// BenchmarkRoute measures the per-message routing cost of each
+// algorithm — the overhead a DSPE pays at the sender. Imbalance of the
+// benchmark run is attached as a custom metric.
+func BenchmarkRoute(b *testing.B) {
+	for _, algo := range slb.Algorithms {
+		for _, n := range []int{10, 100} {
+			b.Run(algo+"/n="+strconv.Itoa(n), func(b *testing.B) {
+				p, err := slb.New(algo, slb.Config{Workers: n, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				gen := slb.NewZipfStream(1.4, 10_000, int64(b.N)+1, 1)
+				loads := make([]int64, n)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					k, _ := gen.Next()
+					loads[p.Route(k)]++
+				}
+				b.ReportMetric(slb.Imbalance(loads), "imbalance")
+			})
+		}
+	}
+}
+
+// BenchmarkSimulateThroughput measures end-to-end simulator throughput
+// (messages routed per second) for the paper's algorithms at n = 50.
+func BenchmarkSimulateThroughput(b *testing.B) {
+	for _, algo := range []string{"PKG", "D-C", "W-C"} {
+		b.Run(algo, func(b *testing.B) {
+			gen := slb.NewZipfStream(1.6, 10_000, 50_000, 7)
+			cfg := slb.Config{Workers: 50, Seed: 7}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := slb.Simulate(gen, algo, cfg, slb.SimOptions{Sources: 5}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(50_000*b.N)/b.Elapsed().Seconds(), "msgs/s")
+		})
+	}
+}
+
+// BenchmarkHeavyHitters measures the sketch update path in isolation.
+func BenchmarkHeavyHitters(b *testing.B) {
+	hh := slb.NewHeavyHitters(1000)
+	gen := slb.NewZipfStream(1.2, 100_000, int64(b.N)+1, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k, _ := gen.Next()
+		hh.Offer(k)
+	}
+}

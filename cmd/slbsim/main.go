@@ -1,0 +1,42 @@
+// Command slbsim regenerates the paper's simulation experiments:
+// Table I and Figures 1, 3–12, plus the ablations from DESIGN.md.
+//
+// Usage:
+//
+//	slbsim [-scale quick|default|full] [-csv DIR] <experiment>|all|list
+//
+// Examples:
+//
+//	slbsim fig1                 # Fig 1 at default scale
+//	slbsim -scale full fig10    # the full 1e7-message grid
+//	slbsim -csv results all     # everything, with CSV copies
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"slb/internal/clirun"
+	"slb/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "default", "experiment scale: quick|default|full")
+	csvDir := flag.String("csv", "", "also write CSV files into this directory")
+	chartFlag := flag.Bool("chart", false, "render chartable tables as ASCII plots (log-scale y)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: slbsim [-scale quick|default|full] [-csv DIR] <experiment>|all|list\n\nexperiments:\n")
+		for _, e := range experiments.List(false) {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", e.Name, e.Description)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if err := clirun.Main(os.Stdout, clirun.Options{Scale: *scaleFlag, CSVDir: *csvDir, Chart: *chartFlag}, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "slbsim:", err)
+		os.Exit(1)
+	}
+}

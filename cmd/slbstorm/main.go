@@ -1,0 +1,44 @@
+// Command slbstorm regenerates the paper's cluster experiments (Figures
+// 13 and 14: throughput and latency on the Storm-like deployment) using
+// the deterministic discrete-event engine.
+//
+// Usage:
+//
+//	slbstorm [-scale quick|default|full] [-csv DIR] <experiment>|all|list
+//
+// Examples:
+//
+//	slbstorm fig13              # throughput at default scale (m=2e5)
+//	slbstorm -scale full fig14  # the paper's m=2e6 latency runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"slb/internal/clirun"
+	"slb/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "default", "experiment scale: quick|default|full")
+	csvDir := flag.String("csv", "", "also write CSV files into this directory")
+	chartFlag := flag.Bool("chart", false, "render chartable tables as ASCII plots (log-scale y)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: slbstorm [-scale quick|default|full] [-csv DIR] <experiment>|all|list\n\nexperiments:\n")
+		for _, e := range experiments.List(true) {
+			if e.Cluster {
+				fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", e.Name, e.Description)
+			}
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if err := clirun.Main(os.Stdout, clirun.Options{Scale: *scaleFlag, CSVDir: *csvDir, Cluster: true, Chart: *chartFlag}, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "slbstorm:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenStatsHeadSimRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.slbt")
+
+	if err := cmdGen([]string{"-out", path, "-z", "1.8", "-keys", "500", "-messages", "20000"}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace not written: %v", err)
+	}
+	if err := cmdStats([]string{"-in", path}); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if err := cmdHead([]string{"-in", path, "-theta", "0.01", "-top", "3"}); err != nil {
+		t.Fatalf("head: %v", err)
+	}
+	if err := cmdSim([]string{"-in", path, "-algo", "W-C", "-workers", "10"}); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func TestGenDataset(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ct.slbt")
+	if err := cmdGen([]string{"-out", path, "-dataset", "CT", "-scale", "quick"}); err != nil {
+		t.Fatalf("gen dataset: %v", err)
+	}
+	if err := cmdStats([]string{"-in", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorsSurface(t *testing.T) {
+	if err := cmdGen([]string{}); err == nil {
+		t.Error("gen without -out accepted")
+	}
+	if err := cmdGen([]string{"-out", "/tmp/x.slbt", "-dataset", "NOPE"}); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if err := cmdGen([]string{"-out", "/tmp/x2.slbt", "-dataset", "CT", "-scale", "bogus"}); err == nil {
+		t.Error("bad scale accepted")
+	}
+	if err := cmdStats([]string{}); err == nil {
+		t.Error("stats without -in accepted")
+	}
+	if err := cmdStats([]string{"-in", "/nonexistent.slbt"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := cmdHead([]string{}); err == nil {
+		t.Error("head without -in accepted")
+	}
+	if err := cmdSim([]string{}); err == nil {
+		t.Error("sim without -in accepted")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.slbt")
+	if err := cmdGen([]string{"-out", path, "-messages", "100", "-keys", "10"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSim([]string{"-in", path, "-algo", "BOGUS"}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestParseScaleMapping(t *testing.T) {
+	for _, s := range []string{"quick", "default", "full", ""} {
+		if _, err := parseScale(s); err != nil {
+			t.Errorf("parseScale(%q): %v", s, err)
+		}
+	}
+	if _, err := parseScale("nope"); err == nil {
+		t.Error("parseScale(nope) accepted")
+	}
+}

@@ -1,0 +1,58 @@
+// Graphstream: degree counting over a streamed power-law graph — the
+// paper's motivating case of *extreme* skew ("some vertices are much
+// more popular than others"; with z = 2 the hottest key is ≈60% of the
+// stream, so PKG cannot balance any deployment larger than 3 workers).
+// The example compares PKG, D-Choices and W-Choices on the discrete-
+// event cluster engine and shows throughput, tail latency and imbalance.
+//
+//	go run ./examples/graphstream
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"slb"
+)
+
+func main() {
+	const (
+		workers  = 40
+		sources  = 8
+		vertices = 20_000
+		edges    = 150_000
+		seed     = 11
+	)
+
+	// Edge endpoints drawn from a Zipf(2.0) degree distribution: a
+	// celebrity vertex dominates, as in social-graph streams.
+	gen := slb.NewZipfStream(2.0, vertices, edges, seed)
+	stats := slb.CollectStats(gen)
+	fmt.Printf("graph stream: %d edge events, %d vertices, hottest vertex %.1f%% of traffic\n\n",
+		stats.Messages, stats.Keys, 100*stats.P1)
+
+	fmt.Printf("%-5s  %12s  %12s  %12s  %10s\n",
+		"algo", "tput (ev/s)", "p99 (ms)", "max-avg (ms)", "imbalance")
+	for _, algo := range []string{"PKG", "D-C", "W-C", "SG"} {
+		res, err := slb.SimulateCluster(gen, slb.ClusterConfig{
+			Workers:      workers,
+			Sources:      sources,
+			Algorithm:    algo,
+			Core:         slb.Config{Seed: seed},
+			ServiceTime:  1.0, // 1 ms per degree update
+			EmitInterval: 2.0, // ≈4k offered events/s: the hot pair saturates under PKG
+			Window:       100,
+			MeasureAfter: edges / 5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-5s  %12.0f  %12.2f  %12.2f  %10.6f\n",
+			algo, res.Throughput, res.P99, res.MaxAvgLatency, res.Imbalance)
+	}
+
+	fmt.Println("\nwith p1 ≈ 0.6 and n = 40, PKG's two choices saturate: 60% of the")
+	fmt.Println("stream lands on two workers. D-C/W-C split the celebrity vertex's")
+	fmt.Println("degree counter across many workers and match shuffle grouping,")
+	fmt.Println("while the tail keeps worker affinity (at most two partials per key).")
+}

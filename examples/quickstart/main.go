@@ -1,0 +1,69 @@
+// Quickstart: route one skewed stream with every grouping scheme and
+// compare the resulting load imbalance — the paper's Figure 1 in
+// miniature. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"slb"
+)
+
+func main() {
+	// A heavily skewed workload: Zipf z=2.0 means the hottest key alone
+	// carries ≈60% of the traffic.
+	const (
+		workers  = 50
+		keys     = 10_000
+		messages = 500_000
+		seed     = 42
+	)
+	gen := slb.NewZipfStream(2.0, keys, messages, seed)
+	stats := slb.CollectStats(gen)
+	fmt.Printf("stream: %d messages, %d distinct keys, hottest key %q carries %.1f%%\n\n",
+		stats.Messages, stats.Keys, stats.TopKey, 100*stats.P1)
+
+	cfg := slb.Config{Workers: workers, Seed: seed}
+	fmt.Printf("%-6s  %-12s  %s\n", "algo", "imbalance", "note")
+	for _, algo := range slb.Algorithms {
+		res, err := slb.Simulate(gen, algo, cfg, slb.SimOptions{Sources: 5})
+		if err != nil {
+			log.Fatal(err)
+		}
+		note := ""
+		switch algo {
+		case "KG":
+			note = "hot key owns one worker: massive imbalance"
+		case "PKG":
+			note = "two choices cannot absorb p1 > 2/n"
+		case "D-C":
+			note = fmt.Sprintf("head spread over d=%d choices", res.FinalD)
+		case "W-C":
+			note = "head spread over all workers"
+		case "SG":
+			note = "balanced, but replicates state everywhere"
+		case "RR":
+			note = "head balanced obliviously"
+		}
+		fmt.Printf("%-6s  %-12.6f  %s\n", algo, res.Imbalance, note)
+	}
+
+	// The analytic side: how many choices does the head need?
+	probs := slb.ZipfProbs(2.0, keys)
+	theta := 1.0 / (5.0 * workers)
+	var head []float64
+	tail := 0.0
+	for _, p := range probs {
+		if p >= theta {
+			head = append(head, p)
+		} else {
+			tail += p
+		}
+	}
+	d := slb.SolveD(head, tail, workers, 1e-4)
+	fmt.Printf("\nFINDOPTIMALCHOICES: |H|=%d hot keys need d=%d of n=%d workers\n",
+		len(head), d, workers)
+}

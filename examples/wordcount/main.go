@@ -1,0 +1,132 @@
+// Wordcount: the canonical stateful streaming job, run on the goroutine
+// DSPE with D-Choices partitioning. Words follow a Zipf distribution (as
+// natural language does); each bolt keeps partial counts for the keys it
+// receives, and a final aggregation merges the partial states — the
+// "reconciliation" step whose cost is proportional to how many workers
+// share a key. The example prints the top words, the per-worker load,
+// and the replication factor that D-Choices actually paid.
+//
+//	go run ./examples/wordcount
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+
+	"slb"
+)
+
+// vocabulary returns the i-th most frequent "word".
+func vocabulary(i int) string {
+	common := []string{"the", "of", "and", "to", "a", "in", "is", "it", "you", "that"}
+	if i < len(common) {
+		return common[i]
+	}
+	return fmt.Sprintf("word%04d", i)
+}
+
+func main() {
+	const (
+		workers  = 16
+		sources  = 4
+		keys     = 5_000
+		messages = 200_000
+		seed     = 7
+	)
+
+	// A Zipf(1.1) word stream — roughly English-like (p("the") ≈ 7%).
+	zipf := slb.NewZipfStream(1.1, keys, messages, seed)
+
+	// Per-worker partial counts, updated by worker goroutines.
+	type shard struct {
+		mu     sync.Mutex
+		counts map[string]int
+	}
+	shards := make([]shard, workers)
+	for i := range shards {
+		shards[i].counts = make(map[string]int)
+	}
+
+	// Drive the stream through per-source D-Choices partitioners by hand
+	// (the engine in RunTopology does the same; here we want the state).
+	parts := make([]slb.Partitioner, sources)
+	for i := range parts {
+		p, err := slb.New("D-C", slb.Config{Workers: workers, Seed: seed, Instance: i})
+		if err != nil {
+			log.Fatal(err)
+		}
+		parts[i] = p
+	}
+	var wg sync.WaitGroup
+	lanes := make([]chan string, sources)
+	for s := range lanes {
+		lanes[s] = make(chan string, 256)
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for rank := range lanes[s] {
+				w := parts[s].Route(rank)
+				sh := &shards[w]
+				sh.mu.Lock()
+				sh.counts[rank]++
+				sh.mu.Unlock()
+			}
+		}(s)
+	}
+	src := 0
+	for {
+		k, ok := zipf.Next()
+		if !ok {
+			break
+		}
+		// Map rank-keys to word strings so the output reads naturally.
+		var rank int
+		fmt.Sscanf(k, "k%d", &rank)
+		lanes[src] <- vocabulary(rank)
+		src = (src + 1) % sources
+	}
+	for _, ch := range lanes {
+		close(ch)
+	}
+	wg.Wait()
+
+	// Aggregation: merge partial counts; track how many workers held
+	// state for each word (the replication cost of splitting hot keys).
+	total := make(map[string]int)
+	replicas := make(map[string]int)
+	loads := make([]int64, workers)
+	for w := range shards {
+		for word, c := range shards[w].counts {
+			total[word] += c
+			replicas[word]++
+			loads[w] += int64(c)
+		}
+	}
+
+	words := make([]string, 0, len(total))
+	for w := range total {
+		words = append(words, w)
+	}
+	sort.Slice(words, func(i, j int) bool { return total[words[i]] > total[words[j]] })
+
+	fmt.Println("top words (count, replicas = workers holding partial state):")
+	for _, w := range words[:10] {
+		fmt.Printf("  %-10s %7d  ×%d\n", w, total[w], replicas[w])
+	}
+
+	maxReplicas := 0
+	totalReplicas := 0
+	for _, r := range replicas {
+		totalReplicas += r
+		if r > maxReplicas {
+			maxReplicas = r
+		}
+	}
+	fmt.Printf("\nload imbalance I(m) = %.6f across %d workers\n", slb.Imbalance(loads), workers)
+	fmt.Printf("state replicas: %d total over %d words (max %d, avg %.2f)\n",
+		totalReplicas, len(total), maxReplicas, float64(totalReplicas)/float64(len(total)))
+	fmt.Println("\nhot words are split across several workers (kept balanced);")
+	fmt.Println("the long tail stays on ≤2 workers each, keeping aggregation cheap.")
+}

@@ -1,0 +1,57 @@
+package slb_test
+
+// Golden regression tests: the whole stack (hashing, sketch, solver,
+// routing, simulation) is deterministic for a fixed seed, so these
+// exact values must never change unless an algorithm is intentionally
+// modified. A failure here means routing behaviour changed — review
+// whether that was intended before updating the constants.
+
+import (
+	"math"
+	"testing"
+
+	"slb"
+)
+
+func TestGoldenSimulationValues(t *testing.T) {
+	want := []struct {
+		algo          string
+		load0, load24 int64
+		imbalance     float64
+	}{
+		{"KG", 1667, 4970, 0.4917600000},
+		{"SG", 4000, 4000, 0.0000000000},
+		{"PKG", 1674, 4393, 0.2260100000},
+		{"D-C", 4051, 4112, 0.0011600000},
+		{"W-C", 4000, 3999, 0.0000100000},
+		{"RR", 3787, 4089, 0.0010400000},
+	}
+	gen := slb.NewZipfStream(1.8, 5000, 100_000, 77)
+	for _, w := range want {
+		res, err := slb.Simulate(gen, w.algo, slb.Config{Workers: 25, Seed: 77},
+			slb.SimOptions{Sources: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Loads[0] != w.load0 || res.Loads[24] != w.load24 {
+			t.Errorf("%s: loads[0]=%d loads[24]=%d, want %d, %d",
+				w.algo, res.Loads[0], res.Loads[24], w.load0, w.load24)
+		}
+		if math.Abs(res.Imbalance-w.imbalance) > 1e-9 {
+			t.Errorf("%s: imbalance %.10f, want %.10f", w.algo, res.Imbalance, w.imbalance)
+		}
+	}
+}
+
+func TestGoldenHashValues(t *testing.T) {
+	// The hash family is part of the on-the-wire contract: all senders
+	// must agree on candidates forever.
+	p := slb.NewPKG(slb.Config{Workers: 100, Seed: 1})
+	got := []int{p.Route("alpha"), p.Route("beta"), p.Route("gamma"), p.Route("alpha")}
+	want := []int{57, 97, 73, 36}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("routing sequence changed: got %v, want %v", got, want)
+		}
+	}
+}

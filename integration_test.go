@@ -1,0 +1,217 @@
+package slb_test
+
+// Cross-module integration tests: these exercise full pipelines
+// (generator → trace → simulator → analysis; one stream through all
+// three engines) and check that the pieces agree with each other and
+// with the paper's analytic predictions.
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"slb"
+)
+
+func TestTraceRoundTripThroughFacade(t *testing.T) {
+	gen := slb.NewZipfStream(1.8, 2000, 30_000, 5)
+	var buf bytes.Buffer
+	n, err := slb.WriteTrace(&buf, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 30_000 {
+		t.Fatalf("wrote %d", n)
+	}
+	replay, err := slb.TraceFromBytes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical streams must produce identical routing under identical
+	// configs — the property that makes traces useful.
+	cfg := slb.Config{Workers: 30, Seed: 5}
+	a, err := slb.Simulate(gen, "D-C", cfg, slb.SimOptions{Sources: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := slb.Simulate(replay, "D-C", cfg, slb.SimOptions{Sources: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := range a.Loads {
+		if a.Loads[w] != b.Loads[w] {
+			t.Fatalf("trace replay diverged at worker %d: %d vs %d", w, a.Loads[w], b.Loads[w])
+		}
+	}
+}
+
+func TestTraceFileRoundTripThroughFacade(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.slbt")
+	gen := slb.NewZipfStream(1.2, 500, 5_000, 9)
+	if _, err := slb.WriteTraceFile(path, gen); err != nil {
+		t.Fatal(err)
+	}
+	replay, err := slb.OpenTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replay.Close()
+	if got, want := slb.CollectStats(replay), slb.CollectStats(gen); got != want {
+		t.Fatalf("stats drifted through trace file: %+v vs %+v", got, want)
+	}
+}
+
+func TestPKGMeasuredImbalanceMatchesAnalyticBound(t *testing.T) {
+	// Integration of analysis and simulator: at high skew, PKG's measured
+	// imbalance must sit at (or just above) the analytic lower bound
+	// p1/2 − 1/n from the PKG analysis, and never materially below.
+	for _, tc := range []struct {
+		z float64
+		n int
+	}{
+		{2.0, 10}, {2.0, 50}, {1.6, 50},
+	} {
+		gen := slb.NewZipfStream(tc.z, 10_000, 300_000, 42)
+		p1 := slb.ZipfProbs(tc.z, 10_000)[0]
+		bound := p1/2 - 1/float64(tc.n)
+		res, err := slb.Simulate(gen, "PKG", slb.Config{Workers: tc.n, Seed: 42},
+			slb.SimOptions{Sources: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Imbalance < bound*0.9 {
+			t.Errorf("z=%.1f n=%d: PKG imbalance %f below analytic bound %f",
+				tc.z, tc.n, res.Imbalance, bound)
+		}
+		if res.Imbalance > bound*1.5+0.02 {
+			t.Errorf("z=%.1f n=%d: PKG imbalance %f far above bound %f (model broken?)",
+				tc.z, tc.n, res.Imbalance, bound)
+		}
+	}
+}
+
+func TestAllEnginesAgreeOnOrdering(t *testing.T) {
+	// One skewed stream through all three engines: in each, W-C must
+	// beat PKG on imbalance; message conservation must hold.
+	const (
+		z, keys = 2.0, 1000
+		m       = 20_000
+		n, s    = 16, 4
+	)
+	mkGen := func() slb.Generator { return slb.NewZipfStream(z, keys, m, 13) }
+	type outcome struct{ pkg, wc float64 }
+	engines := map[string]func(algo string) (float64, int64){
+		"simulator": func(algo string) (float64, int64) {
+			r, err := slb.Simulate(mkGen(), algo, slb.Config{Workers: n, Seed: 13},
+				slb.SimOptions{Sources: s})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r.Imbalance, r.Messages
+		},
+		"eventsim": func(algo string) (float64, int64) {
+			r, err := slb.SimulateCluster(mkGen(), slb.ClusterConfig{
+				Workers: n, Sources: s, Algorithm: algo,
+				Core: slb.Config{Seed: 13}, ServiceTime: 0.01,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r.Imbalance, r.Completed
+		},
+		"dspe": func(algo string) (float64, int64) {
+			r, err := slb.RunTopology(mkGen(), slb.EngineConfig{
+				Workers: n, Sources: s, Algorithm: algo,
+				Core: slb.Config{Seed: 13}, ServiceTime: 0,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r.Imbalance, r.Completed
+		},
+	}
+	for name, run := range engines {
+		pkgImb, pkgM := run("PKG")
+		wcImb, wcM := run("W-C")
+		if pkgM != m || wcM != m {
+			t.Errorf("%s: message conservation violated (%d, %d)", name, pkgM, wcM)
+		}
+		if wcImb >= pkgImb {
+			t.Errorf("%s: W-C (%f) did not beat PKG (%f)", name, wcImb, pkgImb)
+		}
+		_ = outcome{pkgImb, wcImb}
+	}
+}
+
+func TestDatasetThroughClusterEngine(t *testing.T) {
+	// A dataset stand-in drives the cluster engine end to end.
+	gen, ok := slb.Dataset("CT", 3)
+	if !ok {
+		t.Fatal("CT missing")
+	}
+	res, err := slb.SimulateCluster(gen, slb.ClusterConfig{
+		Workers: 10, Sources: 5, Algorithm: "D-C",
+		Core: slb.Config{Seed: 3}, ServiceTime: 0.01, Messages: 20_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 20_000 {
+		t.Fatalf("completed %d", res.Completed)
+	}
+	if res.P99 <= 0 || math.IsNaN(res.P99) {
+		t.Fatalf("p99 = %v", res.P99)
+	}
+}
+
+func TestSolverAgreesWithSimulatedD(t *testing.T) {
+	// The analytic d (from the true distribution) and the online d (from
+	// sketch estimates inside the running D-C) must land close together.
+	z, n := 1.6, 50
+	probs := slb.ZipfProbs(z, 10_000)
+	theta := 1.0 / (5 * float64(n))
+	var head []float64
+	tail := 0.0
+	for _, p := range probs {
+		if p >= theta {
+			head = append(head, p)
+		} else {
+			tail += p
+		}
+	}
+	analytic := slb.SolveD(head, tail, n, 1e-4)
+
+	gen := slb.NewZipfStream(z, 10_000, 200_000, 21)
+	res, err := slb.Simulate(gen, "D-C", slb.Config{Workers: n, Seed: 21},
+		slb.SimOptions{Sources: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := res.FinalD - analytic
+	if diff < -4 || diff > 4 {
+		t.Fatalf("online d=%d vs analytic d=%d (diff %d)", res.FinalD, analytic, diff)
+	}
+}
+
+func TestWallClockEngineFinishesPromptly(t *testing.T) {
+	// Guard against deadlocks in the goroutine engine: a run that should
+	// take ~100 ms must not hang.
+	done := make(chan error, 1)
+	go func() {
+		_, err := slb.RunTopology(slb.NewZipfStream(1.5, 200, 5_000, 7), slb.EngineConfig{
+			Workers: 8, Sources: 4, Algorithm: "W-C",
+			Core: slb.Config{Seed: 7}, ServiceTime: 50 * time.Microsecond,
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("goroutine engine did not finish (deadlock?)")
+	}
+}

@@ -1,0 +1,185 @@
+// Package analysis implements the paper's analytical machinery: the
+// expected worker-set size b_h (Appendix A), the feasibility constraints
+// of Proposition 4.1, the FINDOPTIMALCHOICES solver for the number of
+// choices d used by D-Choices, the head-cardinality model (Fig. 3), and
+// the memory-overhead models for PKG, SG, D-Choices and W-Choices
+// (Figs. 5 and 6). Everything here is pure computation over a known key
+// distribution; the online algorithms in internal/core call into this
+// package with frequencies estimated by the SpaceSaving sketch.
+package analysis
+
+import "math"
+
+// BH returns b_h = n − n·((n−1)/n)^(h·d): the expected number of distinct
+// workers covered by the union of the choice sets of the h hottest head
+// keys, each hashed with d independent uniform functions (Appendix A:
+// balls-into-bins occupancy after h·d placements into n slots).
+func BH(n, h, d int) float64 {
+	if n <= 0 {
+		panic("analysis: BH with non-positive n")
+	}
+	if h <= 0 || d <= 0 {
+		return 0
+	}
+	nf := float64(n)
+	return nf - nf*math.Pow((nf-1)/nf, float64(h*d))
+}
+
+// FeasibleD reports whether d choices for the head satisfy every prefix
+// constraint of Proposition 4.1:
+//
+//	Σ_{i≤h} p_i + (b_h/n)^d Σ_{h<i≤|H|} p_i + (b_h/n)^2 Σ_{i>|H|} p_i
+//	    ≤ b_h (1/n + ε)    for all h = 1..|H|
+//
+// headProbs must be sorted in non-increasing order; tailMass is the total
+// probability of keys outside the head.
+func FeasibleD(headProbs []float64, tailMass float64, n, d int, eps float64) bool {
+	if len(headProbs) == 0 {
+		return true
+	}
+	nf := float64(n)
+	headMass := 0.0
+	for _, p := range headProbs {
+		headMass += p
+	}
+	prefix := 0.0
+	for h := 1; h <= len(headProbs); h++ {
+		prefix += headProbs[h-1]
+		bh := BH(n, h, d)
+		ratio := bh / nf
+		lhs := prefix + math.Pow(ratio, float64(d))*(headMass-prefix) + ratio*ratio*tailMass
+		rhs := bh * (1/nf + eps)
+		if lhs > rhs {
+			return false
+		}
+	}
+	return true
+}
+
+// SolveD implements FINDOPTIMALCHOICES: the smallest d that satisfies all
+// the constraints of Proposition 4.1, starting from the simple lower
+// bound d = ⌈p1·n⌉ (we need p1 ≤ d/n) and never below 2. If no d < n is
+// feasible the function returns n, signalling that the caller should
+// switch to the W-Choices strategy.
+//
+// headProbs must be sorted in non-increasing order. An empty head yields
+// d = 2 (everything is tail, plain PKG).
+func SolveD(headProbs []float64, tailMass float64, n int, eps float64) int {
+	if n <= 0 {
+		panic("analysis: SolveD with non-positive n")
+	}
+	if len(headProbs) == 0 {
+		return 2
+	}
+	d := int(math.Ceil(headProbs[0] * float64(n)))
+	if d < 2 {
+		d = 2
+	}
+	for ; d < n; d++ {
+		if FeasibleD(headProbs, tailMass, n, d, eps) {
+			return d
+		}
+	}
+	return n
+}
+
+// FeasibleDPrefix is FeasibleD restricted to the first maxPrefix
+// constraints (h = 1..maxPrefix). The paper notes the tight constraints
+// are h = 1 and h = |H|; the ablation harness uses this to quantify what
+// checking only h = 1 would cost.
+func FeasibleDPrefix(headProbs []float64, tailMass float64, n, d int, eps float64, maxPrefix int) bool {
+	if maxPrefix >= len(headProbs) {
+		return FeasibleD(headProbs, tailMass, n, d, eps)
+	}
+	if maxPrefix <= 0 || len(headProbs) == 0 {
+		return true
+	}
+	nf := float64(n)
+	headMass := 0.0
+	for _, p := range headProbs {
+		headMass += p
+	}
+	prefix := 0.0
+	for h := 1; h <= maxPrefix; h++ {
+		prefix += headProbs[h-1]
+		bh := BH(n, h, d)
+		ratio := bh / nf
+		lhs := prefix + pow(ratio, d)*(headMass-prefix) + ratio*ratio*tailMass
+		if lhs > bh*(1/nf+eps) {
+			return false
+		}
+	}
+	return true
+}
+
+// SolveDPrefix is SolveD with the constraint family truncated to the
+// first maxPrefix prefixes.
+func SolveDPrefix(headProbs []float64, tailMass float64, n int, eps float64, maxPrefix int) int {
+	if n <= 0 {
+		panic("analysis: SolveDPrefix with non-positive n")
+	}
+	if len(headProbs) == 0 {
+		return 2
+	}
+	d := int(math.Ceil(headProbs[0] * float64(n)))
+	if d < 2 {
+		d = 2
+	}
+	for ; d < n; d++ {
+		if FeasibleDPrefix(headProbs, tailMass, n, d, eps, maxPrefix) {
+			return d
+		}
+	}
+	return n
+}
+
+func pow(base float64, exp int) float64 { return math.Pow(base, float64(exp)) }
+
+// SplitHead partitions a full probability vector (sorted non-increasing)
+// at frequency threshold theta, returning the head probabilities and the
+// tail mass. It is the analytic counterpart of the online heavy-hitter
+// query H = {k : p_k ≥ θ}.
+func SplitHead(probs []float64, theta float64) (head []float64, tailMass float64) {
+	cut := 0
+	for cut < len(probs) && probs[cut] >= theta {
+		cut++
+	}
+	head = probs[:cut]
+	for _, p := range probs[cut:] {
+		tailMass += p
+	}
+	return head, tailMass
+}
+
+// HeadCardinality returns |H| for a distribution and threshold (Fig. 3).
+func HeadCardinality(probs []float64, theta float64) int {
+	head, _ := SplitHead(probs, theta)
+	return len(head)
+}
+
+// PKGImbalanceLowerBound is the first bound from the PKG analysis the
+// paper builds on: if p1 > 2/n, the expected imbalance of two choices is
+// at least p1/2 − 1/n asymptotically (the hottest key's load exceeds
+// what its two workers can average out). Below the threshold the bound
+// is vacuous and 0 is returned. Experiments report it as the predicted
+// floor for PKG's measured imbalance.
+func PKGImbalanceLowerBound(p1 float64, n int) float64 {
+	b := p1/2 - 1/float64(n)
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// MinimalDForImbalance is the empirical-search helper used by Fig. 9's
+// comparison: it returns the smallest d in [2, n] for which measure(d)
+// reports an imbalance no worse than target (with a small relative
+// slack). measure is typically a full simulation run at that d.
+func MinimalDForImbalance(n int, target float64, slack float64, measure func(d int) float64) int {
+	for d := 2; d <= n; d++ {
+		if measure(d) <= target*(1+slack)+1e-12 {
+			return d
+		}
+	}
+	return n
+}

@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"slb/internal/workload"
+)
+
+func TestBHBasics(t *testing.T) {
+	// One key, one choice: exactly one worker expected.
+	if got := BH(10, 1, 1); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("BH(10,1,1) = %f, want 1", got)
+	}
+	// Zero placements cover zero workers.
+	if got := BH(10, 0, 5); got != 0 {
+		t.Fatalf("BH(10,0,5) = %f, want 0", got)
+	}
+	// Many placements approach n.
+	if got := BH(10, 100, 10); got < 9.99 {
+		t.Fatalf("BH(10,100,10) = %f, want ≈10", got)
+	}
+}
+
+func TestBHMonotonicity(t *testing.T) {
+	prop := func(nRaw, hRaw, dRaw uint8) bool {
+		n := int(nRaw%100) + 2
+		h := int(hRaw%20) + 1
+		d := int(dRaw%20) + 1
+		b := BH(n, h, d)
+		// Bounded by both n and the number of placements.
+		if b < 0 || b > float64(n)+1e-9 || b > float64(h*d)+1e-9 {
+			return false
+		}
+		// Monotone in h and in d.
+		return BH(n, h+1, d) >= b && BH(n, h, d+1) >= b
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBHMatchesMonteCarlo(t *testing.T) {
+	// Empirically place h·d balls into n bins and compare occupancy.
+	n, h, d := 20, 3, 4
+	rng := workload.NewRNG(42)
+	trials := 20000
+	sum := 0.0
+	for tr := 0; tr < trials; tr++ {
+		var occupied [20]bool
+		cnt := 0
+		for i := 0; i < h*d; i++ {
+			b := rng.Intn(n)
+			if !occupied[b] {
+				occupied[b] = true
+				cnt++
+			}
+		}
+		sum += float64(cnt)
+	}
+	got := sum / float64(trials)
+	want := BH(n, h, d)
+	if math.Abs(got-want) > 0.05 {
+		t.Fatalf("Monte Carlo %f vs analytic %f", got, want)
+	}
+}
+
+func TestSplitHead(t *testing.T) {
+	probs := []float64{0.5, 0.2, 0.1, 0.1, 0.05, 0.05}
+	head, tail := SplitHead(probs, 0.1)
+	if len(head) != 4 {
+		t.Fatalf("head size %d, want 4", len(head))
+	}
+	if math.Abs(tail-0.1) > 1e-12 {
+		t.Fatalf("tail mass %f, want 0.1", tail)
+	}
+	head, tail = SplitHead(probs, 0.6)
+	if len(head) != 0 || math.Abs(tail-1) > 1e-12 {
+		t.Fatalf("empty head expected, got %d, tail %f", len(head), tail)
+	}
+}
+
+func TestHeadCardinalityAgainstFig3Shape(t *testing.T) {
+	// Fig 3: for Zipf |K|=1e4, θ=2/n with n=50 → θ=0.04: at low skew no key
+	// passes; at z=2.0 only a handful do. For θ=1/(5n) (0.004) the head
+	// peaks at moderate skew and shrinks again at extreme skew.
+	k := 10000
+	thetaTight := 2.0 / 50
+	thetaLoose := 1.0 / (5 * 50)
+	cardTight := map[float64]int{}
+	cardLoose := map[float64]int{}
+	for _, z := range []float64{0.4, 1.0, 1.4, 2.0} {
+		p := workload.ZipfProbs(z, k)
+		cardTight[z] = HeadCardinality(p, thetaTight)
+		cardLoose[z] = HeadCardinality(p, thetaLoose)
+	}
+	if cardTight[0.4] != 0 {
+		t.Errorf("θ=2/n z=0.4: head %d, want 0", cardTight[0.4])
+	}
+	if cardTight[2.0] == 0 || cardTight[2.0] > 10 {
+		t.Errorf("θ=2/n z=2.0: head %d, want small positive", cardTight[2.0])
+	}
+	if cardLoose[1.4] <= cardLoose[0.4] {
+		t.Errorf("θ=1/5n: head should grow from z=0.4 (%d) to z=1.4 (%d)",
+			cardLoose[0.4], cardLoose[1.4])
+	}
+	if cardLoose[2.0] >= cardLoose[1.4] {
+		t.Errorf("θ=1/5n: head should shrink from z=1.4 (%d) to z=2.0 (%d)",
+			cardLoose[1.4], cardLoose[2.0])
+	}
+}
+
+func TestSolveDEmptyHead(t *testing.T) {
+	if d := SolveD(nil, 1.0, 50, 1e-4); d != 2 {
+		t.Fatalf("SolveD(empty head) = %d, want 2", d)
+	}
+}
+
+func TestSolveDRespectsLowerBound(t *testing.T) {
+	// p1 = 0.6, n = 10: need at least d = 6.
+	p := workload.ZipfProbs(2.0, 10000)
+	head, tail := SplitHead(p, 1.0/(5*10))
+	d := SolveD(head, tail, 10, 1e-4)
+	if d < 6 {
+		t.Fatalf("SolveD = %d, below ⌈p1·n⌉ = 6 (p1=%f)", d, p[0])
+	}
+	if d > 10 {
+		t.Fatalf("SolveD = %d exceeds n", d)
+	}
+}
+
+func TestSolveDFeasibleAtSolutionInfeasibleBelow(t *testing.T) {
+	for _, z := range []float64{1.2, 1.6, 2.0} {
+		p := workload.ZipfProbs(z, 10000)
+		n := 50
+		head, tail := SplitHead(p, 1.0/(5*float64(n)))
+		d := SolveD(head, tail, n, 1e-4)
+		if d >= n {
+			continue // switched to W-C; nothing to check
+		}
+		if !FeasibleD(head, tail, n, d, 1e-4) {
+			t.Errorf("z=%.1f: returned d=%d infeasible", z, d)
+		}
+		lower := int(math.Ceil(head[0] * float64(n)))
+		if d > lower && d > 2 && FeasibleD(head, tail, n, d-1, 1e-4) {
+			t.Errorf("z=%.1f: d=%d not minimal, d−1 feasible", z, d)
+		}
+	}
+}
+
+func TestSolveDMonotoneInEps(t *testing.T) {
+	p := workload.ZipfProbs(1.8, 10000)
+	head, tail := SplitHead(p, 1.0/250)
+	n := 50
+	prev := n + 1
+	// Looser tolerance can only need fewer (or equal) choices.
+	for _, eps := range []float64{1e-5, 1e-4, 1e-3, 1e-2} {
+		d := SolveD(head, tail, n, eps)
+		if d > prev {
+			t.Fatalf("SolveD not non-increasing in eps: eps=%g gives %d > %d", eps, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestSolveDFig4Shape(t *testing.T) {
+	// Fig 4: at n=100 the fraction d/n stays below 1 across all skews, and
+	// d grows with skew in the high-skew regime.
+	n := 100
+	p14 := workload.ZipfProbs(1.4, 10000)
+	p20 := workload.ZipfProbs(2.0, 10000)
+	h14, t14 := SplitHead(p14, 1.0/(5*float64(n)))
+	h20, t20 := SplitHead(p20, 1.0/(5*float64(n)))
+	d14 := SolveD(h14, t14, n, 1e-4)
+	d20 := SolveD(h20, t20, n, 1e-4)
+	if d20 < d14 {
+		t.Errorf("d should grow with extreme skew: d(1.4)=%d d(2.0)=%d", d14, d20)
+	}
+	if d14 >= n {
+		t.Errorf("n=100 z=1.4: D-C should not need all workers (d=%d)", d14)
+	}
+}
+
+func TestMinimalDForImbalance(t *testing.T) {
+	// Synthetic measure: imbalance 1/d; target 0.2 → minimal d = 5.
+	got := MinimalDForImbalance(10, 0.2, 0, func(d int) float64 { return 1 / float64(d) })
+	if got != 5 {
+		t.Fatalf("MinimalDForImbalance = %d, want 5", got)
+	}
+	// Unreachable target returns n.
+	got = MinimalDForImbalance(10, 0, 0, func(d int) float64 { return 1 })
+	if got != 10 {
+		t.Fatalf("unreachable target should return n, got %d", got)
+	}
+}
+
+func TestFeasibleDTrivial(t *testing.T) {
+	if !FeasibleD(nil, 1, 10, 2, 0) {
+		t.Fatal("empty head must always be feasible")
+	}
+}
+
+func TestBHPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BH(0,...) did not panic")
+		}
+	}()
+	BH(0, 1, 1)
+}

@@ -1,0 +1,46 @@
+package analysis_test
+
+import (
+	"fmt"
+
+	"slb/internal/analysis"
+	"slb/internal/workload"
+)
+
+// FINDOPTIMALCHOICES: given the head of a Zipf(2.0) distribution at
+// n = 50 workers, compute the minimal number of choices d that keeps
+// the expected imbalance within ε.
+func ExampleSolveD() {
+	probs := workload.ZipfProbs(2.0, 10_000)
+	head, tailMass := analysis.SplitHead(probs, 1.0/(5*50)) // θ = 1/(5n)
+	d := analysis.SolveD(head, tailMass, 50, 1e-4)
+	fmt.Printf("|H|=%d hot keys need d=%d of n=50 workers\n", len(head), d)
+	// Output:
+	// |H|=12 hot keys need d=49 of n=50 workers
+}
+
+// b_h from Appendix A: the expected number of distinct workers covered
+// when the h hottest keys each hash to d candidates.
+func ExampleBH() {
+	fmt.Printf("%.2f\n", analysis.BH(50, 1, 5))  // one key, five choices
+	fmt.Printf("%.2f\n", analysis.BH(50, 4, 5))  // four keys
+	fmt.Printf("%.2f\n", analysis.BH(50, 40, 5)) // forty keys: ≈ all workers
+	// Output:
+	// 4.80
+	// 16.62
+	// 49.12
+}
+
+// The memory models of Section IV-B, relative to PKG (the Fig 5 query).
+func ExampleOverheadPct() {
+	probs := workload.ZipfProbs(1.4, 10_000)
+	const m = 1e7
+	theta := 1.0 / (5 * 50)
+	head, tail := analysis.SplitHead(probs, theta)
+	d := analysis.SolveD(head, tail, 50, 1e-4)
+	pkg := analysis.MemPKG(probs, m)
+	dc := analysis.MemDC(probs, m, 50, d, theta)
+	fmt.Printf("D-C uses %.1f%% more memory than PKG\n", analysis.OverheadPct(dc, pkg))
+	// Output:
+	// D-C uses 1.8% more memory than PKG
+}

@@ -1,0 +1,188 @@
+// Package asciichart renders small scatter/line charts as plain text,
+// so the experiment CLIs can show the paper's log-scale imbalance
+// curves directly in the terminal alongside the numeric tables.
+package asciichart
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"slb/internal/texttab"
+)
+
+// glyphs assigns one mark per series, in order.
+var glyphs = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Series is one named sequence of (x, y) points.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart accumulates series and renders them on a character grid.
+type Chart struct {
+	Title  string
+	LogY   bool
+	Width  int // plot-area columns; default 64
+	Height int // plot-area rows; default 16
+	series []Series
+}
+
+// New returns an empty chart.
+func New(title string, logY bool) *Chart {
+	return &Chart{Title: title, LogY: logY, Width: 64, Height: 16}
+}
+
+// Add appends a series; xs and ys must have equal length.
+func (c *Chart) Add(name string, xs, ys []float64) {
+	if len(xs) != len(ys) {
+		panic("asciichart: series length mismatch")
+	}
+	c.series = append(c.series, Series{Name: name, X: xs, Y: ys})
+}
+
+// Render draws the chart. An empty chart renders as just the title.
+func (c *Chart) Render() string {
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	pts := 0
+	for _, s := range c.series {
+		pts += len(s.X)
+	}
+	if pts == 0 {
+		return b.String()
+	}
+
+	// Ranges. In log mode, non-positive y values clamp to the smallest
+	// positive value present (divided by 10) so zero-imbalance points
+	// still appear at the bottom instead of vanishing.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minPosY := math.Inf(1)
+	for _, s := range c.series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			if s.Y[i] > 0 {
+				minPosY = math.Min(minPosY, s.Y[i])
+			}
+		}
+	}
+	if math.IsInf(minPosY, 1) {
+		minPosY = 1e-9
+	}
+	ty := func(y float64) float64 {
+		if !c.LogY {
+			return y
+		}
+		if y <= 0 {
+			y = minPosY / 10
+		}
+		return math.Log10(y)
+	}
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range c.series {
+		for i := range s.Y {
+			v := ty(s.Y[i])
+			minY = math.Min(minY, v)
+			maxY = math.Max(maxY, v)
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, c.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", c.Width))
+	}
+	for si, s := range c.series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			col := int((s.X[i] - minX) / (maxX - minX) * float64(c.Width-1))
+			row := int((ty(s.Y[i]) - minY) / (maxY - minY) * float64(c.Height-1))
+			grid[c.Height-1-row][col] = g
+		}
+	}
+
+	// Y labels at top, middle, bottom.
+	label := func(v float64) string {
+		if c.LogY {
+			return fmt.Sprintf("%8.0e", math.Pow(10, v))
+		}
+		return fmt.Sprintf("%8.3g", v)
+	}
+	for r := 0; r < c.Height; r++ {
+		prefix := strings.Repeat(" ", 8)
+		switch r {
+		case 0:
+			prefix = label(maxY)
+		case c.Height / 2:
+			prefix = label((maxY + minY) / 2)
+		case c.Height - 1:
+			prefix = label(minY)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", prefix, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", c.Width))
+	fmt.Fprintf(&b, "%s  %-10.4g%s%10.4g\n", strings.Repeat(" ", 8),
+		minX, strings.Repeat(" ", maxInt(0, c.Width-20)), maxX)
+
+	legend := make([]string, len(c.series))
+	for i, s := range c.series {
+		legend[i] = fmt.Sprintf("%c %s", glyphs[i%len(glyphs)], s.Name)
+	}
+	fmt.Fprintf(&b, "%s  %s\n", strings.Repeat(" ", 8), strings.Join(legend, "   "))
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// FromTable builds a chart from a texttab.Table whose first column is a
+// numeric x-axis and whose remaining numeric columns become series.
+// Columns with any non-numeric cell are skipped; if fewer than one
+// series remains, an error is returned.
+func FromTable(t *texttab.Table, logY bool) (*Chart, error) {
+	if len(t.Rows) == 0 || len(t.Columns) < 2 {
+		return nil, fmt.Errorf("asciichart: table %q not chartable", t.Title)
+	}
+	xs := make([]float64, len(t.Rows))
+	for i, row := range t.Rows {
+		v, err := strconv.ParseFloat(row[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("asciichart: x column not numeric: %q", row[0])
+		}
+		xs[i] = v
+	}
+	c := New(t.Title, logY)
+	for col := 1; col < len(t.Columns); col++ {
+		ys := make([]float64, len(t.Rows))
+		ok := true
+		for i, row := range t.Rows {
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			ys[i] = v
+		}
+		if ok {
+			c.Add(t.Columns[col], xs, ys)
+		}
+	}
+	if len(c.series) == 0 {
+		return nil, fmt.Errorf("asciichart: table %q has no numeric series", t.Title)
+	}
+	return c, nil
+}

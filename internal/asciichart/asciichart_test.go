@@ -1,0 +1,112 @@
+package asciichart
+
+import (
+	"strings"
+	"testing"
+
+	"slb/internal/texttab"
+)
+
+func TestAddPanicsOnMismatch(t *testing.T) {
+	c := New("t", false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Add("s", []float64{1, 2}, []float64{1})
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := New("empty chart", false).Render()
+	if !strings.Contains(out, "empty chart") {
+		t.Fatalf("title missing: %q", out)
+	}
+	if strings.Count(out, "\n") > 2 {
+		t.Fatalf("empty chart rendered a grid:\n%s", out)
+	}
+}
+
+func TestRenderPlacesExtremes(t *testing.T) {
+	c := New("lin", false)
+	c.Add("a", []float64{0, 1, 2}, []float64{0, 5, 10})
+	out := c.Render()
+	lines := strings.Split(out, "\n")
+	// First grid line (top) holds the max point, last grid line the min.
+	top := lines[1]
+	if !strings.Contains(top, "*") {
+		t.Fatalf("max point not on top row:\n%s", out)
+	}
+	bottom := lines[c.Height]
+	if !strings.Contains(bottom, "*") {
+		t.Fatalf("min point not on bottom row:\n%s", out)
+	}
+	if !strings.Contains(out, "* a") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+}
+
+func TestRenderLogScaleHandlesZeros(t *testing.T) {
+	c := New("log", true)
+	c.Add("imb", []float64{1, 2, 3}, []float64{0, 1e-6, 1e-2})
+	out := c.Render()
+	if !strings.Contains(out, "e-0") {
+		t.Fatalf("log labels missing:\n%s", out)
+	}
+}
+
+func TestRenderMultipleSeriesDistinctGlyphs(t *testing.T) {
+	c := New("multi", false)
+	c.Add("one", []float64{0, 1}, []float64{1, 2})
+	c.Add("two", []float64{0, 1}, []float64{3, 4})
+	out := c.Render()
+	if !strings.Contains(out, "* one") || !strings.Contains(out, "+ two") {
+		t.Fatalf("legend glyphs wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "+") {
+		t.Fatalf("second series glyph not drawn:\n%s", out)
+	}
+}
+
+func TestFromTable(t *testing.T) {
+	tab := texttab.New("Fig X", "n", "PKG", "W-C", "note")
+	tab.Add("5", "0.01", "0.001", "meh")
+	tab.Add("50", "0.1", "0.001", "meh")
+	c, err := FromTable(tab, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.series) != 2 {
+		t.Fatalf("series = %d, want 2 (note column skipped)", len(c.series))
+	}
+	out := c.Render()
+	if !strings.Contains(out, "* PKG") || !strings.Contains(out, "+ W-C") {
+		t.Fatalf("series names missing:\n%s", out)
+	}
+}
+
+func TestFromTableErrors(t *testing.T) {
+	empty := texttab.New("e", "a", "b")
+	if _, err := FromTable(empty, false); err == nil {
+		t.Error("empty table accepted")
+	}
+	nonNumX := texttab.New("x", "algo", "v")
+	nonNumX.Add("PKG", "1")
+	if _, err := FromTable(nonNumX, false); err == nil {
+		t.Error("non-numeric x accepted")
+	}
+	noSeries := texttab.New("s", "x", "label")
+	noSeries.Add("1", "abc")
+	if _, err := FromTable(noSeries, false); err == nil {
+		t.Error("table without numeric series accepted")
+	}
+}
+
+func TestConstantSeriesDoesNotDivideByZero(t *testing.T) {
+	c := New("const", false)
+	c.Add("flat", []float64{1, 1}, []float64{2, 2})
+	out := c.Render()
+	if out == "" || strings.Contains(out, "NaN") {
+		t.Fatalf("constant series broke rendering:\n%s", out)
+	}
+}

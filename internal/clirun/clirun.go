@@ -1,0 +1,106 @@
+// Package clirun is the shared driver behind cmd/slbsim and
+// cmd/slbstorm: it resolves the scale flag, dispatches one experiment
+// (or all, or list), prints the resulting tables and optionally writes
+// CSV copies.
+package clirun
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+
+	"slb/internal/asciichart"
+	"slb/internal/experiments"
+	"slb/internal/texttab"
+)
+
+// Options configures one CLI invocation.
+type Options struct {
+	// Scale is the -scale flag value (quick|default|full).
+	Scale string
+	// CSVDir, when non-empty, receives CSV copies of every table.
+	CSVDir string
+	// Cluster selects which experiment family this binary owns
+	// (false: simulation, true: DSPE cluster).
+	Cluster bool
+	// Chart additionally renders chartable tables as ASCII plots
+	// (log-scale y, matching the paper's figures).
+	Chart bool
+}
+
+// Main executes one CLI invocation.
+func Main(w io.Writer, opts Options, args []string) error {
+	scaleFlag, csvDir, cluster := opts.Scale, opts.CSVDir, opts.Cluster
+	sc, err := experiments.ParseScale(scaleFlag)
+	if err != nil {
+		return err
+	}
+	if len(args) != 1 {
+		return fmt.Errorf("expected exactly one experiment name (or 'all' / 'list')")
+	}
+	name := args[0]
+
+	if name == "list" {
+		for _, e := range experiments.List(true) {
+			if e.Cluster != cluster {
+				continue
+			}
+			fmt.Fprintf(w, "%-14s %s\n", e.Name, e.Description)
+		}
+		return nil
+	}
+
+	emit := func(expName string, tabs []*texttab.Table) error {
+		for i, t := range tabs {
+			if err := t.Fprint(w); err != nil {
+				return err
+			}
+			if opts.Chart {
+				if c, err := asciichart.FromTable(t, true); err == nil {
+					if _, err := io.WriteString(w, c.Render()+"\n"); err != nil {
+						return err
+					}
+				}
+			}
+			if csvDir != "" {
+				path := filepath.Join(csvDir, fmt.Sprintf("%s_%d.csv", expName, i))
+				if err := t.WriteCSV(path); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	if name == "all" {
+		all, err := experiments.RunAll(sc, cluster)
+		if err != nil {
+			return err
+		}
+		for _, e := range experiments.List(true) {
+			if tabs, ok := all[e.Name]; ok {
+				if err := emit(e.Name, tabs); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	e, ok := experiments.Lookup(name)
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (try 'list')", name)
+	}
+	if e.Cluster != cluster {
+		other := "slbsim"
+		if e.Cluster {
+			other = "slbstorm"
+		}
+		return fmt.Errorf("experiment %q belongs to %s", name, other)
+	}
+	tabs, err := e.Run(sc)
+	if err != nil {
+		return err
+	}
+	return emit(name, tabs)
+}

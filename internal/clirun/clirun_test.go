@@ -1,0 +1,92 @@
+package clirun
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMainList(t *testing.T) {
+	var b strings.Builder
+	if err := Main(&b, Options{Scale: "quick"}, []string{"list"}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"fig1", "fig10", "table1", "ablate-eps"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "fig13") {
+		t.Error("simulation list should not include cluster experiments")
+	}
+
+	b.Reset()
+	if err := Main(&b, Options{Scale: "quick", Cluster: true}, []string{"list"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "fig13") || strings.Contains(b.String(), "fig1 ") {
+		t.Errorf("cluster list wrong:\n%s", b.String())
+	}
+}
+
+func TestMainSingleExperimentWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := Main(&b, Options{Scale: "quick", CSVDir: dir}, []string{"fig3"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Fig 3") {
+		t.Errorf("output missing table:\n%s", b.String())
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig3_0.csv"))
+	if err != nil {
+		t.Fatalf("CSV not written: %v", err)
+	}
+	if !strings.HasPrefix(string(data), "z,") {
+		t.Errorf("CSV header wrong: %q", data[:20])
+	}
+}
+
+func TestMainErrors(t *testing.T) {
+	var b strings.Builder
+	if err := Main(&b, Options{Scale: "bogus-scale"}, []string{"fig3"}); err == nil {
+		t.Error("bad scale accepted")
+	}
+	if err := Main(&b, Options{Scale: "quick"}, nil); err == nil {
+		t.Error("missing experiment name accepted")
+	}
+	if err := Main(&b, Options{Scale: "quick"}, []string{"nope"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := Main(&b, Options{Scale: "quick"}, []string{"fig13"}); err == nil {
+		t.Error("cluster experiment accepted by simulation binary")
+	}
+	if err := Main(&b, Options{Scale: "quick", Cluster: true}, []string{"fig3"}); err == nil {
+		t.Error("simulation experiment accepted by cluster binary")
+	}
+}
+
+func TestMainChart(t *testing.T) {
+	var b strings.Builder
+	if err := Main(&b, Options{Scale: "quick", Chart: true}, []string{"fig3"}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// The chart footer carries the series legend with glyphs.
+	if !strings.Contains(out, "* n=50") {
+		t.Errorf("chart output missing:\n%s", out)
+	}
+}
+
+func TestMainAllCluster(t *testing.T) {
+	var b strings.Builder
+	if err := Main(&b, Options{Scale: "quick", Cluster: true}, []string{"all"}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Fig 13") || !strings.Contains(out, "Fig 14") {
+		t.Errorf("cluster 'all' missing figures:\n%s", out)
+	}
+}

@@ -1,0 +1,592 @@
+// Package core implements the paper's stream partitioning algorithms:
+// the baselines Key Grouping (KG), Shuffle Grouping (SG) and Partial Key
+// Grouping (PKG, Nasir et al. ICDE 2015), and the contribution of the
+// reproduced paper — D-Choices, W-Choices and the Round-Robin head
+// baseline — which detect the head of the key distribution online with a
+// SpaceSaving sketch and give hot keys d ≥ 2 choices (Algorithm 1).
+//
+// A Partitioner instance embodies the state of ONE source (sender): load
+// estimates are local to the sender, exactly as in the paper ("the load
+// is determined based only on local information available at the
+// sender"). Simulations create one instance per source from a shared
+// Config.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"slb/internal/analysis"
+	"slb/internal/hashing"
+	"slb/internal/spacesaving"
+)
+
+// Partitioner routes each message of a keyed stream to one of n workers.
+// Implementations are single-goroutine: each source owns one instance.
+type Partitioner interface {
+	// Route returns the worker in [0, Workers()) for one message with the
+	// given key, updating any internal state (local loads, sketches).
+	Route(key string) int
+	// Workers returns n, the number of downstream workers.
+	Workers() int
+	// Name returns the paper's symbol for the algorithm (KG, SG, PKG,
+	// D-C, W-C, RR).
+	Name() string
+}
+
+// Config carries the common parameters of Table III.
+type Config struct {
+	// Workers is n, the number of downstream operator instances.
+	Workers int
+	// Seed derives the hash family and any sampling; fixed seed means
+	// exactly reproducible routing.
+	Seed uint64
+	// Instance is the index of this sender among its peers. It offsets
+	// the starting phase of the round-robin schemes (SG, RR) so that
+	// multiple senders do not hit the same worker in lockstep — Storm
+	// starts each task at a random position. It does NOT affect hashing:
+	// all senders must map a key to the same candidate workers.
+	Instance int
+	// Theta is the head frequency threshold θ; 0 means the paper's
+	// default 1/(5n).
+	Theta float64
+	// Epsilon is the imbalance tolerance ε of the d-solver; 0 means the
+	// paper's default 1e-4.
+	Epsilon float64
+	// SketchCapacity is the SpaceSaving capacity; 0 means 4·⌈1/θ⌉,
+	// comfortably above the 1/θ needed to catch every head key.
+	SketchCapacity int
+	// SolveEvery is how many observed messages may elapse between
+	// re-computations of d by FINDOPTIMALCHOICES in D-Choices; 0 means
+	// 1024. The solve also reruns whenever the head set changes size.
+	SolveEvery int
+	// SketchWindow, when positive, switches head tracking to a sliding
+	// two-generation SpaceSaving over the most recent 1–2 windows of the
+	// stream (extension for drifting workloads: bounded adaptation
+	// latency). 0 keeps the paper's insertion-only sketch.
+	SketchWindow uint64
+}
+
+// withDefaults resolves zero fields to the paper's defaults.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		panic("core: Config.Workers must be positive")
+	}
+	if c.Theta == 0 {
+		c.Theta = 1.0 / (5 * float64(c.Workers))
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 1e-4
+	}
+	if c.SketchCapacity == 0 {
+		c.SketchCapacity = 4 * int(1/c.Theta+1)
+	}
+	if c.SolveEvery == 0 {
+		c.SolveEvery = 1024
+	}
+	return c
+}
+
+// Names of all algorithms, in the paper's presentation order.
+var Names = []string{"KG", "SG", "PKG", "D-C", "W-C", "RR"}
+
+// New constructs a partitioner by its paper symbol.
+func New(name string, cfg Config) (Partitioner, error) {
+	switch name {
+	case "KG":
+		return NewKeyGrouping(cfg), nil
+	case "SG":
+		return NewShuffleGrouping(cfg), nil
+	case "PKG":
+		return NewPKG(cfg), nil
+	case "D-C":
+		return NewDChoices(cfg), nil
+	case "W-C":
+		return NewWChoices(cfg), nil
+	case "RR":
+		return NewRoundRobin(cfg), nil
+	}
+	return nil, fmt.Errorf("core: unknown partitioner %q", name)
+}
+
+// ---------------------------------------------------------------------------
+// Baselines
+
+// KeyGrouping sends all messages of a key to one hashed worker.
+type KeyGrouping struct {
+	n      int
+	family *hashing.Family
+}
+
+// NewKeyGrouping returns a KG partitioner.
+func NewKeyGrouping(cfg Config) *KeyGrouping {
+	cfg = cfg.withDefaults()
+	return &KeyGrouping{n: cfg.Workers, family: hashing.NewFamily(1, cfg.Seed)}
+}
+
+// Route implements Partitioner.
+func (k *KeyGrouping) Route(key string) int { return k.family.Bucket(0, key, k.n) }
+
+// Workers implements Partitioner.
+func (k *KeyGrouping) Workers() int { return k.n }
+
+// Name implements Partitioner.
+func (k *KeyGrouping) Name() string { return "KG" }
+
+// ShuffleGrouping distributes messages round-robin, ignoring keys.
+type ShuffleGrouping struct {
+	n    int
+	next int
+}
+
+// NewShuffleGrouping returns an SG partitioner. The starting offset is
+// derived from the seed and the sender instance so distinct sources
+// interleave across workers instead of marching in lockstep.
+func NewShuffleGrouping(cfg Config) *ShuffleGrouping {
+	cfg = cfg.withDefaults()
+	return &ShuffleGrouping{n: cfg.Workers, next: phaseOffset(cfg)}
+}
+
+// phaseOffset spreads sender instances around the worker ring.
+func phaseOffset(cfg Config) int {
+	return int((cfg.Seed + uint64(cfg.Instance)*7919) % uint64(cfg.Workers))
+}
+
+// Route implements Partitioner.
+func (s *ShuffleGrouping) Route(string) int {
+	w := s.next
+	s.next++
+	if s.next == s.n {
+		s.next = 0
+	}
+	return w
+}
+
+// Workers implements Partitioner.
+func (s *ShuffleGrouping) Workers() int { return s.n }
+
+// Name implements Partitioner.
+func (s *ShuffleGrouping) Name() string { return "SG" }
+
+// ---------------------------------------------------------------------------
+// Greedy-d core
+
+// greedy holds the state shared by all load-aware schemes: the hash
+// family and this sender's local load vector.
+type greedy struct {
+	n      int
+	family *hashing.Family
+	loads  []int64
+}
+
+func newGreedy(cfg Config) greedy {
+	return greedy{
+		n:      cfg.Workers,
+		family: hashing.NewFamily(cfg.Workers, cfg.Seed),
+		loads:  make([]int64, cfg.Workers),
+	}
+}
+
+// routeGreedy applies the Greedy-d process: among the candidate workers
+// F_1(key)..F_d(key), pick the one with the lowest local load (first
+// lowest wins, matching "ties broken arbitrarily"), then account for the
+// message.
+func (g *greedy) routeGreedy(key string, d int) int {
+	best := g.family.Bucket(0, key, g.n)
+	bestLoad := g.loads[best]
+	for i := 1; i < d; i++ {
+		w := g.family.Bucket(i, key, g.n)
+		if g.loads[w] < bestLoad {
+			best, bestLoad = w, g.loads[w]
+		}
+	}
+	g.loads[best]++
+	return best
+}
+
+// routeAll picks the globally least-loaded worker (W-Choices head path:
+// "there is no need to hash the keys in the head").
+func (g *greedy) routeAll() int {
+	best := 0
+	bestLoad := g.loads[0]
+	for w := 1; w < g.n; w++ {
+		if g.loads[w] < bestLoad {
+			best, bestLoad = w, g.loads[w]
+		}
+	}
+	g.loads[best]++
+	return best
+}
+
+// Loads exposes a copy of the sender-local load vector (for tests and
+// instrumentation).
+func (g *greedy) Loads() []int64 {
+	out := make([]int64, len(g.loads))
+	copy(out, g.loads)
+	return out
+}
+
+// PKG is Partial Key Grouping: the Greedy-d process with d = 2 for every
+// key.
+type PKG struct {
+	greedy
+}
+
+// NewPKG returns a PKG partitioner.
+func NewPKG(cfg Config) *PKG {
+	cfg = cfg.withDefaults()
+	return &PKG{greedy: newGreedy(cfg)}
+}
+
+// Route implements Partitioner.
+func (p *PKG) Route(key string) int { return p.routeGreedy(key, 2) }
+
+// Workers implements Partitioner.
+func (p *PKG) Workers() int { return p.n }
+
+// Name implements Partitioner.
+func (p *PKG) Name() string { return "PKG" }
+
+// ---------------------------------------------------------------------------
+// Head tracking (shared by D-C, W-C, RR)
+
+// minHeadCount is the minimum estimated count before a key may be
+// classified as head. With very few observations, relative frequencies
+// are pure noise (the first key seen has estimated frequency 1); a
+// count floor makes detection latency inversely proportional to a key's
+// true frequency, so the hot keys that actually matter are caught after
+// a handful of messages while marginal keys — for which a brief
+// misclassification is harmless — take longer.
+const minHeadCount = 4
+
+// HeadTracker runs the per-sender SpaceSaving instance and answers "is
+// this key currently in the head H = {k : p̂_k ≥ θ}?" (Algorithm 1,
+// UPDATESPACESAVING). With Config.SketchWindow set it uses the sliding
+// two-generation sketch instead, bounding adaptation latency under
+// concept drift.
+type HeadTracker struct {
+	sketch *spacesaving.Summary  // insertion-only mode (the paper's)
+	win    *spacesaving.Windowed // sliding mode (drift extension)
+	theta  float64
+}
+
+func newHeadTracker(cfg Config) HeadTracker {
+	h := HeadTracker{theta: cfg.Theta}
+	if cfg.SketchWindow > 0 {
+		h.win = spacesaving.NewWindowed(cfg.SketchCapacity, cfg.SketchWindow)
+	} else {
+		h.sketch = spacesaving.New(cfg.SketchCapacity)
+	}
+	return h
+}
+
+// observe feeds the key and reports head membership.
+func (h *HeadTracker) observe(key string) bool {
+	if h.win != nil {
+		h.win.Offer(key)
+		c, _, ok := h.win.Count(key)
+		if !ok || c < minHeadCount {
+			return false
+		}
+		return float64(c) >= h.theta*float64(h.win.N())
+	}
+	h.sketch.Offer(key)
+	c, _, ok := h.sketch.Count(key)
+	if !ok || c < minHeadCount {
+		return false
+	}
+	return float64(c) >= h.theta*float64(h.sketch.N())
+}
+
+// observed returns the stream mass the tracker's estimates refer to.
+func (h *HeadTracker) observed() uint64 {
+	if h.win != nil {
+		return h.win.N()
+	}
+	return h.sketch.N()
+}
+
+// heavyHitters returns the current head entries.
+func (h *HeadTracker) heavyHitters() []spacesaving.Entry {
+	if h.win != nil {
+		return h.win.HeavyHitters(h.theta)
+	}
+	return h.sketch.HeavyHitters(h.theta)
+}
+
+// headSnapshot returns the estimated head frequencies (non-increasing)
+// and the estimated tail mass, both normalized by the observed stream
+// length.
+func (h *HeadTracker) headSnapshot() (head []float64, tailMass float64) {
+	n := h.observed()
+	if n == 0 {
+		return nil, 1
+	}
+	entries := h.heavyHitters()
+	head = make([]float64, len(entries))
+	mass := 0.0
+	for i, e := range entries {
+		head[i] = float64(e.Count) / float64(n)
+		mass += head[i]
+	}
+	// Estimates can overshoot; keep the vector a valid distribution.
+	sort.Sort(sort.Reverse(sort.Float64Slice(head)))
+	tailMass = 1 - mass
+	if tailMass < 0 {
+		tailMass = 0
+	}
+	return head, tailMass
+}
+
+// Merge folds another sender's sketch into this tracker, implementing the
+// distributed heavy-hitters generalization: sources periodically exchange
+// summaries so each sees (approximately) global frequencies. It is a
+// no-op in sliding-window mode, where generations are not mergeable
+// across senders.
+func (h *HeadTracker) Merge(other *spacesaving.Summary) {
+	if h.sketch == nil {
+		return
+	}
+	h.sketch = h.sketch.Merge(other)
+}
+
+// Sketch exposes the tracker's sketch for merging by a coordinator
+// (nil in sliding-window mode).
+func (h *HeadTracker) Sketch() *spacesaving.Summary { return h.sketch }
+
+// SetSketch replaces the tracker's sketch; the coordinator uses this to
+// redistribute a merged global summary back to the senders. No-op in
+// sliding-window mode.
+func (h *HeadTracker) SetSketch(s *spacesaving.Summary) {
+	if h.sketch == nil {
+		return
+	}
+	h.sketch = s
+}
+
+// ---------------------------------------------------------------------------
+// D-Choices
+
+// DChoices gives head keys the minimal d ≥ 2 choices that satisfies
+// Proposition 4.1, and tail keys 2 choices. When the solver concludes
+// d ≥ n it degenerates to the W-Choices strategy, as prescribed.
+type DChoices struct {
+	greedy
+	head       HeadTracker
+	eps        float64
+	solveEvery int
+
+	d          int    // current number of choices for the head
+	solved     bool   // whether d has ever been computed
+	lastSolveN uint64 // sketch N at the last solve
+}
+
+// NewDChoices returns a D-C partitioner.
+func NewDChoices(cfg Config) *DChoices {
+	cfg = cfg.withDefaults()
+	return &DChoices{
+		greedy:     newGreedy(cfg),
+		head:       newHeadTracker(cfg),
+		eps:        cfg.Epsilon,
+		solveEvery: cfg.SolveEvery,
+		d:          2,
+	}
+}
+
+// Route implements Partitioner (Algorithm 1 with D-CHOICES).
+func (p *DChoices) Route(key string) int {
+	inHead := p.head.observe(key)
+	d := 2
+	if inHead {
+		d = p.findOptimalChoices()
+		if d >= p.n {
+			// Switching point: use the W-Choices strategy.
+			return p.routeAll()
+		}
+	}
+	return p.routeGreedy(key, d)
+}
+
+// findOptimalChoices returns the cached d, re-solving on the configured
+// cadence. The solve itself is O(|sketch|·log + n·|H|), far too costly
+// per message but negligible when amortized over SolveEvery messages.
+func (p *DChoices) findOptimalChoices() int {
+	n := p.head.observed()
+	if p.solved && n-p.lastSolveN < uint64(p.solveEvery) {
+		return p.d
+	}
+	head, tail := p.head.headSnapshot()
+	p.d = analysis.SolveD(head, tail, p.n, p.eps)
+	if p.d < 2 {
+		p.d = 2
+	}
+	p.solved = true
+	p.lastSolveN = n
+	return p.d
+}
+
+// D returns the current number of choices for head keys (instrumentation).
+func (p *DChoices) D() int { return p.d }
+
+// HeadTracker exposes the sender's sketch state for distributed merging.
+func (p *DChoices) HeadTracker() *HeadTracker { return &p.head }
+
+// Workers implements Partitioner.
+func (p *DChoices) Workers() int { return p.n }
+
+// Name implements Partitioner.
+func (p *DChoices) Name() string { return "D-C" }
+
+// ForcedD is the Greedy-d scheme with an externally fixed number of
+// choices for head keys (tail keys keep 2). It is the experimental
+// instrument behind Fig. 9: sweeping d from 2 to n to find the empirical
+// minimum that matches W-Choices' imbalance, independently of the
+// analytic solver.
+type ForcedD struct {
+	greedy
+	head HeadTracker
+	d    int
+}
+
+// NewForcedD returns a Greedy-d partitioner with exactly d choices for
+// head keys. d is clamped to [2, n]; d = n uses the W-Choices fast path.
+func NewForcedD(cfg Config, d int) *ForcedD {
+	cfg = cfg.withDefaults()
+	if d < 2 {
+		d = 2
+	}
+	if d > cfg.Workers {
+		d = cfg.Workers
+	}
+	return &ForcedD{greedy: newGreedy(cfg), head: newHeadTracker(cfg), d: d}
+}
+
+// Route implements Partitioner.
+func (p *ForcedD) Route(key string) int {
+	if p.head.observe(key) {
+		if p.d == p.n {
+			return p.routeAll()
+		}
+		return p.routeGreedy(key, p.d)
+	}
+	return p.routeGreedy(key, 2)
+}
+
+// D returns the forced number of choices.
+func (p *ForcedD) D() int { return p.d }
+
+// Workers implements Partitioner.
+func (p *ForcedD) Workers() int { return p.n }
+
+// Name implements Partitioner.
+func (p *ForcedD) Name() string { return fmt.Sprintf("Greedy-%d", p.d) }
+
+// ---------------------------------------------------------------------------
+// W-Choices
+
+// WChoices routes head keys to the globally least-loaded worker (all n
+// choices) and tail keys with 2 choices.
+type WChoices struct {
+	greedy
+	head HeadTracker
+}
+
+// NewWChoices returns a W-C partitioner.
+func NewWChoices(cfg Config) *WChoices {
+	cfg = cfg.withDefaults()
+	return &WChoices{greedy: newGreedy(cfg), head: newHeadTracker(cfg)}
+}
+
+// Route implements Partitioner (Algorithm 1 with W-CHOICES).
+func (p *WChoices) Route(key string) int {
+	if p.head.observe(key) {
+		return p.routeAll()
+	}
+	return p.routeGreedy(key, 2)
+}
+
+// HeadTracker exposes the sender's sketch state for distributed merging.
+func (p *WChoices) HeadTracker() *HeadTracker { return &p.head }
+
+// Workers implements Partitioner.
+func (p *WChoices) Workers() int { return p.n }
+
+// Name implements Partitioner.
+func (p *WChoices) Name() string { return "W-C" }
+
+// Oracle is W-Choices with ground-truth head knowledge instead of the
+// online sketch: the caller supplies the head membership predicate.
+// It is an experimental upper bound used to quantify how much imbalance
+// the SpaceSaving estimation error costs (ablation in DESIGN.md §6);
+// it is not part of the paper's system (real systems do not know the
+// distribution).
+type Oracle struct {
+	greedy
+	isHead func(string) bool
+}
+
+// NewOracle returns an oracle-head partitioner. isHead must be a pure
+// function of the key.
+func NewOracle(cfg Config, isHead func(string) bool) *Oracle {
+	cfg = cfg.withDefaults()
+	if isHead == nil {
+		panic("core: NewOracle requires a head predicate")
+	}
+	return &Oracle{greedy: newGreedy(cfg), isHead: isHead}
+}
+
+// Route implements Partitioner.
+func (p *Oracle) Route(key string) int {
+	if p.isHead(key) {
+		return p.routeAll()
+	}
+	return p.routeGreedy(key, 2)
+}
+
+// Workers implements Partitioner.
+func (p *Oracle) Workers() int { return p.n }
+
+// Name implements Partitioner.
+func (p *Oracle) Name() string { return "Oracle" }
+
+// ---------------------------------------------------------------------------
+// Round-Robin head baseline
+
+// RoundRobin spreads head messages over all workers in a load-oblivious
+// round-robin and routes the tail with 2 load-aware choices. It has the
+// same memory cost as W-Choices but cannot compensate tail imbalance.
+type RoundRobin struct {
+	greedy
+	head HeadTracker
+	next int
+}
+
+// NewRoundRobin returns an RR partitioner.
+func NewRoundRobin(cfg Config) *RoundRobin {
+	cfg = cfg.withDefaults()
+	return &RoundRobin{
+		greedy: newGreedy(cfg),
+		head:   newHeadTracker(cfg),
+		next:   phaseOffset(cfg),
+	}
+}
+
+// Route implements Partitioner.
+func (p *RoundRobin) Route(key string) int {
+	if p.head.observe(key) {
+		w := p.next
+		p.next++
+		if p.next == p.n {
+			p.next = 0
+		}
+		p.loads[w]++
+		return w
+	}
+	return p.routeGreedy(key, 2)
+}
+
+// Workers implements Partitioner.
+func (p *RoundRobin) Workers() int { return p.n }
+
+// Name implements Partitioner.
+func (p *RoundRobin) Name() string { return "RR" }

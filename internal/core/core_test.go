@@ -1,0 +1,355 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"slb/internal/workload"
+)
+
+func cfg(n int) Config { return Config{Workers: n, Seed: 42} }
+
+func TestNewByName(t *testing.T) {
+	for _, name := range Names {
+		p, err := New(name, cfg(10))
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("Name() = %q, want %q", p.Name(), name)
+		}
+		if p.Workers() != 10 {
+			t.Fatalf("%s Workers() = %d", name, p.Workers())
+		}
+	}
+	if _, err := New("nope", cfg(10)); err == nil {
+		t.Fatal("unknown name did not error")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{Workers: 50}.withDefaults()
+	if c.Theta != 1.0/250 {
+		t.Fatalf("default theta = %f, want 1/(5n)", c.Theta)
+	}
+	if c.Epsilon != 1e-4 {
+		t.Fatalf("default eps = %f", c.Epsilon)
+	}
+	if c.SketchCapacity < int(1/c.Theta) {
+		t.Fatalf("sketch capacity %d below 1/θ", c.SketchCapacity)
+	}
+	if c.SolveEvery != 1024 {
+		t.Fatalf("default SolveEvery = %d", c.SolveEvery)
+	}
+}
+
+func TestConfigPanicsWithoutWorkers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Workers=0")
+		}
+	}()
+	NewPKG(Config{})
+}
+
+func TestKeyGroupingConsistency(t *testing.T) {
+	kg := NewKeyGrouping(cfg(16))
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("key%d", i)
+		w := kg.Route(k)
+		for j := 0; j < 3; j++ {
+			if kg.Route(k) != w {
+				t.Fatalf("KG routed %q inconsistently", k)
+			}
+		}
+	}
+}
+
+func TestShuffleGroupingPerfectBalance(t *testing.T) {
+	sg := NewShuffleGrouping(cfg(7))
+	counts := make([]int, 7)
+	for i := 0; i < 7*100; i++ {
+		counts[sg.Route("any")]++
+	}
+	for w, c := range counts {
+		if c != 100 {
+			t.Fatalf("SG worker %d got %d, want 100", w, c)
+		}
+	}
+}
+
+func TestPKGRoutesOnlyToCandidates(t *testing.T) {
+	p := NewPKG(cfg(20))
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("key%d", i%50)
+		w := p.Route(k)
+		c1 := p.family.Bucket(0, k, 20)
+		c2 := p.family.Bucket(1, k, 20)
+		if w != c1 && w != c2 {
+			t.Fatalf("PKG routed %q to %d, candidates {%d,%d}", k, w, c1, c2)
+		}
+	}
+}
+
+func TestPKGPrefersLessLoaded(t *testing.T) {
+	p := NewPKG(cfg(4))
+	// Find a key with two distinct candidates.
+	var key string
+	var c1, c2 int
+	for i := 0; ; i++ {
+		key = fmt.Sprintf("probe%d", i)
+		c1 = p.family.Bucket(0, key, 4)
+		c2 = p.family.Bucket(1, key, 4)
+		if c1 != c2 {
+			break
+		}
+	}
+	// Preload c1 heavily.
+	p.loads[c1] = 100
+	if w := p.Route(key); w != c2 {
+		t.Fatalf("PKG chose %d, want less-loaded %d", w, c2)
+	}
+}
+
+func TestGreedyLoadAccounting(t *testing.T) {
+	p := NewPKG(cfg(8))
+	for i := 0; i < 500; i++ {
+		p.Route(fmt.Sprintf("k%d", i%40))
+	}
+	var sum int64
+	for _, l := range p.Loads() {
+		sum += l
+	}
+	if sum != 500 {
+		t.Fatalf("local loads sum to %d, want 500", sum)
+	}
+}
+
+// routeStream pushes a Zipf stream through a fresh partitioner and
+// returns the global load fractions.
+func routeStream(tb testing.TB, p Partitioner, z float64, keys int, m int64) []float64 {
+	tb.Helper()
+	gen := workload.NewZipf(z, keys, m, 7)
+	loads := make([]int64, p.Workers())
+	for {
+		k, ok := gen.Next()
+		if !ok {
+			break
+		}
+		loads[p.Route(k)]++
+	}
+	out := make([]float64, len(loads))
+	for i, l := range loads {
+		out[i] = float64(l) / float64(m)
+	}
+	return out
+}
+
+func imbalance(loads []float64) float64 {
+	max, sum := 0.0, 0.0
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+		sum += l
+	}
+	return max - sum/float64(len(loads))
+}
+
+func TestWChoicesBeatsPKGAtScaleAndSkew(t *testing.T) {
+	// The paper's headline claim: at n = 50, z = 2.0 (p1 ≈ 0.6), PKG's two
+	// choices cannot contain the hot key, while W-C stays near perfect.
+	n := 50
+	pkgImb := imbalance(routeStream(t, NewPKG(cfg(n)), 2.0, 1000, 200000))
+	wcImb := imbalance(routeStream(t, NewWChoices(cfg(n)), 2.0, 1000, 200000))
+	if pkgImb < 0.1 {
+		t.Fatalf("PKG imbalance %f unexpectedly low; test premise broken", pkgImb)
+	}
+	if wcImb > 0.01 {
+		t.Fatalf("W-C imbalance %f, want < 0.01", wcImb)
+	}
+	if wcImb > pkgImb/10 {
+		t.Fatalf("W-C (%f) should beat PKG (%f) by ≥10×", wcImb, pkgImb)
+	}
+}
+
+func TestDChoicesBeatsPKGAtScaleAndSkew(t *testing.T) {
+	n := 50
+	pkgImb := imbalance(routeStream(t, NewPKG(cfg(n)), 2.0, 1000, 200000))
+	dcImb := imbalance(routeStream(t, NewDChoices(cfg(n)), 2.0, 1000, 200000))
+	if dcImb > pkgImb/10 {
+		t.Fatalf("D-C (%f) should beat PKG (%f) by ≥10×", dcImb, pkgImb)
+	}
+}
+
+func TestRoundRobinBeatsPKGAtScaleAndSkew(t *testing.T) {
+	n := 50
+	pkgImb := imbalance(routeStream(t, NewPKG(cfg(n)), 2.0, 1000, 200000))
+	rrImb := imbalance(routeStream(t, NewRoundRobin(cfg(n)), 2.0, 1000, 200000))
+	if rrImb > pkgImb/5 {
+		t.Fatalf("RR (%f) should clearly beat PKG (%f)", rrImb, pkgImb)
+	}
+}
+
+func TestDChoicesUsesTwoChoicesWithoutSkew(t *testing.T) {
+	// Uniform stream: no head, D-C must stay at d = 2 (PKG behaviour).
+	p := NewDChoices(cfg(10))
+	gen := workload.NewZipf(0, 500, 20000, 3)
+	for {
+		k, ok := gen.Next()
+		if !ok {
+			break
+		}
+		p.Route(k)
+	}
+	if p.D() != 2 {
+		t.Fatalf("D-C chose d=%d on uniform stream, want 2", p.D())
+	}
+}
+
+func TestDChoicesDRespectsP1LowerBound(t *testing.T) {
+	// z=2.0, |K|=1000: p1 ≈ 0.61, so with n = 10 we need d ≥ ⌈6.1⌉ = 7
+	// (or a switch to W-C at d = n).
+	p := NewDChoices(cfg(10))
+	gen := workload.NewZipf(2.0, 1000, 50000, 5)
+	for {
+		k, ok := gen.Next()
+		if !ok {
+			break
+		}
+		p.Route(k)
+	}
+	if p.D() < 7 {
+		t.Fatalf("D-C d=%d below the p1·n lower bound 7", p.D())
+	}
+}
+
+func TestWChoicesHeadGoesToLeastLoaded(t *testing.T) {
+	p := NewWChoices(Config{Workers: 5, Seed: 1, Theta: 0.2})
+	// Make "hot" a heavy hitter within the sketch.
+	for i := 0; i < 100; i++ {
+		p.Route("hot")
+	}
+	// Skew local loads, then verify the next hot message lands on the
+	// (unique) least-loaded worker.
+	for w := range p.loads {
+		p.loads[w] = int64(100 * (w + 1))
+	}
+	p.loads[3] = 0
+	if w := p.Route("hot"); w != 3 {
+		t.Fatalf("W-C routed hot key to %d, want least-loaded 3", w)
+	}
+}
+
+func TestRoundRobinSpreadsHeadEvenly(t *testing.T) {
+	p := NewRoundRobin(Config{Workers: 4, Seed: 0, Theta: 0.5})
+	counts := make([]int, 4)
+	for i := 0; i < 400; i++ {
+		counts[p.Route("only-key")]++
+	}
+	// After warmup the single key is in the head and round-robins; allow
+	// the first few pre-head messages to perturb counts slightly.
+	for w, c := range counts {
+		if c < 90 || c > 110 {
+			t.Fatalf("RR head spread uneven: worker %d got %d/400", w, c)
+		}
+	}
+}
+
+func TestRouteRangeProperty(t *testing.T) {
+	for _, name := range Names {
+		p, err := New(name, cfg(13))
+		if err != nil {
+			t.Fatal(err)
+		}
+		prop := func(key string) bool {
+			w := p.Route(key)
+			return w >= 0 && w < 13
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestDeterministicRouting(t *testing.T) {
+	// Same seed, same stream → identical routing decisions for every
+	// algorithm (SG included, it is seed-offset round robin).
+	for _, name := range Names {
+		a, _ := New(name, cfg(9))
+		b, _ := New(name, cfg(9))
+		gen := workload.NewZipf(1.2, 100, 2000, 11)
+		for {
+			k, ok := gen.Next()
+			if !ok {
+				break
+			}
+			if a.Route(k) != b.Route(k) {
+				t.Fatalf("%s is not deterministic", name)
+			}
+		}
+	}
+}
+
+func TestDChoicesSwitchesToWChoicesUnderExtremeSkew(t *testing.T) {
+	// A single key stream: p1 = 1. No d < n is feasible, so D-C must
+	// effectively use all workers (W-C switch) and stay balanced.
+	n := 10
+	p := NewDChoices(cfg(n))
+	counts := make([]int64, n)
+	for i := 0; i < 10000; i++ {
+		counts[p.Route("onlykey")]++
+	}
+	var max, min int64 = 0, 1 << 62
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		if c < min {
+			min = c
+		}
+	}
+	if max-min > 200 {
+		t.Fatalf("single-key stream not spread: max %d min %d (d=%d)", max, min, p.D())
+	}
+}
+
+func TestHeadTrackerMergeSharpensEstimates(t *testing.T) {
+	// Two senders each see half the stream; after merging, the head
+	// estimate reflects the union.
+	cfgT := Config{Workers: 10, Seed: 1, Theta: 0.05}
+	a := NewWChoices(cfgT)
+	b := NewWChoices(cfgT)
+	for i := 0; i < 1000; i++ {
+		a.Route("hh")
+		a.Route(fmt.Sprintf("ta%d", i))
+		b.Route("hh")
+		b.Route(fmt.Sprintf("tb%d", i))
+	}
+	before := a.HeadTracker().Sketch().N()
+	a.HeadTracker().Merge(b.HeadTracker().Sketch())
+	after := a.HeadTracker().Sketch().N()
+	if after != before+b.HeadTracker().Sketch().N() {
+		t.Fatalf("merge did not combine stream lengths: %d → %d", before, after)
+	}
+	c, _, ok := a.HeadTracker().Sketch().Count("hh")
+	if !ok || c < 2000 {
+		t.Fatalf("merged estimate for hh = %d, want ≥ 2000", c)
+	}
+}
+
+func BenchmarkRoute(b *testing.B) {
+	for _, name := range Names {
+		b.Run(name, func(b *testing.B) {
+			p, _ := New(name, cfg(50))
+			gen := workload.NewZipf(1.4, 10000, int64(b.N)+1, 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k, _ := gen.Next()
+				p.Route(k)
+			}
+		})
+	}
+}

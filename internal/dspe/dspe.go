@@ -1,0 +1,245 @@
+// Package dspe is a miniature distributed stream processing engine in
+// the style of Apache Storm, used for deployment-style (wall-clock)
+// measurements of the partitioning algorithms. The topology mirrors the
+// paper's cluster experiment: spout goroutines (sources) emit a keyed
+// stream through a partitioner into bolt goroutines (workers) connected
+// by bounded channels (Storm's bounded executor queues → backpressure),
+// with an ack-based per-source in-flight window (max spout pending) and
+// a fixed per-message processing cost at the workers.
+//
+// Unlike internal/eventsim, results here depend on the host: use this
+// engine to demonstrate the system end-to-end, and eventsim for
+// reproducible numbers.
+package dspe
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"slb/internal/core"
+	"slb/internal/metrics"
+	"slb/internal/stream"
+)
+
+// Config describes one topology run.
+type Config struct {
+	// Workers is the number of bolt instances.
+	Workers int
+	// Sources is the number of spout instances.
+	Sources int
+	// Algorithm is the partitioner name (core.Names).
+	Algorithm string
+	// Core carries seed/θ/ε; Workers is filled in from this config.
+	Core core.Config
+	// ServiceTime is the simulated per-message processing cost at a bolt
+	// (the paper uses 1 ms). Zero means no artificial delay.
+	ServiceTime time.Duration
+	// QueueLen is the per-bolt input channel capacity; 0 means 128.
+	QueueLen int
+	// Window is the per-spout in-flight cap; 0 means 100.
+	Window int
+	// Messages caps the emitted messages; 0 means the generator length.
+	Messages int64
+	// Spin selects busy-wait instead of time.Sleep for the service time:
+	// more faithful CPU saturation, but burns host CPU. Tests keep it off.
+	Spin bool
+	// SlowFactor optionally multiplies the service time of individual
+	// bolts (failure injection: stragglers). nil means homogeneous.
+	SlowFactor map[int]float64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Workers <= 0 || c.Sources <= 0 {
+		return c, fmt.Errorf("dspe: Workers and Sources must be positive")
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = 128
+	}
+	if c.Window <= 0 {
+		c.Window = 100
+	}
+	c.Core.Workers = c.Workers
+	return c, nil
+}
+
+// Result reports wall-clock performance of a topology run.
+type Result struct {
+	Algorithm string
+	Completed int64
+	Elapsed   time.Duration
+	// Throughput is completed messages per wall-clock second.
+	Throughput float64
+	// MaxAvgLatency is the maximum per-bolt mean latency.
+	MaxAvgLatency time.Duration
+	// P50/P95/P99 are end-to-end latency percentiles across all tuples.
+	P50, P95, P99 time.Duration
+	// Loads is the per-bolt processed-tuple count.
+	Loads []int64
+	// Imbalance is the paper's I(m) over the run.
+	Imbalance float64
+}
+
+// tuple is one in-flight message.
+type tuple struct {
+	key     string
+	emitted time.Time
+	src     int32
+}
+
+// boltStats is written only by the owning bolt goroutine.
+type boltStats struct {
+	lat   *metrics.Quantiles
+	count int64
+	sum   time.Duration
+}
+
+// Run executes the topology until the stream is exhausted and fully
+// acked, then reports aggregate metrics.
+func Run(gen stream.Generator, cfg Config) (Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+	parts := make([]core.Partitioner, cfg.Sources)
+	for i := range parts {
+		srcCfg := cfg.Core
+		srcCfg.Instance = i
+		p, err := core.New(cfg.Algorithm, srcCfg)
+		if err != nil {
+			return Result{}, err
+		}
+		parts[i] = p
+	}
+
+	gen.Reset()
+	limit := gen.Len()
+	if cfg.Messages > 0 && cfg.Messages < limit {
+		limit = cfg.Messages
+	}
+
+	in := make([]chan tuple, cfg.Workers)
+	for i := range in {
+		in[i] = make(chan tuple, cfg.QueueLen)
+	}
+	// Per-source window semaphores: spouts acquire before emitting, bolts
+	// release after processing (the ack path).
+	window := make([]chan struct{}, cfg.Sources)
+	for i := range window {
+		window[i] = make(chan struct{}, cfg.Window)
+	}
+
+	svcFor := func(w int) time.Duration {
+		d := cfg.ServiceTime
+		if f, ok := cfg.SlowFactor[w]; ok {
+			d = time.Duration(float64(d) * f)
+		}
+		return d
+	}
+	stats := make([]boltStats, cfg.Workers)
+	var bolts sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		bolts.Add(1)
+		go func(w int) {
+			defer bolts.Done()
+			st := &stats[w]
+			st.lat = metrics.NewQuantiles(1 << 14)
+			for tp := range in[w] {
+				simulateWork(svcFor(w), cfg.Spin)
+				lat := time.Since(tp.emitted)
+				st.lat.Add(float64(lat))
+				st.count++
+				st.sum += lat
+				<-window[tp.src] // ack
+			}
+		}(w)
+	}
+
+	// The input stream is shared by all spouts (shuffle grouping from the
+	// data source to the spouts), so draws are serialized with a mutex.
+	var genMu sync.Mutex
+	var emitted int64
+	nextKey := func() (string, bool) {
+		genMu.Lock()
+		defer genMu.Unlock()
+		if emitted >= limit {
+			return "", false
+		}
+		k, ok := gen.Next()
+		if ok {
+			emitted++
+		}
+		return k, ok
+	}
+
+	start := time.Now()
+	var spouts sync.WaitGroup
+	for s := 0; s < cfg.Sources; s++ {
+		spouts.Add(1)
+		go func(s int) {
+			defer spouts.Done()
+			p := parts[s]
+			for {
+				key, ok := nextKey()
+				if !ok {
+					return
+				}
+				window[s] <- struct{}{} // acquire in-flight slot
+				w := p.Route(key)
+				in[w] <- tuple{key: key, emitted: time.Now(), src: int32(s)}
+			}
+		}(s)
+	}
+
+	spouts.Wait()
+	for _, ch := range in {
+		close(ch)
+	}
+	bolts.Wait()
+	elapsed := time.Since(start)
+
+	res := Result{
+		Algorithm: cfg.Algorithm,
+		Elapsed:   elapsed,
+		Loads:     make([]int64, cfg.Workers),
+	}
+	pooled := metrics.NewQuantiles(1 << 16)
+	for w := range stats {
+		st := &stats[w]
+		res.Loads[w] = st.count
+		res.Completed += st.count
+		if st.count > 0 {
+			if avg := st.sum / time.Duration(st.count); avg > res.MaxAvgLatency {
+				res.MaxAvgLatency = avg
+			}
+			// Merge per-bolt reservoirs by re-sampling their quantile grid;
+			// cheap and adequate for reporting.
+			for _, q := range []float64{0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75, 0.85, 0.95} {
+				pooled.Add(st.lat.Quantile(q))
+			}
+		}
+	}
+	res.P50 = time.Duration(pooled.Quantile(0.50))
+	res.P95 = time.Duration(pooled.Quantile(0.95))
+	res.P99 = time.Duration(pooled.Quantile(0.99))
+	res.Imbalance = metrics.Imbalance(res.Loads)
+	if sec := elapsed.Seconds(); sec > 0 {
+		res.Throughput = float64(res.Completed) / sec
+	}
+	gen.Reset()
+	return res, nil
+}
+
+// simulateWork burns the configured service time.
+func simulateWork(d time.Duration, spin bool) {
+	if d <= 0 {
+		return
+	}
+	if !spin {
+		time.Sleep(d)
+		return
+	}
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+	}
+}

@@ -1,0 +1,174 @@
+package dspe
+
+import (
+	"testing"
+	"time"
+
+	"slb/internal/core"
+	"slb/internal/stream"
+	"slb/internal/workload"
+)
+
+func zipfGen(z float64, keys int, m int64) stream.Generator {
+	return workload.NewZipf(z, keys, m, 31)
+}
+
+func baseCfg(algo string, n, s int) Config {
+	return Config{
+		Workers:     n,
+		Sources:     s,
+		Algorithm:   algo,
+		Core:        core.Config{Seed: 5},
+		ServiceTime: 200 * time.Microsecond,
+		Window:      32,
+		QueueLen:    64,
+	}
+}
+
+func TestRunProcessesEverything(t *testing.T) {
+	res, err := Run(zipfGen(1.0, 200, 3000), baseCfg("SG", 4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 3000 {
+		t.Fatalf("completed %d, want 3000", res.Completed)
+	}
+	var sum int64
+	for _, l := range res.Loads {
+		sum += l
+	}
+	if sum != 3000 {
+		t.Fatalf("loads sum %d", sum)
+	}
+	if res.Throughput <= 0 || res.Elapsed <= 0 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(zipfGen(1, 10, 10), Config{Workers: 0, Sources: 1, Algorithm: "SG"}); err == nil {
+		t.Fatal("expected error for Workers=0")
+	}
+	if _, err := Run(zipfGen(1, 10, 10), baseCfg("BOGUS", 2, 1)); err == nil {
+		t.Fatal("expected error for unknown algorithm")
+	}
+}
+
+func TestLatencyAtLeastServiceTime(t *testing.T) {
+	res, err := Run(zipfGen(1.0, 100, 1000), baseCfg("SG", 4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P50 < 200*time.Microsecond {
+		t.Fatalf("p50 %v below the service time", res.P50)
+	}
+	if res.MaxAvgLatency < 200*time.Microsecond {
+		t.Fatalf("max-avg %v below the service time", res.MaxAvgLatency)
+	}
+}
+
+func TestMessagesCap(t *testing.T) {
+	cfg := baseCfg("SG", 2, 2)
+	cfg.Messages = 500
+	res, err := Run(zipfGen(1.0, 100, 100000), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 500 {
+		t.Fatalf("completed %d, want 500", res.Completed)
+	}
+}
+
+func TestSkewHurtsKGThroughput(t *testing.T) {
+	// Wall-clock flakiness tolerated: require only a clear (2×) gap.
+	if testing.Short() {
+		t.Skip("wall-clock test skipped in -short")
+	}
+	kg, err := Run(zipfGen(2.0, 500, 4000), baseCfg("KG", 8, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := Run(zipfGen(2.0, 500, 4000), baseCfg("SG", 8, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kg.Throughput > sg.Throughput/2 {
+		t.Fatalf("KG throughput %f should be well below SG %f under z=2 skew",
+			kg.Throughput, sg.Throughput)
+	}
+	if kg.Imbalance < 10*sg.Imbalance {
+		t.Fatalf("KG imbalance %f should dwarf SG %f", kg.Imbalance, sg.Imbalance)
+	}
+}
+
+func TestWChoicesBalancedOnSkewedStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock test skipped in -short")
+	}
+	res, err := Run(zipfGen(2.0, 500, 4000), baseCfg("W-C", 8, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Imbalance > 0.05 {
+		t.Fatalf("W-C imbalance %f on the engine, want < 0.05", res.Imbalance)
+	}
+}
+
+func TestZeroServiceTime(t *testing.T) {
+	cfg := baseCfg("PKG", 4, 2)
+	cfg.ServiceTime = 0
+	res, err := Run(zipfGen(1.0, 100, 2000), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 2000 {
+		t.Fatalf("completed %d", res.Completed)
+	}
+}
+
+func TestSlowBoltInjection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock test skipped in -short")
+	}
+	healthy, err := Run(zipfGen(0.5, 100, 3000), baseCfg("SG", 4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseCfg("SG", 4, 2)
+	cfg.SlowFactor = map[int]float64{0: 8}
+	degraded, err := Run(zipfGen(0.5, 100, 3000), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded.Throughput > 0.85*healthy.Throughput {
+		t.Fatalf("straggler bolt had no effect: %f vs %f", degraded.Throughput, healthy.Throughput)
+	}
+}
+
+func TestSpinModeWorks(t *testing.T) {
+	cfg := baseCfg("SG", 2, 1)
+	cfg.ServiceTime = 20 * time.Microsecond
+	cfg.Spin = true
+	cfg.Messages = 200
+	res, err := Run(zipfGen(1.0, 50, 100000), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 200 {
+		t.Fatalf("completed %d", res.Completed)
+	}
+}
+
+func TestDeterministicRoutingAcrossRuns(t *testing.T) {
+	// Wall-clock metrics vary, but the routing (loads) must be identical
+	// for single-source runs with a fixed seed.
+	cfg := baseCfg("PKG", 4, 1)
+	cfg.ServiceTime = 0
+	a, _ := Run(zipfGen(1.2, 100, 2000), cfg)
+	b, _ := Run(zipfGen(1.2, 100, 2000), cfg)
+	for i := range a.Loads {
+		if a.Loads[i] != b.Loads[i] {
+			t.Fatalf("loads differ at worker %d: %d vs %d", i, a.Loads[i], b.Loads[i])
+		}
+	}
+}

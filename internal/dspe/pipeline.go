@@ -1,0 +1,274 @@
+package dspe
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"slb/internal/core"
+	"slb/internal/metrics"
+	"slb/internal/stream"
+)
+
+// Pipeline is a linear multi-stage topology: a spout stage reading a
+// key stream, followed by one or more bolt stages connected by grouped
+// streams. Each edge has its own grouping scheme (any of core.Names),
+// and — exactly as in the paper's model — each upstream executor owns a
+// private partitioner instance with sender-local load estimates for
+// every edge it sends on.
+//
+// Tuples flow through bounded channels (backpressure); stages terminate
+// in order once the spout's stream is exhausted, so a finite stream
+// always drains completely. This generalizes Run's fixed
+// source→worker DAG to the DAGs real DSPE applications use
+// (e.g. tokenize → count).
+type Pipeline struct {
+	gen    stream.Generator
+	spouts int
+	stages []stageSpec
+}
+
+// StageFunc processes one tuple and may emit any number of keyed tuples
+// downstream via emit (a leaf stage's emissions are discarded).
+// Executors call it from exactly one goroutine.
+type StageFunc func(key string, emit func(key string))
+
+type stageSpec struct {
+	name        string
+	parallelism int
+	grouping    string // algorithm for the edge INTO this stage
+	fn          StageFunc
+	service     time.Duration
+}
+
+// NewPipeline starts a pipeline definition from a spout stage with the
+// given parallelism reading gen.
+func NewPipeline(gen stream.Generator, spouts int) *Pipeline {
+	if spouts <= 0 {
+		panic("dspe: pipeline needs at least one spout")
+	}
+	return &Pipeline{gen: gen, spouts: spouts}
+}
+
+// AddStage appends a bolt stage. grouping names the partitioning scheme
+// of the edge into this stage (one of core.Names); service is an
+// optional simulated per-tuple processing cost.
+func (p *Pipeline) AddStage(name string, parallelism int, grouping string, service time.Duration, fn StageFunc) *Pipeline {
+	if parallelism <= 0 {
+		panic("dspe: stage parallelism must be positive")
+	}
+	if fn == nil {
+		panic("dspe: stage function required")
+	}
+	p.stages = append(p.stages, stageSpec{
+		name:        name,
+		parallelism: parallelism,
+		grouping:    grouping,
+		fn:          fn,
+		service:     service,
+	})
+	return p
+}
+
+// StageResult reports one stage's outcome.
+type StageResult struct {
+	Name string
+	// Loads is the per-executor processed-tuple count.
+	Loads []int64
+	// Imbalance is I(m) over this stage's executors.
+	Imbalance float64
+	// Processed is the total tuples handled by the stage.
+	Processed int64
+}
+
+// PipelineResult aggregates a pipeline run.
+type PipelineResult struct {
+	// Emitted is the number of tuples the spout stage produced.
+	Emitted int64
+	// Stages reports each bolt stage in order.
+	Stages []StageResult
+	// Elapsed is the wall-clock makespan.
+	Elapsed time.Duration
+	// P50, P95, P99 are end-to-end latency percentiles measured at the
+	// final stage (from spout emission to leaf completion).
+	P50, P95, P99 time.Duration
+}
+
+// PipelineConfig carries the engine-level knobs for a pipeline run.
+type PipelineConfig struct {
+	// Core carries seed/θ/ε shared by all edges (Workers and Instance
+	// are filled per edge/executor).
+	Core core.Config
+	// QueueLen is the per-executor input channel capacity; 0 means 128.
+	QueueLen int
+	// Messages caps the spout's emissions; 0 means the full generator.
+	Messages int64
+}
+
+// pipeTuple carries the key plus the root emission time for latency.
+type pipeTuple struct {
+	key  string
+	root time.Time
+}
+
+// Run executes the pipeline to completion.
+func (p *Pipeline) Run(cfg PipelineConfig) (PipelineResult, error) {
+	if len(p.stages) == 0 {
+		return PipelineResult{}, fmt.Errorf("dspe: pipeline has no stages")
+	}
+	queueLen := cfg.QueueLen
+	if queueLen <= 0 {
+		queueLen = 128
+	}
+
+	// Build channels: stage s has stages[s].parallelism executors, each
+	// with one bounded input channel.
+	inputs := make([][]chan pipeTuple, len(p.stages))
+	for s, spec := range p.stages {
+		inputs[s] = make([]chan pipeTuple, spec.parallelism)
+		for i := range inputs[s] {
+			inputs[s][i] = make(chan pipeTuple, queueLen)
+		}
+	}
+
+	// senderFor builds one partitioner per (sender executor, edge).
+	senderFor := func(stage int, instance int) (core.Partitioner, error) {
+		spec := p.stages[stage]
+		c := cfg.Core
+		c.Workers = spec.parallelism
+		c.Instance = instance
+		return core.New(spec.grouping, c)
+	}
+
+	// Validate every edge's grouping before any goroutine starts (the
+	// executors assume construction succeeds).
+	for s := range p.stages {
+		if _, err := senderFor(s, 0); err != nil {
+			return PipelineResult{}, err
+		}
+	}
+
+	counts := make([][]int64, len(p.stages))
+	for s, spec := range p.stages {
+		counts[s] = make([]int64, spec.parallelism)
+	}
+	lat := metrics.NewQuantiles(1 << 15)
+	var latMu sync.Mutex
+
+	// Bolt stages, last first so downstream consumers exist before
+	// upstream producers start.
+	var stageWGs []*sync.WaitGroup
+	for range p.stages {
+		stageWGs = append(stageWGs, &sync.WaitGroup{})
+	}
+	for s := len(p.stages) - 1; s >= 0; s-- {
+		spec := p.stages[s]
+		for ex := 0; ex < spec.parallelism; ex++ {
+			stageWGs[s].Add(1)
+			go func(s, ex int) {
+				defer stageWGs[s].Done()
+				spec := p.stages[s]
+				var down core.Partitioner
+				if s+1 < len(p.stages) {
+					var err error
+					down, err = senderFor(s+1, ex+spec.parallelism)
+					if err != nil {
+						panic(err) // validated before launch
+					}
+				}
+				var rootTime time.Time
+				emit := func(key string) {
+					if down == nil {
+						return // leaf: emissions discarded
+					}
+					inputs[s+1][down.Route(key)] <- pipeTuple{key: key, root: rootTime}
+				}
+				last := s == len(p.stages)-1
+				for tp := range inputs[s][ex] {
+					if spec.service > 0 {
+						time.Sleep(spec.service)
+					}
+					rootTime = tp.root
+					spec.fn(tp.key, emit)
+					counts[s][ex]++
+					if last {
+						latMu.Lock()
+						lat.Add(float64(time.Since(tp.root)))
+						latMu.Unlock()
+					}
+				}
+			}(s, ex)
+		}
+	}
+
+	// Spout stage: shared generator, one partitioner per spout for the
+	// first edge.
+	p.gen.Reset()
+	limit := p.gen.Len()
+	if cfg.Messages > 0 && cfg.Messages < limit {
+		limit = cfg.Messages
+	}
+	var genMu sync.Mutex
+	var emitted int64
+	nextKey := func() (string, bool) {
+		genMu.Lock()
+		defer genMu.Unlock()
+		if emitted >= limit {
+			return "", false
+		}
+		k, ok := p.gen.Next()
+		if ok {
+			emitted++
+		}
+		return k, ok
+	}
+
+	start := time.Now()
+	var spoutWG sync.WaitGroup
+	for sp := 0; sp < p.spouts; sp++ {
+		part, err := senderFor(0, sp)
+		if err != nil {
+			return PipelineResult{}, err
+		}
+		spoutWG.Add(1)
+		go func(part core.Partitioner) {
+			defer spoutWG.Done()
+			for {
+				key, ok := nextKey()
+				if !ok {
+					return
+				}
+				inputs[0][part.Route(key)] <- pipeTuple{key: key, root: time.Now()}
+			}
+		}(part)
+	}
+
+	// Drain stage by stage: once all senders of a stage are done, close
+	// its executors' inputs; their exit unblocks the next stage's close.
+	spoutWG.Wait()
+	for s := range p.stages {
+		for _, ch := range inputs[s] {
+			close(ch)
+		}
+		stageWGs[s].Wait()
+	}
+	elapsed := time.Since(start)
+
+	res := PipelineResult{
+		Emitted: emitted,
+		Elapsed: elapsed,
+		P50:     time.Duration(lat.Quantile(0.50)),
+		P95:     time.Duration(lat.Quantile(0.95)),
+		P99:     time.Duration(lat.Quantile(0.99)),
+	}
+	for s, spec := range p.stages {
+		sr := StageResult{Name: spec.name, Loads: counts[s]}
+		for _, c := range counts[s] {
+			sr.Processed += c
+		}
+		sr.Imbalance = metrics.Imbalance(counts[s])
+		res.Stages = append(res.Stages, sr)
+	}
+	p.gen.Reset()
+	return res, nil
+}

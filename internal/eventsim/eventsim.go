@@ -1,0 +1,301 @@
+// Package eventsim is a deterministic discrete-event simulation of the
+// paper's cluster experiment (Section V, Q4): s sources emit a keyed
+// stream through a partitioner to n workers, each worker is a FIFO queue
+// with a fixed per-message service time (1 ms in the paper), and sources
+// are closed-loop with a bounded in-flight window (Storm's max spout
+// pending). Throughput and latency are queueing outcomes: the most
+// loaded worker saturates first, its queue absorbs the in-flight window,
+// and end-to-end latency and total throughput degrade exactly as in the
+// paper's Figures 13 and 14.
+//
+// Unlike the goroutine runtime in internal/dspe, results here are
+// bit-reproducible and independent of host speed, which makes this the
+// default engine for regenerating the paper's numbers.
+package eventsim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"slb/internal/core"
+	"slb/internal/metrics"
+	"slb/internal/stream"
+)
+
+// Config describes one simulated deployment. Times are in milliseconds.
+type Config struct {
+	// Workers is n (the paper uses 80 on the cluster).
+	Workers int
+	// Sources is s (the paper uses 48).
+	Sources int
+	// Algorithm is the partitioner name (core.Names).
+	Algorithm string
+	// Core carries seed/θ/ε; Workers is filled in from this config.
+	Core core.Config
+	// ServiceTime is the fixed per-message processing cost at a worker
+	// (the paper adds a 1 ms delay). Must be positive.
+	ServiceTime float64
+	// EmitInterval is the time between consecutive emissions of one
+	// source while its window has room; it models the source's own
+	// processing cost. 0 means ServiceTime/20 (sources well faster than
+	// workers, so workers saturate first, as in the paper).
+	EmitInterval float64
+	// Window is the per-source in-flight cap (max spout pending);
+	// 0 means 100.
+	Window int
+	// Messages caps the number of emitted messages; 0 means the
+	// generator's full length.
+	Messages int64
+	// SlowFactor optionally multiplies the service time of individual
+	// workers (failure injection: stragglers). nil means homogeneous.
+	SlowFactor map[int]float64
+	// MeasureAfter excludes the first MeasureAfter completed messages
+	// from throughput and latency statistics, measuring steady state
+	// only (the paper averages over long runs, hiding the sketch warmup
+	// transient). 0 measures everything.
+	MeasureAfter int64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Workers <= 0 || c.Sources <= 0 {
+		return c, fmt.Errorf("eventsim: Workers and Sources must be positive")
+	}
+	if c.ServiceTime <= 0 {
+		return c, fmt.Errorf("eventsim: ServiceTime must be positive")
+	}
+	if c.EmitInterval <= 0 {
+		c.EmitInterval = c.ServiceTime / 20
+	}
+	if c.Window <= 0 {
+		c.Window = 100
+	}
+	c.Core.Workers = c.Workers
+	return c, nil
+}
+
+// Result reports the simulated deployment's performance.
+type Result struct {
+	Algorithm string
+	// Completed is the number of messages fully processed.
+	Completed int64
+	// Duration is the simulated makespan in ms.
+	Duration float64
+	// Throughput is completed messages per simulated second.
+	Throughput float64
+	// MaxAvgLatency is the maximum over workers of the per-worker mean
+	// latency (ms): the "max avg" bar of Fig. 14.
+	MaxAvgLatency float64
+	// P50, P95, P99 are latency percentiles across all messages (ms).
+	P50, P95, P99 float64
+	// Loads is the per-worker processed-message count.
+	Loads []int64
+	// Imbalance is the load imbalance I(m) of the run.
+	Imbalance float64
+	// PeakQueue is the largest backlog observed at any single worker.
+	PeakQueue int
+}
+
+// Event kinds.
+const (
+	evEmit = iota // a source attempts to emit its next message
+	evDone        // a worker finishes its current message
+)
+
+type event struct {
+	t    float64
+	seq  int64 // tie-breaker for determinism
+	kind int8
+	idx  int32 // source index (evEmit) or worker index (evDone)
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+type pendingMsg struct {
+	emitTime float64
+	src      int32
+}
+
+// worker is one FIFO service station.
+type worker struct {
+	queue []pendingMsg
+	head  int
+	busy  bool
+	lat   *metrics.Quantiles
+	count int64
+	sum   float64 // latency sum for exact mean
+}
+
+func (w *worker) push(m pendingMsg) { w.queue = append(w.queue, m) }
+func (w *worker) pop() pendingMsg   { m := w.queue[w.head]; w.head++; w.compact(); return m }
+func (w *worker) backlog() int      { return len(w.queue) - w.head }
+func (w *worker) compact() {
+	if w.head > 1024 && w.head*2 >= len(w.queue) {
+		n := copy(w.queue, w.queue[w.head:])
+		w.queue = w.queue[:n]
+		w.head = 0
+	}
+}
+
+// Run simulates the deployment until the generator (or Messages cap) is
+// exhausted and every in-flight message is processed.
+func Run(gen stream.Generator, cfg Config) (Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+	parts := make([]core.Partitioner, cfg.Sources)
+	for i := range parts {
+		srcCfg := cfg.Core
+		srcCfg.Instance = i
+		p, err := core.New(cfg.Algorithm, srcCfg)
+		if err != nil {
+			return Result{}, err
+		}
+		parts[i] = p
+	}
+
+	gen.Reset()
+	limit := gen.Len()
+	if cfg.Messages > 0 && cfg.Messages < limit {
+		limit = cfg.Messages
+	}
+
+	workers := make([]*worker, cfg.Workers)
+	for i := range workers {
+		workers[i] = &worker{lat: metrics.NewQuantiles(1 << 15)}
+	}
+	svc := func(w int) float64 {
+		t := cfg.ServiceTime
+		if f, ok := cfg.SlowFactor[w]; ok {
+			t *= f
+		}
+		return t
+	}
+
+	inflight := make([]int, cfg.Sources)
+	blocked := make([]bool, cfg.Sources)
+	pooled := metrics.NewQuantiles(1 << 16)
+
+	var (
+		h            eventHeap
+		seq          int64
+		emitted      int64
+		completed    int64
+		now          float64
+		lastDone     float64
+		measureStart float64
+		peakQueue    int
+	)
+	schedule := func(t float64, kind int8, idx int32) {
+		seq++
+		heap.Push(&h, event{t: t, seq: seq, kind: kind, idx: idx})
+	}
+	for s := 0; s < cfg.Sources; s++ {
+		// Stagger source start times to avoid a synchronized burst.
+		schedule(float64(s)*cfg.EmitInterval/float64(cfg.Sources), evEmit, int32(s))
+	}
+
+	for h.Len() > 0 {
+		e := heap.Pop(&h).(event)
+		now = e.t
+		switch e.kind {
+		case evEmit:
+			s := int(e.idx)
+			if emitted >= limit {
+				break // stream exhausted; source retires
+			}
+			if inflight[s] >= cfg.Window {
+				blocked[s] = true
+				break // resumes on next ack
+			}
+			key, ok := gen.Next()
+			if !ok {
+				break
+			}
+			emitted++
+			inflight[s]++
+			w := parts[s].Route(key)
+			wk := workers[w]
+			// The queue head is the in-service message while busy.
+			wk.push(pendingMsg{emitTime: now, src: e.idx})
+			if b := wk.backlog(); b > peakQueue {
+				peakQueue = b
+			}
+			if !wk.busy {
+				wk.busy = true
+				schedule(now+svc(w), evDone, int32(w))
+			}
+			schedule(now+cfg.EmitInterval, evEmit, e.idx)
+		case evDone:
+			w := int(e.idx)
+			wk := workers[w]
+			m := wk.pop()
+			completed++
+			if completed == cfg.MeasureAfter {
+				measureStart = now
+			}
+			if completed > cfg.MeasureAfter {
+				lat := now - m.emitTime
+				wk.lat.Add(lat)
+				wk.count++
+				wk.sum += lat
+				pooled.Add(lat)
+				lastDone = now
+			}
+			// Ack frees the source's window slot.
+			s := int(m.src)
+			inflight[s]--
+			if blocked[s] {
+				blocked[s] = false
+				schedule(now, evEmit, m.src)
+			}
+			if wk.backlog() > 0 {
+				schedule(now+svc(w), evDone, e.idx)
+			} else {
+				wk.busy = false
+			}
+		}
+	}
+
+	res := Result{
+		Algorithm: cfg.Algorithm,
+		Completed: completed,
+		Duration:  lastDone - measureStart,
+		Loads:     make([]int64, cfg.Workers),
+		PeakQueue: peakQueue,
+		P50:       pooled.Quantile(0.50),
+		P95:       pooled.Quantile(0.95),
+		P99:       pooled.Quantile(0.99),
+	}
+	for i, wk := range workers {
+		res.Loads[i] = wk.count
+		if wk.count > 0 {
+			if avg := wk.sum / float64(wk.count); avg > res.MaxAvgLatency {
+				res.MaxAvgLatency = avg
+			}
+		}
+	}
+	res.Imbalance = metrics.Imbalance(res.Loads)
+	if measured := completed - cfg.MeasureAfter; measured > 0 && res.Duration > 0 {
+		res.Throughput = float64(measured) / (res.Duration / 1000)
+	}
+	gen.Reset()
+	return res, nil
+}

@@ -1,0 +1,198 @@
+package eventsim
+
+import (
+	"math"
+	"testing"
+
+	"slb/internal/core"
+	"slb/internal/stream"
+	"slb/internal/workload"
+)
+
+func zipfGen(z float64, keys int, m int64) stream.Generator {
+	return workload.NewZipf(z, keys, m, 23)
+}
+
+func baseCfg(algo string, n, s int) Config {
+	return Config{
+		Workers:     n,
+		Sources:     s,
+		Algorithm:   algo,
+		Core:        core.Config{Seed: 7},
+		ServiceTime: 1.0, // 1 ms, as in the paper
+		Window:      50,
+		Messages:    20000,
+	}
+}
+
+func TestRunCompletesAllMessages(t *testing.T) {
+	res, err := Run(zipfGen(1.0, 500, 20000), baseCfg("SG", 8, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 20000 {
+		t.Fatalf("completed %d, want 20000", res.Completed)
+	}
+	var sum int64
+	for _, l := range res.Loads {
+		sum += l
+	}
+	if sum != res.Completed {
+		t.Fatalf("loads sum %d != completed %d", sum, res.Completed)
+	}
+	if res.Duration <= 0 || res.Throughput <= 0 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(zipfGen(1, 10, 10), Config{Workers: 0, Sources: 1, Algorithm: "SG", ServiceTime: 1}); err == nil {
+		t.Fatal("expected error for Workers=0")
+	}
+	if _, err := Run(zipfGen(1, 10, 10), Config{Workers: 1, Sources: 1, Algorithm: "SG"}); err == nil {
+		t.Fatal("expected error for ServiceTime=0")
+	}
+	if _, err := Run(zipfGen(1, 10, 10), baseCfg("BOGUS", 2, 1)); err == nil {
+		t.Fatal("expected error for unknown algorithm")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := Run(zipfGen(1.5, 300, 10000), baseCfg("PKG", 10, 5))
+	b, _ := Run(zipfGen(1.5, 300, 10000), baseCfg("PKG", 10, 5))
+	if a.Duration != b.Duration || a.P99 != b.P99 || a.Throughput != b.Throughput {
+		t.Fatalf("simulation not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestSaturatedBalancedThroughputNearCapacity(t *testing.T) {
+	// Balanced SG with saturating sources: throughput ≈ n / serviceTime.
+	cfg := baseCfg("SG", 8, 8)
+	res, _ := Run(zipfGen(0.5, 500, 20000), cfg)
+	capacity := float64(cfg.Workers) / cfg.ServiceTime * 1000 // msg/s
+	if res.Throughput < 0.8*capacity {
+		t.Fatalf("SG throughput %f below 80%% of capacity %f", res.Throughput, capacity)
+	}
+}
+
+func TestKGThroughputCollapsesUnderSkew(t *testing.T) {
+	// z=2.0: p1 ≈ 0.6 of messages hit one worker under KG; the system
+	// cannot run faster than ≈ (1/p1) per service time.
+	kg, _ := Run(zipfGen(2.0, 1000, 20000), baseCfg("KG", 8, 4))
+	sg, _ := Run(zipfGen(2.0, 1000, 20000), baseCfg("SG", 8, 4))
+	if kg.Throughput > 0.45*sg.Throughput {
+		t.Fatalf("KG %f should be far below SG %f under extreme skew", kg.Throughput, sg.Throughput)
+	}
+}
+
+func TestFig13OrderingAtHighSkew(t *testing.T) {
+	// Paper Fig 13 (z=2.0): KG < PKG < D-C ≈ W-C ≈ SG.
+	gen := func() stream.Generator { return zipfGen(2.0, 1000, 30000) }
+	n, s := 16, 8
+	results := map[string]float64{}
+	for _, algo := range []string{"KG", "PKG", "D-C", "W-C", "SG"} {
+		cfg := baseCfg(algo, n, s)
+		cfg.Messages = 30000
+		cfg.MeasureAfter = 8000 // steady state, past the sketch warmup
+		r, err := Run(gen(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[algo] = r.Throughput
+	}
+	if !(results["KG"] < results["PKG"]) {
+		t.Errorf("KG (%f) should trail PKG (%f)", results["KG"], results["PKG"])
+	}
+	if !(results["PKG"] < results["D-C"]) {
+		t.Errorf("PKG (%f) should trail D-C (%f)", results["PKG"], results["D-C"])
+	}
+	for _, algo := range []string{"D-C", "W-C"} {
+		if results[algo] < 0.85*results["SG"] {
+			t.Errorf("%s throughput %f should be close to SG %f", algo, results[algo], results["SG"])
+		}
+	}
+}
+
+func TestFig14LatencyOrderingAtHighSkew(t *testing.T) {
+	// Paper Fig 14 (z=2.0): KG worst, PKG better, D-C/W-C near SG.
+	gen := func() stream.Generator { return zipfGen(2.0, 1000, 30000) }
+	n, s := 16, 8
+	p99 := map[string]float64{}
+	for _, algo := range []string{"KG", "PKG", "W-C", "SG"} {
+		cfg := baseCfg(algo, n, s)
+		cfg.Messages = 30000
+		cfg.MeasureAfter = 8000 // steady state, past the sketch warmup
+		r, err := Run(gen(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p99[algo] = r.P99
+	}
+	if !(p99["KG"] > p99["PKG"]) {
+		t.Errorf("KG p99 (%f) should exceed PKG (%f)", p99["KG"], p99["PKG"])
+	}
+	if !(p99["PKG"] > p99["W-C"]) {
+		t.Errorf("PKG p99 (%f) should exceed W-C (%f)", p99["PKG"], p99["W-C"])
+	}
+	if p99["W-C"] > 4*p99["SG"] {
+		t.Errorf("W-C p99 (%f) should be within a few× of SG (%f)", p99["W-C"], p99["SG"])
+	}
+}
+
+func TestLatencyAboveServiceTime(t *testing.T) {
+	res, _ := Run(zipfGen(1.0, 100, 5000), baseCfg("SG", 4, 2))
+	if res.P50 < 1.0 {
+		t.Fatalf("p50 latency %f below the 1 ms service time", res.P50)
+	}
+	if res.MaxAvgLatency < 1.0 {
+		t.Fatalf("max-avg latency %f below service time", res.MaxAvgLatency)
+	}
+	if res.P99 < res.P50 || res.P95 < res.P50 {
+		t.Fatal("latency percentiles out of order")
+	}
+}
+
+func TestWindowBoundsQueue(t *testing.T) {
+	cfg := baseCfg("KG", 4, 4)
+	cfg.Window = 10
+	res, _ := Run(zipfGen(2.0, 100, 5000), cfg)
+	// Total in-flight ≤ sources × window; one queue can hold at most that.
+	if res.PeakQueue > cfg.Sources*cfg.Window {
+		t.Fatalf("peak queue %d exceeds global window %d", res.PeakQueue, cfg.Sources*cfg.Window)
+	}
+}
+
+func TestSlowWorkerInjection(t *testing.T) {
+	// A straggler 10× slower drags throughput down for every scheme in
+	// the paper: their load estimate counts messages *sent*, not service
+	// completed, so none of them routes around slow hardware.
+	healthy, _ := Run(zipfGen(0.5, 200, 10000), baseCfg("SG", 4, 2))
+	for _, algo := range []string{"SG", "PKG"} {
+		cfg := baseCfg(algo, 4, 2)
+		cfg.SlowFactor = map[int]float64{0: 10}
+		degraded, _ := Run(zipfGen(0.5, 200, 10000), cfg)
+		if degraded.Throughput > 0.8*healthy.Throughput {
+			t.Errorf("%s: straggler had no effect: %f vs healthy %f",
+				algo, degraded.Throughput, healthy.Throughput)
+		}
+		if degraded.P99 < healthy.P99 {
+			t.Errorf("%s: straggler should raise p99 (%f vs %f)", algo, degraded.P99, healthy.P99)
+		}
+	}
+}
+
+func TestMessagesCap(t *testing.T) {
+	cfg := baseCfg("SG", 4, 2)
+	cfg.Messages = 1234
+	res, _ := Run(zipfGen(1.0, 100, 100000), cfg)
+	if res.Completed != 1234 {
+		t.Fatalf("completed %d, want capped 1234", res.Completed)
+	}
+}
+
+func TestImbalanceConsistentWithLoads(t *testing.T) {
+	res, _ := Run(zipfGen(2.0, 500, 10000), baseCfg("KG", 8, 4))
+	if math.Abs(res.Imbalance) < 1e-9 {
+		t.Fatal("KG under extreme skew should show imbalance")
+	}
+}

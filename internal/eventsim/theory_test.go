@@ -1,0 +1,138 @@
+package eventsim
+
+// Validation against closed-form queueing results: configurations where
+// the simulator's output is known exactly, so any drift in the event
+// engine shows up as a hard failure.
+
+import (
+	"math"
+	"testing"
+
+	"slb/internal/core"
+	"slb/internal/workload"
+)
+
+// singleCfg is a D/D/1 station: one source, one worker.
+func singleCfg(emitInterval, service float64, m int64) Config {
+	return Config{
+		Workers:      1,
+		Sources:      1,
+		Algorithm:    "SG",
+		ServiceTime:  service,
+		EmitInterval: emitInterval,
+		Window:       1 << 20, // effectively unbounded
+		Messages:     m,
+	}
+}
+
+func TestDD1UnderloadedLatencyIsServiceTime(t *testing.T) {
+	// Arrivals every 2 ms, service 1 ms: the queue is always empty, so
+	// every message's latency is exactly the service time.
+	res, err := Run(workload.NewZipf(1, 10, 1000, 1), singleCfg(2, 1, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]float64{"p50": res.P50, "p99": res.P99, "max-avg": res.MaxAvgLatency} {
+		if math.Abs(v-1) > 1e-9 {
+			t.Errorf("%s = %v, want exactly 1 ms", name, v)
+		}
+	}
+	// Throughput equals the arrival rate: 1 per 2 ms = 500/s.
+	if math.Abs(res.Throughput-500) > 1 {
+		t.Errorf("throughput %f, want 500", res.Throughput)
+	}
+}
+
+func TestDD1CriticallyLoaded(t *testing.T) {
+	// Arrivals every 1 ms, service 1 ms: exactly at capacity. The queue
+	// stays at ≤ 1 and throughput equals the service rate.
+	res, err := Run(workload.NewZipf(1, 10, 2000, 1), singleCfg(1, 1, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Throughput-1000) > 2 {
+		t.Errorf("throughput %f, want 1000", res.Throughput)
+	}
+	if res.PeakQueue > 2 {
+		t.Errorf("peak queue %d at critical load, want ≤ 2", res.PeakQueue)
+	}
+}
+
+func TestDD1OverloadedWindowGovernsBacklog(t *testing.T) {
+	// Arrivals every 0.1 ms against 1 ms service with window W: the
+	// queue grows until the in-flight window binds, then the system is
+	// closed-loop: steady-state latency ≈ W × service.
+	cfg := singleCfg(0.1, 1, 5000)
+	cfg.Window = 50
+	cfg.MeasureAfter = 1000
+	res, err := Run(workload.NewZipf(1, 10, 5000, 1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakQueue > 51 {
+		t.Errorf("peak queue %d exceeds window", res.PeakQueue)
+	}
+	if math.Abs(res.P50-50) > 2 {
+		t.Errorf("steady-state latency %f, want ≈ window × service = 50 ms", res.P50)
+	}
+	if math.Abs(res.Throughput-1000) > 5 {
+		t.Errorf("saturated throughput %f, want 1000", res.Throughput)
+	}
+}
+
+func TestBalancedFanOutCapacityScalesWithWorkers(t *testing.T) {
+	// k identical workers fed round-robin at saturation: throughput is
+	// k × the single-worker rate.
+	for _, k := range []int{2, 4, 8} {
+		cfg := Config{
+			Workers:      k,
+			Sources:      2,
+			Algorithm:    "SG",
+			ServiceTime:  1,
+			EmitInterval: 0.01,
+			Window:       200,
+			Messages:     20000,
+			MeasureAfter: 5000,
+		}
+		res, err := Run(workload.NewZipf(0, 100, 20000, 2), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(k) * 1000
+		if math.Abs(res.Throughput-want)/want > 0.02 {
+			t.Errorf("k=%d: throughput %f, want ≈ %f", k, res.Throughput, want)
+		}
+	}
+}
+
+func TestKGHotWorkerThroughputFormula(t *testing.T) {
+	// Under KG at saturation, total throughput ≈ serviceRate / p1: the
+	// hot worker is the bottleneck and carries fraction p1 of the
+	// stream. (z=2.0, |K|=1e4 ⇒ p1 ≈ 0.608.)
+	p1 := workload.ZipfProbs(2.0, 10000)[0]
+	cfg := Config{
+		Workers:      16,
+		Sources:      8,
+		Algorithm:    "KG",
+		Core:         coreSeed(7),
+		ServiceTime:  1,
+		EmitInterval: 0.05,
+		Window:       100,
+		Messages:     40000,
+		MeasureAfter: 15000,
+	}
+	res, err := Run(workload.NewZipf(2.0, 10000, 40000, 7), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1000 / p1
+	if math.Abs(res.Throughput-want)/want > 0.15 {
+		t.Errorf("KG throughput %f, queueing formula predicts ≈ %f", res.Throughput, want)
+	}
+}
+
+// coreSeed is a tiny helper for test configs.
+func coreSeed(s uint64) (c core.Config) {
+	c.Seed = s
+	return c
+}

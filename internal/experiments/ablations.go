@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+
+	"slb/internal/analysis"
+	"slb/internal/core"
+	"slb/internal/simulator"
+	"slb/internal/stream"
+	"slb/internal/texttab"
+	"slb/internal/workload"
+)
+
+// AblateEps sweeps the d-solver tolerance ε: a looser tolerance buys a
+// smaller d (cheaper replication) at the cost of a proportionally larger
+// permitted imbalance. Run at n = 50, z = 1.8 where D-C is in its
+// interesting regime.
+func AblateEps(sc Scale) ([]*texttab.Table, error) {
+	const n = 50
+	const z = 1.8
+	t := texttab.New("Ablation: solver tolerance ε (n=50, z=1.8, |K|=1e4)",
+		"ε", "analytic d", "measured I(m)", "s×ε bound")
+	for _, eps := range []float64{1e-5, 1e-4, 1e-3, 1e-2} {
+		probs := workload.ZipfProbs(z, ZFKeys)
+		head, tail := analysis.SplitHead(probs, 1.0/(5*float64(n)))
+		d := analysis.SolveD(head, tail, n, eps)
+
+		cfg := simCfg(n)
+		cfg.Epsilon = eps
+		res, err := simulator.Run(sc.zfGen(z, ZFKeys), "D-C", cfg,
+			simulator.Options{Sources: Sources})
+		if err != nil {
+			return nil, err
+		}
+		t.Add(texttab.FormatFloat(eps), strconv.Itoa(d),
+			fmtImb(res.Imbalance), fmtImb(Sources*eps))
+	}
+	return []*texttab.Table{t}, nil
+}
+
+// AblateSketch sweeps the SpaceSaving capacity as a multiple of 1/θ.
+// Below 1/θ the sketch can miss true head keys (error ≥ θ·N), so the
+// imbalance guarantee erodes; beyond a few multiples there is nothing
+// left to gain.
+func AblateSketch(sc Scale) ([]*texttab.Table, error) {
+	const n = 50
+	const z = 1.4
+	theta := 1.0 / (5 * float64(n))
+	t := texttab.New("Ablation: SpaceSaving capacity (D-C, n=50, z=1.4)",
+		"capacity×θ", "capacity", "I(m)", "final d")
+	for _, mult := range []float64{0.25, 0.5, 1, 2, 4, 8} {
+		capacity := int(mult / theta)
+		if capacity < 1 {
+			capacity = 1
+		}
+		cfg := simCfg(n)
+		cfg.SketchCapacity = capacity
+		res, err := simulator.Run(sc.zfGen(z, ZFKeys), "D-C", cfg,
+			simulator.Options{Sources: Sources})
+		if err != nil {
+			return nil, err
+		}
+		t.Add(fmt.Sprintf("%.2f", mult), strconv.Itoa(capacity),
+			fmtImb(res.Imbalance), strconv.Itoa(res.FinalD))
+	}
+	return []*texttab.Table{t}, nil
+}
+
+// AblatePrefix compares the full constraint family of Prop. 4.1 against
+// checking only the h = 1 constraint: the paper observes the tight
+// constraints are h = 1 and h = |H|; dropping the deep prefixes yields a
+// smaller d that under-provisions the whole head at high skew. The
+// imbalance is measured by running Greedy-d with each d forced.
+func AblatePrefix(sc Scale) ([]*texttab.Table, error) {
+	const n = 50
+	t := texttab.New("Ablation: solver prefix set (n=50, |K|=1e4, ε=1e-4)",
+		"z", "d(h=1 only)", "d(all prefixes)", "I(m) h=1 only", "I(m) all")
+	for _, z := range []float64{1.2, 1.6, 2.0} {
+		probs := workload.ZipfProbs(z, ZFKeys)
+		head, tail := analysis.SplitHead(probs, 1.0/(5*float64(n)))
+		dFirst := analysis.SolveDPrefix(head, tail, n, Epsilon, 1)
+		dAll := analysis.SolveD(head, tail, n, Epsilon)
+
+		measure := func(d int) (float64, error) {
+			parts := make([]core.Partitioner, Sources)
+			for i := range parts {
+				parts[i] = core.NewForcedD(simCfg(n), d)
+			}
+			res := simulator.RunPartitioners(sc.zfGen(z, ZFKeys),
+				fmt.Sprintf("Greedy-%d", d), parts, simulator.Options{})
+			return res.Imbalance, nil
+		}
+		iFirst, err := measure(dFirst)
+		if err != nil {
+			return nil, err
+		}
+		iAll, err := measure(dAll)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(fmtZ(z), strconv.Itoa(dFirst), strconv.Itoa(dAll),
+			fmtImb(iFirst), fmtImb(iAll))
+	}
+	return []*texttab.Table{t}, nil
+}
+
+// AblateMerge compares sender-local sketches (the paper's default)
+// against periodically merged global sketches (the distributed
+// heavy-hitters extension), on a stationary Zipf stream and on the
+// drifting CT workload. The finding: merging is neutral on stationary
+// streams (each source already sees a representative sample through
+// shuffle grouping) and actively HURTS under drift, because the merged
+// sketch carries the full global mass of past epochs, so a newly hot
+// key needs proportionally more occurrences before it crosses θ. This
+// supports the paper's choice of keeping sketches sender-local.
+func AblateMerge(sc Scale) ([]*texttab.Table, error) {
+	t := texttab.New("Ablation: local vs merged sketches (W-C)",
+		"Workload", "n", "I(m) local", "I(m) merged")
+	run := func(label string, gen stream.Generator) error {
+		for _, n := range []int{20, 50} {
+			local, err := runSim(gen, "W-C", n, simulator.Options{})
+			if err != nil {
+				return err
+			}
+			merged, err := runSim(gen, "W-C", n, simulator.Options{MergeEvery: gen.Len() / 20})
+			if err != nil {
+				return err
+			}
+			t.Add(label, strconv.Itoa(n), fmtImb(local.Imbalance), fmtImb(merged.Imbalance))
+		}
+		return nil
+	}
+	if err := run("ZF z=1.4 (stationary)", sc.zfGen(1.4, ZFKeys)); err != nil {
+		return nil, err
+	}
+	ct, _ := workload.DatasetByName("CT", sc.workloadScale(), Seed)
+	if err := run("CT (drift)", ct); err != nil {
+		return nil, err
+	}
+	return []*texttab.Table{t}, nil
+}
+
+// AblateWindow compares the paper's insertion-only sketch against the
+// sliding two-generation extension on the drifting CT workload. The
+// insertion-only sketch's adaptation latency grows with stream age
+// (a newly hot key must reach θ·N, and N never stops growing); the
+// windowed sketch bounds the reference mass, so W-C re-adapts within a
+// bounded number of messages after every drift epoch.
+func AblateWindow(sc Scale) ([]*texttab.Table, error) {
+	t := texttab.New("Ablation: insertion-only vs sliding sketch (W-C, CT dataset)",
+		"n", "I(m) insertion-only", "I(m) sliding")
+	gen, _ := workload.DatasetByName("CT", sc.workloadScale(), Seed)
+	window := uint64(gen.Len() / (2 * workload.CashtagEpochs)) // half an epoch
+	if window == 0 {
+		window = 1
+	}
+	for _, n := range []int{20, 50} {
+		plain, err := runSim(gen, "W-C", n, simulator.Options{})
+		if err != nil {
+			return nil, err
+		}
+		cfg := simCfg(n)
+		cfg.SketchWindow = window
+		sliding, err := simulator.Run(gen, "W-C", cfg, simulator.Options{Sources: Sources})
+		if err != nil {
+			return nil, err
+		}
+		t.Add(strconv.Itoa(n), fmtImb(plain.Imbalance), fmtImb(sliding.Imbalance))
+	}
+	return []*texttab.Table{t}, nil
+}
+
+// AblateOracle compares sketch-based W-Choices against an oracle that
+// knows the true head (the top keys of the generating distribution).
+// The gap quantifies the imbalance cost of online estimation error —
+// the paper's implicit claim is that this gap is negligible.
+func AblateOracle(sc Scale) ([]*texttab.Table, error) {
+	const n = 50
+	theta := 1.0 / (5 * float64(n))
+	t := texttab.New("Ablation: online sketch vs ground-truth head (n=50)",
+		"z", "|H| true", "I(m) W-C sketch", "I(m) oracle")
+	for _, z := range []float64{1.0, 1.4, 2.0} {
+		probs := workload.ZipfProbs(z, ZFKeys)
+		headCard := analysis.HeadCardinality(probs, theta)
+		headSet := make(map[string]bool, headCard)
+		for r := 0; r < headCard; r++ {
+			headSet["k"+strconv.Itoa(r)] = true
+		}
+		sketch, err := runSim(sc.zfGen(z, ZFKeys), "W-C", n, simulator.Options{})
+		if err != nil {
+			return nil, err
+		}
+		parts := make([]core.Partitioner, Sources)
+		for i := range parts {
+			cfg := simCfg(n)
+			cfg.Instance = i
+			parts[i] = core.NewOracle(cfg, func(k string) bool { return headSet[k] })
+		}
+		oracle := simulator.RunPartitioners(sc.zfGen(z, ZFKeys), "Oracle", parts,
+			simulator.Options{})
+		t.Add(fmtZ(z), strconv.Itoa(headCard),
+			fmtImb(sketch.Imbalance), fmtImb(oracle.Imbalance))
+	}
+	return []*texttab.Table{t}, nil
+}

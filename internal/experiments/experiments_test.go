@@ -1,0 +1,394 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"slb/internal/texttab"
+)
+
+// mustRun executes a registered experiment at Quick scale.
+func mustRun(t *testing.T, name string) []*texttab.Table {
+	t.Helper()
+	e, ok := Lookup(name)
+	if !ok {
+		t.Fatalf("experiment %q not registered", name)
+	}
+	tabs, err := e.Run(Quick)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if len(tabs) == 0 {
+		t.Fatalf("%s returned no tables", name)
+	}
+	for _, tab := range tabs {
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s: empty table %q", name, tab.Title)
+		}
+	}
+	return tabs
+}
+
+// cell parses a float out of a table cell.
+func cell(t *testing.T, row []string, idx int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(row[idx], 64)
+	if err != nil {
+		t.Fatalf("cell %d = %q not a float: %v", idx, row[idx], err)
+	}
+	return v
+}
+
+func TestParseScale(t *testing.T) {
+	for in, want := range map[string]Scale{"quick": Quick, "default": Default, "": Default, "full": Full} {
+		got, err := ParseScale(in)
+		if err != nil || got != want {
+			t.Errorf("ParseScale(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseScale("bogus"); err == nil {
+		t.Error("ParseScale(bogus) should fail")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every figure and table of the paper's evaluation must be present.
+	for _, name := range []string{
+		"table1", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+	} {
+		if _, ok := Lookup(name); !ok {
+			t.Errorf("experiment %q missing from registry", name)
+		}
+	}
+	sim := List(false)
+	all := List(true)
+	if len(all) <= len(sim) {
+		t.Error("cluster experiments missing from List(true)")
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Name >= all[i].Name {
+			t.Error("List not sorted")
+		}
+	}
+}
+
+func TestTable1MatchesPaperP1(t *testing.T) {
+	tabs := mustRun(t, "table1")
+	tab := tabs[0]
+	if len(tab.Rows) < 6 {
+		t.Fatalf("table1 rows = %d, want ≥ 6 (3 datasets + 3 ZF)", len(tab.Rows))
+	}
+	for _, symbol := range []string{"WP", "TW", "CT"} {
+		row := tab.Find(map[int]string{1: symbol})
+		if row == nil {
+			t.Fatalf("table1 missing %s", symbol)
+		}
+		got := cell(t, row, 4)
+		want := cell(t, row, 5)
+		if got < want*0.6 || got > want*1.6 {
+			t.Errorf("%s: measured p1 %.2f%% far from paper %.2f%%", symbol, got, want)
+		}
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	tab := mustRun(t, "fig1")[0]
+	// At the largest scale, PKG must be at least 10× worse than W-C.
+	last := tab.Rows[len(tab.Rows)-1]
+	pkg, wc := cell(t, last, 1), cell(t, last, 3)
+	if pkg < 10*wc {
+		t.Errorf("fig1 at n=%s: PKG %g not ≫ W-C %g", last[0], pkg, wc)
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	tab := mustRun(t, "fig3")[0]
+	// θ=1/(5n) head is never smaller than θ=2/n head for the same n.
+	for _, row := range tab.Rows {
+		loose50, tight50 := cell(t, row, 1), cell(t, row, 2)
+		if loose50 < tight50 {
+			t.Errorf("z=%s: head(θ=1/5n)=%g < head(θ=2/n)=%g", row[0], loose50, tight50)
+		}
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	tab := mustRun(t, "fig4")[0]
+	// d/n at n=100 stays < 1 at z=1.2 and d grows with z.
+	var d12, d20 float64
+	for _, row := range tab.Rows {
+		if row[0] == "1.2" {
+			d12 = cell(t, row, 8)
+		}
+		if row[0] == "2.0" {
+			d20 = cell(t, row, 8)
+		}
+	}
+	if d12 <= 2 || d20 < d12 {
+		t.Errorf("fig4 n=100: d(1.2)=%g, d(2.0)=%g — want growth above 2", d12, d20)
+	}
+}
+
+func TestFig5Fig6Shape(t *testing.T) {
+	tab5 := mustRun(t, "fig5")[0]
+	for _, row := range tab5.Rows {
+		for i := 1; i <= 4; i++ {
+			if v := cell(t, row, i); v > 40 {
+				t.Errorf("fig5 z=%s col %d: overhead vs PKG %.1f%% > 40%%", row[0], i, v)
+			}
+		}
+	}
+	tab6 := mustRun(t, "fig6")[0]
+	for _, row := range tab6.Rows {
+		z := cell(t, row, 0)
+		if z < 0.8 {
+			continue // at near-uniform skew SG is as cheap as anything
+		}
+		for i := 1; i <= 4; i++ {
+			if v := cell(t, row, i); v > -50 {
+				t.Errorf("fig6 z=%s col %d: %v%% vs SG, want strong savings", row[0], i, v)
+			}
+		}
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	tabs := mustRun(t, "fig7")
+	if len(tabs) != 2 {
+		t.Fatalf("fig7 tables = %d, want 2 (W-C, RR)", len(tabs))
+	}
+	// W-C at θ ≤ 1/n keeps imbalance low even at n=50, z=2.0.
+	wc := tabs[0]
+	row := wc.Find(map[int]string{0: "50", 1: "2.0"})
+	if row == nil {
+		t.Fatal("fig7 missing n=50 z=2.0 row")
+	}
+	if v := cell(t, row, 3); v > 0.01 { // θ=1/n column
+		t.Errorf("fig7 W-C n=50 z=2.0 θ=1/n: imbalance %g", v)
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	tab := mustRun(t, "fig8")[0]
+	if len(tab.Rows) != 15 { // 3 algorithms × 5 workers
+		t.Fatalf("fig8 rows = %d, want 15", len(tab.Rows))
+	}
+	// W-C total per worker ≈ 20% everywhere; PKG has a worker ≫ 20%.
+	var pkgMax, wcMax float64
+	for _, row := range tab.Rows {
+		total := cell(t, row, 4)
+		switch row[0] {
+		case "PKG":
+			if total > pkgMax {
+				pkgMax = total
+			}
+		case "W-C":
+			if total > wcMax {
+				wcMax = total
+			}
+		}
+	}
+	if pkgMax < 25 {
+		t.Errorf("fig8: PKG max worker %.1f%%, expected ≫ 20%%", pkgMax)
+	}
+	if wcMax > 22 {
+		t.Errorf("fig8: W-C max worker %.1f%%, want ≈ 20%%", wcMax)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	tab := mustRun(t, "fig9")[0]
+	for _, row := range tab.Rows {
+		dDC, dMin := cell(t, row, 2), cell(t, row, 3)
+		if dDC < dMin-1 { // allow off-by-one noise at quick scale
+			t.Errorf("fig9 n=%s z=%s: D-C's d=%g below empirical min %g", row[0], row[1], dDC, dMin)
+		}
+		if dDC < 2 || dMin < 2 {
+			t.Errorf("fig9: d below 2 in row %v", row)
+		}
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	tab := mustRun(t, "fig10")[0]
+	row := tab.Find(map[int]string{0: "50", 1: "2.0"})
+	if row == nil {
+		t.Fatal("fig10 missing n=50 z=2.0")
+	}
+	pkg, dc, wc := cell(t, row, 2), cell(t, row, 3), cell(t, row, 4)
+	if pkg < 5*dc || pkg < 5*wc {
+		t.Errorf("fig10 n=50 z=2.0: PKG %g should dwarf D-C %g and W-C %g", pkg, dc, wc)
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	tabs := mustRun(t, "fig11")
+	if len(tabs) != 3 {
+		t.Fatalf("fig11 tables = %d, want 3 datasets", len(tabs))
+	}
+	// WP at the largest n: PKG worse than W-C.
+	wp := tabs[0]
+	last := wp.Rows[len(wp.Rows)-1]
+	if pkg, wc := cell(t, last, 1), cell(t, last, 3); pkg < 5*wc {
+		t.Errorf("fig11 WP n=%s: PKG %g vs W-C %g", last[0], pkg, wc)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	tabs := mustRun(t, "fig12")
+	if len(tabs) != 3 {
+		t.Fatalf("fig12 tables = %d, want 3", len(tabs))
+	}
+	for _, tab := range tabs {
+		if !strings.Contains(tab.Title, "over time") {
+			t.Errorf("unexpected title %q", tab.Title)
+		}
+		// Progress column must be non-decreasing within an (n, algo) group.
+		prev := map[string]float64{}
+		for _, row := range tab.Rows {
+			key := row[0] + "/" + row[1]
+			p := cell(t, row, 2)
+			if p < prev[key] {
+				t.Fatalf("fig12 %s: progress went backwards", key)
+			}
+			prev[key] = p
+		}
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	tab := mustRun(t, "fig13")[0]
+	for _, row := range tab.Rows {
+		kg, pkg, dc, wc, sg := cell(t, row, 1), cell(t, row, 2), cell(t, row, 3), cell(t, row, 4), cell(t, row, 5)
+		if !(kg < pkg && pkg <= dc*1.05) {
+			t.Errorf("fig13 z=%s: ordering KG(%g) < PKG(%g) ≤ D-C(%g) violated", row[0], kg, pkg, dc)
+		}
+		for name, v := range map[string]float64{"D-C": dc, "W-C": wc} {
+			if v < 0.9*sg {
+				t.Errorf("fig13 z=%s: %s %g not close to SG %g", row[0], name, v, sg)
+			}
+		}
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	tab := mustRun(t, "fig14")[0]
+	for _, z := range []string{"1.7", "2.0"} {
+		kg := tab.Find(map[int]string{0: z, 1: "KG"})
+		pkg := tab.Find(map[int]string{0: z, 1: "PKG"})
+		wc := tab.Find(map[int]string{0: z, 1: "W-C"})
+		if kg == nil || pkg == nil || wc == nil {
+			t.Fatalf("fig14 missing rows for z=%s", z)
+		}
+		kgP99, pkgP99, wcP99 := cell(t, kg, 5), cell(t, pkg, 5), cell(t, wc, 5)
+		if !(kgP99 > pkgP99 && pkgP99 > wcP99) {
+			t.Errorf("fig14 z=%s: p99 ordering KG(%g) > PKG(%g) > W-C(%g) violated",
+				z, kgP99, pkgP99, wcP99)
+		}
+	}
+}
+
+func TestLiveFig13Ordering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock experiment skipped in -short")
+	}
+	tab := mustRun(t, "live-fig13")[0]
+	get := func(algo string) float64 {
+		row := tab.Find(map[int]string{0: algo})
+		if row == nil {
+			t.Fatalf("live-fig13 missing %s", algo)
+		}
+		return cell(t, row, 1)
+	}
+	if !(get("KG") < get("PKG") && get("PKG") < get("D-C")) {
+		t.Errorf("live ordering violated: KG %g, PKG %g, D-C %g", get("KG"), get("PKG"), get("D-C"))
+	}
+	if get("W-C") < 0.6*get("SG") {
+		t.Errorf("live W-C (%g) too far from SG (%g)", get("W-C"), get("SG"))
+	}
+}
+
+func TestAblateStragglerHurtsBalancedSchemesMost(t *testing.T) {
+	tab := mustRun(t, "ablate-straggler")[0]
+	slowdown := func(algo string) float64 {
+		row := tab.Find(map[int]string{0: algo})
+		if row == nil {
+			t.Fatalf("missing %s", algo)
+		}
+		return cell(t, row, 3)
+	}
+	// The documented finding: no scheme routes around the straggler, and
+	// the balanced schemes pay the most.
+	if slowdown("SG") < 30 {
+		t.Errorf("SG slowdown %g%%, expected severe", slowdown("SG"))
+	}
+	if slowdown("W-C") < slowdown("KG") {
+		t.Errorf("balanced W-C (%g%%) should suffer at least as much as KG (%g%%)",
+			slowdown("W-C"), slowdown("KG"))
+	}
+}
+
+func TestAblations(t *testing.T) {
+	for _, name := range []string{
+		"ablate-eps", "ablate-sketch", "ablate-prefix", "ablate-merge",
+		"ablate-window", "ablate-oracle", "ablate-saturation", "ablate-straggler",
+	} {
+		tabs := mustRun(t, name)
+		if len(tabs[0].Rows) < 2 {
+			t.Errorf("%s: too few rows", name)
+		}
+	}
+}
+
+func TestAblateSaturationShowsWideGap(t *testing.T) {
+	tab := mustRun(t, "ablate-saturation")[0]
+	row := tab.Find(map[int]string{0: "2.0"})
+	if row == nil {
+		t.Fatal("z=2.0 row missing")
+	}
+	kg, pkg, dc, sg := cell(t, row, 1), cell(t, row, 2), cell(t, row, 3), cell(t, row, 5)
+	if dc < 5*pkg || dc < 10*kg {
+		t.Errorf("saturated gap too small: KG %g PKG %g D-C %g", kg, pkg, dc)
+	}
+	if dc < 0.85*sg {
+		t.Errorf("D-C (%g) should track SG (%g) at saturation", dc, sg)
+	}
+}
+
+func TestAblateOracleGapTiny(t *testing.T) {
+	tab := mustRun(t, "ablate-oracle")[0]
+	for _, row := range tab.Rows {
+		sketch, oracle := cell(t, row, 2), cell(t, row, 3)
+		if sketch > 10*oracle+1e-4 {
+			t.Errorf("z=%s: sketch %g far above oracle %g", row[0], sketch, oracle)
+		}
+	}
+}
+
+func TestAblateEpsMonotone(t *testing.T) {
+	tab := mustRun(t, "ablate-eps")[0]
+	// Analytic d must be non-increasing as ε loosens (rows ordered by ε).
+	prev := 1 << 30
+	for _, row := range tab.Rows {
+		d := int(cell(t, row, 1))
+		if d > prev {
+			t.Errorf("ablate-eps: d not non-increasing (%d after %d)", d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestRunAllSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RunAll is slow; skipped with -short")
+	}
+	out, err := RunAll(Quick, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) < 12 {
+		t.Fatalf("RunAll returned %d experiments", len(out))
+	}
+}

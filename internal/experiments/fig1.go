@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"strconv"
+
+	"slb/internal/simulator"
+	"slb/internal/texttab"
+	"slb/internal/workload"
+)
+
+// Fig1 reproduces Figure 1: imbalance I(m) as a function of the number
+// of workers on the Wikipedia-like dataset, for PKG, D-C and W-C. The
+// paper's shape: PKG is low at n ∈ {5, 10} and degrades sharply toward
+// ~10% at n ∈ {50, 100}, while D-C and W-C stay below ~0.1%.
+func Fig1(sc Scale) ([]*texttab.Table, error) {
+	gen := workload.WikipediaLike(sc.workloadScale(), Seed)
+	t := texttab.New("Fig 1: imbalance vs workers, WP dataset",
+		"Workers", "PKG", "D-C", "W-C")
+	for _, n := range sc.workerSets() {
+		row := []string{strconv.Itoa(n)}
+		for _, algo := range []string{"PKG", "D-C", "W-C"} {
+			res, err := runSim(gen, algo, n, simulator.Options{})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmtImb(res.Imbalance))
+		}
+		t.Add(row...)
+	}
+	return []*texttab.Table{t}, nil
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+
+	"slb/internal/analysis"
+	"slb/internal/simulator"
+	"slb/internal/stream"
+	"slb/internal/texttab"
+	"slb/internal/workload"
+)
+
+// Fig10 reproduces Figure 10: imbalance vs skew for PKG, D-C, W-C and
+// RR over the grid of worker counts and key-space sizes. Paper shape:
+// |K| barely matters; skew × scale is what hurts, and only PKG degrades.
+// The s·ε column is the paper's worst-case expectation for D-C (each of
+// the s sources solves with tolerance ε independently).
+func Fig10(sc Scale) ([]*texttab.Table, error) {
+	keySizes := []int{10_000}
+	if sc == Full {
+		keySizes = []int{10_000, 100_000, 1_000_000}
+	}
+	var tables []*texttab.Table
+	for _, keys := range keySizes {
+		t := texttab.New(fmt.Sprintf("Fig 10: imbalance vs skew (|K|=%d)", keys),
+			"n", "z", "PKG", "D-C", "W-C", "RR", "s×ε", "PKG-bound")
+		for _, n := range sc.gridWorkers() {
+			for _, z := range sc.skews() {
+				row := []string{strconv.Itoa(n), fmtZ(z)}
+				for _, algo := range []string{"PKG", "D-C", "W-C", "RR"} {
+					res, err := runSim(sc.zfGen(z, keys), algo, n, simulator.Options{})
+					if err != nil {
+						return nil, err
+					}
+					row = append(row, fmtImb(res.Imbalance))
+				}
+				row = append(row, fmtImb(Sources*Epsilon))
+				// The analytic floor for PKG from the prior paper's
+				// analysis: p1/2 − 1/n once p1 > 2/n.
+				p1 := workload.ZipfProbs(z, keys)[0]
+				row = append(row, fmtImb(analysis.PKGImbalanceLowerBound(p1, n)))
+				t.Add(row...)
+			}
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// realDatasets lists the real-world stand-ins in the paper's order.
+var realDatasets = []string{"WP", "TW", "CT"}
+
+// Fig11 reproduces Figure 11: imbalance vs number of workers on the
+// real-world datasets for PKG, D-C and W-C. Paper shape: all equal at
+// small n; PKG visibly worse from n = 20 up; CT (drift) hardest for
+// everyone.
+func Fig11(sc Scale) ([]*texttab.Table, error) {
+	var tables []*texttab.Table
+	for _, ds := range realDatasets {
+		gen, _ := workload.DatasetByName(ds, sc.workloadScale(), Seed)
+		t := texttab.New(fmt.Sprintf("Fig 11 (%s): imbalance vs workers", ds),
+			"Workers", "PKG", "D-C", "W-C", "s×ε")
+		for _, n := range sc.workerSets() {
+			row := []string{strconv.Itoa(n)}
+			for _, algo := range []string{"PKG", "D-C", "W-C"} {
+				res, err := runSim(gen, algo, n, simulator.Options{})
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmtImb(res.Imbalance))
+			}
+			row = append(row, fmtImb(Sources*Epsilon))
+			t.Add(row...)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// fig12Snapshots is the time-series resolution of Figure 12.
+func (s Scale) fig12Snapshots() int {
+	if s == Quick {
+		return 10
+	}
+	return 40
+}
+
+// Fig12 reproduces Figure 12: imbalance over time for the real-world
+// datasets at each scale, for PKG, D-C and W-C. Time is measured in
+// stream position (the real traces' wall-clock hours are not
+// reproducible; drift in CT advances with stream position exactly as the
+// original's did with time).
+func Fig12(sc Scale) ([]*texttab.Table, error) {
+	var tables []*texttab.Table
+	for _, ds := range realDatasets {
+		var gen stream.Generator
+		gen, _ = workload.DatasetByName(ds, sc.workloadScale(), Seed)
+		t := texttab.New(fmt.Sprintf("Fig 12 (%s): imbalance over time", ds),
+			"n", "Algorithm", "Progress(%)", "Messages", "I(t)")
+		for _, n := range sc.workerSets() {
+			for _, algo := range []string{"PKG", "D-C", "W-C"} {
+				res, err := runSim(gen, algo, n, simulator.Options{Snapshots: sc.fig12Snapshots()})
+				if err != nil {
+					return nil, err
+				}
+				for _, p := range res.Series {
+					t.Add(strconv.Itoa(n), algo,
+						fmt.Sprintf("%.0f", 100*float64(p.Messages)/float64(res.Messages)),
+						strconv.FormatInt(p.Messages, 10),
+						fmtImb(p.Imbalance))
+				}
+			}
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

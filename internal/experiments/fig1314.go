@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+
+	"slb/internal/core"
+	"slb/internal/eventsim"
+	"slb/internal/texttab"
+	"slb/internal/workload"
+)
+
+// Cluster experiment parameters (Section V, Q4): 48 sources, 80 workers,
+// |K| = 1e4, m = 2e6, and a fixed 1 ms processing delay per message.
+const (
+	clusterWorkers = 80
+	clusterSources = 48
+	clusterService = 1.0 // ms
+	// clusterEmit is each source's per-message cost (ms). The paper's
+	// sources do real extraction work: its best-case throughput (SG,
+	// Fig 13) is ≈3400 events/s ≈ 48 sources × 70 events/s, i.e. ≈14 ms
+	// per message per source. With that offered load the hot worker's
+	// 1 ms service rate is the next bottleneck, reproducing the paper's
+	// crossover: KG and PKG collapse once p1 × 3400/s exceeds what one
+	// (resp. two) workers can drain.
+	clusterEmit = 14.0 // ms
+)
+
+// clusterSkews are the sample skews of Figs 13–14.
+var clusterSkews = []float64{1.4, 1.7, 2.0}
+
+// clusterAlgos in the paper's presentation order.
+var clusterAlgos = []string{"KG", "PKG", "D-C", "W-C", "SG"}
+
+func clusterRun(sc Scale, algo string, z float64) (eventsim.Result, error) {
+	return clusterRunAt(sc, algo, z, clusterEmit)
+}
+
+func clusterRunAt(sc Scale, algo string, z, emitInterval float64) (eventsim.Result, error) {
+	m := sc.dspeMessages()
+	gen := workload.NewZipf(z, ZFKeys, m, Seed)
+	cfg := eventsim.Config{
+		Workers:      clusterWorkers,
+		Sources:      clusterSources,
+		Algorithm:    algo,
+		Core:         core.Config{Seed: Seed, Epsilon: Epsilon},
+		ServiceTime:  clusterService,
+		EmitInterval: emitInterval,
+		Window:       100,
+		Messages:     m,
+		// Steady state: skip the first fifth (sketch warmup, queue
+		// fill-up), like the paper's averaging over long iterations.
+		MeasureAfter: m / 5,
+	}
+	return eventsim.Run(gen, cfg)
+}
+
+// AblateSaturation re-runs the Fig 13 throughput comparison at a second
+// operating point where the sources can saturate the whole cluster
+// (offered load ≈ 1.2× the workers' aggregate capacity). The paper's
+// published gap (D-C/W-C ≈ 1.5× PKG, ≈ 2.3× KG) is specific to its
+// operating point — when the workers are the only bottleneck, the gap
+// widens to the imbalance ratio itself.
+func AblateSaturation(sc Scale) ([]*texttab.Table, error) {
+	// 48 sources / 0.5 ms ⇒ 96k offered vs 80k capacity.
+	const saturatedEmit = 0.5
+	t := texttab.New("Ablation: Fig 13 at full worker saturation (events/s)",
+		"z", "KG", "PKG", "D-C", "W-C", "SG")
+	for _, z := range clusterSkews {
+		row := []string{fmtZ(z)}
+		for _, algo := range clusterAlgos {
+			res, err := clusterRunAt(sc, algo, z, saturatedEmit)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.0f", res.Throughput))
+		}
+		t.Add(row...)
+	}
+	return []*texttab.Table{t}, nil
+}
+
+// Fig13 reproduces Figure 13: cluster throughput (events/second) for
+// KG, PKG, D-C, W-C and SG at z ∈ {1.4, 1.7, 2.0}, on the discrete-event
+// engine standing in for the Storm cluster (DESIGN.md §4). Paper shape:
+// KG lowest, PKG second, D-C/W-C match SG (≈1.5× PKG and ≈2.3× KG at
+// high skew).
+func Fig13(sc Scale) ([]*texttab.Table, error) {
+	t := texttab.New("Fig 13: throughput (events/s), n=80, s=48, 1ms/msg",
+		"z", "KG", "PKG", "D-C", "W-C", "SG")
+	for _, z := range clusterSkews {
+		row := []string{fmtZ(z)}
+		for _, algo := range clusterAlgos {
+			res, err := clusterRun(sc, algo, z)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.0f", res.Throughput))
+		}
+		t.Add(row...)
+	}
+	return []*texttab.Table{t}, nil
+}
+
+// Fig14 reproduces Figure 14: cluster latency (ms) — the maximum
+// per-worker average plus the p50/p95/p99 percentiles across messages —
+// same setup as Fig 13. Paper shape: KG's tail explodes with skew; PKG
+// halves it; D-C/W-C sit near SG (≈60% below PKG at p99, z=2.0).
+func Fig14(sc Scale) ([]*texttab.Table, error) {
+	t := texttab.New("Fig 14: latency (ms), n=80, s=48, 1ms/msg",
+		"z", "Algorithm", "max-avg", "p50", "p95", "p99")
+	for _, z := range clusterSkews {
+		for _, algo := range clusterAlgos {
+			res, err := clusterRun(sc, algo, z)
+			if err != nil {
+				return nil, err
+			}
+			t.Add(fmtZ(z), algo,
+				fmt.Sprintf("%.2f", res.MaxAvgLatency),
+				fmt.Sprintf("%.2f", res.P50),
+				fmt.Sprintf("%.2f", res.P95),
+				fmt.Sprintf("%.2f", res.P99))
+		}
+	}
+	return []*texttab.Table{t}, nil
+}

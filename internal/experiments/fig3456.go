@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+
+	"slb/internal/analysis"
+	"slb/internal/texttab"
+	"slb/internal/workload"
+)
+
+// Fig3 reproduces Figure 3: the cardinality of the head |H| as a
+// function of skew for the two extreme thresholds θ = 1/(5n) and
+// θ = 2/n, at n ∈ {50, 100}. Analytic over the Zipf distribution with
+// |K| = 1e4 (m does not enter; the head is defined on frequencies).
+func Fig3(sc Scale) ([]*texttab.Table, error) {
+	t := texttab.New("Fig 3: head cardinality vs skew (|K|=1e4)",
+		"z", "n=50 θ=1/(5n)", "n=50 θ=2/n", "n=100 θ=1/(5n)", "n=100 θ=2/n")
+	for _, z := range sc.skews() {
+		probs := workload.ZipfProbs(z, ZFKeys)
+		row := []string{fmtZ(z)}
+		for _, n := range []int{50, 100} {
+			loose := analysis.HeadCardinality(probs, 1.0/(5*float64(n)))
+			tight := analysis.HeadCardinality(probs, 2.0/float64(n))
+			row = append(row, strconv.Itoa(loose), strconv.Itoa(tight))
+		}
+		t.Add(row...)
+	}
+	return []*texttab.Table{t}, nil
+}
+
+// Fig4 reproduces Figure 4: the fraction of workers d/n that D-Choices
+// assigns to the head, as a function of skew, for n ∈ {5, 10, 50, 100}.
+// Analytic: the d-solver applied to the true Zipf distribution with
+// θ = 1/(5n) and ε = 1e-4.
+func Fig4(sc Scale) ([]*texttab.Table, error) {
+	ns := []int{5, 10, 50, 100}
+	cols := []string{"z"}
+	for _, n := range ns {
+		cols = append(cols, fmt.Sprintf("d/n n=%d", n), fmt.Sprintf("d n=%d", n))
+	}
+	t := texttab.New("Fig 4: fraction of workers used by D-C for the head (|K|=1e4, ε=1e-4)", cols...)
+	for _, z := range sc.skews() {
+		probs := workload.ZipfProbs(z, ZFKeys)
+		row := []string{fmtZ(z)}
+		for _, n := range ns {
+			head, tail := analysis.SplitHead(probs, 1.0/(5*float64(n)))
+			d := analysis.SolveD(head, tail, n, Epsilon)
+			row = append(row, fmt.Sprintf("%.3f", float64(d)/float64(n)), strconv.Itoa(d))
+		}
+		t.Add(row...)
+	}
+	return []*texttab.Table{t}, nil
+}
+
+// memoryFig is the shared engine of Figures 5 and 6: the modeled memory
+// of D-C and W-C relative to a baseline, as a function of skew, for
+// n ∈ {50, 100}. The model follows Section IV-B with m = 1e7 (the
+// paper's value; the model is exact and cheap, so scale only changes
+// the simulated experiments, not this one).
+func memoryFig(sc Scale, title string, baseline func(probs []float64, m float64, n int) float64) *texttab.Table {
+	const m = 1e7
+	t := texttab.New(title,
+		"z", "n=50 D-C(%)", "n=50 W-C(%)", "n=100 D-C(%)", "n=100 W-C(%)")
+	for _, z := range sc.skews() {
+		probs := workload.ZipfProbs(z, ZFKeys)
+		row := []string{fmtZ(z)}
+		for _, n := range []int{50, 100} {
+			theta := 1.0 / (5 * float64(n))
+			head, tail := analysis.SplitHead(probs, theta)
+			d := analysis.SolveD(head, tail, n, Epsilon)
+			base := baseline(probs, m, n)
+			dc := analysis.OverheadPct(analysis.MemDC(probs, m, n, d, theta), base)
+			wc := analysis.OverheadPct(analysis.MemWC(probs, m, n, theta), base)
+			row = append(row, fmt.Sprintf("%.2f", dc), fmt.Sprintf("%.2f", wc))
+		}
+		t.Add(row...)
+	}
+	return t
+}
+
+// Fig5 reproduces Figure 5: memory overhead of D-C and W-C relative to
+// PKG (%), vs skew, n ∈ {50, 100}. Paper shape: at most ~30% extra, with
+// D-C well below W-C at moderate skew and converging at extreme skew.
+func Fig5(sc Scale) ([]*texttab.Table, error) {
+	t := memoryFig(sc, "Fig 5: memory w.r.t. PKG (%) (|K|=1e4, m=1e7, ε=1e-4)",
+		func(p []float64, m float64, _ int) float64 { return analysis.MemPKG(p, m) })
+	return []*texttab.Table{t}, nil
+}
+
+// Fig6 reproduces Figure 6: memory overhead of D-C and W-C relative to
+// SG (%), vs skew, n ∈ {50, 100}. Paper shape: always at least ~70-80%
+// cheaper than shuffle grouping.
+func Fig6(sc Scale) ([]*texttab.Table, error) {
+	t := memoryFig(sc, "Fig 6: memory w.r.t. SG (%) (|K|=1e4, m=1e7, ε=1e-4)",
+		func(p []float64, m float64, n int) float64 { return analysis.MemSG(p, m, n) })
+	return []*texttab.Table{t}, nil
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"fmt"
+
+	"slb/internal/stream"
+	"slb/internal/texttab"
+	"slb/internal/workload"
+)
+
+// Table1 reproduces Table I: the datasets' message counts, key counts
+// and head frequency p1. The real-world rows are the calibrated
+// synthetic stand-ins (DESIGN.md §4) measured exactly; the ZF rows show
+// the synthetic Zipf workload at three representative skews.
+func Table1(sc Scale) ([]*texttab.Table, error) {
+	t := texttab.New("Table I: datasets (synthetic stand-ins, measured)",
+		"Dataset", "Symbol", "Messages", "Keys", "p1(%)", "Paper p1(%)")
+
+	for _, row := range []struct {
+		name, symbol string
+		paperP1      float64
+	}{
+		{"Wikipedia-like", "WP", workload.WPP1},
+		{"Twitter-like", "TW", workload.TWP1},
+		{"Cashtags-like", "CT", workload.CTP1},
+	} {
+		gen, ok := workload.DatasetByName(row.symbol, sc.workloadScale(), Seed)
+		if !ok {
+			return nil, fmt.Errorf("table1: dataset %q missing", row.symbol)
+		}
+		st := stream.Collect(gen)
+		t.Addf(row.name, row.symbol, st.Messages, st.Keys,
+			fmt.Sprintf("%.2f", st.P1*100), fmt.Sprintf("%.2f", row.paperP1*100))
+	}
+
+	for _, z := range []float64{0.5, 1.0, 2.0} {
+		gen := sc.zfGen(z, ZFKeys)
+		st := stream.Collect(gen)
+		t.Addf(fmt.Sprintf("Zipf z=%.1f", z), "ZF", st.Messages, st.Keys,
+			fmt.Sprintf("%.2f", st.P1*100), "1/Σx^-z")
+	}
+	return []*texttab.Table{t}, nil
+}

@@ -1,0 +1,104 @@
+// Package hashing provides a deterministic family of independent hash
+// functions F_1..F_d mapping string keys onto [0, n) worker indices.
+//
+// The paper's Greedy-d process requires d independent uniform hash
+// functions. We derive each family member from a 64-bit FNV-1a core mixed
+// with a per-member seed and finished with a murmur-style avalanche, which
+// gives well-distributed, statistically independent values without any
+// dependency outside the standard library. All functions are pure and
+// deterministic, so simulation runs are exactly reproducible.
+package hashing
+
+// Offset and prime of the 64-bit FNV-1a hash.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// seedMix is the SplitMix64 increment; used to derive per-index seeds.
+const seedMix = 0x9e3779b97f4a7c15
+
+// Family is a deterministic family of hash functions over string keys.
+// The zero value is not usable; construct with NewFamily.
+type Family struct {
+	seeds []uint64
+}
+
+// NewFamily returns a family of size members derived from the given base
+// seed. Two families built from the same seed are identical; distinct
+// members of one family behave as independent hash functions.
+func NewFamily(size int, seed uint64) *Family {
+	if size <= 0 {
+		panic("hashing: family size must be positive")
+	}
+	seeds := make([]uint64, size)
+	s := seed
+	for i := range seeds {
+		s += seedMix
+		seeds[i] = splitmix64(s)
+	}
+	return &Family{seeds: seeds}
+}
+
+// Size returns the number of hash functions in the family.
+func (f *Family) Size() int { return len(f.seeds) }
+
+// Hash returns the 64-bit hash of key under family member i.
+func (f *Family) Hash(i int, key string) uint64 {
+	h := fnvOffset64 ^ f.seeds[i]
+	for j := 0; j < len(key); j++ {
+		h ^= uint64(key[j])
+		h *= fnvPrime64
+	}
+	return finalize(h)
+}
+
+// Bucket returns family member i's choice of worker for key among n
+// workers, i.e. F_i(key) ∈ [0, n).
+func (f *Family) Bucket(i int, key string, n int) int {
+	return int(f.Hash(i, key) % uint64(n))
+}
+
+// Buckets fills dst with the first len(dst) family members' choices for
+// key among n workers and returns dst. It is the allocation-free form of
+// calling Bucket for i = 0..len(dst)-1.
+func (f *Family) Buckets(dst []int, key string, n int) []int {
+	for i := range dst {
+		dst[i] = f.Bucket(i, key, n)
+	}
+	return dst
+}
+
+// splitmix64 is the SplitMix64 output function: a fast, high-quality
+// bijective mixer used to stretch one seed into many.
+func splitmix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// finalize applies a murmur3-style avalanche so that low-order bits of the
+// result depend on all input bytes; plain FNV-1a is weak in the low bits
+// that the modulo in Bucket consumes.
+func finalize(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// String64 hashes key with an unseeded member; a convenience for callers
+// that need a single stable hash (e.g. key grouping).
+func String64(key string) uint64 {
+	var h uint64 = fnvOffset64
+	for j := 0; j < len(key); j++ {
+		h ^= uint64(key[j])
+		h *= fnvPrime64
+	}
+	return finalize(h)
+}

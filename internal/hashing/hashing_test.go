@@ -1,0 +1,151 @@
+package hashing
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewFamilyPanicsOnBadSize(t *testing.T) {
+	for _, size := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewFamily(%d) did not panic", size)
+				}
+			}()
+			NewFamily(size, 1)
+		}()
+	}
+}
+
+func TestFamilyDeterminism(t *testing.T) {
+	a := NewFamily(8, 42)
+	b := NewFamily(8, 42)
+	keys := []string{"", "a", "key-1", "another key", "\x00\xff"}
+	for i := 0; i < a.Size(); i++ {
+		for _, k := range keys {
+			if a.Hash(i, k) != b.Hash(i, k) {
+				t.Fatalf("family not deterministic for member %d key %q", i, k)
+			}
+		}
+	}
+}
+
+func TestFamilySeedsDiffer(t *testing.T) {
+	a := NewFamily(4, 1)
+	b := NewFamily(4, 2)
+	same := 0
+	for i := 0; i < 4; i++ {
+		if a.Hash(i, "probe") == b.Hash(i, "probe") {
+			same++
+		}
+	}
+	if same == 4 {
+		t.Fatal("families with different seeds produced identical hashes")
+	}
+}
+
+func TestFamilyMembersIndependent(t *testing.T) {
+	f := NewFamily(2, 7)
+	n := 10
+	// Over many keys, the joint distribution of (F1(k), F2(k)) should fill
+	// the n×n grid; collisions F1(k)==F2(k) should occur at roughly rate 1/n.
+	keys := 20000
+	coll := 0
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if f.Bucket(0, k, n) == f.Bucket(1, k, n) {
+			coll++
+		}
+	}
+	got := float64(coll) / float64(keys)
+	if math.Abs(got-1.0/float64(n)) > 0.02 {
+		t.Fatalf("collision rate %f, want ≈ %f", got, 1.0/float64(n))
+	}
+}
+
+func TestBucketUniformity(t *testing.T) {
+	f := NewFamily(1, 99)
+	n := 16
+	total := 160000
+	counts := make([]int, n)
+	for i := 0; i < total; i++ {
+		counts[f.Bucket(0, fmt.Sprintf("uniform-%d", i), n)]++
+	}
+	// Chi-squared test with df = 15; 99.9% critical value ≈ 37.7.
+	expected := float64(total) / float64(n)
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 37.7 {
+		t.Fatalf("chi-squared %f exceeds 99.9%% critical value; distribution skewed: %v", chi2, counts)
+	}
+}
+
+func TestBucketsMatchesBucket(t *testing.T) {
+	f := NewFamily(5, 3)
+	dst := make([]int, 5)
+	f.Buckets(dst, "the-key", 23)
+	for i, got := range dst {
+		if want := f.Bucket(i, "the-key", 23); got != want {
+			t.Fatalf("Buckets[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestBucketRangeProperty(t *testing.T) {
+	f := NewFamily(3, 11)
+	prop := func(key string, nRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		for i := 0; i < 3; i++ {
+			b := f.Bucket(i, key, n)
+			if b < 0 || b >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString64Deterministic(t *testing.T) {
+	if String64("abc") != String64("abc") {
+		t.Fatal("String64 not deterministic")
+	}
+	if String64("abc") == String64("abd") {
+		t.Fatal("String64 collided on near-identical keys (vanishingly unlikely)")
+	}
+}
+
+func TestAvalancheLowBits(t *testing.T) {
+	// Sequentially numbered keys must not map to sequential buckets; check
+	// the low-bit quality of the finalizer by ensuring runs are broken up.
+	f := NewFamily(1, 5)
+	sameAsPrev := 0
+	prev := -1
+	for i := 0; i < 1000; i++ {
+		b := f.Bucket(0, fmt.Sprintf("k%08d", i), 2)
+		if b == prev {
+			sameAsPrev++
+		}
+		prev = b
+	}
+	// For a fair coin, ~500 expected; alarm only on gross failure.
+	if sameAsPrev < 350 || sameAsPrev > 650 {
+		t.Fatalf("low-bit behaviour suspicious: %d/1000 repeats", sameAsPrev)
+	}
+}
+
+func BenchmarkHash(b *testing.B) {
+	f := NewFamily(2, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = f.Hash(i&1, "benchmark-key-with-typical-length")
+	}
+}

@@ -1,0 +1,236 @@
+// Package metrics provides the measurement machinery shared by the
+// simulator and the DSPE engines: worker load vectors and the paper's
+// imbalance metric I(t), per-key replica accounting (memory overhead),
+// and a reservoir-based quantile estimator for latency percentiles.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Imbalance returns I = max(load) − avg(load) for a vector of absolute
+// loads, normalized by total so the result is a fraction of the stream
+// (the definition in Section II). An empty or all-zero vector yields 0.
+func Imbalance(loads []int64) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	var max, sum int64
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+		sum += l
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(max)/float64(sum) - 1.0/float64(len(loads))
+}
+
+// ImbalanceFractions is Imbalance for already-normalized load fractions.
+func ImbalanceFractions(loads []float64) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	max, sum := 0.0, 0.0
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+		sum += l
+	}
+	if sum == 0 {
+		return 0
+	}
+	return max/sum - 1.0/float64(len(loads))
+}
+
+// ---------------------------------------------------------------------------
+// Replica accounting
+
+const wordBits = 64
+
+// Replicas counts distinct (key, worker) pairs: the measured memory cost
+// of a partitioning run, in key-replica units (Section IV-B). Workers are
+// tracked in per-key bitsets so the accounting is O(1) per message and
+// O(|K|·n/64) space.
+type Replicas struct {
+	n     int
+	words int
+	keys  map[string][]uint64
+	total int64
+}
+
+// NewReplicas returns an accounting structure for n workers.
+func NewReplicas(n int) *Replicas {
+	if n <= 0 {
+		panic("metrics: NewReplicas with non-positive n")
+	}
+	return &Replicas{
+		n:     n,
+		words: (n + wordBits - 1) / wordBits,
+		keys:  make(map[string][]uint64),
+	}
+}
+
+// Observe records that one message of key was processed by worker.
+func (r *Replicas) Observe(key string, worker int) {
+	if worker < 0 || worker >= r.n {
+		panic("metrics: worker out of range")
+	}
+	set, ok := r.keys[key]
+	if !ok {
+		set = make([]uint64, r.words)
+		r.keys[key] = set
+	}
+	w, b := worker/wordBits, uint(worker%wordBits)
+	if set[w]&(1<<b) == 0 {
+		set[w] |= 1 << b
+		r.total++
+	}
+}
+
+// Total returns the number of distinct (key, worker) pairs seen.
+func (r *Replicas) Total() int64 { return r.total }
+
+// Keys returns the number of distinct keys seen.
+func (r *Replicas) Keys() int { return len(r.keys) }
+
+// PerKey returns the number of workers holding state for key.
+func (r *Replicas) PerKey(key string) int {
+	set, ok := r.keys[key]
+	if !ok {
+		return 0
+	}
+	c := 0
+	for _, w := range set {
+		c += popcount(w)
+	}
+	return c
+}
+
+// MaxPerKey returns the largest replica count over all keys.
+func (r *Replicas) MaxPerKey() int {
+	max := 0
+	for _, set := range r.keys {
+		c := 0
+		for _, w := range set {
+			c += popcount(w)
+		}
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+func popcount(x uint64) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+// ---------------------------------------------------------------------------
+// Quantiles
+
+// Quantiles estimates percentiles from a stream of float64 samples using
+// uniform reservoir sampling (Vitter's algorithm R) with a deterministic
+// PRNG, so results are reproducible. With the default capacity the
+// estimator is exact for runs below 64k samples.
+type Quantiles struct {
+	cap     int
+	samples []float64
+	seen    int64
+	rng     uint64
+	sorted  bool
+}
+
+// NewQuantiles returns an estimator keeping at most capacity samples;
+// capacity ≤ 0 selects the default of 65536.
+func NewQuantiles(capacity int) *Quantiles {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	return &Quantiles{cap: capacity, rng: 0x9e3779b97f4a7c15}
+}
+
+func (q *Quantiles) next() uint64 {
+	q.rng += 0x9e3779b97f4a7c15
+	z := q.rng
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// Add feeds one sample.
+func (q *Quantiles) Add(v float64) {
+	q.seen++
+	q.sorted = false
+	if len(q.samples) < q.cap {
+		q.samples = append(q.samples, v)
+		return
+	}
+	// Replace a random element with probability cap/seen.
+	j := q.next() % uint64(q.seen)
+	if j < uint64(q.cap) {
+		q.samples[j] = v
+	}
+}
+
+// Count returns the number of samples fed so far.
+func (q *Quantiles) Count() int64 { return q.seen }
+
+// Quantile returns the p-quantile (0 ≤ p ≤ 1) of the samples, NaN when
+// empty.
+func (q *Quantiles) Quantile(p float64) float64 {
+	if len(q.samples) == 0 {
+		return math.NaN()
+	}
+	if !q.sorted {
+		sort.Float64s(q.samples)
+		q.sorted = true
+	}
+	if p <= 0 {
+		return q.samples[0]
+	}
+	if p >= 1 {
+		return q.samples[len(q.samples)-1]
+	}
+	idx := int(p * float64(len(q.samples)-1))
+	return q.samples[idx]
+}
+
+// Mean returns the mean of the retained samples (≈ stream mean), NaN when
+// empty.
+func (q *Quantiles) Mean() float64 {
+	if len(q.samples) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, v := range q.samples {
+		s += v
+	}
+	return s / float64(len(q.samples))
+}
+
+// Max returns the largest retained sample, NaN when empty.
+func (q *Quantiles) Max() float64 {
+	if len(q.samples) == 0 {
+		return math.NaN()
+	}
+	m := q.samples[0]
+	for _, v := range q.samples[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,187 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestImbalance(t *testing.T) {
+	for _, tc := range []struct {
+		loads []int64
+		want  float64
+	}{
+		{nil, 0},
+		{[]int64{0, 0}, 0},
+		{[]int64{5, 5}, 0},
+		{[]int64{10, 0}, 0.5},       // max 1.0, avg 0.5
+		{[]int64{6, 2, 2, 2}, 0.25}, // max 0.5, avg 0.25
+	} {
+		if got := Imbalance(tc.loads); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Imbalance(%v) = %f, want %f", tc.loads, got, tc.want)
+		}
+	}
+}
+
+func TestImbalanceFractions(t *testing.T) {
+	got := ImbalanceFractions([]float64{0.5, 0.25, 0.25})
+	if math.Abs(got-(0.5-1.0/3)) > 1e-12 {
+		t.Fatalf("ImbalanceFractions = %f", got)
+	}
+	if ImbalanceFractions(nil) != 0 || ImbalanceFractions([]float64{0, 0}) != 0 {
+		t.Fatal("degenerate cases should be 0")
+	}
+}
+
+func TestImbalanceNonNegativeProperty(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		loads := make([]int64, len(raw))
+		for i, v := range raw {
+			loads[i] = int64(v)
+		}
+		i := Imbalance(loads)
+		return i >= 0 && i <= 1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplicas(t *testing.T) {
+	r := NewReplicas(100)
+	r.Observe("a", 0)
+	r.Observe("a", 0) // duplicate: no new replica
+	r.Observe("a", 99)
+	r.Observe("b", 50)
+	if r.Total() != 3 {
+		t.Fatalf("Total = %d, want 3", r.Total())
+	}
+	if r.Keys() != 2 {
+		t.Fatalf("Keys = %d, want 2", r.Keys())
+	}
+	if r.PerKey("a") != 2 || r.PerKey("b") != 1 || r.PerKey("zz") != 0 {
+		t.Fatalf("PerKey wrong: a=%d b=%d", r.PerKey("a"), r.PerKey("b"))
+	}
+	if r.MaxPerKey() != 2 {
+		t.Fatalf("MaxPerKey = %d", r.MaxPerKey())
+	}
+}
+
+func TestReplicasPanics(t *testing.T) {
+	r := NewReplicas(4)
+	for _, w := range []int{-1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Observe(worker=%d) did not panic", w)
+				}
+			}()
+			r.Observe("k", w)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewReplicas(0) did not panic")
+			}
+		}()
+		NewReplicas(0)
+	}()
+}
+
+func TestReplicasBitsetBoundary(t *testing.T) {
+	// Workers straddling the 64-bit word boundary must count separately.
+	r := NewReplicas(130)
+	for _, w := range []int{0, 63, 64, 127, 128, 129} {
+		r.Observe("k", w)
+	}
+	if r.PerKey("k") != 6 {
+		t.Fatalf("PerKey = %d, want 6", r.PerKey("k"))
+	}
+}
+
+func TestQuantilesExactSmall(t *testing.T) {
+	q := NewQuantiles(1000)
+	for i := 100; i >= 1; i-- {
+		q.Add(float64(i))
+	}
+	if got := q.Quantile(0); got != 1 {
+		t.Fatalf("p0 = %f", got)
+	}
+	if got := q.Quantile(1); got != 100 {
+		t.Fatalf("p100 = %f", got)
+	}
+	if got := q.Quantile(0.5); math.Abs(got-50) > 1.5 {
+		t.Fatalf("p50 = %f, want ≈50", got)
+	}
+	if got := q.Mean(); math.Abs(got-50.5) > 1e-9 {
+		t.Fatalf("Mean = %f, want 50.5", got)
+	}
+	if got := q.Max(); got != 100 {
+		t.Fatalf("Max = %f", got)
+	}
+	if q.Count() != 100 {
+		t.Fatalf("Count = %d", q.Count())
+	}
+}
+
+func TestQuantilesEmpty(t *testing.T) {
+	q := NewQuantiles(10)
+	if !math.IsNaN(q.Quantile(0.5)) || !math.IsNaN(q.Mean()) || !math.IsNaN(q.Max()) {
+		t.Fatal("empty estimator should return NaN")
+	}
+}
+
+func TestQuantilesReservoirApproximation(t *testing.T) {
+	// 200k uniform samples through a 4k reservoir: p50 within a few %.
+	q := NewQuantiles(4096)
+	x := uint64(12345)
+	for i := 0; i < 200000; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		q.Add(float64(x%100000) / 100000)
+	}
+	if got := q.Quantile(0.5); math.Abs(got-0.5) > 0.05 {
+		t.Fatalf("reservoir p50 = %f, want ≈0.5", got)
+	}
+	if got := q.Quantile(0.99); math.Abs(got-0.99) > 0.02 {
+		t.Fatalf("reservoir p99 = %f, want ≈0.99", got)
+	}
+}
+
+func TestQuantilesAddAfterQuery(t *testing.T) {
+	q := NewQuantiles(10)
+	q.Add(3)
+	q.Add(1)
+	_ = q.Quantile(0.5)
+	q.Add(2)
+	if got := q.Quantile(1); got != 3 {
+		t.Fatalf("Quantile after re-Add = %f", got)
+	}
+}
+
+func TestQuantilesOrderedProperty(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		q := NewQuantiles(0)
+		for _, v := range raw {
+			q.Add(float64(v))
+		}
+		// Quantiles must be monotone in p.
+		prev := math.Inf(-1)
+		for _, p := range []float64{0, 0.25, 0.5, 0.75, 0.95, 1} {
+			v := q.Quantile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,23 @@
+package simulator_test
+
+import (
+	"fmt"
+
+	"slb/internal/core"
+	"slb/internal/simulator"
+	"slb/internal/workload"
+)
+
+// The paper's headline comparison in a few lines: at scale, two choices
+// cannot contain a hot key but W-Choices can.
+func ExampleRun() {
+	gen := workload.NewZipf(2.0, 1000, 100_000, 42)
+	cfg := core.Config{Workers: 50, Seed: 42}
+	pkg, _ := simulator.Run(gen, "PKG", cfg, simulator.Options{Sources: 5})
+	wc, _ := simulator.Run(gen, "W-C", cfg, simulator.Options{Sources: 5})
+	fmt.Printf("PKG imbalance > 0.2: %v\n", pkg.Imbalance > 0.2)
+	fmt.Printf("W-C imbalance < 0.001: %v\n", wc.Imbalance < 0.001)
+	// Output:
+	// PKG imbalance > 0.2: true
+	// W-C imbalance < 0.001: true
+}

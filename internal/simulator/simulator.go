@@ -1,0 +1,233 @@
+// Package simulator implements the paper's simulation setup (Section
+// V-A): the simplest possible DAG of s sources and n workers with one
+// partitioned stream in between. The input stream reaches the sources
+// via shuffle grouping (round-robin); each source runs its own
+// partitioner instance with sender-local load estimates, and the
+// simulator aggregates the global worker loads to compute the imbalance
+// I(t), the head/tail load split (Fig. 8), and the measured memory cost
+// in key replicas (Figs. 5–6).
+package simulator
+
+import (
+	"fmt"
+
+	"slb/internal/core"
+	"slb/internal/metrics"
+	"slb/internal/spacesaving"
+	"slb/internal/stream"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	// Sources is s, the number of upstream operator instances (Table III
+	// default: 5).
+	Sources int
+	// Snapshots is the number of equally spaced imbalance measurements
+	// collected over the run (0 disables the time series).
+	Snapshots int
+	// TrackReplicas enables distinct (key, worker) accounting. It costs
+	// O(|K|) memory, so it is off by default.
+	TrackReplicas bool
+	// HeadKey classifies keys as head for the head/tail load split of
+	// Fig. 8; nil disables the split. The classifier is external ground
+	// truth (the true distribution), independent of the algorithms'
+	// online head estimates.
+	HeadKey func(key string) bool
+	// MergeEvery, when positive, merges the sources' SpaceSaving sketches
+	// every MergeEvery messages and redistributes the merged sketch — the
+	// distributed heavy-hitters mode. Zero keeps sketches sender-local
+	// (the paper's default).
+	MergeEvery int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Sources <= 0 {
+		o.Sources = 5
+	}
+	return o
+}
+
+// Point is one imbalance measurement at a stream position.
+type Point struct {
+	Messages  int64
+	Imbalance float64
+}
+
+// Result aggregates the outcome of one simulation run.
+type Result struct {
+	Algorithm string
+	Workers   int
+	Sources   int
+	Messages  int64
+	// Imbalance is I(m): the final imbalance over the whole run.
+	Imbalance float64
+	// Series is the imbalance time series (empty unless Snapshots > 0).
+	Series []Point
+	// Loads are the absolute per-worker message counts.
+	Loads []int64
+	// HeadLoads/TailLoads split Loads by the HeadKey classifier (nil
+	// unless a classifier was provided).
+	HeadLoads, TailLoads []int64
+	// Replicas is the measured number of distinct (key, worker) pairs
+	// (−1 unless TrackReplicas).
+	Replicas int64
+	// DistinctKeys is the number of distinct keys (−1 unless TrackReplicas).
+	DistinctKeys int
+	// FinalD is the last d used by D-Choices (0 for other algorithms).
+	FinalD int
+}
+
+// sketchCarrier is implemented by the partitioners that track the head
+// with a SpaceSaving sketch (D-C, W-C, RR).
+type sketchCarrier interface {
+	HeadTracker() *core.HeadTracker
+}
+
+// dCarrier is implemented by D-Choices to expose its current d.
+type dCarrier interface{ D() int }
+
+// Run routes the whole of gen through a fresh set of per-source
+// partitioners built by factory and measures the result. The generator
+// is reset before use, so runs are reproducible and independent.
+func Run(gen stream.Generator, algorithm string, cfg core.Config, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	parts := make([]core.Partitioner, opts.Sources)
+	for i := range parts {
+		srcCfg := cfg
+		srcCfg.Instance = i
+		p, err := core.New(algorithm, srcCfg)
+		if err != nil {
+			return Result{}, err
+		}
+		parts[i] = p
+	}
+	return run(gen, algorithm, parts, opts), nil
+}
+
+// RunPartitioners is Run with caller-constructed per-source partitioners;
+// used by experiments that need non-registry construction (e.g. Greedy-d
+// sweeps for Fig. 9).
+func RunPartitioners(gen stream.Generator, name string, parts []core.Partitioner, opts Options) Result {
+	opts.Sources = len(parts)
+	opts = opts.withDefaults()
+	return run(gen, name, parts, opts)
+}
+
+func run(gen stream.Generator, name string, parts []core.Partitioner, opts Options) Result {
+	gen.Reset()
+	n := parts[0].Workers()
+	total := gen.Len()
+	res := Result{
+		Algorithm:    name,
+		Workers:      n,
+		Sources:      len(parts),
+		Loads:        make([]int64, n),
+		Replicas:     -1,
+		DistinctKeys: -1,
+	}
+	if opts.HeadKey != nil {
+		res.HeadLoads = make([]int64, n)
+		res.TailLoads = make([]int64, n)
+	}
+	var reps *metrics.Replicas
+	if opts.TrackReplicas {
+		reps = metrics.NewReplicas(n)
+	}
+	var snapEvery int64
+	if opts.Snapshots > 0 && total > 0 {
+		snapEvery = total / int64(opts.Snapshots)
+		if snapEvery == 0 {
+			snapEvery = 1
+		}
+	}
+
+	var m int64
+	src := 0
+	for {
+		key, ok := gen.Next()
+		if !ok {
+			break
+		}
+		// Shuffle grouping from the input to the sources.
+		p := parts[src]
+		src++
+		if src == len(parts) {
+			src = 0
+		}
+		w := p.Route(key)
+		res.Loads[w]++
+		m++
+		if opts.HeadKey != nil {
+			if opts.HeadKey(key) {
+				res.HeadLoads[w]++
+			} else {
+				res.TailLoads[w]++
+			}
+		}
+		if reps != nil {
+			reps.Observe(key, w)
+		}
+		if snapEvery > 0 && m%snapEvery == 0 {
+			res.Series = append(res.Series, Point{Messages: m, Imbalance: metrics.Imbalance(res.Loads)})
+		}
+		if opts.MergeEvery > 0 && m%opts.MergeEvery == 0 {
+			mergeSketches(parts)
+		}
+	}
+
+	res.Messages = m
+	res.Imbalance = metrics.Imbalance(res.Loads)
+	if reps != nil {
+		res.Replicas = reps.Total()
+		res.DistinctKeys = reps.Keys()
+	}
+	for _, p := range parts {
+		if dc, ok := p.(dCarrier); ok {
+			res.FinalD = dc.D()
+		}
+	}
+	gen.Reset()
+	return res
+}
+
+// mergeSketches implements the distributed heavy-hitter exchange: all
+// sources' sketches are merged into one global summary, and each source
+// continues from an independent copy of it.
+func mergeSketches(parts []core.Partitioner) {
+	var global *spacesaving.Summary
+	carriers := make([]sketchCarrier, 0, len(parts))
+	for _, p := range parts {
+		sc, ok := p.(sketchCarrier)
+		if !ok || sc.HeadTracker().Sketch() == nil {
+			return // no mergeable sketches (baseline or sliding-window mode)
+		}
+		carriers = append(carriers, sc)
+		if global == nil {
+			global = sc.HeadTracker().Sketch().Clone()
+		} else {
+			global = global.Merge(sc.HeadTracker().Sketch())
+		}
+	}
+	for i, sc := range carriers {
+		if i == len(carriers)-1 {
+			sc.HeadTracker().SetSketch(global)
+			break
+		}
+		sc.HeadTracker().SetSketch(global.Clone())
+	}
+}
+
+// Compare runs the same generator through several algorithms and returns
+// results keyed by algorithm name, a convenience for experiments that
+// report one row per algorithm.
+func Compare(gen stream.Generator, algorithms []string, cfg core.Config, opts Options) (map[string]Result, error) {
+	out := make(map[string]Result, len(algorithms))
+	for _, a := range algorithms {
+		r, err := Run(gen, a, cfg, opts)
+		if err != nil {
+			return nil, fmt.Errorf("simulator: %s: %w", a, err)
+		}
+		out[a] = r
+	}
+	return out, nil
+}

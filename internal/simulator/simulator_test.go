@@ -1,0 +1,197 @@
+package simulator
+
+import (
+	"strings"
+	"testing"
+
+	"slb/internal/core"
+	"slb/internal/metrics"
+	"slb/internal/stream"
+	"slb/internal/workload"
+)
+
+func zipfGen(z float64, keys int, m int64) stream.Generator {
+	return workload.NewZipf(z, keys, m, 17)
+}
+
+func TestRunConservesMessages(t *testing.T) {
+	gen := zipfGen(1.0, 100, 5000)
+	res, err := Run(gen, "PKG", core.Config{Workers: 8, Seed: 1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, l := range res.Loads {
+		sum += l
+	}
+	if sum != 5000 || res.Messages != 5000 {
+		t.Fatalf("message conservation violated: loads sum %d, messages %d", sum, res.Messages)
+	}
+	if res.Sources != 5 {
+		t.Fatalf("default sources = %d, want 5", res.Sources)
+	}
+}
+
+func TestRunUnknownAlgorithm(t *testing.T) {
+	if _, err := Run(zipfGen(1, 10, 10), "BOGUS", core.Config{Workers: 2}, Options{}); err == nil {
+		t.Fatal("expected error for unknown algorithm")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	gen := zipfGen(1.5, 200, 20000)
+	cfg := core.Config{Workers: 10, Seed: 9}
+	a, _ := Run(gen, "W-C", cfg, Options{})
+	b, _ := Run(gen, "W-C", cfg, Options{})
+	for i := range a.Loads {
+		if a.Loads[i] != b.Loads[i] {
+			t.Fatal("simulation not deterministic")
+		}
+	}
+}
+
+func TestSGNearPerfectBalance(t *testing.T) {
+	res, _ := Run(zipfGen(2.0, 100, 10000), "SG", core.Config{Workers: 10, Seed: 3}, Options{})
+	if res.Imbalance > 0.001 {
+		t.Fatalf("SG imbalance %f, want ≈0", res.Imbalance)
+	}
+}
+
+func TestFig1ShapePKGDegradesWCHolds(t *testing.T) {
+	// The paper's Fig 1 on a WP-like head frequency (p1 ≈ 9.3%): PKG is
+	// fine at n=5 but imbalanced at n=50; W-C low everywhere.
+	gen := zipfGen(1.28, 2000, 100000) // p1 ≈ 9% at this support
+	small, _ := Run(gen, "PKG", core.Config{Workers: 5, Seed: 2}, Options{})
+	large, _ := Run(gen, "PKG", core.Config{Workers: 50, Seed: 2}, Options{})
+	wc, _ := Run(gen, "W-C", core.Config{Workers: 50, Seed: 2}, Options{})
+	if small.Imbalance > 0.01 {
+		t.Errorf("PKG at n=5 should be balanced, got %f", small.Imbalance)
+	}
+	if large.Imbalance < 10*wc.Imbalance {
+		t.Errorf("at n=50: PKG %f should exceed W-C %f by ≥10×", large.Imbalance, wc.Imbalance)
+	}
+}
+
+func TestSeriesSnapshots(t *testing.T) {
+	res, _ := Run(zipfGen(1.0, 50, 10000), "PKG", core.Config{Workers: 4, Seed: 1},
+		Options{Snapshots: 10})
+	if len(res.Series) < 9 || len(res.Series) > 11 {
+		t.Fatalf("snapshots = %d, want ≈10", len(res.Series))
+	}
+	var prev int64 = -1
+	for _, p := range res.Series {
+		if p.Messages <= prev {
+			t.Fatal("series not strictly increasing in messages")
+		}
+		prev = p.Messages
+		if p.Imbalance < 0 {
+			t.Fatal("negative imbalance in series")
+		}
+	}
+}
+
+func TestHeadTailSplit(t *testing.T) {
+	gen := zipfGen(2.0, 100, 20000)
+	res, _ := Run(gen, "W-C", core.Config{Workers: 5, Seed: 4}, Options{
+		HeadKey: func(k string) bool { return k == "k0" },
+	})
+	var head, tail, total int64
+	for w := range res.Loads {
+		head += res.HeadLoads[w]
+		tail += res.TailLoads[w]
+		total += res.Loads[w]
+	}
+	if head+tail != total {
+		t.Fatalf("head %d + tail %d != total %d", head, tail, total)
+	}
+	// z=2.0: k0 carries ≈61% of the stream.
+	if f := float64(head) / float64(total); f < 0.5 || f > 0.7 {
+		t.Fatalf("head fraction %f, want ≈0.61", f)
+	}
+}
+
+func TestReplicaTracking(t *testing.T) {
+	gen := zipfGen(2.0, 500, 30000)
+	pkg, _ := Run(gen, "PKG", core.Config{Workers: 20, Seed: 6}, Options{TrackReplicas: true})
+	wc, _ := Run(gen, "W-C", core.Config{Workers: 20, Seed: 6}, Options{TrackReplicas: true})
+	sg, _ := Run(gen, "SG", core.Config{Workers: 20, Seed: 6}, Options{TrackReplicas: true})
+	if pkg.Replicas <= 0 || wc.Replicas <= 0 {
+		t.Fatal("replicas not tracked")
+	}
+	// Each source routes with 2 choices, so a key can touch up to 2
+	// replicas per source; PKG must still be far below SG's full spread.
+	if pkg.Replicas >= sg.Replicas {
+		t.Fatalf("PKG replicas %d should be below SG %d", pkg.Replicas, sg.Replicas)
+	}
+	if wc.Replicas < pkg.Replicas {
+		t.Fatalf("W-C replicas %d should be ≥ PKG %d", wc.Replicas, pkg.Replicas)
+	}
+	if pkg.DistinctKeys != wc.DistinctKeys {
+		t.Fatalf("distinct keys differ: %d vs %d", pkg.DistinctKeys, wc.DistinctKeys)
+	}
+}
+
+func TestFinalDExposedForDC(t *testing.T) {
+	res, _ := Run(zipfGen(2.0, 1000, 50000), "D-C", core.Config{Workers: 10, Seed: 5}, Options{})
+	if res.FinalD < 2 {
+		t.Fatalf("FinalD = %d, want ≥ 2", res.FinalD)
+	}
+	res, _ = Run(zipfGen(2.0, 1000, 50000), "PKG", core.Config{Workers: 10, Seed: 5}, Options{})
+	if res.FinalD != 0 {
+		t.Fatalf("FinalD for PKG = %d, want 0", res.FinalD)
+	}
+}
+
+func TestDistributedMergeImprovesOrMatches(t *testing.T) {
+	// With sketch merging on, each source sees near-global frequencies;
+	// the imbalance must stay in the same ballpark (merge must not break
+	// routing) and head detection must still work.
+	gen := zipfGen(1.8, 1000, 40000)
+	cfg := core.Config{Workers: 20, Seed: 8}
+	local, _ := Run(gen, "W-C", cfg, Options{})
+	merged, _ := Run(gen, "W-C", cfg, Options{MergeEvery: 5000})
+	if merged.Imbalance > local.Imbalance*3+0.01 {
+		t.Fatalf("merged imbalance %f much worse than local %f", merged.Imbalance, local.Imbalance)
+	}
+}
+
+func TestMergeNoopForSketchlessAlgorithms(t *testing.T) {
+	gen := zipfGen(1.0, 100, 5000)
+	if _, err := Run(gen, "PKG", core.Config{Workers: 4, Seed: 1}, Options{MergeEvery: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	gen := zipfGen(1.5, 300, 20000)
+	res, err := Compare(gen, []string{"PKG", "W-C", "SG"}, core.Config{Workers: 10, Seed: 2}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("Compare returned %d results", len(res))
+	}
+	for name, r := range res {
+		if !strings.EqualFold(r.Algorithm, name) {
+			t.Fatalf("result name mismatch: %q vs %q", r.Algorithm, name)
+		}
+		if r.Messages != 20000 {
+			t.Fatalf("%s processed %d messages", name, r.Messages)
+		}
+	}
+}
+
+func TestRunPartitioners(t *testing.T) {
+	// Greedy-d sweep support: use raw PKG instances (d=2) via the direct API.
+	parts := make([]core.Partitioner, 3)
+	for i := range parts {
+		parts[i] = core.NewPKG(core.Config{Workers: 6, Seed: 11})
+	}
+	res := RunPartitioners(zipfGen(1.0, 100, 6000), "PKG-sweep", parts, Options{})
+	if res.Sources != 3 || res.Messages != 6000 {
+		t.Fatalf("RunPartitioners result %+v", res)
+	}
+	if res.Imbalance != metrics.Imbalance(res.Loads) {
+		t.Fatal("result imbalance inconsistent with loads")
+	}
+}

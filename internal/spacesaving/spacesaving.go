@@ -1,0 +1,349 @@
+// Package spacesaving implements the SpaceSaving algorithm of Metwally,
+// Agrawal and El Abbadi ("Efficient computation of frequent and top-k
+// elements in data streams", ICDT 2005) on the Stream-Summary data
+// structure, which supports strict O(1) updates per stream item.
+//
+// A Summary with capacity c monitors at most c keys and guarantees, for
+// every key k with true count f(k) and estimate est(k) with error err(k):
+//
+//	est(k) − err(k) ≤ f(k) ≤ est(k)          (for monitored keys)
+//	f(k) ≤ minCount ≤ N/c                    (for unmonitored keys)
+//
+// so every key with frequency above 1/c is guaranteed to be monitored.
+// Summaries are mergeable in the sense of Berinde, Indyk, Cormode and
+// Strauss (ACM TODS 2010), enabling the distributed heavy-hitter tracking
+// the paper relies on when several sources observe disjoint sub-streams.
+package spacesaving
+
+import "sort"
+
+// Entry is one monitored key with its count estimate and maximum
+// overestimation error.
+type Entry struct {
+	Key   string
+	Count uint64 // estimated count; never below the true count
+	Err   uint64 // maximum overestimation: Count − Err ≤ true ≤ Count
+}
+
+// counter is a node in the Stream-Summary: a monitored key parked in the
+// bucket matching its current estimated count.
+type counter struct {
+	key        string
+	count      uint64
+	err        uint64
+	bucket     *bucket
+	prev, next *counter // siblings within the same bucket
+}
+
+// bucket groups all counters sharing one count value. Buckets form a
+// doubly-linked list in strictly ascending count order, so the minimum
+// counter is always reachable in O(1).
+type bucket struct {
+	count      uint64
+	head       *counter
+	prev, next *bucket
+}
+
+// Summary is a SpaceSaving sketch. The zero value is not usable;
+// construct with New.
+type Summary struct {
+	capacity int
+	counters map[string]*counter
+	min      *bucket // lowest-count bucket
+	n        uint64  // stream length observed so far
+}
+
+// New returns an empty Summary that monitors at most capacity keys.
+// Capacity c yields a frequency error of at most N/c over a stream of
+// length N; to detect all keys above frequency threshold θ, any
+// capacity ≥ 1/θ suffices.
+func New(capacity int) *Summary {
+	if capacity <= 0 {
+		panic("spacesaving: capacity must be positive")
+	}
+	return &Summary{
+		capacity: capacity,
+		counters: make(map[string]*counter, capacity),
+	}
+}
+
+// Capacity returns the maximum number of monitored keys.
+func (s *Summary) Capacity() int { return s.capacity }
+
+// N returns the number of items offered so far.
+func (s *Summary) N() uint64 { return s.n }
+
+// Len returns the number of currently monitored keys.
+func (s *Summary) Len() int { return len(s.counters) }
+
+// Offer feeds one occurrence of key to the sketch.
+func (s *Summary) Offer(key string) {
+	s.n++
+	if c, ok := s.counters[key]; ok {
+		s.increment(c)
+		return
+	}
+	if len(s.counters) < s.capacity {
+		c := &counter{key: key}
+		s.counters[key] = c
+		s.attach(c, 1)
+		return
+	}
+	// Replace the minimum counter: the evicted key's count becomes the new
+	// key's overestimation error.
+	victim := s.min.head
+	delete(s.counters, victim.key)
+	victim.err = victim.count
+	victim.key = key
+	s.counters[key] = victim
+	s.increment(victim)
+}
+
+// increment moves counter c from its current bucket to the bucket for
+// count+1, creating or removing buckets as needed. O(1).
+func (s *Summary) increment(c *counter) {
+	b := c.bucket
+	newCount := b.count + 1
+	s.unlinkCounter(c)
+
+	dst := b.next
+	if dst == nil || dst.count != newCount {
+		nb := &bucket{count: newCount, prev: b, next: b.next}
+		if b.next != nil {
+			b.next.prev = nb
+		}
+		b.next = nb
+		dst = nb
+	}
+	if b.head == nil {
+		s.unlinkBucket(b)
+	}
+	c.count = newCount
+	s.pushCounter(dst, c)
+}
+
+// attach places a fresh counter into the bucket for the given count
+// (used only for count==1 inserts, so the target is at the front).
+func (s *Summary) attach(c *counter, count uint64) {
+	c.count = count
+	b := s.min
+	if b == nil || b.count != count {
+		nb := &bucket{count: count, next: b}
+		if b != nil {
+			b.prev = nb
+		}
+		s.min = nb
+		b = nb
+	}
+	s.pushCounter(b, c)
+}
+
+func (s *Summary) pushCounter(b *bucket, c *counter) {
+	c.bucket = b
+	c.prev = nil
+	c.next = b.head
+	if b.head != nil {
+		b.head.prev = c
+	}
+	b.head = c
+}
+
+func (s *Summary) unlinkCounter(c *counter) {
+	if c.prev != nil {
+		c.prev.next = c.next
+	} else {
+		c.bucket.head = c.next
+	}
+	if c.next != nil {
+		c.next.prev = c.prev
+	}
+	c.prev, c.next = nil, nil
+}
+
+func (s *Summary) unlinkBucket(b *bucket) {
+	if b.prev != nil {
+		b.prev.next = b.next
+	} else {
+		s.min = b.next
+	}
+	if b.next != nil {
+		b.next.prev = b.prev
+	}
+}
+
+// Count returns the estimated count and maximum error for key, and whether
+// the key is currently monitored.
+func (s *Summary) Count(key string) (count, err uint64, ok bool) {
+	c, ok := s.counters[key]
+	if !ok {
+		return 0, 0, false
+	}
+	return c.count, c.err, true
+}
+
+// EstFreq returns the estimated relative frequency of key (0 if the key is
+// not monitored or the stream is empty).
+func (s *Summary) EstFreq(key string) float64 {
+	c, ok := s.counters[key]
+	if !ok || s.n == 0 {
+		return 0
+	}
+	return float64(c.count) / float64(s.n)
+}
+
+// MinCount returns the smallest monitored count; any unmonitored key's
+// true count is at most this value. Zero when empty.
+func (s *Summary) MinCount() uint64 {
+	if s.min == nil {
+		return 0
+	}
+	return s.min.count
+}
+
+// Entries returns all monitored keys sorted by descending estimated count
+// (ties broken by key for determinism).
+func (s *Summary) Entries() []Entry {
+	out := make([]Entry, 0, len(s.counters))
+	for b := s.min; b != nil; b = b.next {
+		for c := b.head; c != nil; c = c.next {
+			out = append(out, Entry{Key: c.key, Count: c.count, Err: c.err})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// Top returns the k entries with the largest estimated counts.
+func (s *Summary) Top(k int) []Entry {
+	e := s.Entries()
+	if k < len(e) {
+		e = e[:k]
+	}
+	return e
+}
+
+// HeavyHitters returns all monitored keys whose estimated frequency is at
+// least theta, sorted by descending count. Every key whose true frequency
+// is ≥ theta is included (no false negatives) provided
+// capacity ≥ 1/theta; some keys below theta may appear (false positives
+// bounded by the sketch error).
+func (s *Summary) HeavyHitters(theta float64) []Entry {
+	if s.n == 0 {
+		return nil
+	}
+	thr := theta * float64(s.n)
+	e := s.Entries()
+	cut := len(e)
+	for i, en := range e {
+		if float64(en.Count) < thr {
+			cut = i
+			break
+		}
+	}
+	return e[:cut]
+}
+
+// Merge combines s with other into a new Summary with s's capacity,
+// following the mergeable-summaries construction: per-key estimates add
+// up, keys absent from one side contribute that side's minimum count as
+// additional error, and only the largest `capacity` keys are retained.
+// Both inputs are left unmodified. The merged sketch preserves the
+// SpaceSaving guarantee est−err ≤ true ≤ est.
+func (s *Summary) Merge(other *Summary) *Summary {
+	type acc struct{ count, err uint64 }
+	merged := make(map[string]acc, len(s.counters)+other.Len())
+	sMin, oMin := s.MinCount(), other.MinCount()
+
+	for _, e := range s.Entries() {
+		merged[e.Key] = acc{count: e.Count, err: e.Err}
+	}
+	for _, e := range other.Entries() {
+		if a, ok := merged[e.Key]; ok {
+			merged[e.Key] = acc{count: a.count + e.Count, err: a.err + e.Err}
+		} else {
+			// Unknown to s: its true count there is ≤ sMin.
+			merged[e.Key] = acc{count: e.Count + sMin, err: e.Err + sMin}
+		}
+	}
+	for _, e := range s.Entries() {
+		if _, seen := other.counters[e.Key]; !seen {
+			a := merged[e.Key]
+			merged[e.Key] = acc{count: a.count + oMin, err: a.err + oMin}
+		}
+	}
+
+	entries := make([]Entry, 0, len(merged))
+	for k, a := range merged {
+		entries = append(entries, Entry{Key: k, Count: a.count, Err: a.err})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Count != entries[j].Count {
+			return entries[i].Count > entries[j].Count
+		}
+		return entries[i].Key < entries[j].Key
+	})
+	if len(entries) > s.capacity {
+		entries = entries[:s.capacity]
+	}
+
+	out := New(s.capacity)
+	out.n = s.n + other.n
+	// Rebuild the bucket structure from the retained entries (ascending
+	// insert keeps bucket list ordered).
+	for i := len(entries) - 1; i >= 0; i-- {
+		e := entries[i]
+		c := &counter{key: e.Key, err: e.Err}
+		out.counters[e.Key] = c
+		out.attachSorted(c, e.Count)
+	}
+	return out
+}
+
+// attachSorted inserts a counter with an arbitrary count assuming counts
+// arrive in non-decreasing order (used by Merge's rebuild).
+func (s *Summary) attachSorted(c *counter, count uint64) {
+	c.count = count
+	// Find the last bucket (counts arrive ascending, so target is at or
+	// after the current maximum bucket).
+	var last *bucket
+	for b := s.min; b != nil; b = b.next {
+		last = b
+	}
+	if last != nil && last.count == count {
+		s.pushCounter(last, c)
+		return
+	}
+	nb := &bucket{count: count, prev: last}
+	if last != nil {
+		last.next = nb
+	} else {
+		s.min = nb
+	}
+	s.pushCounter(nb, c)
+}
+
+// Clone returns an independent deep copy of the sketch.
+func (s *Summary) Clone() *Summary {
+	out := New(s.capacity)
+	out.n = s.n
+	entries := s.Entries()
+	for i := len(entries) - 1; i >= 0; i-- {
+		e := entries[i]
+		c := &counter{key: e.Key, err: e.Err}
+		out.counters[e.Key] = c
+		out.attachSorted(c, e.Count)
+	}
+	return out
+}
+
+// Reset clears the sketch to its freshly-constructed state.
+func (s *Summary) Reset() {
+	s.counters = make(map[string]*counter, s.capacity)
+	s.min = nil
+	s.n = 0
+}

@@ -1,0 +1,313 @@
+package spacesaving
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnBadCapacity(t *testing.T) {
+	for _, c := range []int{0, -3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", c)
+				}
+			}()
+			New(c)
+		}()
+	}
+}
+
+func TestExactWhenUnderCapacity(t *testing.T) {
+	s := New(10)
+	stream := []string{"a", "b", "a", "c", "a", "b"}
+	for _, k := range stream {
+		s.Offer(k)
+	}
+	want := map[string]uint64{"a": 3, "b": 2, "c": 1}
+	for k, w := range want {
+		got, err, ok := s.Count(k)
+		if !ok || got != w || err != 0 {
+			t.Errorf("Count(%q) = (%d,%d,%v), want (%d,0,true)", k, got, err, ok, w)
+		}
+	}
+	if s.N() != uint64(len(stream)) {
+		t.Errorf("N() = %d, want %d", s.N(), len(stream))
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len() = %d, want 3", s.Len())
+	}
+}
+
+func TestEvictionSemantics(t *testing.T) {
+	s := New(2)
+	s.Offer("a")
+	s.Offer("a")
+	s.Offer("b")
+	// Sketch full: {a:2, b:1}. Offering c evicts b (min=1): c gets count 2, err 1.
+	s.Offer("c")
+	if _, _, ok := s.Count("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	count, errv, ok := s.Count("c")
+	if !ok || count != 2 || errv != 1 {
+		t.Fatalf("Count(c) = (%d,%d,%v), want (2,1,true)", count, errv, ok)
+	}
+}
+
+// trueCounts computes exact frequencies for a slice stream.
+func trueCounts(stream []string) map[string]uint64 {
+	m := make(map[string]uint64)
+	for _, k := range stream {
+		m[k]++
+	}
+	return m
+}
+
+func zipfStream(tb testing.TB, n int, seed int64, s float64, vocab int) []string {
+	tb.Helper()
+	r := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(r, s, 1, uint64(vocab-1))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("k%d", z.Uint64())
+	}
+	return out
+}
+
+func TestGuaranteesOnSkewedStream(t *testing.T) {
+	stream := zipfStream(t, 50000, 1, 1.3, 10000)
+	truth := trueCounts(stream)
+	s := New(100)
+	for _, k := range stream {
+		s.Offer(k)
+	}
+	// Invariant 1: est − err ≤ true ≤ est for every monitored key.
+	for _, e := range s.Entries() {
+		tr := truth[e.Key]
+		if e.Count < tr {
+			t.Fatalf("underestimate for %q: est %d < true %d", e.Key, e.Count, tr)
+		}
+		if e.Count-e.Err > tr {
+			t.Fatalf("lower bound violated for %q: est−err %d > true %d", e.Key, e.Count-e.Err, tr)
+		}
+	}
+	// Invariant 2: unmonitored keys have true count ≤ MinCount ≤ N/c.
+	minC := s.MinCount()
+	if minC > s.N()/uint64(s.Capacity()) {
+		t.Fatalf("MinCount %d exceeds N/c = %d", minC, s.N()/uint64(s.Capacity()))
+	}
+	for k, tr := range truth {
+		if _, _, ok := s.Count(k); !ok && tr > minC {
+			t.Fatalf("unmonitored key %q has true count %d > MinCount %d", k, tr, minC)
+		}
+	}
+}
+
+func TestHeavyHittersNoFalseNegatives(t *testing.T) {
+	stream := zipfStream(t, 30000, 2, 1.5, 5000)
+	truth := trueCounts(stream)
+	theta := 0.01
+	s := New(int(2 / theta)) // capacity 200 ≥ 1/θ
+	for _, k := range stream {
+		s.Offer(k)
+	}
+	hh := s.HeavyHitters(theta)
+	got := make(map[string]bool, len(hh))
+	for _, e := range hh {
+		got[e.Key] = true
+	}
+	n := float64(len(stream))
+	for k, tr := range truth {
+		if float64(tr)/n >= theta && !got[k] {
+			t.Errorf("true heavy hitter %q (freq %.4f) missing", k, float64(tr)/n)
+		}
+	}
+}
+
+func TestEntriesSortedDescending(t *testing.T) {
+	stream := zipfStream(t, 10000, 3, 1.2, 1000)
+	s := New(50)
+	for _, k := range stream {
+		s.Offer(k)
+	}
+	e := s.Entries()
+	for i := 1; i < len(e); i++ {
+		if e[i].Count > e[i-1].Count {
+			t.Fatalf("Entries not sorted at %d: %d > %d", i, e[i].Count, e[i-1].Count)
+		}
+	}
+	if len(e) != s.Len() {
+		t.Fatalf("Entries length %d != Len %d", len(e), s.Len())
+	}
+}
+
+func TestTop(t *testing.T) {
+	s := New(10)
+	for i := 0; i < 5; i++ {
+		for j := 0; j <= i; j++ {
+			s.Offer(fmt.Sprintf("t%d", i))
+		}
+	}
+	top := s.Top(2)
+	if len(top) != 2 || top[0].Key != "t4" || top[1].Key != "t3" {
+		t.Fatalf("Top(2) = %v", top)
+	}
+	if got := s.Top(100); len(got) != 5 {
+		t.Fatalf("Top(100) len = %d, want 5", len(got))
+	}
+}
+
+func TestMergePreservesGuarantees(t *testing.T) {
+	streamA := zipfStream(t, 20000, 4, 1.4, 3000)
+	streamB := zipfStream(t, 20000, 5, 1.4, 3000)
+	truth := trueCounts(append(append([]string{}, streamA...), streamB...))
+
+	a, b := New(80), New(80)
+	for _, k := range streamA {
+		a.Offer(k)
+	}
+	for _, k := range streamB {
+		b.Offer(k)
+	}
+	m := a.Merge(b)
+
+	if m.N() != a.N()+b.N() {
+		t.Fatalf("merged N = %d, want %d", m.N(), a.N()+b.N())
+	}
+	if m.Len() > m.Capacity() {
+		t.Fatalf("merged Len %d exceeds capacity %d", m.Len(), m.Capacity())
+	}
+	for _, e := range m.Entries() {
+		tr := truth[e.Key]
+		if e.Count < tr {
+			t.Fatalf("merge underestimates %q: est %d < true %d", e.Key, e.Count, tr)
+		}
+		if e.Count-e.Err > tr {
+			t.Fatalf("merge lower bound violated for %q: %d−%d > %d", e.Key, e.Count, e.Err, tr)
+		}
+	}
+	// Inputs untouched.
+	if a.Len() == 0 || b.Len() == 0 {
+		t.Fatal("Merge modified its inputs")
+	}
+}
+
+func TestMergedSummaryStillUpdatable(t *testing.T) {
+	a, b := New(4), New(4)
+	a.Offer("x")
+	a.Offer("x")
+	b.Offer("y")
+	m := a.Merge(b)
+	m.Offer("x")
+	m.Offer("z")
+	c, _, ok := m.Count("x")
+	if !ok || c < 3 {
+		t.Fatalf("Count(x) after merge+offer = (%d, %v), want ≥3", c, ok)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := New(5)
+	s.Offer("a")
+	s.Reset()
+	if s.N() != 0 || s.Len() != 0 || s.MinCount() != 0 {
+		t.Fatal("Reset did not clear the sketch")
+	}
+	s.Offer("b")
+	if c, _, ok := s.Count("b"); !ok || c != 1 {
+		t.Fatal("sketch unusable after Reset")
+	}
+}
+
+func TestEstFreq(t *testing.T) {
+	s := New(4)
+	if s.EstFreq("nope") != 0 {
+		t.Fatal("EstFreq on empty sketch should be 0")
+	}
+	for i := 0; i < 3; i++ {
+		s.Offer("a")
+	}
+	s.Offer("b")
+	if f := s.EstFreq("a"); f != 0.75 {
+		t.Fatalf("EstFreq(a) = %f, want 0.75", f)
+	}
+}
+
+// Property: for random streams, SpaceSaving never underestimates and the
+// lower bound est−err never exceeds the true count.
+func TestBoundsProperty(t *testing.T) {
+	prop := func(raw []uint8, capRaw uint8) bool {
+		capacity := int(capRaw%20) + 1
+		s := New(capacity)
+		truth := make(map[string]uint64)
+		for _, b := range raw {
+			k := fmt.Sprintf("p%d", b%32)
+			truth[k]++
+			s.Offer(k)
+		}
+		for _, e := range s.Entries() {
+			tr := truth[e.Key]
+			if e.Count < tr || e.Count-e.Err > tr {
+				return false
+			}
+		}
+		// Total estimated mass of the sketch never exceeds... it can exceed N
+		// individually, but sum of (count − err) must be ≤ N.
+		var lower uint64
+		for _, e := range s.Entries() {
+			lower += e.Count - e.Err
+		}
+		return lower <= s.N()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: bucket list stays strictly ascending and consistent with the
+// counters map after arbitrary operations.
+func TestStructureInvariant(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		s := New(8)
+		for _, v := range raw {
+			s.Offer(fmt.Sprintf("s%d", v%64))
+		}
+		seen := 0
+		var prevCount uint64
+		for b := s.min; b != nil; b = b.next {
+			if b.count <= prevCount {
+				return false
+			}
+			prevCount = b.count
+			if b.head == nil {
+				return false // empty bucket left linked
+			}
+			for c := b.head; c != nil; c = c.next {
+				if c.bucket != b || c.count != b.count {
+					return false
+				}
+				if s.counters[c.key] != c {
+					return false
+				}
+				seen++
+			}
+		}
+		return seen == len(s.counters)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkOffer(b *testing.B) {
+	stream := zipfStream(b, 1<<16, 9, 1.2, 10000)
+	s := New(200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Offer(stream[i&(1<<16-1)])
+	}
+}

@@ -1,0 +1,132 @@
+package spacesaving
+
+// Windowed is a two-generation SpaceSaving sketch for drifting streams:
+// offers go to the current generation, and once it has absorbed
+// `window` items it becomes the previous generation and a fresh one
+// starts. Queries combine both generations, so estimates cover the most
+// recent window to two windows of the stream.
+//
+// The plain Summary never forgets: on a long stream, a newly hot key
+// must accumulate θ·N occurrences before crossing the head threshold,
+// and N grows without bound — so detection latency grows linearly with
+// stream age. Windowed keeps the reference mass bounded by 2·window,
+// making adaptation latency independent of how long the system has been
+// running. This is the standard rotation construction for turning any
+// insertion-only sketch into a sliding-window approximation.
+type Windowed struct {
+	capacity int
+	window   uint64
+	cur      *Summary
+	prev     *Summary
+}
+
+// NewWindowed returns a windowed sketch; each generation monitors at
+// most capacity keys and spans `window` stream items.
+func NewWindowed(capacity int, window uint64) *Windowed {
+	if window == 0 {
+		panic("spacesaving: window must be positive")
+	}
+	return &Windowed{
+		capacity: capacity,
+		window:   window,
+		cur:      New(capacity),
+	}
+}
+
+// Window returns the configured generation length.
+func (w *Windowed) Window() uint64 { return w.window }
+
+// Offer feeds one occurrence of key, rotating generations as needed.
+func (w *Windowed) Offer(key string) {
+	w.cur.Offer(key)
+	if w.cur.N() >= w.window {
+		w.prev = w.cur
+		w.cur = New(w.capacity)
+	}
+}
+
+// N returns the stream mass covered by the live generations (at most
+// 2·window).
+func (w *Windowed) N() uint64 {
+	n := w.cur.N()
+	if w.prev != nil {
+		n += w.prev.N()
+	}
+	return n
+}
+
+// Count returns the combined estimate for key over the covered window.
+func (w *Windowed) Count(key string) (count, err uint64, ok bool) {
+	c1, e1, ok1 := w.cur.Count(key)
+	var c2, e2 uint64
+	var ok2 bool
+	if w.prev != nil {
+		c2, e2, ok2 = w.prev.Count(key)
+	}
+	if !ok1 && !ok2 {
+		return 0, 0, false
+	}
+	return c1 + c2, e1 + e2, true
+}
+
+// EstFreq returns the estimated relative frequency of key over the
+// covered window.
+func (w *Windowed) EstFreq(key string) float64 {
+	n := w.N()
+	if n == 0 {
+		return 0
+	}
+	c, _, ok := w.Count(key)
+	if !ok {
+		return 0
+	}
+	return float64(c) / float64(n)
+}
+
+// HeavyHitters returns the keys whose combined estimated frequency over
+// the covered window is at least theta, sorted by descending count.
+func (w *Windowed) HeavyHitters(theta float64) []Entry {
+	n := w.N()
+	if n == 0 {
+		return nil
+	}
+	combined := make(map[string]Entry)
+	for _, e := range w.cur.Entries() {
+		combined[e.Key] = e
+	}
+	if w.prev != nil {
+		for _, e := range w.prev.Entries() {
+			if a, ok := combined[e.Key]; ok {
+				combined[e.Key] = Entry{Key: e.Key, Count: a.Count + e.Count, Err: a.Err + e.Err}
+			} else {
+				combined[e.Key] = e
+			}
+		}
+	}
+	thr := theta * float64(n)
+	out := make([]Entry, 0, len(combined))
+	for _, e := range combined {
+		if float64(e.Count) >= thr {
+			out = append(out, e)
+		}
+	}
+	sortEntries(out)
+	return out
+}
+
+// sortEntries orders entries by descending count, then key.
+func sortEntries(entries []Entry) {
+	// Insertion sort: heavy-hitter sets are tiny (≤ a few hundred).
+	for i := 1; i < len(entries); i++ {
+		for j := i; j > 0 && less(entries[j], entries[j-1]); j-- {
+			entries[j], entries[j-1] = entries[j-1], entries[j]
+		}
+	}
+}
+
+func less(a, b Entry) bool {
+	if a.Count != b.Count {
+		return a.Count > b.Count
+	}
+	return a.Key < b.Key
+}

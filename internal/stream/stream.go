@@ -1,0 +1,131 @@
+// Package stream defines the data model shared by all engines: keyed
+// messages, finite key-stream generators, and per-stream statistics
+// (the quantities reported in Table I of the paper).
+package stream
+
+// Message is one stream tuple ⟨t, k, v⟩. Seq is a logical timestamp
+// assigned by the producing source; engines that measure wall-clock or
+// simulated latency keep their own clocks.
+type Message struct {
+	Seq int64
+	Key string
+	Val string
+}
+
+// Generator produces a finite sequence of keys. Implementations must be
+// deterministic for a fixed configuration and seed so that different
+// partitioning algorithms can be compared on byte-identical streams by
+// re-instantiating the generator.
+type Generator interface {
+	// Next returns the next key, or ok=false when the stream is exhausted.
+	Next() (key string, ok bool)
+	// Len returns the total number of messages the generator will emit.
+	Len() int64
+	// Reset rewinds the generator to the beginning of the same sequence.
+	Reset()
+}
+
+// Stats summarizes a key stream: the columns of Table I.
+type Stats struct {
+	Messages int64   // number of messages m
+	Keys     int     // number of distinct keys |K|
+	P1       float64 // relative frequency of the most frequent key
+	TopKey   string  // identity of the most frequent key
+}
+
+// Collect consumes gen (resetting it first and after) and computes its
+// exact statistics. It needs O(|K|) memory; intended for experiment
+// reporting, not for the hot path.
+func Collect(gen Generator) Stats {
+	gen.Reset()
+	counts := make(map[string]int64)
+	var m int64
+	for {
+		k, ok := gen.Next()
+		if !ok {
+			break
+		}
+		counts[k]++
+		m++
+	}
+	gen.Reset()
+	var top string
+	var topCount int64
+	for k, c := range counts {
+		if c > topCount || (c == topCount && k < top) {
+			top, topCount = k, c
+		}
+	}
+	s := Stats{Messages: m, Keys: len(counts), TopKey: top}
+	if m > 0 {
+		s.P1 = float64(topCount) / float64(m)
+	}
+	return s
+}
+
+// SliceGenerator adapts a fixed []string to the Generator interface;
+// useful in tests and tiny examples.
+type SliceGenerator struct {
+	keys []string
+	pos  int
+}
+
+// FromSlice returns a Generator that replays keys in order.
+func FromSlice(keys []string) *SliceGenerator {
+	return &SliceGenerator{keys: keys}
+}
+
+// Next implements Generator.
+func (g *SliceGenerator) Next() (string, bool) {
+	if g.pos >= len(g.keys) {
+		return "", false
+	}
+	k := g.keys[g.pos]
+	g.pos++
+	return k, true
+}
+
+// Len implements Generator.
+func (g *SliceGenerator) Len() int64 { return int64(len(g.keys)) }
+
+// Reset implements Generator.
+func (g *SliceGenerator) Reset() { g.pos = 0 }
+
+// Limit wraps gen, truncating it to at most n messages.
+type Limit struct {
+	gen  Generator
+	n    int64
+	seen int64
+}
+
+// NewLimit returns a Generator that emits at most n keys from gen.
+func NewLimit(gen Generator, n int64) *Limit {
+	return &Limit{gen: gen, n: n}
+}
+
+// Next implements Generator.
+func (l *Limit) Next() (string, bool) {
+	if l.seen >= l.n {
+		return "", false
+	}
+	k, ok := l.gen.Next()
+	if !ok {
+		return "", false
+	}
+	l.seen++
+	return k, true
+}
+
+// Len implements Generator.
+func (l *Limit) Len() int64 {
+	if inner := l.gen.Len(); inner < l.n {
+		return inner
+	}
+	return l.n
+}
+
+// Reset implements Generator.
+func (l *Limit) Reset() {
+	l.gen.Reset()
+	l.seen = 0
+}

@@ -1,0 +1,103 @@
+package stream
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCollect(t *testing.T) {
+	g := FromSlice([]string{"a", "b", "a", "a", "c"})
+	s := Collect(g)
+	if s.Messages != 5 || s.Keys != 3 || s.TopKey != "a" || s.P1 != 0.6 {
+		t.Fatalf("Collect = %+v", s)
+	}
+	// Collect must leave the generator rewound.
+	if k, ok := g.Next(); !ok || k != "a" {
+		t.Fatalf("generator not reset after Collect: %q %v", k, ok)
+	}
+}
+
+func TestCollectEmpty(t *testing.T) {
+	s := Collect(FromSlice(nil))
+	if s.Messages != 0 || s.Keys != 0 || s.P1 != 0 {
+		t.Fatalf("Collect(empty) = %+v", s)
+	}
+}
+
+func TestCollectTieBreaksByKey(t *testing.T) {
+	s := Collect(FromSlice([]string{"b", "a"}))
+	if s.TopKey != "a" {
+		t.Fatalf("TopKey = %q, want deterministic tie-break to %q", s.TopKey, "a")
+	}
+}
+
+func TestSliceGenerator(t *testing.T) {
+	g := FromSlice([]string{"x", "y"})
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	var got []string
+	for {
+		k, ok := g.Next()
+		if !ok {
+			break
+		}
+		got = append(got, k)
+	}
+	if len(got) != 2 || got[0] != "x" || got[1] != "y" {
+		t.Fatalf("drained %v", got)
+	}
+	if _, ok := g.Next(); ok {
+		t.Fatal("Next after exhaustion returned ok")
+	}
+	g.Reset()
+	if k, ok := g.Next(); !ok || k != "x" {
+		t.Fatal("Reset did not rewind")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	g := NewLimit(FromSlice([]string{"a", "b", "c", "d"}), 2)
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", g.Len())
+	}
+	n := 0
+	for {
+		if _, ok := g.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("emitted %d, want 2", n)
+	}
+	g.Reset()
+	if _, ok := g.Next(); !ok {
+		t.Fatal("Reset did not rewind Limit")
+	}
+}
+
+func TestLimitLongerThanStream(t *testing.T) {
+	g := NewLimit(FromSlice([]string{"a"}), 10)
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", g.Len())
+	}
+	g.Next()
+	if _, ok := g.Next(); ok {
+		t.Fatal("Limit emitted past the underlying stream")
+	}
+}
+
+func TestCollectCountsProperty(t *testing.T) {
+	prop := func(raw []uint8) bool {
+		keys := make([]string, len(raw))
+		for i, b := range raw {
+			keys[i] = string(rune('a' + b%5))
+		}
+		s := Collect(FromSlice(keys))
+		return s.Messages == int64(len(keys)) && s.P1 >= 0 && s.P1 <= 1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,304 @@
+// Package tracefile implements a compact binary format for key streams,
+// so workloads can be generated once, saved, inspected and replayed
+// bit-identically — the moral equivalent of the paper distributing its
+// Wikipedia/Twitter traces. The format is a streaming dictionary coder:
+//
+//	header:  magic "SLBT" | version u32 | message count i64
+//	message: varint id            (id < len(dict): back-reference)
+//	         varint len | bytes   (id == len(dict): new key, appended)
+//
+// Keys are dictionary-coded by first appearance, so typical skewed
+// traces compress to ≈1–2 bytes per message. Readers implement
+// stream.Generator and can therefore drive every engine in this module.
+package tracefile
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"slb/internal/stream"
+)
+
+// Magic identifies trace files.
+const Magic = "SLBT"
+
+// Version is the current format version.
+const Version = 1
+
+// maxKeyLen guards against corrupt length prefixes.
+const maxKeyLen = 1 << 20
+
+// Write encodes every key of gen (reset first) to w and returns the
+// message count. The generator is reset again afterwards.
+func Write(w io.Writer, gen stream.Generator) (int64, error) {
+	gen.Reset()
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(Magic); err != nil {
+		return 0, err
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], Version)
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(gen.Len()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+
+	ids := make(map[string]uint64)
+	var buf [binary.MaxVarintLen64]byte
+	var count int64
+	for {
+		key, ok := gen.Next()
+		if !ok {
+			break
+		}
+		id, seen := ids[key]
+		if !seen {
+			id = uint64(len(ids))
+			ids[key] = id
+			n := binary.PutUvarint(buf[:], id)
+			if _, err := bw.Write(buf[:n]); err != nil {
+				return count, err
+			}
+			n = binary.PutUvarint(buf[:], uint64(len(key)))
+			if _, err := bw.Write(buf[:n]); err != nil {
+				return count, err
+			}
+			if _, err := bw.WriteString(key); err != nil {
+				return count, err
+			}
+		} else {
+			n := binary.PutUvarint(buf[:], id)
+			if _, err := bw.Write(buf[:n]); err != nil {
+				return count, err
+			}
+		}
+		count++
+	}
+	gen.Reset()
+	if count != gen.Len() {
+		return count, fmt.Errorf("tracefile: generator emitted %d messages, declared %d", count, gen.Len())
+	}
+	return count, bw.Flush()
+}
+
+// WriteFile encodes gen into a new file at path.
+func WriteFile(path string, gen stream.Generator) (int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	n, err := Write(f, gen)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return n, err
+}
+
+// Reader decodes a trace from an io.ByteReader. It implements
+// stream.Generator only when constructed through a resettable source
+// (see NewBytesGenerator and OpenFile).
+type Reader struct {
+	br       io.ByteReader
+	dict     []string
+	declared int64
+	read     int64
+}
+
+// NewReader starts decoding from r, validating the header.
+func NewReader(r io.Reader) (*Reader, error) {
+	br, ok := r.(io.ByteReader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	magic := make([]byte, 4)
+	if err := readFull(br, magic); err != nil {
+		return nil, fmt.Errorf("tracefile: short header: %w", err)
+	}
+	if string(magic) != Magic {
+		return nil, errors.New("tracefile: bad magic")
+	}
+	hdr := make([]byte, 12)
+	if err := readFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("tracefile: short header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[0:4]); v != Version {
+		return nil, fmt.Errorf("tracefile: unsupported version %d", v)
+	}
+	return &Reader{
+		br:       br,
+		declared: int64(binary.LittleEndian.Uint64(hdr[4:12])),
+	}, nil
+}
+
+func readFull(br io.ByteReader, p []byte) error {
+	for i := range p {
+		b, err := br.ReadByte()
+		if err != nil {
+			return err
+		}
+		p[i] = b
+	}
+	return nil
+}
+
+// Declared returns the message count from the header.
+func (r *Reader) Declared() int64 { return r.declared }
+
+// Next decodes one key; io.EOF after the last message.
+func (r *Reader) Next() (string, error) {
+	if r.read >= r.declared {
+		return "", io.EOF
+	}
+	id, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return "", fmt.Errorf("tracefile: message %d: %w", r.read, err)
+	}
+	switch {
+	case id < uint64(len(r.dict)):
+		r.read++
+		return r.dict[id], nil
+	case id == uint64(len(r.dict)):
+		n, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			return "", fmt.Errorf("tracefile: key length: %w", err)
+		}
+		if n > maxKeyLen {
+			return "", fmt.Errorf("tracefile: key length %d exceeds limit", n)
+		}
+		buf := make([]byte, n)
+		if err := readFull(r.br, buf); err != nil {
+			return "", fmt.Errorf("tracefile: key bytes: %w", err)
+		}
+		key := string(buf)
+		r.dict = append(r.dict, key)
+		r.read++
+		return key, nil
+	default:
+		return "", fmt.Errorf("tracefile: id %d skips dictionary (size %d)", id, len(r.dict))
+	}
+}
+
+// Keys returns the dictionary decoded so far.
+func (r *Reader) Keys() int { return len(r.dict) }
+
+// ---------------------------------------------------------------------------
+// Generator adapters
+
+// BytesGenerator replays an in-memory trace; implements stream.Generator.
+type BytesGenerator struct {
+	data []byte
+	r    *Reader
+}
+
+// NewBytesGenerator validates data and returns a resettable generator.
+func NewBytesGenerator(data []byte) (*BytesGenerator, error) {
+	g := &BytesGenerator{data: data}
+	if err := g.reset(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func (g *BytesGenerator) reset() error {
+	r, err := NewReader(bytes.NewReader(g.data))
+	if err != nil {
+		return err
+	}
+	g.r = r
+	return nil
+}
+
+// Next implements stream.Generator; decode errors end the stream.
+func (g *BytesGenerator) Next() (string, bool) {
+	k, err := g.r.Next()
+	if err != nil {
+		return "", false
+	}
+	return k, true
+}
+
+// Len implements stream.Generator.
+func (g *BytesGenerator) Len() int64 { return g.r.declared }
+
+// Reset implements stream.Generator.
+func (g *BytesGenerator) Reset() {
+	// The data validated at construction; re-validation cannot fail.
+	_ = g.reset()
+}
+
+// FileGenerator replays a trace file; implements stream.Generator by
+// re-opening the file on Reset.
+type FileGenerator struct {
+	path string
+	file *os.File
+	r    *Reader
+}
+
+// OpenFile opens a trace file as a resettable generator. Callers should
+// Close it when done.
+func OpenFile(path string) (*FileGenerator, error) {
+	g := &FileGenerator{path: path}
+	if err := g.reopen(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func (g *FileGenerator) reopen() error {
+	if g.file != nil {
+		g.file.Close()
+		g.file = nil
+	}
+	f, err := os.Open(g.path)
+	if err != nil {
+		return err
+	}
+	r, err := NewReader(bufio.NewReaderSize(f, 1<<16))
+	if err != nil {
+		f.Close()
+		return err
+	}
+	g.file, g.r = f, r
+	return nil
+}
+
+// Next implements stream.Generator; decode errors end the stream.
+func (g *FileGenerator) Next() (string, bool) {
+	k, err := g.r.Next()
+	if err != nil {
+		return "", false
+	}
+	return k, true
+}
+
+// Len implements stream.Generator.
+func (g *FileGenerator) Len() int64 { return g.r.declared }
+
+// Reset implements stream.Generator.
+func (g *FileGenerator) Reset() {
+	if err := g.reopen(); err != nil {
+		// The file opened at construction; if it has since vanished the
+		// stream presents as empty rather than panicking mid-experiment.
+		g.r = &Reader{declared: 0}
+	}
+}
+
+// Close releases the underlying file.
+func (g *FileGenerator) Close() error {
+	if g.file == nil {
+		return nil
+	}
+	err := g.file.Close()
+	g.file = nil
+	return err
+}
+
+var (
+	_ stream.Generator = (*BytesGenerator)(nil)
+	_ stream.Generator = (*FileGenerator)(nil)
+)

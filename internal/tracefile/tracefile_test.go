@@ -1,0 +1,227 @@
+package tracefile
+
+import (
+	"bytes"
+	"io"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"slb/internal/stream"
+	"slb/internal/workload"
+)
+
+// drain pulls every key from a generator.
+func drain(g stream.Generator) []string {
+	var out []string
+	for {
+		k, ok := g.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, k)
+	}
+}
+
+func TestRoundTripBytes(t *testing.T) {
+	orig := workload.NewZipf(1.5, 500, 20000, 9)
+	var buf bytes.Buffer
+	n, err := Write(&buf, orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 20000 {
+		t.Fatalf("wrote %d messages", n)
+	}
+	g, err := NewBytesGenerator(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 20000 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	got := drain(g)
+	want := drain(orig)
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("mismatch at %d: %q vs %q", i, got[i], want[i])
+		}
+	}
+	// Reset replays identically.
+	g.Reset()
+	again := drain(g)
+	for i := range again {
+		if again[i] != want[i] {
+			t.Fatalf("reset replay mismatch at %d", i)
+		}
+	}
+}
+
+func TestRoundTripFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.slbt")
+	orig := workload.NewZipf(1.2, 100, 5000, 3)
+	if _, err := WriteFile(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	g, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	got := drain(g)
+	want := drain(orig)
+	if len(got) != 5000 {
+		t.Fatalf("decoded %d", len(got))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+	g.Reset()
+	if k, ok := g.Next(); !ok || k != want[0] {
+		t.Fatal("file Reset did not rewind")
+	}
+}
+
+func TestStatsPreserved(t *testing.T) {
+	orig := workload.NewZipf(2.0, 1000, 30000, 5)
+	var buf bytes.Buffer
+	if _, err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewBytesGenerator(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := stream.Collect(orig)
+	b := stream.Collect(g)
+	if a != b {
+		t.Fatalf("stats changed through trace: %+v vs %+v", a, b)
+	}
+}
+
+func TestCompression(t *testing.T) {
+	// A skewed 100k-message stream should cost well under 4 bytes/msg.
+	orig := workload.NewZipf(1.4, 10000, 100000, 1)
+	var buf bytes.Buffer
+	if _, err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	if perMsg := float64(buf.Len()) / 100000; perMsg > 4 {
+		t.Fatalf("trace costs %.2f bytes/message", perMsg)
+	}
+}
+
+func TestCorruptHeader(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       []byte("SL"),
+		"bad magic":   append([]byte("XXXX"), make([]byte, 12)...),
+		"bad version": append([]byte("SLBT"), make([]byte, 12)...),
+	}
+	// "bad version" has version 0; valid magic.
+	for name, data := range cases {
+		if _, err := NewReader(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: header accepted", name)
+		}
+	}
+}
+
+func TestTruncatedBody(t *testing.T) {
+	orig := stream.FromSlice([]string{"alpha", "beta", "alpha"})
+	var buf bytes.Buffer
+	if _, err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-3]
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decodeErr error
+	for {
+		if _, decodeErr = r.Next(); decodeErr != nil {
+			break
+		}
+	}
+	if decodeErr == io.EOF {
+		t.Fatal("truncated trace decoded cleanly to EOF")
+	}
+}
+
+func TestSkippedDictionaryID(t *testing.T) {
+	// Handcraft a trace whose first message references id 1 (invalid:
+	// dictionary is empty, so only id 0 = new key is legal).
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	hdr := make([]byte, 12)
+	hdr[0] = Version
+	hdr[4] = 1 // one message
+	buf.Write(hdr)
+	buf.WriteByte(1) // varint id 1
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Fatal("dictionary-skipping id accepted")
+	}
+}
+
+func TestDeclaredAndKeys(t *testing.T) {
+	orig := stream.FromSlice([]string{"a", "b", "a"})
+	var buf bytes.Buffer
+	if _, err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Declared() != 3 {
+		t.Fatalf("Declared = %d", r.Declared())
+	}
+	for {
+		if _, err := r.Next(); err != nil {
+			break
+		}
+	}
+	if r.Keys() != 2 {
+		t.Fatalf("Keys = %d, want 2", r.Keys())
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(raw []uint8) bool {
+		keys := make([]string, len(raw))
+		for i, b := range raw {
+			// Include empty and multi-byte keys.
+			keys[i] = string(bytes.Repeat([]byte{'x'}, int(b%5)))
+		}
+		var buf bytes.Buffer
+		if _, err := Write(&buf, stream.FromSlice(keys)); err != nil {
+			return false
+		}
+		g, err := NewBytesGenerator(buf.Bytes())
+		if err != nil {
+			return false
+		}
+		got := drain(g)
+		if len(got) != len(keys) {
+			return false
+		}
+		for i := range got {
+			if got[i] != keys[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,138 @@
+package workload
+
+import "slb/internal/stream"
+
+// The paper's Table I. The real traces are not redistributable, so each
+// dataset is substituted by a calibrated synthetic trace that preserves
+// the properties the algorithms are sensitive to: the head frequency p1,
+// a heavy tail, and (for CT) concept drift. Key-space and message counts
+// are scaled down by default; Full restores the published sizes.
+const (
+	// WPP1 is the frequency of the most visited Wikipedia page (Table I).
+	WPP1 = 0.0932
+	// TWP1 is the frequency of the most frequent Twitter word (Table I).
+	TWP1 = 0.0267
+	// CTP1 is the frequency of the most frequent cashtag (Table I).
+	CTP1 = 0.0329
+)
+
+// Scale selects the size of the synthetic dataset stand-ins.
+type Scale int
+
+const (
+	// Quick is sized for unit tests and benchmarks (sub-second runs).
+	Quick Scale = iota
+	// Default is sized for the experiment harness (seconds per run).
+	Default
+	// Full matches the published message counts (minutes per run).
+	Full
+)
+
+// datasetDims returns (messages, keys) for a dataset at a scale.
+func datasetDims(s Scale, fullM int64, fullK int) (int64, int) {
+	switch s {
+	case Full:
+		return fullM, fullK
+	case Default:
+		return fullM / 10, fullK / 10
+	default: // Quick
+		return fullM / 100, fullK / 100
+	}
+}
+
+// WikipediaLike returns the WP stand-in: page-visit log, 22M messages and
+// 2.9M keys at full scale, hottest page at p1 ≈ 9.32%.
+func WikipediaLike(s Scale, seed uint64) stream.Generator {
+	m, k := datasetDims(s, 22_000_000, 2_900_000)
+	z := CalibrateZ(WPP1, k)
+	return NewZipf(z, k, m, seed)
+}
+
+// TwitterLike returns the TW stand-in: tweet words. The real trace has
+// 1.2G messages and 31M keys; full scale here is capped at 120M/3.1M to
+// stay laptop-feasible, preserving p1 ≈ 2.67% and the long tail.
+func TwitterLike(s Scale, seed uint64) stream.Generator {
+	m, k := datasetDims(s, 120_000_000, 3_100_000)
+	z := CalibrateZ(TWP1, k)
+	return NewZipf(z, k, m, seed)
+}
+
+// CashtagEpochs is the number of drift epochs in the CT stand-in. The
+// real trace spans ~80 hours with strong hourly drift; eight epochs are
+// enough to rotate the hot set several times at every scale.
+const CashtagEpochs = 8
+
+// CashtagLike returns the CT stand-in: 690k messages over 2.9k keys at
+// full scale with strong concept drift. The epoch-level Zipf exponent is
+// calibrated so that the *overall* p1 of the rotated mixture ≈ 3.29%: a
+// key is hot in at most one epoch, but in small key spaces it also
+// collects tail mass from the other epochs, and the calibration accounts
+// for that exactly.
+func CashtagLike(s Scale, seed uint64) stream.Generator {
+	m, k := datasetDims(s, 690_000, 2_900)
+	// Round up so the stream has exactly CashtagEpochs epochs (the last
+	// one may be slightly short).
+	epochLen := (m + CashtagEpochs - 1) / CashtagEpochs
+	if epochLen == 0 {
+		epochLen = 1
+	}
+	// Stride larger than any plausible head cardinality so consecutive
+	// epochs have disjoint hot sets.
+	stride := k / CashtagEpochs
+	if stride == 0 {
+		stride = 1
+	}
+	z := calibrateDriftZ(CTP1, k, CashtagEpochs, stride)
+	return NewDrift(z, k, m, epochLen, stride, seed)
+}
+
+// driftOverallP1 computes the expected overall frequency of the hottest
+// key identity under the epoch-rotation construction: identity id carries
+// rank (id − e·stride) mod keys in epoch e, and epochs have equal length.
+func driftOverallP1(z float64, keys, epochs, stride int) float64 {
+	p := ZipfProbs(z, keys)
+	best := 0.0
+	for id := 0; id < keys; id++ {
+		sum := 0.0
+		for e := 0; e < epochs; e++ {
+			r := (id - e*stride) % keys
+			if r < 0 {
+				r += keys
+			}
+			sum += p[r]
+		}
+		if f := sum / float64(epochs); f > best {
+			best = f
+		}
+	}
+	return best
+}
+
+// calibrateDriftZ bisects the epoch-level exponent so that the overall p1
+// of the drift mixture matches target.
+func calibrateDriftZ(target float64, keys, epochs, stride int) float64 {
+	lo, hi := 0.0, 16.0
+	for iter := 0; iter < 50; iter++ {
+		mid := (lo + hi) / 2
+		if driftOverallP1(mid, keys, epochs, stride) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// DatasetByName maps the paper's dataset symbols (WP, TW, CT) to their
+// stand-ins; it is the lookup used by the experiment CLI.
+func DatasetByName(name string, s Scale, seed uint64) (stream.Generator, bool) {
+	switch name {
+	case "WP":
+		return WikipediaLike(s, seed), true
+	case "TW":
+		return TwitterLike(s, seed), true
+	case "CT":
+		return CashtagLike(s, seed), true
+	}
+	return nil, false
+}

@@ -1,0 +1,241 @@
+// Package slb is a Go implementation of the load-balancing stream
+// partitioners from "When Two Choices Are not Enough: Balancing at Scale
+// in Distributed Stream Processing" (Nasir, De Francisci Morales,
+// Kourtellis, Serafini — ICDE 2016), together with the substrates needed
+// to reproduce the paper end to end: the SpaceSaving heavy-hitter
+// sketch, skewed workload generators, a multi-source partitioning
+// simulator, and two DSPE engines (a deterministic discrete-event
+// queueing simulator and a concurrent goroutine runtime).
+//
+// # The algorithms
+//
+// A stream of keyed messages is partitioned from sources to n workers.
+//
+//   - KG (key grouping) hashes each key to one worker; a skewed key
+//     distribution overloads whoever owns the hottest key.
+//   - SG (shuffle grouping) round-robins messages: perfectly balanced
+//     but every worker may hold state for every key.
+//   - PKG (partial key grouping) gives each key two candidate workers
+//     and routes to the less loaded — enough only while p1 ≤ 2/n.
+//   - D-Choices and W-Choices — this paper's contribution — detect the
+//     hot keys online with a SpaceSaving sketch and give only those keys
+//     more than two choices: W-Choices all n workers, D-Choices the
+//     minimal d from an analytic feasibility bound (Proposition 4.1).
+//
+// # Quick start
+//
+//	cfg := slb.Config{Workers: 50, Seed: 42}
+//	p := slb.NewDChoices(cfg)
+//	worker := p.Route("some-key") // → 0..49, state updated
+//
+// Each Partitioner instance embodies one sender: load estimates are
+// sender-local (no coordination), exactly as in the paper. To compare
+// algorithms under identical streams, use Simulate with a deterministic
+// Generator from NewZipfStream or the dataset stand-ins.
+package slb
+
+import (
+	"io"
+
+	"slb/internal/analysis"
+	"slb/internal/core"
+	"slb/internal/dspe"
+	"slb/internal/eventsim"
+	"slb/internal/metrics"
+	"slb/internal/simulator"
+	"slb/internal/spacesaving"
+	"slb/internal/stream"
+	"slb/internal/tracefile"
+	"slb/internal/workload"
+)
+
+// Partitioner routes each message of a keyed stream to one of n workers.
+type Partitioner = core.Partitioner
+
+// Config carries the partitioner parameters (Table III of the paper):
+// worker count, hash seed, head threshold θ (default 1/(5n)), solver
+// tolerance ε (default 1e-4), sketch capacity and solve cadence.
+type Config = core.Config
+
+// Algorithms lists the paper's algorithm symbols in presentation order:
+// KG, SG, PKG, D-C, W-C, RR.
+var Algorithms = core.Names
+
+// New constructs a partitioner by its paper symbol (see Algorithms).
+func New(name string, cfg Config) (Partitioner, error) { return core.New(name, cfg) }
+
+// NewKeyGrouping returns the KG baseline: one hashed worker per key.
+func NewKeyGrouping(cfg Config) Partitioner { return core.NewKeyGrouping(cfg) }
+
+// NewShuffleGrouping returns the SG baseline: round-robin, key-oblivious.
+func NewShuffleGrouping(cfg Config) Partitioner { return core.NewShuffleGrouping(cfg) }
+
+// NewPKG returns Partial Key Grouping: the power of two choices.
+func NewPKG(cfg Config) Partitioner { return core.NewPKG(cfg) }
+
+// NewDChoices returns the paper's D-Choices partitioner: head keys get
+// the minimal d ≥ 2 choices that satisfies Proposition 4.1.
+func NewDChoices(cfg Config) Partitioner { return core.NewDChoices(cfg) }
+
+// NewWChoices returns the paper's W-Choices partitioner: head keys may
+// go to any worker.
+func NewWChoices(cfg Config) Partitioner { return core.NewWChoices(cfg) }
+
+// NewRoundRobin returns the RR baseline: head keys round-robin over all
+// workers, load-obliviously.
+func NewRoundRobin(cfg Config) Partitioner { return core.NewRoundRobin(cfg) }
+
+// ---------------------------------------------------------------------------
+// Streams and workloads
+
+// Generator produces a finite, deterministic key stream.
+type Generator = stream.Generator
+
+// Stats summarizes a stream (Table I columns: messages, keys, p1).
+type Stats = stream.Stats
+
+// CollectStats measures a generator's exact statistics.
+func CollectStats(gen Generator) Stats { return stream.Collect(gen) }
+
+// StreamFromKeys adapts a fixed key slice to a Generator.
+func StreamFromKeys(keys []string) Generator { return stream.FromSlice(keys) }
+
+// NewZipfStream returns a Zipf-distributed stream: exponent z over
+// `keys` distinct keys, `messages` total, deterministic in seed. Any
+// z ≥ 0 is supported (z = 0 is uniform).
+func NewZipfStream(z float64, keys int, messages int64, seed uint64) Generator {
+	return workload.NewZipf(z, keys, messages, seed)
+}
+
+// NewDriftStream returns a stream whose hot keys rotate every epochLen
+// messages (concept drift, like the paper's cashtag dataset).
+func NewDriftStream(z float64, keys int, messages, epochLen int64, stride int, seed uint64) Generator {
+	return workload.NewDrift(z, keys, messages, epochLen, stride, seed)
+}
+
+// Dataset returns one of the paper's dataset stand-ins by symbol:
+// "WP" (Wikipedia page visits), "TW" (Twitter words), or "CT" (cashtags
+// with concept drift).
+func Dataset(symbol string, seed uint64) (Generator, bool) {
+	return workload.DatasetByName(symbol, workload.Default, seed)
+}
+
+// ---------------------------------------------------------------------------
+// Traces
+
+// WriteTrace encodes a generator's full stream into the compact binary
+// trace format (see internal/tracefile) and returns the message count.
+func WriteTrace(w io.Writer, gen Generator) (int64, error) {
+	return tracefile.Write(w, gen)
+}
+
+// WriteTraceFile encodes a generator's stream into a new trace file.
+func WriteTraceFile(path string, gen Generator) (int64, error) {
+	return tracefile.WriteFile(path, gen)
+}
+
+// OpenTrace opens a trace file as a replayable Generator; close it via
+// the returned generator's Close method when done.
+func OpenTrace(path string) (*tracefile.FileGenerator, error) {
+	return tracefile.OpenFile(path)
+}
+
+// TraceFromBytes replays an in-memory trace as a Generator.
+func TraceFromBytes(data []byte) (*tracefile.BytesGenerator, error) {
+	return tracefile.NewBytesGenerator(data)
+}
+
+// ---------------------------------------------------------------------------
+// Simulation
+
+// SimOptions configures a Simulate run (sources, snapshots, replica
+// tracking, head/tail split, distributed sketch merging).
+type SimOptions = simulator.Options
+
+// SimResult is the outcome of a Simulate run: final imbalance I(m),
+// optional time series, per-worker loads, measured memory.
+type SimResult = simulator.Result
+
+// Simulate partitions gen across workers through per-source instances
+// of the named algorithm and measures load imbalance, exactly like the
+// paper's simulator.
+func Simulate(gen Generator, algorithm string, cfg Config, opts SimOptions) (SimResult, error) {
+	return simulator.Run(gen, algorithm, cfg, opts)
+}
+
+// ---------------------------------------------------------------------------
+// Engines
+
+// ClusterConfig configures the deterministic discrete-event cluster
+// simulation (the stand-in for the paper's Storm deployment).
+type ClusterConfig = eventsim.Config
+
+// ClusterResult reports simulated throughput, latency percentiles and
+// load imbalance.
+type ClusterResult = eventsim.Result
+
+// SimulateCluster runs the discrete-event DSPE: FIFO workers with fixed
+// service time, closed-loop sources with an in-flight window.
+func SimulateCluster(gen Generator, cfg ClusterConfig) (ClusterResult, error) {
+	return eventsim.Run(gen, cfg)
+}
+
+// EngineConfig configures the concurrent goroutine runtime (bounded
+// channels, ack-based windows, wall-clock measurement).
+type EngineConfig = dspe.Config
+
+// EngineResult reports wall-clock throughput and latency of a topology.
+type EngineResult = dspe.Result
+
+// RunTopology executes the goroutine DSPE end to end.
+func RunTopology(gen Generator, cfg EngineConfig) (EngineResult, error) {
+	return dspe.Run(gen, cfg)
+}
+
+// Pipeline is a linear multi-stage topology on the goroutine runtime:
+// spouts → bolt stages connected by grouped streams, each edge with its
+// own grouping scheme. Build with NewPipeline and AddStage, execute
+// with Run.
+type Pipeline = dspe.Pipeline
+
+// StageFunc processes one tuple at a bolt stage and may emit keyed
+// tuples downstream.
+type StageFunc = dspe.StageFunc
+
+// PipelineConfig carries engine-level options for a Pipeline run.
+type PipelineConfig = dspe.PipelineConfig
+
+// PipelineResult aggregates a Pipeline run: per-stage loads and
+// imbalance plus end-to-end latency percentiles.
+type PipelineResult = dspe.PipelineResult
+
+// NewPipeline starts a pipeline definition from a spout stage reading
+// gen with the given parallelism.
+func NewPipeline(gen Generator, spouts int) *Pipeline { return dspe.NewPipeline(gen, spouts) }
+
+// ---------------------------------------------------------------------------
+// Analysis helpers
+
+// Imbalance computes the paper's metric I = max(load) − avg(load) over
+// absolute per-worker loads, as a fraction of the total.
+func Imbalance(loads []int64) float64 { return metrics.Imbalance(loads) }
+
+// SolveD runs FINDOPTIMALCHOICES analytically: the minimal number of
+// choices d for the given head frequencies (sorted non-increasing),
+// tail mass, worker count and tolerance ε. Returns n when the solver
+// concludes the system should switch to W-Choices.
+func SolveD(headProbs []float64, tailMass float64, n int, eps float64) int {
+	return analysis.SolveD(headProbs, tailMass, n, eps)
+}
+
+// ZipfProbs returns the probability vector of a finite Zipf
+// distribution, hottest first.
+func ZipfProbs(z float64, keys int) []float64 { return workload.ZipfProbs(z, keys) }
+
+// HeavyHitterEntry is one monitored key in a heavy-hitter sketch.
+type HeavyHitterEntry = spacesaving.Entry
+
+// NewHeavyHitters returns a standalone SpaceSaving sketch, the building
+// block the partitioners use for online head detection. Capacity c
+// guarantees every key with frequency ≥ 1/c is monitored.
+func NewHeavyHitters(capacity int) *spacesaving.Summary { return spacesaving.New(capacity) }
