@@ -82,6 +82,83 @@ func BenchmarkRoute(b *testing.B) {
 	}
 }
 
+// benchStream is the acceptance workload for the Route-vs-RouteBatch
+// comparison: 50 workers, z = 2.0 Zipf keys (p1 ≈ 0.61 — the regime the
+// paper's head-aware algorithms exist for).
+const (
+	benchWorkers  = 50
+	benchZ        = 2.0
+	benchKeys     = 10_000
+	benchSlabSize = 512
+)
+
+// BenchmarkRouteSteadyState is the per-message half of the comparison:
+// one emit (gen.Next) and one Route per operation, on warm partitioner
+// state. Steady-state PKG and D-Choices routing must report 0 allocs/op
+// (asserted hard by TestSteadyStateRoutingZeroAllocs).
+func BenchmarkRouteSteadyState(b *testing.B) {
+	for _, algo := range slb.Algorithms {
+		b.Run(algo, func(b *testing.B) {
+			p, err := slb.New(algo, slb.Config{Workers: benchWorkers, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			warm := slb.NewZipfStream(benchZ, benchKeys, 50_000, 2)
+			for {
+				k, ok := warm.Next()
+				if !ok {
+					break
+				}
+				p.Route(k)
+			}
+			gen := slb.NewZipfStream(benchZ, benchKeys, int64(b.N)+1, 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k, _ := gen.Next()
+				p.Route(k)
+			}
+		})
+	}
+}
+
+// BenchmarkRouteBatchSteadyState is the batched half: one NextBatch and
+// one RouteBatch per slab of 512, same stream, same warmup. Compare
+// ns/op against BenchmarkRouteSteadyState — the ratio is the batch
+// speedup (largest for D-Choices, whose per-message path re-derives d
+// candidate buckets that the batch path caches per head key, and for
+// the sketch-amortizing run path generally).
+func BenchmarkRouteBatchSteadyState(b *testing.B) {
+	for _, algo := range slb.Algorithms {
+		b.Run(algo, func(b *testing.B) {
+			p, err := slb.New(algo, slb.Config{Workers: benchWorkers, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			warm := slb.NewZipfStream(benchZ, benchKeys, 50_000, 2)
+			for {
+				k, ok := warm.Next()
+				if !ok {
+					break
+				}
+				p.Route(k)
+			}
+			gen := slb.NewZipfStream(benchZ, benchKeys, int64(b.N)+benchSlabSize, 1)
+			keys := make([]string, benchSlabSize)
+			dst := make([]int, benchSlabSize)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += benchSlabSize {
+				n := slb.NextBatch(gen, keys)
+				if n == 0 {
+					b.Fatal("stream exhausted")
+				}
+				slb.RouteBatch(p, keys[:n], dst)
+			}
+		})
+	}
+}
+
 // BenchmarkSimulateThroughput measures end-to-end simulator throughput
 // (messages routed per second) for the paper's algorithms at n = 50.
 func BenchmarkSimulateThroughput(b *testing.B) {
@@ -98,6 +175,53 @@ func BenchmarkSimulateThroughput(b *testing.B) {
 			}
 			b.ReportMetric(float64(50_000*b.N)/b.Elapsed().Seconds(), "msgs/s")
 		})
+	}
+}
+
+// TestSteadyStateRoutingZeroAllocs asserts the allocation contract the
+// benchmarks report: warm steady-state routing — both APIs — performs
+// zero allocations for PKG and D-Choices (and the other head-aware
+// schemes). SolveEvery is raised so the amortized, allocating solver
+// stays outside the measured window; everything else is the default
+// configuration.
+func TestSteadyStateRoutingZeroAllocs(t *testing.T) {
+	gen := slb.NewZipfStream(benchZ, benchKeys, 60_000, 7)
+	keys := make([]string, 0, 60_000)
+	buf := make([]string, benchSlabSize)
+	for {
+		n := slb.NextBatch(gen, buf)
+		if n == 0 {
+			break
+		}
+		keys = append(keys, buf[:n]...)
+	}
+	for _, algo := range []string{"PKG", "D-C", "W-C", "RR"} {
+		cfg := slb.Config{Workers: benchWorkers, Seed: 7, SolveEvery: 1 << 30}
+		p, err := slb.New(algo, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range keys {
+			p.Route(k) // warmup: sketch at capacity, pools primed
+		}
+		i := 0
+		if avg := testing.AllocsPerRun(5000, func() {
+			p.Route(keys[i%len(keys)])
+			i++
+		}); avg != 0 {
+			t.Errorf("%s: steady-state Route allocates %.4f allocs/op, want 0", algo, avg)
+		}
+		dst := make([]int, benchSlabSize)
+		j := 0
+		if avg := testing.AllocsPerRun(100, func() {
+			if j+benchSlabSize > len(keys) {
+				j = 0
+			}
+			slb.RouteBatch(p, keys[j:j+benchSlabSize], dst)
+			j += benchSlabSize
+		}); avg != 0 {
+			t.Errorf("%s: steady-state RouteBatch allocates %.4f allocs/slab, want 0", algo, avg)
+		}
 	}
 }
 

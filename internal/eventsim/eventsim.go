@@ -176,6 +176,10 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 	if cfg.Messages > 0 && cfg.Messages < limit {
 		limit = cfg.Messages
 	}
+	// The event loop consumes one key per emit event, but pulls them
+	// through a prefetch slab so the generator's batch emission path is
+	// driven; the key sequence is identical to per-message Next.
+	keys := stream.NewPuller(gen, 512)
 
 	workers := make([]*worker, cfg.Workers)
 	for i := range workers {
@@ -225,7 +229,7 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 				blocked[s] = true
 				break // resumes on next ack
 			}
-			key, ok := gen.Next()
+			key, ok := keys.Next()
 			if !ok {
 				break
 			}

@@ -2,12 +2,25 @@
 // functions F_1..F_d mapping string keys onto [0, n) worker indices.
 //
 // The paper's Greedy-d process requires d independent uniform hash
-// functions. We derive each family member from a 64-bit FNV-1a core mixed
-// with a per-member seed and finished with a murmur-style avalanche, which
-// gives well-distributed, statistically independent values without any
-// dependency outside the standard library. All functions are pure and
+// functions, and the partitioner sits on the per-message hot path of a
+// DSPE, so the family is split into two stages:
+//
+//  1. Digest scans the key bytes ONCE with 64-bit FNV-1a, producing a
+//     KeyDigest — the canonical 64-bit representation of a key that all
+//     routing layers operate on.
+//  2. HashDigest/BucketDigest apply a per-member multiply-shift
+//     universal hash to the digest and finish with a murmur-style
+//     avalanche, deriving all d candidate buckets from that single
+//     string scan without rescanning the key.
+//
+// Hash and Bucket remain as thin per-key wrappers (digest-then-mix), so
+// Hash(i, key) == HashDigest(i, Digest(key)) always holds. Bucket
+// reduction uses Lemire's multiply-shift instead of a modulo, avoiding a
+// 64-bit hardware division per candidate. All functions are pure and
 // deterministic, so simulation runs are exactly reproducible.
 package hashing
+
+import "math/bits"
 
 // Offset and prime of the 64-bit FNV-1a hash.
 const (
@@ -18,10 +31,42 @@ const (
 // seedMix is the SplitMix64 increment; used to derive per-index seeds.
 const seedMix = 0x9e3779b97f4a7c15
 
+// KeyDigest is the 64-bit digest of a key: the result of one FNV-1a scan
+// over the key bytes, before any per-member mixing. Every layer of the
+// routing path (candidate choice, sketches, engines) identifies keys by
+// digest; the invariant "all senders map a key to the same candidates"
+// holds because Digest is a pure function of the key bytes and every
+// family member derives its bucket from the digest alone. Two distinct
+// keys collide only with probability ≈ 2⁻⁶⁴ per pair, in which case they
+// are routed (and counted) as one key — harmless for load balancing.
+type KeyDigest uint64
+
+// Digest returns the 64-bit digest of key: a single FNV-1a pass over the
+// key bytes. It is the only place in the routing path that touches the
+// key's bytes.
+func Digest(key string) KeyDigest {
+	var h uint64 = fnvOffset64
+	for j := 0; j < len(key); j++ {
+		h ^= uint64(key[j])
+		h *= fnvPrime64
+	}
+	return KeyDigest(h)
+}
+
 // Family is a deterministic family of hash functions over string keys.
 // The zero value is not usable; construct with NewFamily.
+//
+// Each member i carries an independently seeded pair (mul_i, add_i) and
+// maps a digest d to finalize(mul_i·d + add_i): a multiply-shift
+// universal hash (Dietzfelbinger et al.) composed with a bijective
+// avalanche. Independent multipliers make distinct members behave as
+// independently drawn hash functions of the digest — a simple
+// xor-with-seed before one fixed avalanche does NOT (the pair
+// (f(x), f(x⊕c)) retains measurable structure, enough to visibly skew
+// Greedy-2 at small n).
 type Family struct {
-	seeds []uint64
+	mul []uint64 // odd multipliers, one per member
+	add []uint64
 }
 
 // NewFamily returns a family of size members derived from the given base
@@ -31,40 +76,55 @@ func NewFamily(size int, seed uint64) *Family {
 	if size <= 0 {
 		panic("hashing: family size must be positive")
 	}
-	seeds := make([]uint64, size)
+	mul := make([]uint64, size)
+	add := make([]uint64, size)
 	s := seed
-	for i := range seeds {
+	for i := range mul {
 		s += seedMix
-		seeds[i] = splitmix64(s)
+		mul[i] = splitmix64(s) | 1 // odd, so d ↦ mul·d is a bijection
+		s += seedMix
+		add[i] = splitmix64(s)
 	}
-	return &Family{seeds: seeds}
+	return &Family{mul: mul, add: add}
 }
 
 // Size returns the number of hash functions in the family.
-func (f *Family) Size() int { return len(f.seeds) }
+func (f *Family) Size() int { return len(f.mul) }
 
-// Hash returns the 64-bit hash of key under family member i.
+// HashDigest returns the 64-bit hash of a pre-computed key digest under
+// family member i, so all members share one string scan.
+func (f *Family) HashDigest(i int, d KeyDigest) uint64 {
+	return finalize(f.mul[i]*uint64(d) + f.add[i])
+}
+
+// BucketDigest returns family member i's choice of worker for a key
+// digest among n workers, i.e. F_i(key) ∈ [0, n). The reduction is
+// Lemire's multiply-shift (unbiased for n ≪ 2⁶⁴ up to a negligible
+// 2⁻⁶⁴-scale deviation), avoiding a hardware divide on the hot path.
+func (f *Family) BucketDigest(i int, d KeyDigest, n int) int {
+	hi, _ := bits.Mul64(f.HashDigest(i, d), uint64(n))
+	return int(hi)
+}
+
+// Hash returns the 64-bit hash of key under family member i. It is the
+// per-key convenience form of HashDigest: one digest scan, then mix.
 func (f *Family) Hash(i int, key string) uint64 {
-	h := fnvOffset64 ^ f.seeds[i]
-	for j := 0; j < len(key); j++ {
-		h ^= uint64(key[j])
-		h *= fnvPrime64
-	}
-	return finalize(h)
+	return f.HashDigest(i, Digest(key))
 }
 
 // Bucket returns family member i's choice of worker for key among n
 // workers, i.e. F_i(key) ∈ [0, n).
 func (f *Family) Bucket(i int, key string, n int) int {
-	return int(f.Hash(i, key) % uint64(n))
+	return f.BucketDigest(i, Digest(key), n)
 }
 
 // Buckets fills dst with the first len(dst) family members' choices for
-// key among n workers and returns dst. It is the allocation-free form of
-// calling Bucket for i = 0..len(dst)-1.
+// key among n workers and returns dst. The key is scanned once; each
+// member derives its bucket from the shared digest.
 func (f *Family) Buckets(dst []int, key string, n int) []int {
+	d := Digest(key)
 	for i := range dst {
-		dst[i] = f.Bucket(i, key, n)
+		dst[i] = f.BucketDigest(i, d, n)
 	}
 	return dst
 }
@@ -80,9 +140,9 @@ func splitmix64(x uint64) uint64 {
 	return x
 }
 
-// finalize applies a murmur3-style avalanche so that low-order bits of the
-// result depend on all input bytes; plain FNV-1a is weak in the low bits
-// that the modulo in Bucket consumes.
+// finalize applies a murmur3-style avalanche so that every bit of the
+// result depends on all input bits; plain FNV-1a (and a raw xor with the
+// member seed) is weak in the bits the bucket reduction consumes.
 func finalize(h uint64) uint64 {
 	h ^= h >> 33
 	h *= 0xff51afd7ed558ccd
@@ -92,13 +152,13 @@ func finalize(h uint64) uint64 {
 	return h
 }
 
+// Mix64 avalanches a digest into a uniformly distributed 64-bit value;
+// exported for callers that need to index hash tables by digest (the
+// digest itself is raw FNV-1a state and has weak low bits).
+func Mix64(d KeyDigest) uint64 { return finalize(uint64(d)) }
+
 // String64 hashes key with an unseeded member; a convenience for callers
 // that need a single stable hash (e.g. key grouping).
 func String64(key string) uint64 {
-	var h uint64 = fnvOffset64
-	for j := 0; j < len(key); j++ {
-		h ^= uint64(key[j])
-		h *= fnvPrime64
-	}
-	return finalize(h)
+	return finalize(uint64(Digest(key)))
 }

@@ -3,6 +3,7 @@ package hashing
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"testing"
 	"testing/quick"
 )
@@ -142,10 +143,165 @@ func TestAvalancheLowBits(t *testing.T) {
 	}
 }
 
+// refDigest is a straightforward reference FNV-1a, written independently
+// of the package implementation.
+func refDigest(key string) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range []byte(key) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// refBucket is a from-scratch reference for the full digest→candidate
+// path: FNV-1a digest, multiply-add with the member's seeded pair,
+// murmur avalanche, Lemire multiply-shift reduction. It pins the
+// digest-based candidates against an implementation that shares no code
+// with the package.
+func refBucket(mul, add uint64, key string, n int) int {
+	h := mul*refDigest(key) + add
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	// Lemire reduction: high word of the 128-bit product h × n.
+	hi, _ := bits.Mul64(h, uint64(n))
+	return int(hi)
+}
+
+func TestDigestMatchesReference(t *testing.T) {
+	for _, k := range []string{"", "a", "k0", "key-123", "another key", "\x00\xff", "日本語"} {
+		if got, want := uint64(Digest(k)), refDigest(k); got != want {
+			t.Fatalf("Digest(%q) = %#x, reference FNV-1a %#x", k, got, want)
+		}
+	}
+}
+
+func TestBucketDigestMatchesReference(t *testing.T) {
+	// Re-derive the member seed pairs exactly as NewFamily documents: a
+	// SplitMix64 stream from the base seed, multiplier forced odd.
+	const baseSeed = 42
+	split := func(x uint64) uint64 {
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		return x
+	}
+	muls := make([]uint64, 4)
+	adds := make([]uint64, 4)
+	s := uint64(baseSeed)
+	for i := range muls {
+		s += 0x9e3779b97f4a7c15
+		muls[i] = split(s) | 1
+		s += 0x9e3779b97f4a7c15
+		adds[i] = split(s)
+	}
+	f := NewFamily(4, baseSeed)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 200; j++ {
+			k := fmt.Sprintf("ref-key-%d", j)
+			for _, n := range []int{1, 2, 13, 50, 100} {
+				if got, want := f.Bucket(i, k, n), refBucket(muls[i], adds[i], k, n); got != want {
+					t.Fatalf("member %d key %q n=%d: Bucket = %d, reference %d", i, k, n, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestHashEqualsDigestPath(t *testing.T) {
+	// Hash/Bucket are documented as thin wrappers over the digest path;
+	// the two forms must agree for every member, key and worker count.
+	f := NewFamily(6, 77)
+	for i := 0; i < f.Size(); i++ {
+		for j := 0; j < 100; j++ {
+			k := fmt.Sprintf("wrap-%d", j)
+			d := Digest(k)
+			if f.Hash(i, k) != f.HashDigest(i, d) {
+				t.Fatalf("Hash(%d, %q) != HashDigest of Digest", i, k)
+			}
+			if f.Bucket(i, k, 37) != f.BucketDigest(i, d, 37) {
+				t.Fatalf("Bucket(%d, %q) != BucketDigest of Digest", i, k)
+			}
+		}
+	}
+	if String64("abc") != Mix64(Digest("abc")) {
+		t.Fatal("String64 is not the avalanched digest")
+	}
+}
+
+func TestCrossMemberUniformity(t *testing.T) {
+	// Chi-squared uniformity for every member of a d=4 family — the
+	// members D-Choices actually uses — not just member 0.
+	f := NewFamily(4, 123)
+	n := 16
+	total := 80000
+	for i := 0; i < 4; i++ {
+		counts := make([]int, n)
+		for j := 0; j < total; j++ {
+			counts[f.Bucket(i, fmt.Sprintf("cmu-%d", j), n)]++
+		}
+		expected := float64(total) / float64(n)
+		chi2 := 0.0
+		for _, c := range counts {
+			d := float64(c) - expected
+			chi2 += d * d / expected
+		}
+		// df = 15; 99.9% critical value ≈ 37.7.
+		if chi2 > 37.7 {
+			t.Fatalf("member %d chi-squared %f exceeds 99.9%% critical value: %v", i, chi2, counts)
+		}
+	}
+}
+
+func TestPairwiseMemberIndependence(t *testing.T) {
+	// For every pair of members in a d=4 family, the joint bucket
+	// distribution must fill the n×n grid at the product rate: a
+	// chi-squared test over the joint cells.
+	f := NewFamily(4, 9)
+	n := 8
+	total := 64000
+	for a := 0; a < 4; a++ {
+		for b := a + 1; b < 4; b++ {
+			joint := make([]int, n*n)
+			for j := 0; j < total; j++ {
+				k := fmt.Sprintf("pair-%d", j)
+				d := Digest(k)
+				joint[f.BucketDigest(a, d, n)*n+f.BucketDigest(b, d, n)]++
+			}
+			expected := float64(total) / float64(n*n)
+			chi2 := 0.0
+			for _, c := range joint {
+				diff := float64(c) - expected
+				chi2 += diff * diff / expected
+			}
+			// df = 63; 99.9% critical value ≈ 103.4.
+			if chi2 > 103.4 {
+				t.Fatalf("members (%d,%d) joint chi-squared %f: not independent", a, b, chi2)
+			}
+		}
+	}
+}
+
 func BenchmarkHash(b *testing.B) {
 	f := NewFamily(2, 1)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = f.Hash(i&1, "benchmark-key-with-typical-length")
+	}
+}
+
+func BenchmarkBucketsViaDigest(b *testing.B) {
+	// The d-candidate derivation the partitioners pay per message: one
+	// digest, then d mixes.
+	f := NewFamily(4, 1)
+	dst := make([]int, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Buckets(dst, "benchmark-key-with-typical-length", 50)
 	}
 }

@@ -141,34 +141,77 @@ func run(gen stream.Generator, name string, parts []core.Partitioner, opts Optio
 		}
 	}
 
+	// The routing loop pulls slabs through the batch emission path and
+	// routes each source's sub-batch with one RouteBatch call. Messages
+	// round-robin over the sources (shuffle grouping from the input), so
+	// source s owns the slab positions congruent to s; routing all of one
+	// source's positions before the next source's is equivalent to the
+	// interleaved order because partitioner state is strictly
+	// sender-local. Slabs are clipped at sketch-merge boundaries, the one
+	// point where cross-source state is exchanged.
+	const slabSize = 512
+	nSrc := len(parts)
+	slab := make([]string, slabSize)
+	workers := make([]int, slabSize)
+	srcKeys := make([][]string, nSrc)
+	srcDst := make([][]int, nSrc)
+	srcPos := make([]int, nSrc)
+	for s := range srcKeys {
+		srcKeys[s] = make([]string, 0, (slabSize+nSrc-1)/nSrc)
+		srcDst[s] = make([]int, (slabSize+nSrc-1)/nSrc)
+	}
+
 	var m int64
-	src := 0
+	src := 0 // source of the slab's first message
 	for {
-		key, ok := gen.Next()
-		if !ok {
-			break
-		}
-		// Shuffle grouping from the input to the sources.
-		p := parts[src]
-		src++
-		if src == len(parts) {
-			src = 0
-		}
-		w := p.Route(key)
-		res.Loads[w]++
-		m++
-		if opts.HeadKey != nil {
-			if opts.HeadKey(key) {
-				res.HeadLoads[w]++
-			} else {
-				res.TailLoads[w]++
+		want := slabSize
+		if opts.MergeEvery > 0 {
+			if rem := opts.MergeEvery - m%opts.MergeEvery; rem < int64(want) {
+				want = int(rem)
 			}
 		}
-		if reps != nil {
-			reps.Observe(key, w)
+		n := stream.NextBatch(gen, slab[:want])
+		if n == 0 {
+			break
 		}
-		if snapEvery > 0 && m%snapEvery == 0 {
-			res.Series = append(res.Series, Point{Messages: m, Imbalance: metrics.Imbalance(res.Loads)})
+		for s := range srcKeys {
+			srcKeys[s] = srcKeys[s][:0]
+			srcPos[s] = 0
+		}
+		for i := 0; i < n; i++ {
+			s := (src + i) % nSrc
+			srcKeys[s] = append(srcKeys[s], slab[i])
+		}
+		for s := 0; s < nSrc; s++ {
+			if len(srcKeys[s]) > 0 {
+				core.RouteBatch(parts[s], srcKeys[s], srcDst[s])
+			}
+		}
+		for i := 0; i < n; i++ {
+			s := (src + i) % nSrc
+			workers[i] = srcDst[s][srcPos[s]]
+			srcPos[s]++
+		}
+		src = (src + n) % nSrc
+
+		// Sequential accounting in original message order.
+		for i := 0; i < n; i++ {
+			key, w := slab[i], workers[i]
+			res.Loads[w]++
+			m++
+			if opts.HeadKey != nil {
+				if opts.HeadKey(key) {
+					res.HeadLoads[w]++
+				} else {
+					res.TailLoads[w]++
+				}
+			}
+			if reps != nil {
+				reps.Observe(key, w)
+			}
+			if snapEvery > 0 && m%snapEvery == 0 {
+				res.Series = append(res.Series, Point{Messages: m, Imbalance: metrics.Imbalance(res.Loads)})
+			}
 		}
 		if opts.MergeEvery > 0 && m%opts.MergeEvery == 0 {
 			mergeSketches(parts)

@@ -13,9 +13,27 @@
 // Summaries are mergeable in the sense of Berinde, Indyk, Cormode and
 // Strauss (ACM TODS 2010), enabling the distributed heavy-hitter tracking
 // the paper relies on when several sources observe disjoint sub-streams.
+//
+// # Digest keying and allocation discipline
+//
+// The sketch sits on the partitioners' per-message hot path, so the
+// monitored-entry table is keyed by hashing.KeyDigest (the 64-bit digest
+// every routing layer shares) rather than by string: OfferDigest and
+// CountDigest never hash or compare key bytes. The key string is retained
+// only inside monitored entries, for reporting (Entries, HeavyHitters)
+// and merging. Two distinct keys with equal digests (probability ≈ 2⁻⁶⁴
+// per pair) are counted as one key.
+//
+// The steady-state update path allocates nothing: the digest table is a
+// fixed-size open-addressing array, evictions recycle counter nodes, and
+// emptied count buckets are kept on a free list for reuse.
 package spacesaving
 
-import "sort"
+import (
+	"sort"
+
+	"slb/internal/hashing"
+)
 
 // Entry is one monitored key with its count estimate and maximum
 // overestimation error.
@@ -26,8 +44,10 @@ type Entry struct {
 }
 
 // counter is a node in the Stream-Summary: a monitored key parked in the
-// bucket matching its current estimated count.
+// bucket matching its current estimated count. The digest identifies the
+// key on the hot path; the string exists only for reporting.
 type counter struct {
+	dig        hashing.KeyDigest
 	key        string
 	count      uint64
 	err        uint64
@@ -44,13 +64,97 @@ type bucket struct {
 	prev, next *bucket
 }
 
+// digestTable is a fixed-size open-addressing map digest → *counter with
+// linear probing and backward-shift deletion. It is sized at construction
+// for a load factor ≤ ½ at full sketch capacity and never grows, so
+// lookups, inserts and deletes are allocation-free forever.
+type digestTable struct {
+	slots []*counter
+	mask  uint64
+}
+
+func newDigestTable(capacity int) digestTable {
+	size := 4
+	for size < 2*capacity {
+		size <<= 1
+	}
+	return digestTable{slots: make([]*counter, size), mask: uint64(size - 1)}
+}
+
+func (t *digestTable) get(d hashing.KeyDigest) *counter {
+	i := hashing.Mix64(d) & t.mask
+	for {
+		c := t.slots[i]
+		if c == nil {
+			return nil
+		}
+		if c.dig == d {
+			return c
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+func (t *digestTable) put(c *counter) {
+	i := hashing.Mix64(c.dig) & t.mask
+	for t.slots[i] != nil {
+		i = (i + 1) & t.mask
+	}
+	t.slots[i] = c
+}
+
+// del removes the entry for digest d, compacting the probe chain by
+// backward shifting so no tombstones accumulate.
+func (t *digestTable) del(d hashing.KeyDigest) {
+	i := hashing.Mix64(d) & t.mask
+	for {
+		c := t.slots[i]
+		if c == nil {
+			return // not present
+		}
+		if c.dig == d {
+			break
+		}
+		i = (i + 1) & t.mask
+	}
+	// Backward-shift: pull later entries of the probe chain into the hole
+	// when their home position precedes it.
+	hole := i
+	j := (i + 1) & t.mask
+	for {
+		c := t.slots[j]
+		if c == nil {
+			break
+		}
+		home := hashing.Mix64(c.dig) & t.mask
+		// c may move into the hole iff the hole lies cyclically within
+		// [home, j].
+		if (j-home)&t.mask >= (j-hole)&t.mask {
+			t.slots[hole] = c
+			hole = j
+		}
+		j = (j + 1) & t.mask
+	}
+	t.slots[hole] = nil
+}
+
+func (t *digestTable) reset() {
+	for i := range t.slots {
+		t.slots[i] = nil
+	}
+}
+
 // Summary is a SpaceSaving sketch. The zero value is not usable;
 // construct with New.
 type Summary struct {
 	capacity int
-	counters map[string]*counter
-	min      *bucket // lowest-count bucket
-	n        uint64  // stream length observed so far
+	len      int
+	table    digestTable
+	min      *bucket  // lowest-count bucket
+	max      *bucket  // highest-count bucket (for descending queries)
+	n        uint64   // stream length observed so far
+	free     *bucket  // recycled bucket nodes (linked via next)
+	last     *counter // memo of the last offered counter (hot-key fast path)
 }
 
 // New returns an empty Summary that monitors at most capacity keys.
@@ -63,7 +167,7 @@ func New(capacity int) *Summary {
 	}
 	return &Summary{
 		capacity: capacity,
-		counters: make(map[string]*counter, capacity),
+		table:    newDigestTable(capacity),
 	}
 }
 
@@ -74,68 +178,164 @@ func (s *Summary) Capacity() int { return s.capacity }
 func (s *Summary) N() uint64 { return s.n }
 
 // Len returns the number of currently monitored keys.
-func (s *Summary) Len() int { return len(s.counters) }
+func (s *Summary) Len() int { return s.len }
 
 // Offer feeds one occurrence of key to the sketch.
 func (s *Summary) Offer(key string) {
-	s.n++
-	if c, ok := s.counters[key]; ok {
-		s.increment(c)
-		return
+	s.OfferDigest(hashing.Digest(key), key)
+}
+
+// OfferDigest feeds one occurrence of the key identified by digest d,
+// with key retained for reporting if the key becomes monitored. It
+// returns the key's estimated count after the update (the key is always
+// monitored after an offer). This is the hot-path form: no key bytes are
+// scanned and nothing is allocated in steady state.
+func (s *Summary) OfferDigest(d hashing.KeyDigest, key string) uint64 {
+	return s.OfferDigestN(d, key, 1)
+}
+
+// OfferDigestN feeds r consecutive occurrences of one key, equivalent to
+// calling OfferDigest r times but with a single table lookup and a single
+// bucket relocation. Batched routing uses it to amortize sketch
+// maintenance over runs of identical keys. r must be positive.
+func (s *Summary) OfferDigestN(d hashing.KeyDigest, key string, r uint64) uint64 {
+	if r == 0 {
+		return 0
 	}
-	if len(s.counters) < s.capacity {
-		c := &counter{key: key}
-		s.counters[key] = c
-		s.attach(c, 1)
-		return
+	s.n += r
+	// Hot-key memo: a skewed stream offers the same counter most of the
+	// time; validating the stored digest makes the memo safe across
+	// evictions (an evicted counter is reassigned a new digest).
+	if c := s.last; c != nil && c.dig == d {
+		s.incrementBy(c, r)
+		return c.count
+	}
+	if c := s.table.get(d); c != nil {
+		s.last = c
+		s.incrementBy(c, r)
+		return c.count
+	}
+	if s.len < s.capacity {
+		c := &counter{dig: d, key: key}
+		s.len++
+		s.table.put(c)
+		s.attach(c, r)
+		s.last = c
+		return r
 	}
 	// Replace the minimum counter: the evicted key's count becomes the new
 	// key's overestimation error.
 	victim := s.min.head
-	delete(s.counters, victim.key)
+	s.table.del(victim.dig)
 	victim.err = victim.count
+	victim.dig = d
 	victim.key = key
-	s.counters[key] = victim
-	s.increment(victim)
+	s.table.put(victim)
+	s.incrementBy(victim, r)
+	s.last = victim
+	return victim.count
 }
 
-// increment moves counter c from its current bucket to the bucket for
-// count+1, creating or removing buckets as needed. O(1).
-func (s *Summary) increment(c *counter) {
+// newBucket takes a node from the free list or allocates one.
+func (s *Summary) newBucket(count uint64) *bucket {
+	if b := s.free; b != nil {
+		s.free = b.next
+		b.count = count
+		b.head = nil
+		b.prev, b.next = nil, nil
+		return b
+	}
+	return &bucket{count: count}
+}
+
+// recycle returns an unlinked, empty bucket to the free list.
+func (s *Summary) recycle(b *bucket) {
+	b.prev = nil
+	b.next = s.free
+	s.free = b
+}
+
+// incrementBy moves counter c from its current bucket to the bucket for
+// count+r, creating (from the free list) or removing buckets as needed.
+// O(1) for r = 1 plus a forward walk past buckets with counts below the
+// new value (short in practice: hot counters sit near the top).
+func (s *Summary) incrementBy(c *counter, r uint64) {
 	b := c.bucket
-	newCount := b.count + 1
+	newCount := b.count + r
+	// Fast path: c is alone in its bucket and the next bucket (if any)
+	// still has a higher count, so the bucket can absorb the increment in
+	// place — no relinking at all. This is the steady state of every hot
+	// key (its counter sits alone at or near the top of the list).
+	if b.head == c && c.next == nil && (b.next == nil || b.next.count > newCount) {
+		b.count = newCount
+		c.count = newCount
+		return
+	}
 	s.unlinkCounter(c)
 
-	dst := b.next
-	if dst == nil || dst.count != newCount {
-		nb := &bucket{count: newCount, prev: b, next: b.next}
-		if b.next != nil {
-			b.next.prev = nb
+	// Find the insertion point: the last bucket with count ≤ newCount.
+	at := b
+	for at.next != nil && at.next.count <= newCount {
+		at = at.next
+	}
+	var dst *bucket
+	if at.count == newCount {
+		dst = at
+	} else {
+		nb := s.newBucket(newCount)
+		nb.prev = at
+		nb.next = at.next
+		if at.next != nil {
+			at.next.prev = nb
+		} else {
+			s.max = nb
 		}
-		b.next = nb
+		at.next = nb
 		dst = nb
 	}
 	if b.head == nil {
 		s.unlinkBucket(b)
+		s.recycle(b)
 	}
 	c.count = newCount
 	s.pushCounter(dst, c)
 }
 
-// attach places a fresh counter into the bucket for the given count
-// (used only for count==1 inserts, so the target is at the front).
+// attach places a fresh counter into the bucket for the given count,
+// searching forward from the minimum (inserts happen at small counts).
 func (s *Summary) attach(c *counter, count uint64) {
 	c.count = count
 	b := s.min
-	if b == nil || b.count != count {
-		nb := &bucket{count: count, next: b}
+	if b == nil || b.count > count {
+		nb := s.newBucket(count)
+		nb.next = b
 		if b != nil {
 			b.prev = nb
+		} else {
+			s.max = nb
 		}
 		s.min = nb
-		b = nb
+		s.pushCounter(nb, c)
+		return
 	}
-	s.pushCounter(b, c)
+	at := b
+	for at.next != nil && at.next.count <= count {
+		at = at.next
+	}
+	if at.count == count {
+		s.pushCounter(at, c)
+		return
+	}
+	nb := s.newBucket(count)
+	nb.prev = at
+	nb.next = at.next
+	if at.next != nil {
+		at.next.prev = nb
+	} else {
+		s.max = nb
+	}
+	at.next = nb
+	s.pushCounter(nb, c)
 }
 
 func (s *Summary) pushCounter(b *bucket, c *counter) {
@@ -168,14 +368,21 @@ func (s *Summary) unlinkBucket(b *bucket) {
 	}
 	if b.next != nil {
 		b.next.prev = b.prev
+	} else {
+		s.max = b.prev
 	}
 }
 
 // Count returns the estimated count and maximum error for key, and whether
 // the key is currently monitored.
 func (s *Summary) Count(key string) (count, err uint64, ok bool) {
-	c, ok := s.counters[key]
-	if !ok {
+	return s.CountDigest(hashing.Digest(key))
+}
+
+// CountDigest is Count keyed by a pre-computed digest: the hot-path form.
+func (s *Summary) CountDigest(d hashing.KeyDigest) (count, err uint64, ok bool) {
+	c := s.table.get(d)
+	if c == nil {
 		return 0, 0, false
 	}
 	return c.count, c.err, true
@@ -184,11 +391,11 @@ func (s *Summary) Count(key string) (count, err uint64, ok bool) {
 // EstFreq returns the estimated relative frequency of key (0 if the key is
 // not monitored or the stream is empty).
 func (s *Summary) EstFreq(key string) float64 {
-	c, ok := s.counters[key]
+	c, _, ok := s.CountDigest(hashing.Digest(key))
 	if !ok || s.n == 0 {
 		return 0
 	}
-	return float64(c.count) / float64(s.n)
+	return float64(c) / float64(s.n)
 }
 
 // MinCount returns the smallest monitored count; any unmonitored key's
@@ -203,7 +410,7 @@ func (s *Summary) MinCount() uint64 {
 // Entries returns all monitored keys sorted by descending estimated count
 // (ties broken by key for determinism).
 func (s *Summary) Entries() []Entry {
-	out := make([]Entry, 0, len(s.counters))
+	out := make([]Entry, 0, s.len)
 	for b := s.min; b != nil; b = b.next {
 		for c := b.head; c != nil; c = c.next {
 			out = append(out, Entry{Key: c.key, Count: c.count, Err: c.err})
@@ -237,15 +444,45 @@ func (s *Summary) HeavyHitters(theta float64) []Entry {
 		return nil
 	}
 	thr := theta * float64(s.n)
-	e := s.Entries()
-	cut := len(e)
-	for i, en := range e {
-		if float64(en.Count) < thr {
-			cut = i
-			break
+	// Walk buckets from the top down: the head is a handful of entries,
+	// so this is O(|head|) instead of sorting all monitored keys. The
+	// bucket order gives descending counts; ties are key-sorted within
+	// each bucket for determinism.
+	var out []Entry
+	for b := s.max; b != nil && float64(b.count) >= thr; b = b.prev {
+		start := len(out)
+		for c := b.head; c != nil; c = c.next {
+			out = append(out, Entry{Key: c.key, Count: c.count, Err: c.err})
+		}
+		grp := out[start:]
+		sort.Slice(grp, func(i, j int) bool { return grp[i].Key < grp[j].Key })
+	}
+	return out
+}
+
+// mergedEntry pairs an Entry with its digest during Merge.
+type mergedEntry struct {
+	dig        hashing.KeyDigest
+	key        string
+	count, err uint64
+}
+
+// entriesWithDigests returns the monitored entries with their digests,
+// in the deterministic Entries order.
+func (s *Summary) entriesWithDigests() []mergedEntry {
+	out := make([]mergedEntry, 0, s.len)
+	for b := s.min; b != nil; b = b.next {
+		for c := b.head; c != nil; c = c.next {
+			out = append(out, mergedEntry{dig: c.dig, key: c.key, count: c.count, err: c.err})
 		}
 	}
-	return e[:cut]
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].count != out[j].count {
+			return out[i].count > out[j].count
+		}
+		return out[i].key < out[j].key
+	})
+	return out
 }
 
 // Merge combines s with other into a new Summary with s's capacity,
@@ -255,37 +492,35 @@ func (s *Summary) HeavyHitters(theta float64) []Entry {
 // Both inputs are left unmodified. The merged sketch preserves the
 // SpaceSaving guarantee est−err ≤ true ≤ est.
 func (s *Summary) Merge(other *Summary) *Summary {
-	type acc struct{ count, err uint64 }
-	merged := make(map[string]acc, len(s.counters)+other.Len())
 	sMin, oMin := s.MinCount(), other.MinCount()
 
-	for _, e := range s.Entries() {
-		merged[e.Key] = acc{count: e.Count, err: e.Err}
-	}
-	for _, e := range other.Entries() {
-		if a, ok := merged[e.Key]; ok {
-			merged[e.Key] = acc{count: a.count + e.Count, err: a.err + e.Err}
+	entries := make([]mergedEntry, 0, s.len+other.len)
+	for _, e := range s.entriesWithDigests() {
+		if oc := other.table.get(e.dig); oc != nil {
+			e.count += oc.count
+			e.err += oc.err
 		} else {
-			// Unknown to s: its true count there is ≤ sMin.
-			merged[e.Key] = acc{count: e.Count + sMin, err: e.Err + sMin}
+			// Unknown to other: its true count there is ≤ oMin.
+			e.count += oMin
+			e.err += oMin
 		}
+		entries = append(entries, e)
 	}
-	for _, e := range s.Entries() {
-		if _, seen := other.counters[e.Key]; !seen {
-			a := merged[e.Key]
-			merged[e.Key] = acc{count: a.count + oMin, err: a.err + oMin}
+	for _, e := range other.entriesWithDigests() {
+		if s.table.get(e.dig) != nil {
+			continue // already merged above
 		}
+		// Unknown to s: its true count there is ≤ sMin.
+		e.count += sMin
+		e.err += sMin
+		entries = append(entries, e)
 	}
 
-	entries := make([]Entry, 0, len(merged))
-	for k, a := range merged {
-		entries = append(entries, Entry{Key: k, Count: a.count, Err: a.err})
-	}
 	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].Count != entries[j].Count {
-			return entries[i].Count > entries[j].Count
+		if entries[i].count != entries[j].count {
+			return entries[i].count > entries[j].count
 		}
-		return entries[i].Key < entries[j].Key
+		return entries[i].key < entries[j].key
 	})
 	if len(entries) > s.capacity {
 		entries = entries[:s.capacity]
@@ -294,36 +529,36 @@ func (s *Summary) Merge(other *Summary) *Summary {
 	out := New(s.capacity)
 	out.n = s.n + other.n
 	// Rebuild the bucket structure from the retained entries (ascending
-	// insert keeps bucket list ordered).
+	// insert keeps the bucket list ordered).
 	for i := len(entries) - 1; i >= 0; i-- {
 		e := entries[i]
-		c := &counter{key: e.Key, err: e.Err}
-		out.counters[e.Key] = c
-		out.attachSorted(c, e.Count)
+		c := &counter{dig: e.dig, key: e.key, err: e.err}
+		out.len++
+		out.table.put(c)
+		out.attachSorted(c, e.count)
 	}
 	return out
 }
 
 // attachSorted inserts a counter with an arbitrary count assuming counts
-// arrive in non-decreasing order (used by Merge's rebuild).
+// arrive in non-decreasing order (used by Merge's and Clone's rebuild).
 func (s *Summary) attachSorted(c *counter, count uint64) {
 	c.count = count
-	// Find the last bucket (counts arrive ascending, so target is at or
-	// after the current maximum bucket).
-	var last *bucket
-	for b := s.min; b != nil; b = b.next {
-		last = b
-	}
+	// Counts arrive ascending, so the target is the maximum bucket or a
+	// new bucket after it.
+	last := s.max
 	if last != nil && last.count == count {
 		s.pushCounter(last, c)
 		return
 	}
-	nb := &bucket{count: count, prev: last}
+	nb := s.newBucket(count)
+	nb.prev = last
 	if last != nil {
 		last.next = nb
 	} else {
 		s.min = nb
 	}
+	s.max = nb
 	s.pushCounter(nb, c)
 }
 
@@ -331,19 +566,30 @@ func (s *Summary) attachSorted(c *counter, count uint64) {
 func (s *Summary) Clone() *Summary {
 	out := New(s.capacity)
 	out.n = s.n
-	entries := s.Entries()
+	entries := s.entriesWithDigests()
 	for i := len(entries) - 1; i >= 0; i-- {
 		e := entries[i]
-		c := &counter{key: e.Key, err: e.Err}
-		out.counters[e.Key] = c
-		out.attachSorted(c, e.Count)
+		c := &counter{dig: e.dig, key: e.key, err: e.err}
+		out.len++
+		out.table.put(c)
+		out.attachSorted(c, e.count)
 	}
 	return out
 }
 
-// Reset clears the sketch to its freshly-constructed state.
+// Reset clears the sketch to its freshly-constructed state, retaining
+// the table storage and recycling all bucket nodes.
 func (s *Summary) Reset() {
-	s.counters = make(map[string]*counter, s.capacity)
+	s.table.reset()
+	for b := s.min; b != nil; {
+		next := b.next
+		b.head = nil
+		s.recycle(b)
+		b = next
+	}
 	s.min = nil
+	s.max = nil
+	s.len = 0
 	s.n = 0
+	s.last = nil
 }

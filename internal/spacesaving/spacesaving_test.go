@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"slb/internal/hashing"
 )
 
 func TestNewPanicsOnBadCapacity(t *testing.T) {
@@ -277,6 +279,13 @@ func TestStructureInvariant(t *testing.T) {
 		}
 		seen := 0
 		var prevCount uint64
+		var last *bucket
+		for b := s.min; b != nil; b = b.next {
+			last = b
+		}
+		if s.max != last {
+			return false // max pointer out of sync
+		}
 		for b := s.min; b != nil; b = b.next {
 			if b.count <= prevCount {
 				return false
@@ -289,16 +298,94 @@ func TestStructureInvariant(t *testing.T) {
 				if c.bucket != b || c.count != b.count {
 					return false
 				}
-				if s.counters[c.key] != c {
+				if s.table.get(c.dig) != c {
 					return false
 				}
 				seen++
 			}
 		}
-		return seen == len(s.counters)
+		return seen == s.Len()
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestOfferDigestMatchesOffer(t *testing.T) {
+	// The digest-keyed hot path and the string wrapper must build
+	// identical sketches over an eviction-heavy stream.
+	a, b := New(8), New(8)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 5000; i++ {
+		k := fmt.Sprintf("dk%d", rng.Intn(200))
+		a.Offer(k)
+		b.OfferDigest(hashing.Digest(k), k)
+	}
+	ea, eb := a.Entries(), b.Entries()
+	if len(ea) != len(eb) {
+		t.Fatalf("entry counts differ: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("entry %d differs: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+}
+
+func TestOfferDigestNMatchesRepeatedOffers(t *testing.T) {
+	// OfferDigestN(d, key, r) must be indistinguishable from r calls to
+	// Offer(key), across monitored, fresh-insert and eviction cases.
+	prop := func(raw []uint16) bool {
+		a, b := New(4), New(4)
+		for _, v := range raw {
+			k := fmt.Sprintf("r%d", v%16)
+			r := uint64(v%5) + 1
+			d := hashing.Digest(k)
+			for j := uint64(0); j < r; j++ {
+				a.OfferDigest(d, k)
+			}
+			b.OfferDigestN(d, k, r)
+			if a.N() != b.N() || a.MinCount() != b.MinCount() {
+				return false
+			}
+		}
+		ea, eb := a.Entries(), b.Entries()
+		if len(ea) != len(eb) {
+			return false
+		}
+		for i := range ea {
+			if ea[i] != eb[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOfferSteadyStateDoesNotAllocate(t *testing.T) {
+	// After warmup (sketch at capacity, bucket free-list primed), the
+	// offer path must not allocate even under constant eviction churn.
+	s := New(64)
+	keys := make([]string, 4096)
+	digs := make([]hashing.KeyDigest, 4096)
+	rng := rand.New(rand.NewSource(7))
+	for i := range keys {
+		keys[i] = fmt.Sprintf("alloc%d", rng.Intn(1024))
+		digs[i] = hashing.Digest(keys[i])
+	}
+	for i := range keys {
+		s.OfferDigest(digs[i], keys[i]) // warmup: fill capacity, prime pools
+	}
+	i := 0
+	avg := testing.AllocsPerRun(2000, func() {
+		s.OfferDigest(digs[i&4095], keys[i&4095])
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state OfferDigest allocates %.3f allocs/op, want 0", avg)
 	}
 }
 
@@ -309,5 +396,19 @@ func BenchmarkOffer(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Offer(stream[i&(1<<16-1)])
+	}
+}
+
+func BenchmarkOfferDigest(b *testing.B) {
+	stream := zipfStream(b, 1<<16, 9, 1.2, 10000)
+	digs := make([]hashing.KeyDigest, len(stream))
+	for i, k := range stream {
+		digs[i] = hashing.Digest(k)
+	}
+	s := New(200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.OfferDigest(digs[i&(1<<16-1)], stream[i&(1<<16-1)])
 	}
 }

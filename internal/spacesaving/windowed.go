@@ -1,5 +1,7 @@
 package spacesaving
 
+import "slb/internal/hashing"
+
 // Windowed is a two-generation SpaceSaving sketch for drifting streams:
 // offers go to the current generation, and once it has absorbed
 // `window` items it becomes the previous generation and a fresh one
@@ -38,7 +40,13 @@ func (w *Windowed) Window() uint64 { return w.window }
 
 // Offer feeds one occurrence of key, rotating generations as needed.
 func (w *Windowed) Offer(key string) {
-	w.cur.Offer(key)
+	w.OfferDigest(hashing.Digest(key), key)
+}
+
+// OfferDigest is Offer keyed by a pre-computed digest (the hot-path
+// form; key is retained only if it becomes monitored).
+func (w *Windowed) OfferDigest(d hashing.KeyDigest, key string) {
+	w.cur.OfferDigest(d, key)
 	if w.cur.N() >= w.window {
 		w.prev = w.cur
 		w.cur = New(w.capacity)
@@ -57,11 +65,16 @@ func (w *Windowed) N() uint64 {
 
 // Count returns the combined estimate for key over the covered window.
 func (w *Windowed) Count(key string) (count, err uint64, ok bool) {
-	c1, e1, ok1 := w.cur.Count(key)
+	return w.CountDigest(hashing.Digest(key))
+}
+
+// CountDigest is Count keyed by a pre-computed digest.
+func (w *Windowed) CountDigest(d hashing.KeyDigest) (count, err uint64, ok bool) {
+	c1, e1, ok1 := w.cur.CountDigest(d)
 	var c2, e2 uint64
 	var ok2 bool
 	if w.prev != nil {
-		c2, e2, ok2 = w.prev.Count(key)
+		c2, e2, ok2 = w.prev.CountDigest(d)
 	}
 	if !ok1 && !ok2 {
 		return 0, 0, false

@@ -25,6 +25,35 @@ type Generator interface {
 	Reset()
 }
 
+// BatchGenerator is implemented by generators with a batched emission
+// fast path: NextBatch fills dst with the next keys of exactly the same
+// sequence Next would produce, amortizing per-message call overhead.
+// All generators in this module implement it; use the NextBatch helper
+// to drive any Generator.
+type BatchGenerator interface {
+	Generator
+	// NextBatch fills up to len(dst) keys into dst and returns how many
+	// were produced; 0 means the stream is exhausted (when len(dst) > 0).
+	NextBatch(dst []string) int
+}
+
+// NextBatch pulls up to len(dst) keys from gen, using its native batch
+// path when available and falling back to per-message Next otherwise.
+// It returns the number of keys filled; 0 means exhausted.
+func NextBatch(gen Generator, dst []string) int {
+	if bg, ok := gen.(BatchGenerator); ok {
+		return bg.NextBatch(dst)
+	}
+	for i := range dst {
+		k, ok := gen.Next()
+		if !ok {
+			return i
+		}
+		dst[i] = k
+	}
+	return len(dst)
+}
+
 // Stats summarizes a key stream: the columns of Table I.
 type Stats struct {
 	Messages int64   // number of messages m
@@ -40,13 +69,16 @@ func Collect(gen Generator) Stats {
 	gen.Reset()
 	counts := make(map[string]int64)
 	var m int64
+	buf := make([]string, 512)
 	for {
-		k, ok := gen.Next()
-		if !ok {
+		n := NextBatch(gen, buf)
+		if n == 0 {
 			break
 		}
-		counts[k]++
-		m++
+		for _, k := range buf[:n] {
+			counts[k]++
+		}
+		m += int64(n)
 	}
 	gen.Reset()
 	var top string
@@ -85,6 +117,13 @@ func (g *SliceGenerator) Next() (string, bool) {
 	return k, true
 }
 
+// NextBatch implements BatchGenerator.
+func (g *SliceGenerator) NextBatch(dst []string) int {
+	n := copy(dst, g.keys[g.pos:])
+	g.pos += n
+	return n
+}
+
 // Len implements Generator.
 func (g *SliceGenerator) Len() int64 { return int64(len(g.keys)) }
 
@@ -116,6 +155,20 @@ func (l *Limit) Next() (string, bool) {
 	return k, true
 }
 
+// NextBatch implements BatchGenerator.
+func (l *Limit) NextBatch(dst []string) int {
+	room := l.n - l.seen
+	if room <= 0 {
+		return 0
+	}
+	if int64(len(dst)) > room {
+		dst = dst[:room]
+	}
+	n := NextBatch(l.gen, dst)
+	l.seen += int64(n)
+	return n
+}
+
 // Len implements Generator.
 func (l *Limit) Len() int64 {
 	if inner := l.gen.Len(); inner < l.n {
@@ -128,4 +181,41 @@ func (l *Limit) Len() int64 {
 func (l *Limit) Reset() {
 	l.gen.Reset()
 	l.seen = 0
+}
+
+var (
+	_ BatchGenerator = (*SliceGenerator)(nil)
+	_ BatchGenerator = (*Limit)(nil)
+)
+
+// Puller adapts a Generator to per-message consumption through an
+// internal prefetch slab, so engines that must pull one key at a time
+// (e.g. a discrete-event loop) still drive the batch emission path.
+// The sequence is exactly the generator's.
+type Puller struct {
+	gen    Generator
+	buf    []string
+	pos, n int
+}
+
+// NewPuller returns a Puller with the given prefetch slab size.
+func NewPuller(gen Generator, slab int) *Puller {
+	if slab <= 0 {
+		slab = 256
+	}
+	return &Puller{gen: gen, buf: make([]string, slab)}
+}
+
+// Next returns the next key of the underlying stream.
+func (p *Puller) Next() (string, bool) {
+	if p.pos == p.n {
+		p.n = NextBatch(p.gen, p.buf)
+		p.pos = 0
+		if p.n == 0 {
+			return "", false
+		}
+	}
+	k := p.buf[p.pos]
+	p.pos++
+	return k, true
 }

@@ -101,3 +101,54 @@ func TestCollectCountsProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// onlyNext hides the batch method of an inner generator, forcing the
+// NextBatch helper onto its per-message fallback.
+type onlyNext struct{ g Generator }
+
+func (o onlyNext) Next() (string, bool) { return o.g.Next() }
+func (o onlyNext) Len() int64           { return o.g.Len() }
+func (o onlyNext) Reset()               { o.g.Reset() }
+
+func TestNextBatchMatchesNext(t *testing.T) {
+	keys := []string{"a", "b", "a", "c", "d", "a", "e"}
+	mk := []struct {
+		name string
+		gen  func() Generator
+	}{
+		{"slice", func() Generator { return FromSlice(keys) }},
+		{"limit", func() Generator { return NewLimit(FromSlice(keys), 5) }},
+		{"fallback", func() Generator { return onlyNext{FromSlice(keys)} }},
+	}
+	for _, tc := range mk {
+		for _, bs := range []int{1, 2, 3, 100} {
+			seq := tc.gen()
+			bat := tc.gen()
+			var want []string
+			for {
+				k, ok := seq.Next()
+				if !ok {
+					break
+				}
+				want = append(want, k)
+			}
+			var got []string
+			buf := make([]string, bs)
+			for {
+				n := NextBatch(bat, buf)
+				if n == 0 {
+					break
+				}
+				got = append(got, buf[:n]...)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s bs=%d: batch emitted %d keys, want %d", tc.name, bs, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s bs=%d: key %d = %q, want %q", tc.name, bs, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

@@ -222,6 +222,11 @@ func (g *BytesGenerator) Next() (string, bool) {
 	return k, true
 }
 
+// NextBatch implements stream.BatchGenerator.
+func (g *BytesGenerator) NextBatch(dst []string) int {
+	return readerBatch(g.r, dst)
+}
+
 // Len implements stream.Generator.
 func (g *BytesGenerator) Len() int64 { return g.r.declared }
 
@@ -276,6 +281,24 @@ func (g *FileGenerator) Next() (string, bool) {
 	return k, true
 }
 
+// NextBatch implements stream.BatchGenerator.
+func (g *FileGenerator) NextBatch(dst []string) int {
+	return readerBatch(g.r, dst)
+}
+
+// readerBatch fills dst by repeated decode; errors (including EOF) end
+// the stream.
+func readerBatch(r *Reader, dst []string) int {
+	for i := range dst {
+		k, err := r.Next()
+		if err != nil {
+			return i
+		}
+		dst[i] = k
+	}
+	return len(dst)
+}
+
 // Len implements stream.Generator.
 func (g *FileGenerator) Len() int64 { return g.r.declared }
 
@@ -299,6 +322,6 @@ func (g *FileGenerator) Close() error {
 }
 
 var (
-	_ stream.Generator = (*BytesGenerator)(nil)
-	_ stream.Generator = (*FileGenerator)(nil)
+	_ stream.BatchGenerator = (*BytesGenerator)(nil)
+	_ stream.BatchGenerator = (*FileGenerator)(nil)
 )

@@ -225,3 +225,40 @@ func TestRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestGeneratorNextBatchMatchesNext(t *testing.T) {
+	gen := workload.NewZipf(1.4, 300, 5000, 3)
+	var buf bytes.Buffer
+	if _, err := Write(&buf, gen); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := NewBytesGenerator(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bat, err := NewBytesGenerator(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slab := make([]string, 129)
+	var pos int
+	for {
+		n := bat.NextBatch(slab)
+		if n == 0 {
+			break
+		}
+		for i := 0; i < n; i++ {
+			want, ok := seq.Next()
+			if !ok {
+				t.Fatalf("sequential trace ended early at %d", pos)
+			}
+			if slab[i] != want {
+				t.Fatalf("message %d = %q, want %q", pos, slab[i], want)
+			}
+			pos++
+		}
+	}
+	if _, ok := seq.Next(); ok {
+		t.Fatal("batch trace ended early")
+	}
+}

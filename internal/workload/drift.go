@@ -48,6 +48,25 @@ func (d *Drift) Next() (string, bool) {
 	return d.keys[id], true
 }
 
+// NextBatch implements stream.BatchGenerator. The epoch is derived per
+// message (a batch may straddle an epoch boundary), so identity
+// rotation matches Next exactly.
+func (d *Drift) NextBatch(dst []string) int {
+	filled := 0
+	for filled < len(dst) {
+		rank, ok := d.zipf.NextRank()
+		if !ok {
+			break
+		}
+		epoch := d.emitted / d.epochLen
+		d.emitted++
+		id := (rank + int(epoch)*d.stride) % len(d.keys)
+		dst[filled] = d.keys[id]
+		filled++
+	}
+	return filled
+}
+
 // Len implements stream.Generator.
 func (d *Drift) Len() int64 { return d.zipf.Len() }
 
@@ -62,4 +81,4 @@ func (d *Drift) Epochs() int64 {
 	return (d.zipf.Len() + d.epochLen - 1) / d.epochLen
 }
 
-var _ stream.Generator = (*Drift)(nil)
+var _ stream.BatchGenerator = (*Drift)(nil)

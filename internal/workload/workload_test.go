@@ -335,3 +335,38 @@ func BenchmarkZipfNext(b *testing.B) {
 		g.Next()
 	}
 }
+
+func TestNextBatchMatchesNextAcrossGenerators(t *testing.T) {
+	mk := []struct {
+		name string
+		gen  func() stream.Generator
+	}{
+		{"zipf", func() stream.Generator { return NewZipf(1.6, 500, 4003, 9) }},
+		{"drift", func() stream.Generator { return NewDrift(1.6, 500, 4003, 512, 37, 9) }},
+	}
+	for _, tc := range mk {
+		seq := tc.gen()
+		bat := tc.gen().(stream.BatchGenerator)
+		buf := make([]string, 97) // odd batch size to cross epoch boundaries
+		var pos int64
+		for {
+			n := bat.NextBatch(buf)
+			if n == 0 {
+				break
+			}
+			for i := 0; i < n; i++ {
+				want, ok := seq.Next()
+				if !ok {
+					t.Fatalf("%s: sequential stream ended early at %d", tc.name, pos)
+				}
+				if buf[i] != want {
+					t.Fatalf("%s: message %d = %q, want %q", tc.name, pos, buf[i], want)
+				}
+				pos++
+			}
+		}
+		if _, ok := seq.Next(); ok {
+			t.Fatalf("%s: batch stream ended early at %d", tc.name, pos)
+		}
+	}
+}

@@ -126,6 +126,24 @@ func (g *Zipf) Next() (string, bool) {
 	return g.keys[g.alias.Sample(g.rng)], true
 }
 
+// NextBatch implements stream.BatchGenerator: it fills dst with up to
+// len(dst) keys in one call — the same sequence Next would emit — with
+// one bounds check and no interface dispatch per message.
+func (g *Zipf) NextBatch(dst []string) int {
+	room := g.messages - g.emitted
+	if room <= 0 {
+		return 0
+	}
+	if int64(len(dst)) > room {
+		dst = dst[:room]
+	}
+	for i := range dst {
+		dst[i] = g.keys[g.alias.Sample(g.rng)]
+	}
+	g.emitted += int64(len(dst))
+	return len(dst)
+}
+
 // NextRank draws the next key's rank without formatting the key string;
 // used by engines that route on ranks for speed.
 func (g *Zipf) NextRank() (int, bool) {
@@ -152,4 +170,4 @@ func (g *Zipf) Probs() []float64 { return g.probs }
 // KeyName returns the key string for a rank, matching what Next emits.
 func (g *Zipf) KeyName(rank int) string { return g.keys[rank] }
 
-var _ stream.Generator = (*Zipf)(nil)
+var _ stream.BatchGenerator = (*Zipf)(nil)

@@ -24,9 +24,35 @@
 //
 // # Quick start
 //
+// The hot path is batched end to end: draw a slab of keys from a
+// generator and route it in one call. Every message is hashed exactly
+// once into a 64-bit KeyDigest; candidate workers, the heavy-hitter
+// sketch and both engines all operate on that digest.
+//
 //	cfg := slb.Config{Workers: 50, Seed: 42}
 //	p := slb.NewDChoices(cfg)
+//	gen := slb.NewZipfStream(2.0, 100_000, 1_000_000, 42)
+//
+//	keys := make([]string, 512)
+//	dst := make([]int, 512)
+//	for {
+//		n := slb.NextBatch(gen, keys)
+//		if n == 0 {
+//			break
+//		}
+//		slb.RouteBatch(p, keys[:n], dst)
+//		// dst[i] is the worker for keys[i], identical to p.Route(keys[i])
+//	}
+//
+// The per-message form remains for single tuples:
+//
 //	worker := p.Route("some-key") // → 0..49, state updated
+//
+// RouteBatch makes exactly the decisions per-message Route would — the
+// batch is an amortization, not an approximation. Steady-state routing
+// allocates nothing for every algorithm; the one exception is
+// D-Choices' periodic d-solver, which allocates a few hundred bytes
+// once per Config.SolveEvery messages (amortized ≈ 0 per message).
 //
 // Each Partitioner instance embodies one sender: load estimates are
 // sender-local (no coordination), exactly as in the paper. To compare
@@ -51,6 +77,26 @@ import (
 
 // Partitioner routes each message of a keyed stream to one of n workers.
 type Partitioner = core.Partitioner
+
+// BatchPartitioner is a Partitioner with a batched fast path: RouteBatch
+// routes a slab of keys making the same decision for every message that
+// per-message Route would. All partitioners in this module implement it.
+type BatchPartitioner = core.BatchPartitioner
+
+// KeyDigest is the canonical 64-bit digest of a key: every message is
+// hashed once, and all routing layers (candidate choice, sketches,
+// engines) identify keys by digest. Same digest → same candidates, on
+// every sender.
+type KeyDigest = core.KeyDigest
+
+// DigestKey returns the canonical digest of a key (one scan of its
+// bytes).
+func DigestKey(key string) KeyDigest { return core.Digest(key) }
+
+// RouteBatch routes keys[i] to dst[i] through p, using its native batch
+// path when available and falling back to per-message Route otherwise.
+// dst must be at least as long as keys.
+func RouteBatch(p Partitioner, keys []string, dst []int) { core.RouteBatch(p, keys, dst) }
 
 // Config carries the partitioner parameters (Table III of the paper):
 // worker count, hash seed, head threshold θ (default 1/(5n)), solver
@@ -90,6 +136,14 @@ func NewRoundRobin(cfg Config) Partitioner { return core.NewRoundRobin(cfg) }
 
 // Generator produces a finite, deterministic key stream.
 type Generator = stream.Generator
+
+// BatchGenerator is a Generator with a batched emission fast path. All
+// generators in this module implement it.
+type BatchGenerator = stream.BatchGenerator
+
+// NextBatch pulls up to len(dst) keys from gen (batched when the
+// generator supports it) and returns the count; 0 means exhausted.
+func NextBatch(gen Generator, dst []string) int { return stream.NextBatch(gen, dst) }
 
 // Stats summarizes a stream (Table I columns: messages, keys, p1).
 type Stats = stream.Stats

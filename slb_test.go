@@ -138,6 +138,106 @@ func TestFacadeAnalysis(t *testing.T) {
 	}
 }
 
+// TestDeterministicRoutingBothAPIs pins the determinism and parity
+// contract of the routing layer: routing one seeded stream twice
+// through fresh partitioners yields identical worker sequences, via the
+// per-message API, via the batch API, and across the two APIs — for
+// every algorithm.
+func TestDeterministicRoutingBothAPIs(t *testing.T) {
+	const (
+		workers = 50
+		batch   = 256
+	)
+	for _, algo := range slb.Algorithms {
+		mkKeys := func() []string {
+			gen := slb.NewZipfStream(2.0, 1000, 20_000, 99)
+			keys := make([]string, 0, 20_000)
+			buf := make([]string, batch)
+			for {
+				n := slb.NextBatch(gen, buf)
+				if n == 0 {
+					break
+				}
+				keys = append(keys, buf[:n]...)
+			}
+			return keys
+		}
+		keys := mkKeys()
+		if len(keys) != 20_000 {
+			t.Fatalf("stream materialized %d keys", len(keys))
+		}
+
+		routeSeq := func() []int {
+			p, err := slb.New(algo, slb.Config{Workers: workers, Seed: 99})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := make([]int, len(keys))
+			for i, k := range keys {
+				out[i] = p.Route(k)
+			}
+			return out
+		}
+		routeBat := func() []int {
+			p, err := slb.New(algo, slb.Config{Workers: workers, Seed: 99})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := make([]int, len(keys))
+			dst := make([]int, batch)
+			for i := 0; i < len(keys); i += batch {
+				end := i + batch
+				if end > len(keys) {
+					end = len(keys)
+				}
+				slb.RouteBatch(p, keys[i:end], dst)
+				copy(out[i:end], dst[:end-i])
+			}
+			return out
+		}
+
+		a, b := routeSeq(), routeSeq()
+		c, d := routeBat(), routeBat()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: Route not deterministic at message %d", algo, i)
+			}
+			if c[i] != d[i] {
+				t.Fatalf("%s: RouteBatch not deterministic at message %d", algo, i)
+			}
+			if a[i] != c[i] {
+				t.Fatalf("%s: Route and RouteBatch diverge at message %d: %d vs %d",
+					algo, i, a[i], c[i])
+			}
+		}
+	}
+}
+
+// TestFacadeBatchAPI exercises the batch entry points through the
+// facade.
+func TestFacadeBatchAPI(t *testing.T) {
+	if slb.DigestKey("x") != slb.DigestKey("x") || slb.DigestKey("x") == slb.DigestKey("y") {
+		t.Fatal("DigestKey broken")
+	}
+	p := slb.NewPKG(slb.Config{Workers: 8, Seed: 1})
+	if _, ok := p.(slb.BatchPartitioner); !ok {
+		t.Fatal("PKG does not implement BatchPartitioner through the facade")
+	}
+	keys := []string{"a", "b", "a"}
+	dst := make([]int, 3)
+	slb.RouteBatch(p, keys, dst)
+	for _, w := range dst {
+		if w < 0 || w >= 8 {
+			t.Fatalf("RouteBatch out of range: %v", dst)
+		}
+	}
+	gen := slb.StreamFromKeys(keys)
+	buf := make([]string, 2)
+	if n := slb.NextBatch(gen, buf); n != 2 || buf[0] != "a" || buf[1] != "b" {
+		t.Fatalf("NextBatch = %d %v", n, buf)
+	}
+}
+
 // ExampleSimulate demonstrates the headline comparison: PKG versus
 // D-Choices on a heavily skewed stream at scale.
 func ExampleSimulate() {
