@@ -1,0 +1,289 @@
+package aggregation
+
+import (
+	"fmt"
+	"testing"
+
+	"slb/internal/core"
+	"slb/internal/hashing"
+	"slb/internal/stream"
+	"slb/internal/workload"
+)
+
+// runTwoPhase routes gen through per-source partitioners of the named
+// algorithm, accumulates per-worker windowed partials (window =
+// emission index / windowSize), flushes on watermark advance, merges at
+// a single reducer and returns the finals plus the reducer stats.
+func runTwoPhase(t *testing.T, gen stream.Generator, algo string, workers, sources int, windowSize int64) ([]Final, ReducerStats) {
+	t.Helper()
+	parts := make([]core.Partitioner, sources)
+	for i := range parts {
+		p, err := core.New(algo, core.Config{Workers: workers, Seed: 99, Instance: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts[i] = p
+	}
+	accs := make([]*Accumulator, workers)
+	for i := range accs {
+		accs[i] = NewAccumulator(i)
+	}
+	red := NewReducer()
+	var buf []Partial
+
+	gen.Reset()
+	var idx int64
+	src := 0
+	for {
+		key, ok := gen.Next()
+		if !ok {
+			break
+		}
+		window := idx / windowSize
+		w := parts[src].Route(key)
+		acc := accs[w]
+		if wm, ok := acc.Watermark(); ok && window > wm {
+			// The worker sees a later window: flush everything below it.
+			buf = red.mergeFlush(acc, window, buf)
+		}
+		acc.Add(window, hashing.Digest(key), key)
+		idx++
+		src = (src + 1) % sources
+	}
+	for _, acc := range accs {
+		buf = red.mergeFlush(acc, 1<<62, buf)
+	}
+	finals := red.CloseAll(nil)
+	return finals, red.Stats()
+}
+
+// mergeFlush drains acc's windows below w straight into the reducer.
+func (r *Reducer) mergeFlush(acc *Accumulator, w int64, buf []Partial) []Partial {
+	buf = acc.FlushBefore(w, buf[:0])
+	r.Merge(buf)
+	return buf
+}
+
+// groundTruth is the single-node KG reference: exact per-(window, key)
+// counts of the stream.
+func groundTruth(gen stream.Generator, windowSize int64) map[int64]map[string]int64 {
+	gen.Reset()
+	truth := make(map[int64]map[string]int64)
+	var idx int64
+	for {
+		key, ok := gen.Next()
+		if !ok {
+			break
+		}
+		w := idx / windowSize
+		m := truth[w]
+		if m == nil {
+			m = make(map[string]int64)
+			truth[w] = m
+		}
+		m[key]++
+		idx++
+	}
+	gen.Reset()
+	return truth
+}
+
+func checkExact(t *testing.T, finals []Final, truth map[int64]map[string]int64) {
+	t.Helper()
+	got := make(map[int64]map[string]int64)
+	for _, f := range finals {
+		m := got[f.Window]
+		if m == nil {
+			m = make(map[string]int64)
+			got[f.Window] = m
+		}
+		if _, dup := m[f.Key]; dup {
+			t.Fatalf("window %d key %q finalized twice", f.Window, f.Key)
+		}
+		m[f.Key] = f.Count
+	}
+	if len(got) != len(truth) {
+		t.Fatalf("got %d windows, want %d", len(got), len(truth))
+	}
+	for w, wantKeys := range truth {
+		gotKeys := got[w]
+		if len(gotKeys) != len(wantKeys) {
+			t.Fatalf("window %d: got %d keys, want %d", w, len(gotKeys), len(wantKeys))
+		}
+		for k, want := range wantKeys {
+			if gotKeys[k] != want {
+				t.Fatalf("window %d key %q: got %d, want %d", w, k, gotKeys[k], want)
+			}
+		}
+	}
+}
+
+// TestWindowCloseExactness: for every algorithm, the sum of partials
+// merged at the reducer equals the single-node KG count for every
+// (window, key) — the aggregation is an amortization of state, never an
+// approximation. Static Zipf and drifting workloads.
+func TestWindowCloseExactness(t *testing.T) {
+	const (
+		workers    = 8
+		sources    = 3
+		messages   = 20_000
+		windowSize = 1_500
+	)
+	gens := map[string]func() stream.Generator{
+		"zipf":  func() stream.Generator { return workload.NewZipf(1.6, 400, messages, 7) },
+		"drift": func() stream.Generator { return workload.NewDrift(1.6, 400, messages, 4_000, 37, 7) },
+	}
+	for genName, mk := range gens {
+		truth := groundTruth(mk(), windowSize)
+		for _, algo := range core.Names {
+			t.Run(fmt.Sprintf("%s/%s", genName, algo), func(t *testing.T) {
+				finals, stats := runTwoPhase(t, mk(), algo, workers, sources, windowSize)
+				checkExact(t, finals, truth)
+				if stats.Partials != stats.Merges+stats.Finals {
+					t.Fatalf("stats inconsistent: %d partials, %d merges, %d finals",
+						stats.Partials, stats.Merges, stats.Finals)
+				}
+			})
+		}
+	}
+}
+
+// TestReplicationOrdering: KG produces exactly one partial per (window,
+// key) — replication factor 1, zero overhead — and the key-splitting
+// schemes pay more, W-Choices the most of the load-aware ones.
+func TestReplicationOrdering(t *testing.T) {
+	const (
+		workers    = 16
+		sources    = 4
+		messages   = 40_000
+		windowSize = 4_000
+	)
+	mk := func() stream.Generator { return workload.NewZipf(2.0, 1_000, messages, 11) }
+	rf := make(map[string]float64)
+	for _, algo := range []string{"KG", "PKG", "W-C"} {
+		_, stats := runTwoPhase(t, mk(), algo, workers, sources, windowSize)
+		rf[algo] = stats.ReplicationFactor()
+	}
+	if rf["KG"] != 1 {
+		t.Fatalf("KG replication factor = %f, want exactly 1", rf["KG"])
+	}
+	if !(rf["PKG"] > rf["KG"]) {
+		t.Fatalf("PKG replication factor %f not above KG's %f", rf["PKG"], rf["KG"])
+	}
+	if !(rf["W-C"] > rf["PKG"]) {
+		t.Fatalf("W-C replication factor %f not above PKG's %f", rf["W-C"], rf["PKG"])
+	}
+}
+
+// TestLateTupleReopensWindow: a tuple arriving after its window was
+// flushed opens a fresh partial; the reducer merges both flushes into
+// one exact final.
+func TestLateTupleReopensWindow(t *testing.T) {
+	acc := NewAccumulator(0)
+	red := NewReducer()
+	dg := hashing.Digest("k")
+	acc.Add(0, dg, "k")
+	acc.Add(0, dg, "k")
+	red.Merge(acc.FlushBefore(1, nil)) // window 0 closed at the worker
+	acc.Add(0, dg, "k")                // straggler for window 0
+	acc.Add(1, dg, "k")
+	red.Merge(acc.FlushAll(nil))
+	finals := red.CloseAll(nil)
+	want := map[int64]int64{0: 3, 1: 1}
+	if len(finals) != 2 {
+		t.Fatalf("got %d finals, want 2", len(finals))
+	}
+	for _, f := range finals {
+		if f.Count != want[f.Window] {
+			t.Fatalf("window %d: count %d, want %d", f.Window, f.Count, want[f.Window])
+		}
+	}
+	st := red.Stats()
+	if st.Partials != 3 || st.Merges != 1 {
+		t.Fatalf("stats = %+v, want 3 partials with 1 merge", st)
+	}
+}
+
+// TestTableGrowthAndRecycle: a window with many distinct keys grows its
+// table; after flushing, the table is recycled for the next window and
+// steady-state cycles stop allocating new tables.
+func TestTableGrowthAndRecycle(t *testing.T) {
+	acc := NewAccumulator(0)
+	for w := int64(0); w < 5; w++ {
+		for i := 0; i < 1_000; i++ {
+			key := fmt.Sprintf("k%d", i)
+			acc.Add(w, hashing.Digest(key), key)
+		}
+		if acc.Entries() != 1_000 {
+			t.Fatalf("window %d: %d entries, want 1000", w, acc.Entries())
+		}
+		ps := acc.FlushBefore(w+1, nil)
+		if len(ps) != 1_000 {
+			t.Fatalf("window %d: flushed %d partials, want 1000", w, len(ps))
+		}
+		if acc.OpenWindows() != 0 || acc.Entries() != 0 {
+			t.Fatalf("window %d: not fully flushed", w)
+		}
+	}
+	if acc.Flushed() != 5_000 || acc.Closed() != 5 {
+		t.Fatalf("lifetime stats: flushed %d, closed %d", acc.Flushed(), acc.Closed())
+	}
+	if len(acc.pool.free) != 1 {
+		t.Fatalf("free list holds %d tables, want 1 recycled", len(acc.pool.free))
+	}
+}
+
+// TestReducerPeakEntries tracks the memory high-water mark across
+// overlapping windows.
+func TestReducerPeakEntries(t *testing.T) {
+	red := NewReducer()
+	dgA, dgB := hashing.Digest("a"), hashing.Digest("b")
+	red.Merge([]Partial{
+		{Window: 0, Digest: dgA, Key: "a", Count: 1},
+		{Window: 0, Digest: dgB, Key: "b", Count: 1},
+		{Window: 1, Digest: dgA, Key: "a", Count: 1},
+	})
+	if red.Entries() != 3 || red.Stats().PeakEntries != 3 || red.Stats().PeakWindows != 2 {
+		t.Fatalf("live %d, stats %+v", red.Entries(), red.Stats())
+	}
+	red.CloseBefore(1, nil)
+	if red.Entries() != 1 {
+		t.Fatalf("live after close = %d, want 1", red.Entries())
+	}
+	if red.Stats().PeakEntries != 3 {
+		t.Fatalf("peak dropped: %d", red.Stats().PeakEntries)
+	}
+}
+
+// BenchmarkAccumulatorWindow measures one steady-state window cycle:
+// accumulate a Zipf-keyed slab, flush, merge at the reducer.
+func BenchmarkAccumulatorWindow(b *testing.B) {
+	const windowSize = 4_096
+	gen := workload.NewZipf(1.4, 2_000, int64(windowSize), 3)
+	keys := make([]string, 0, windowSize)
+	digs := make([]KeyDigest, 0, windowSize)
+	for {
+		k, ok := gen.Next()
+		if !ok {
+			break
+		}
+		keys = append(keys, k)
+		digs = append(digs, hashing.Digest(k))
+	}
+	acc := NewAccumulator(0)
+	red := NewReducer()
+	var buf []Partial
+	var finals []Final
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := int64(i)
+		for j := range keys {
+			acc.Add(w, digs[j], keys[j])
+		}
+		buf = acc.FlushBefore(w+1, buf[:0])
+		red.Merge(buf)
+		finals = red.CloseBefore(w+1, finals[:0])
+	}
+	_ = finals
+}

@@ -12,6 +12,15 @@
 // send []tuple slabs — one per destination bolt — over the channels, so
 // per-message channel and scheduler overhead is amortized by Config.Batch.
 //
+// With Config.AggWindow set the topology becomes the two-phase windowed
+// aggregation the paper's overhead analysis is about: bolts keep
+// digest-keyed partial counts per tumbling window (internal/aggregation)
+// and flush closed windows as batched partial slabs to a reducer stage,
+// which merges partials across bolts — the per-key merge fan-in is
+// exactly the replication factor the partitioner paid — and emits
+// finals. Result.Agg reports the measured aggregation traffic, merge
+// work and reducer memory.
+//
 // Unlike internal/eventsim, results here depend on the host: use this
 // engine to demonstrate the system end-to-end, and eventsim for
 // reproducible numbers.
@@ -22,7 +31,9 @@ import (
 	"sync"
 	"time"
 
+	"slb/internal/aggregation"
 	"slb/internal/core"
+	"slb/internal/hashing"
 	"slb/internal/metrics"
 	"slb/internal/stream"
 )
@@ -57,6 +68,16 @@ type Config struct {
 	// SlowFactor optionally multiplies the service time of individual
 	// bolts (failure injection: stragglers). nil means homogeneous.
 	SlowFactor map[int]float64
+	// AggWindow, when positive, turns the topology into a two-phase
+	// windowed count aggregation: every bolt keeps per-key partial counts
+	// per tumbling window of AggWindow tuples (window ids stamped at the
+	// spout from the global emission sequence) and flushes closed windows
+	// as batched partial slabs to a reducer stage, which merges partials
+	// by key digest and emits finals. Zero disables aggregation.
+	AggWindow int64
+	// OnFinal, when set (and AggWindow > 0), receives every merged final
+	// from the reducer. It is called from the single reducer goroutine.
+	OnFinal func(aggregation.Final)
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -94,12 +115,26 @@ type Result struct {
 	Loads []int64
 	// Imbalance is the paper's I(m) over the run.
 	Imbalance float64
+	// Agg reports the reducer-side aggregation cost (zero unless
+	// Config.AggWindow was set): partial traffic, merge work and memory
+	// high-water marks.
+	Agg aggregation.ReducerStats
+	// AggReplication is the measured state replication factor: distinct
+	// (window, key, worker) triples per distinct (window, key) pair,
+	// counted exactly (metrics.DigestReplicas). 1 for KG by construction;
+	// up to Workers for W-Choices hot keys. 0 when aggregation is off.
+	AggReplication float64
+	// AggTotal is the sum of all final counts; with aggregation enabled
+	// it must equal Completed (every processed tuple is counted exactly
+	// once — window close is exact, not approximate).
+	AggTotal int64
 }
 
 // tuple is one in-flight message.
 type tuple struct {
 	key     string
 	emitted time.Time
+	window  int64 // tumbling-window id (0 unless Config.AggWindow > 0)
 	src     int32
 }
 
@@ -154,6 +189,34 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 		}
 		return d
 	}
+
+	// Aggregation (two-phase) plumbing: bolts flush closed windows as
+	// partial slabs over a bounded channel to one reducer goroutine —
+	// the same slab-ownership-transfer discipline as the data plane.
+	var (
+		aggCh    chan []aggregation.Partial
+		aggStats aggregation.ReducerStats
+		aggTotal int64
+		aggRepl  float64
+		reduceWG sync.WaitGroup
+	)
+	if cfg.AggWindow > 0 {
+		aggCh = make(chan []aggregation.Partial, 2*cfg.Workers)
+		reduceWG.Add(1)
+		go func() {
+			defer reduceWG.Done()
+			// Windows close on completeness (merged count == window size),
+			// so each (window, key) yields exactly one Final regardless of
+			// how bolts interleave (see aggregation.Driver).
+			drv := aggregation.NewDriver(cfg.Workers, cfg.AggWindow, limit)
+			for slab := range aggCh {
+				drv.Merge(slab, cfg.OnFinal)
+			}
+			drv.Finish(cfg.OnFinal)
+			aggStats, aggRepl, aggTotal = drv.Stats(), drv.Replication(), drv.Total()
+		}()
+	}
+
 	stats := make([]boltStats, cfg.Workers)
 	var bolts sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
@@ -162,9 +225,28 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 			defer bolts.Done()
 			st := &stats[w]
 			st.lat = metrics.NewQuantiles(1 << 14)
+			var acc *aggregation.Accumulator
+			if cfg.AggWindow > 0 {
+				acc = aggregation.NewAccumulator(w)
+			}
 			for slab := range in[w] {
 				for _, tp := range slab {
 					simulateWork(svcFor(w), cfg.Spin)
+					if acc != nil {
+						if wm, ok := acc.Watermark(); ok && tp.window > wm {
+							// Watermark advance: flush with one window of slack,
+							// so slabs from lagging spouts (bounded reordering:
+							// at most one drawn-but-unsent slab per spout) do not
+							// fragment a window already flushed. The slab is
+							// freshly allocated — ownership transfers to the
+							// reducer.
+							ps := acc.FlushBefore(tp.window-1, make([]aggregation.Partial, 0, acc.Entries()))
+							if len(ps) > 0 {
+								aggCh <- ps
+							}
+						}
+						acc.Add(tp.window, hashing.Digest(tp.key), tp.key)
+					}
 					lat := time.Since(tp.emitted)
 					st.lat.Add(float64(lat))
 					st.count++
@@ -172,27 +254,17 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 					<-window[tp.src] // ack
 				}
 			}
+			if acc != nil {
+				if ps := acc.FlushAll(nil); len(ps) > 0 {
+					aggCh <- ps
+				}
+			}
 		}(w)
 	}
 
 	// The input stream is shared by all spouts (shuffle grouping from the
-	// data source to the spouts), so slab draws are serialized with a
-	// mutex — one lock per slab, not per message.
-	var genMu sync.Mutex
-	var emitted int64
-	nextSlab := func(dst []string) int {
-		genMu.Lock()
-		defer genMu.Unlock()
-		if rem := limit - emitted; rem < int64(len(dst)) {
-			dst = dst[:rem]
-		}
-		if len(dst) == 0 {
-			return 0
-		}
-		n := stream.NextBatch(gen, dst)
-		emitted += int64(n)
-		return n
-	}
+	// data source to the spouts); see slabSource.
+	nextSlab, _ := slabSource(gen, limit)
 
 	start := time.Now()
 	var spouts sync.WaitGroup
@@ -206,7 +278,7 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 			counts := make([]int, cfg.Workers)
 			pending := make([][]tuple, cfg.Workers)
 			for {
-				n := nextSlab(keys)
+				n, base := nextSlab(keys)
 				if n == 0 {
 					return
 				}
@@ -230,7 +302,11 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 					if pending[w] == nil {
 						pending[w] = make([]tuple, 0, counts[w])
 					}
-					pending[w] = append(pending[w], tuple{key: keys[i], emitted: now, src: int32(s)})
+					tp := tuple{key: keys[i], emitted: now, src: int32(s)}
+					if cfg.AggWindow > 0 {
+						tp.window = (base + int64(i)) / cfg.AggWindow
+					}
+					pending[w] = append(pending[w], tp)
 				}
 				for w, sl := range pending {
 					if sl != nil {
@@ -248,13 +324,19 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 	}
 	bolts.Wait()
 	elapsed := time.Since(start)
+	if aggCh != nil {
+		close(aggCh)
+		reduceWG.Wait()
+	}
 
 	res := Result{
-		Algorithm: cfg.Algorithm,
-		Elapsed:   elapsed,
-		Loads:     make([]int64, cfg.Workers),
+		Algorithm:      cfg.Algorithm,
+		Elapsed:        elapsed,
+		Loads:          make([]int64, cfg.Workers),
+		Agg:            aggStats,
+		AggTotal:       aggTotal,
+		AggReplication: aggRepl,
 	}
-	pooled := metrics.NewQuantiles(1 << 16)
 	for w := range stats {
 		st := &stats[w]
 		res.Loads[w] = st.count
@@ -263,13 +345,9 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 			if avg := st.sum / time.Duration(st.count); avg > res.MaxAvgLatency {
 				res.MaxAvgLatency = avg
 			}
-			// Merge per-bolt reservoirs by re-sampling their quantile grid;
-			// cheap and adequate for reporting.
-			for _, q := range []float64{0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75, 0.85, 0.95} {
-				pooled.Add(st.lat.Quantile(q))
-			}
 		}
 	}
+	pooled := poolLatency(stats)
 	res.P50 = time.Duration(pooled.Quantile(0.50))
 	res.P95 = time.Duration(pooled.Quantile(0.95))
 	res.P99 = time.Duration(pooled.Quantile(0.99))
@@ -279,6 +357,57 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 	}
 	gen.Reset()
 	return res, nil
+}
+
+// poolLatency merges the per-bolt latency reservoirs into one pooled
+// estimator with count-proportional weighting (metrics.Quantiles.Merge):
+// a bolt that processed 100× the tuples contributes 100× the mass.
+// The previous implementation re-sampled each bolt's 0.05–0.95 quantile
+// grid with equal weight, which (a) capped the pooled P99 at the largest
+// single-bolt p95 — the tail above p95 was simply discarded — and
+// (b) gave a bolt that processed 50 tuples the same vote as one that
+// processed 50k, so the hot bolt's queueing tail vanished from the
+// pooled percentiles exactly when it mattered.
+func poolLatency(stats []boltStats) *metrics.Quantiles {
+	pooled := metrics.NewQuantiles(1 << 16)
+	for w := range stats {
+		if stats[w].count > 0 {
+			pooled.Merge(stats[w].lat)
+		}
+	}
+	return pooled
+}
+
+// slabSource returns a draw function over the shared generator — slab
+// draws are serialized with a mutex (one lock per slab, not per
+// message), capped at limit total keys, and each draw also returns the
+// slab's base position in the global emission sequence, from which the
+// spout derives tumbling-window ids — plus an accessor for the total
+// drawn so far. Both Run and Pipeline.Run feed their spouts from one
+// of these.
+func slabSource(gen stream.Generator, limit int64) (draw func(dst []string) (int, int64), drawn func() int64) {
+	var mu sync.Mutex
+	var emitted int64
+	draw = func(dst []string) (int, int64) {
+		mu.Lock()
+		defer mu.Unlock()
+		if rem := limit - emitted; rem < int64(len(dst)) {
+			dst = dst[:rem]
+		}
+		if len(dst) == 0 {
+			return 0, emitted
+		}
+		base := emitted
+		n := stream.NextBatch(gen, dst)
+		emitted += int64(n)
+		return n, base
+	}
+	drawn = func() int64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return emitted
+	}
+	return draw, drawn
 }
 
 // simulateWork burns the configured service time.

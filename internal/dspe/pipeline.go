@@ -5,7 +5,9 @@ import (
 	"sync"
 	"time"
 
+	"slb/internal/aggregation"
 	"slb/internal/core"
+	"slb/internal/hashing"
 	"slb/internal/metrics"
 	"slb/internal/stream"
 )
@@ -22,6 +24,13 @@ import (
 // always drains completely. This generalizes Run's fixed
 // source→worker DAG to the DAGs real DSPE applications use
 // (e.g. tokenize → count).
+//
+// Three stage kinds compose the paper's two-phase applications:
+// AddStage (plain per-tuple functions), AddWindowedAggregate (per-key
+// partial counts per tumbling window, flushed downstream as weighted
+// partial tuples — the aggregation phase key splitting makes necessary)
+// and AddWeightedStage (functions that see tuple weights and windows —
+// the reduce phase merging partials, typically grouped "KG").
 type Pipeline struct {
 	gen    stream.Generator
 	spouts int
@@ -30,14 +39,29 @@ type Pipeline struct {
 
 // StageFunc processes one tuple and may emit any number of keyed tuples
 // downstream via emit (a leaf stage's emissions are discarded).
-// Executors call it from exactly one goroutine.
+// Executors call it from exactly one goroutine. Emissions inherit the
+// incoming tuple's weight and window unchanged (pass-through), so a
+// plain stage between a windowed-aggregate stage and its reducer
+// relabels partials without corrupting their counts; a stage that fans
+// one tuple out into several therefore multiplies total weight — use
+// AddWeightedStage when emissions must repartition the count.
 type StageFunc func(key string, emit func(key string))
+
+// WeightedStageFunc is the stage form that sees tuple weights: count is
+// the number of source tuples the incoming tuple stands for (1 for raw
+// tuples, a partial count for tuples emitted by a windowed-aggregate
+// stage) and window is the tumbling-window id it belongs to (0 for raw
+// tuples). Emissions carry their own counts. This is the natural shape
+// of a reduce stage merging partials.
+type WeightedStageFunc func(key string, window int64, count int64, emit func(key string, count int64))
 
 type stageSpec struct {
 	name        string
 	parallelism int
 	grouping    string // algorithm for the edge INTO this stage
 	fn          StageFunc
+	wfn         WeightedStageFunc
+	aggWindow   int64 // > 0: windowed-aggregate stage
 	service     time.Duration
 }
 
@@ -70,6 +94,51 @@ func (p *Pipeline) AddStage(name string, parallelism int, grouping string, servi
 	return p
 }
 
+// AddWeightedStage appends a bolt stage whose function sees tuple
+// weights and windows — the reduce half of a two-phase aggregation.
+// Group it "KG" to guarantee all partials of a key meet at one executor.
+func (p *Pipeline) AddWeightedStage(name string, parallelism int, grouping string, service time.Duration, fn WeightedStageFunc) *Pipeline {
+	if parallelism <= 0 {
+		panic("dspe: stage parallelism must be positive")
+	}
+	if fn == nil {
+		panic("dspe: stage function required")
+	}
+	p.stages = append(p.stages, stageSpec{
+		name:        name,
+		parallelism: parallelism,
+		grouping:    grouping,
+		wfn:         fn,
+		service:     service,
+	})
+	return p
+}
+
+// AddWindowedAggregate appends a windowed-aggregate stage: executors
+// keep per-key partial counts per tumbling window of `window` source
+// tuples (window ids derive from the spout's global emission sequence)
+// and, when a window closes, emit ONE weighted tuple per distinct
+// (window, key) partial downstream — the aggregation traffic whose
+// volume is the replication factor the upstream grouping paid. A
+// following AddWeightedStage with "KG" grouping merges the partials
+// into finals; as a leaf stage the partials are still counted (for
+// StageResult.AggPartials) but discarded.
+func (p *Pipeline) AddWindowedAggregate(name string, parallelism int, grouping string, window int64) *Pipeline {
+	if parallelism <= 0 {
+		panic("dspe: stage parallelism must be positive")
+	}
+	if window <= 0 {
+		panic("dspe: aggregate window must be positive")
+	}
+	p.stages = append(p.stages, stageSpec{
+		name:        name,
+		parallelism: parallelism,
+		grouping:    grouping,
+		aggWindow:   window,
+	})
+	return p
+}
+
 // StageResult reports one stage's outcome.
 type StageResult struct {
 	Name string
@@ -79,6 +148,11 @@ type StageResult struct {
 	Imbalance float64
 	// Processed is the total tuples handled by the stage.
 	Processed int64
+	// AggPartials and AggWindows are the partial tuples emitted and the
+	// window flushes performed by a windowed-aggregate stage (zero for
+	// other stage kinds).
+	AggPartials int64
+	AggWindows  int64
 }
 
 // PipelineResult aggregates a pipeline run.
@@ -105,10 +179,16 @@ type PipelineConfig struct {
 	Messages int64
 }
 
-// pipeTuple carries the key plus the root emission time for latency.
+// pipeTuple carries the key plus the root emission time for latency,
+// the root emission sequence number (windowed-aggregate stages derive
+// window ids from it), the window id, and the tuple's weight (how many
+// source tuples it stands for — partials carry their count).
 type pipeTuple struct {
-	key  string
-	root time.Time
+	key    string
+	root   time.Time
+	seq    int64
+	window int64
+	weight int64
 }
 
 // Run executes the pipeline to completion.
@@ -149,8 +229,15 @@ func (p *Pipeline) Run(cfg PipelineConfig) (PipelineResult, error) {
 	}
 
 	counts := make([][]int64, len(p.stages))
+	accs := make([][]*aggregation.Accumulator, len(p.stages))
 	for s, spec := range p.stages {
 		counts[s] = make([]int64, spec.parallelism)
+		if spec.aggWindow > 0 {
+			accs[s] = make([]*aggregation.Accumulator, spec.parallelism)
+			for ex := range accs[s] {
+				accs[s][ex] = aggregation.NewAccumulator(ex)
+			}
+		}
 	}
 	lat := metrics.NewQuantiles(1 << 15)
 	var latMu sync.Mutex
@@ -176,26 +263,82 @@ func (p *Pipeline) Run(cfg PipelineConfig) (PipelineResult, error) {
 						panic(err) // validated before launch
 					}
 				}
-				var rootTime time.Time
+				// cur is the tuple being processed; its root/seq/window
+				// propagate onto emissions.
+				var cur pipeTuple
+				send := func(tp pipeTuple) {
+					inputs[s+1][down.Route(tp.key)] <- tp
+				}
 				emit := func(key string) {
 					if down == nil {
 						return // leaf: emissions discarded
 					}
-					inputs[s+1][down.Route(key)] <- pipeTuple{key: key, root: rootTime}
+					// Pass-through weight: a plain stage re-emitting a partial
+					// tuple (e.g. a router between an aggregate stage and its
+					// reducer) must not collapse a count-5000 partial to 1.
+					send(pipeTuple{key: key, root: cur.root, seq: cur.seq, window: cur.window, weight: cur.weight})
+				}
+				emitW := func(key string, count int64) {
+					if down == nil {
+						return
+					}
+					send(pipeTuple{key: key, root: cur.root, seq: cur.seq, window: cur.window, weight: count})
+				}
+				var acc *aggregation.Accumulator
+				var buf []aggregation.Partial
+				if spec.aggWindow > 0 {
+					acc = accs[s][ex]
+				}
+				// flushEmit closes windows below before and forwards one
+				// weighted tuple per partial; root is the emission time of
+				// the tuple that advanced the watermark (or the last tuple,
+				// at end of input).
+				flushEmit := func(before int64, root time.Time) {
+					buf = acc.FlushBefore(before, buf[:0])
+					if down == nil {
+						return // leaf aggregate: partials counted, discarded
+					}
+					for i := range buf {
+						pp := &buf[i]
+						send(pipeTuple{
+							key:    pp.Key,
+							root:   root,
+							seq:    pp.Window * spec.aggWindow,
+							window: pp.Window,
+							weight: pp.Count,
+						})
+					}
 				}
 				last := s == len(p.stages)-1
 				for tp := range inputs[s][ex] {
 					if spec.service > 0 {
 						time.Sleep(spec.service)
 					}
-					rootTime = tp.root
-					spec.fn(tp.key, emit)
+					cur = tp
+					switch {
+					case acc != nil:
+						w := tp.seq / spec.aggWindow
+						if wm, ok := acc.Watermark(); ok && w > wm {
+							// One window of slack, as in Run: upstream executors
+							// interleave, so the previous window may still have
+							// tuples in flight.
+							flushEmit(w-1, tp.root)
+						}
+						acc.AddN(w, hashing.Digest(tp.key), tp.key, tp.weight)
+					case spec.wfn != nil:
+						spec.wfn(tp.key, tp.window, tp.weight, emitW)
+					default:
+						spec.fn(tp.key, emit)
+					}
 					counts[s][ex]++
 					if last {
 						latMu.Lock()
 						lat.Add(float64(time.Since(tp.root)))
 						latMu.Unlock()
 					}
+				}
+				if acc != nil {
+					flushEmit(1<<62, cur.root)
 				}
 			}(s, ex)
 		}
@@ -212,21 +355,7 @@ func (p *Pipeline) Run(cfg PipelineConfig) (PipelineResult, error) {
 	// slab with one RouteBatch call on the first edge; tuples still flow
 	// per message so downstream grouping semantics are unchanged.
 	const spoutBatch = 64
-	var genMu sync.Mutex
-	var emitted int64
-	nextSlab := func(dst []string) int {
-		genMu.Lock()
-		defer genMu.Unlock()
-		if rem := limit - emitted; rem < int64(len(dst)) {
-			dst = dst[:rem]
-		}
-		if len(dst) == 0 {
-			return 0
-		}
-		n := stream.NextBatch(p.gen, dst)
-		emitted += int64(n)
-		return n
-	}
+	nextSlab, drawn := slabSource(p.gen, limit)
 
 	start := time.Now()
 	var spoutWG sync.WaitGroup
@@ -241,13 +370,13 @@ func (p *Pipeline) Run(cfg PipelineConfig) (PipelineResult, error) {
 			keys := make([]string, spoutBatch)
 			dsts := make([]int, spoutBatch)
 			for {
-				n := nextSlab(keys)
+				n, base := nextSlab(keys)
 				if n == 0 {
 					return
 				}
 				core.RouteBatch(part, keys[:n], dsts)
 				for i := 0; i < n; i++ {
-					inputs[0][dsts[i]] <- pipeTuple{key: keys[i], root: time.Now()}
+					inputs[0][dsts[i]] <- pipeTuple{key: keys[i], root: time.Now(), seq: base + int64(i), weight: 1}
 				}
 			}
 		}(part)
@@ -265,7 +394,7 @@ func (p *Pipeline) Run(cfg PipelineConfig) (PipelineResult, error) {
 	elapsed := time.Since(start)
 
 	res := PipelineResult{
-		Emitted: emitted,
+		Emitted: drawn(),
 		Elapsed: elapsed,
 		P50:     time.Duration(lat.Quantile(0.50)),
 		P95:     time.Duration(lat.Quantile(0.95)),
@@ -277,6 +406,10 @@ func (p *Pipeline) Run(cfg PipelineConfig) (PipelineResult, error) {
 			sr.Processed += c
 		}
 		sr.Imbalance = metrics.Imbalance(counts[s])
+		for _, acc := range accs[s] {
+			sr.AggPartials += acc.Flushed()
+			sr.AggWindows += acc.Closed()
+		}
 		res.Stages = append(res.Stages, sr)
 	}
 	p.gen.Reset()

@@ -2,6 +2,7 @@ package dspe
 
 import (
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -169,5 +170,114 @@ func TestPipelineStageNames(t *testing.T) {
 	}
 	if strings.Join(names, ",") != "alpha,beta" {
 		t.Fatalf("stage names %v", names)
+	}
+}
+
+// TestPipelineWindowedAggregateExact runs the canonical two-phase
+// topology — D-C partial aggregation, KG reduce — and checks that the
+// merged finals reproduce exact per-(window, key) counts.
+func TestPipelineWindowedAggregateExact(t *testing.T) {
+	const (
+		m          = 10_000
+		windowSize = 1_000
+	)
+	gen := zipfGen(1.5, 200, m)
+	truth := aggGroundTruth(gen, windowSize)
+
+	var mu sync.Mutex
+	got := make(map[int64]map[string]int64)
+	p := NewPipeline(gen, 2).
+		AddWindowedAggregate("partial", 4, "D-C", windowSize).
+		AddWeightedStage("reduce", 2, "KG", 0, func(key string, window, count int64, _ func(string, int64)) {
+			mu.Lock()
+			mm := got[window]
+			if mm == nil {
+				mm = make(map[string]int64)
+				got[window] = mm
+			}
+			mm[key] += count
+			mu.Unlock()
+		})
+	res, err := p.Run(pipeCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Emitted != m {
+		t.Fatalf("emitted %d of %d", res.Emitted, m)
+	}
+	for w, wantKeys := range truth {
+		for k, want := range wantKeys {
+			if got[w][k] != want {
+				t.Fatalf("window %d key %q: got %d, want %d", w, k, got[w][k], want)
+			}
+		}
+		if len(got[w]) != len(wantKeys) {
+			t.Fatalf("window %d: got %d keys, want %d", w, len(got[w]), len(wantKeys))
+		}
+	}
+	if len(got) != len(truth) {
+		t.Fatalf("got %d windows, want %d", len(got), len(truth))
+	}
+
+	agg := res.Stages[0]
+	if agg.AggWindows < m/windowSize {
+		t.Fatalf("aggregate stage closed %d windows, want ≥ %d", agg.AggWindows, m/windowSize)
+	}
+	// The reduce stage processed exactly the partial tuples the
+	// aggregate stage emitted.
+	if res.Stages[1].Processed != agg.AggPartials {
+		t.Fatalf("reduce processed %d, aggregate emitted %d", res.Stages[1].Processed, agg.AggPartials)
+	}
+	// Replication lower bound: at least one partial per (window, key).
+	var distinct int64
+	for _, keys := range truth {
+		distinct += int64(len(keys))
+	}
+	if agg.AggPartials < distinct {
+		t.Fatalf("partials %d below distinct (window,key) count %d", agg.AggPartials, distinct)
+	}
+	if res.Stages[1].AggPartials != 0 {
+		t.Fatalf("non-aggregate stage reports %d partials", res.Stages[1].AggPartials)
+	}
+}
+
+// TestPipelineLeafAggregate: a windowed aggregate as the leaf stage
+// still counts its partials (they are discarded, not sent).
+func TestPipelineLeafAggregate(t *testing.T) {
+	const m = 5_000
+	gen := zipfGen(1.2, 100, m)
+	p := NewPipeline(gen, 2).AddWindowedAggregate("agg", 3, "PKG", 500)
+	res, err := p.Run(pipeCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stages[0].Processed != m {
+		t.Fatalf("processed %d of %d", res.Stages[0].Processed, m)
+	}
+	if res.Stages[0].AggPartials == 0 || res.Stages[0].AggWindows < m/500 {
+		t.Fatalf("agg stats missing: %+v", res.Stages[0])
+	}
+}
+
+// TestPipelinePlainStagePreservesWeight: a plain StageFunc stage
+// between the aggregate and reduce stages relabels partial tuples
+// without collapsing their counts.
+func TestPipelinePlainStagePreservesWeight(t *testing.T) {
+	const m = 4_000
+	gen := zipfGen(1.0, 50, m)
+	var got int64
+	p := NewPipeline(gen, 2).
+		AddWindowedAggregate("partial", 3, "PKG", 500).
+		AddStage("relabel", 2, "SG", 0, func(key string, emit func(string)) {
+			emit("x:" + key)
+		}).
+		AddWeightedStage("sum", 1, "KG", 0, func(_ string, _, count int64, _ func(string, int64)) {
+			got += count
+		})
+	if _, err := p.Run(pipeCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("summed weight %d, want %d (plain stage must pass weights through)", got, m)
 	}
 }

@@ -17,7 +17,9 @@ import (
 	"container/heap"
 	"fmt"
 
+	"slb/internal/aggregation"
 	"slb/internal/core"
+	"slb/internal/hashing"
 	"slb/internal/metrics"
 	"slb/internal/stream"
 )
@@ -54,6 +56,19 @@ type Config struct {
 	// only (the paper averages over long runs, hiding the sketch warmup
 	// transient). 0 measures everything.
 	MeasureAfter int64
+	// AggWindow, when positive, models the two-phase windowed
+	// aggregation: window ids derive from the emission index (window =
+	// index / AggWindow), workers keep digest-keyed partial counts per
+	// window (internal/aggregation) and pay AggFlushCost of service time
+	// per partial when a window closes at them; the reducer merges
+	// partials off the critical path and its traffic, merge work and
+	// memory are reported in Result.Agg. Everything is event-driven, so
+	// the overhead numbers are deterministic and host-independent.
+	AggWindow int64
+	// AggFlushCost is the worker time (ms) to serialize and emit ONE
+	// partial at window close — the knob that turns replication into a
+	// throughput cost. 0 means ServiceTime/10.
+	AggFlushCost float64
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -68,6 +83,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Window <= 0 {
 		c.Window = 100
+	}
+	if c.AggWindow > 0 && c.AggFlushCost <= 0 {
+		c.AggFlushCost = c.ServiceTime / 10
 	}
 	c.Core.Workers = c.Workers
 	return c, nil
@@ -93,6 +111,15 @@ type Result struct {
 	Imbalance float64
 	// PeakQueue is the largest backlog observed at any single worker.
 	PeakQueue int
+	// Agg reports the reducer-side aggregation cost (zero unless
+	// Config.AggWindow was set).
+	Agg aggregation.ReducerStats
+	// AggReplication is the measured state replication factor: distinct
+	// (window, key, worker) triples per distinct (window, key) pair.
+	AggReplication float64
+	// AggTotal is the sum of all final counts; with aggregation enabled
+	// it equals Completed (window close is exact).
+	AggTotal int64
 }
 
 // Event kinds.
@@ -130,6 +157,10 @@ func (h *eventHeap) Pop() any {
 type pendingMsg struct {
 	emitTime float64
 	src      int32
+	// Aggregation fields (populated only when Config.AggWindow > 0).
+	window int64
+	dig    hashing.KeyDigest
+	key    string
 }
 
 // worker is one FIFO service station.
@@ -140,6 +171,11 @@ type worker struct {
 	lat   *metrics.Quantiles
 	count int64
 	sum   float64 // latency sum for exact mean
+	// Aggregation state: the worker's partial tables and the simulated
+	// time before which it cannot start its next service (window-close
+	// flush cost).
+	acc     *aggregation.Accumulator
+	readyAt float64
 }
 
 func (w *worker) push(m pendingMsg) { w.queue = append(w.queue, m) }
@@ -184,6 +220,28 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 	workers := make([]*worker, cfg.Workers)
 	for i := range workers {
 		workers[i] = &worker{lat: metrics.NewQuantiles(1 << 15)}
+		if cfg.AggWindow > 0 {
+			workers[i].acc = aggregation.NewAccumulator(i)
+		}
+	}
+
+	// Aggregation reducer: merges worker flushes the instant they happen
+	// (off the critical path; the worker-side flush cost is what shows
+	// up in throughput), closing each window the moment its merged count
+	// completes (see aggregation.Driver).
+	var (
+		drv    *aggregation.Driver
+		aggBuf []aggregation.Partial
+	)
+	if cfg.AggWindow > 0 {
+		drv = aggregation.NewDriver(cfg.Workers, cfg.AggWindow, limit)
+	}
+	// flushWorker drains wk's windows below `before` into the reducer
+	// and returns the number of partials flushed (the worker's cost).
+	flushWorker := func(wk *worker, before int64) int {
+		aggBuf = wk.acc.FlushBefore(before, aggBuf[:0])
+		drv.Merge(aggBuf, nil)
+		return len(aggBuf)
 	}
 	svc := func(w int) float64 {
 		t := cfg.ServiceTime
@@ -233,18 +291,28 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 			if !ok {
 				break
 			}
+			pm := pendingMsg{emitTime: now, src: e.idx}
+			if cfg.AggWindow > 0 {
+				pm.window = emitted / cfg.AggWindow
+				pm.dig = hashing.Digest(key)
+				pm.key = key
+			}
 			emitted++
 			inflight[s]++
 			w := parts[s].Route(key)
 			wk := workers[w]
 			// The queue head is the in-service message while busy.
-			wk.push(pendingMsg{emitTime: now, src: e.idx})
+			wk.push(pm)
 			if b := wk.backlog(); b > peakQueue {
 				peakQueue = b
 			}
 			if !wk.busy {
 				wk.busy = true
-				schedule(now+svc(w), evDone, int32(w))
+				start := now
+				if wk.readyAt > start {
+					start = wk.readyAt
+				}
+				schedule(start+svc(w), evDone, int32(w))
 			}
 			schedule(now+cfg.EmitInterval, evEmit, e.idx)
 		case evDone:
@@ -263,6 +331,18 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 				pooled.Add(lat)
 				lastDone = now
 			}
+			if cfg.AggWindow > 0 {
+				// Two-phase aggregation: fold the message into its window's
+				// partial table; when the watermark advances (one window of
+				// slack, matching internal/dspe), flush and charge the
+				// worker AggFlushCost per partial before its next service.
+				if wm, ok := wk.acc.Watermark(); ok && m.window > wm {
+					if n := flushWorker(wk, m.window-1); n > 0 {
+						wk.readyAt = now + float64(n)*cfg.AggFlushCost
+					}
+				}
+				wk.acc.Add(m.window, m.dig, m.key)
+			}
 			// Ack frees the source's window slot.
 			s := int(m.src)
 			inflight[s]--
@@ -271,7 +351,11 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 				schedule(now, evEmit, m.src)
 			}
 			if wk.backlog() > 0 {
-				schedule(now+svc(w), evDone, e.idx)
+				start := now
+				if wk.readyAt > start {
+					start = wk.readyAt
+				}
+				schedule(start+svc(w), evDone, e.idx)
 			} else {
 				wk.busy = false
 			}
@@ -287,6 +371,19 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 		P50:       pooled.Quantile(0.50),
 		P95:       pooled.Quantile(0.95),
 		P99:       pooled.Quantile(0.99),
+	}
+	if cfg.AggWindow > 0 {
+		// End of stream: every worker flushes its remaining windows
+		// (completeness-based closing means nothing closes early while
+		// another worker still holds part of a window), then the driver
+		// closes any remainder.
+		for _, wk := range workers {
+			flushWorker(wk, 1<<62)
+		}
+		drv.Finish(nil)
+		res.Agg = drv.Stats()
+		res.AggReplication = drv.Replication()
+		res.AggTotal = drv.Total()
 	}
 	for i, wk := range workers {
 		res.Loads[i] = wk.count

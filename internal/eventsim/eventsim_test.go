@@ -211,3 +211,118 @@ func TestImbalanceConsistentWithLoads(t *testing.T) {
 		t.Fatal("KG under extreme skew should show imbalance")
 	}
 }
+
+// TestAggregationDeterministic: two aggregation-enabled runs produce
+// bit-identical overhead numbers (the point of modeling aggregation in
+// the discrete-event engine).
+func TestAggregationDeterministic(t *testing.T) {
+	run := func() Result {
+		cfg := baseCfg("D-C", 8, 4)
+		cfg.AggWindow = 2_000
+		res, err := Run(zipfGen(1.6, 500, 20000), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Agg != b.Agg || a.AggReplication != b.AggReplication || a.AggTotal != b.AggTotal ||
+		a.Throughput != b.Throughput || a.Duration != b.Duration {
+		t.Fatalf("aggregation run not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestAggregationExactAndOrdered: every completed message is counted
+// exactly once; KG's state replication is exactly 1 and W-C's is the
+// largest; the flush cost shows up as a throughput delta that grows
+// with replication.
+func TestAggregationExactAndOrdered(t *testing.T) {
+	const m = 20000
+	type row struct {
+		repl     float64
+		partials int64
+		thr      float64
+	}
+	rows := make(map[string]row)
+	for _, algo := range []string{"KG", "PKG", "W-C"} {
+		cfg := baseCfg(algo, 8, 4)
+		cfg.AggWindow = 2_000
+		res, err := Run(zipfGen(2.0, 500, m), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Completed != m {
+			t.Fatalf("%s: completed %d of %d", algo, res.Completed, m)
+		}
+		if res.AggTotal != res.Completed {
+			t.Fatalf("%s: finals sum to %d, completed %d", algo, res.AggTotal, res.Completed)
+		}
+		if res.Agg.WindowsClosed < m/2_000 {
+			t.Fatalf("%s: closed %d windows", algo, res.Agg.WindowsClosed)
+		}
+		rows[algo] = row{repl: res.AggReplication, partials: res.Agg.Partials, thr: res.Throughput}
+	}
+	if rows["KG"].repl != 1 {
+		t.Fatalf("KG replication = %f, want exactly 1", rows["KG"].repl)
+	}
+	if !(rows["W-C"].repl > rows["PKG"].repl && rows["PKG"].repl > 1) {
+		t.Fatalf("replication ordering violated: PKG %f, W-C %f", rows["PKG"].repl, rows["W-C"].repl)
+	}
+	if !(rows["W-C"].partials > rows["KG"].partials) {
+		t.Fatalf("partials ordering violated: KG %d, W-C %d", rows["KG"].partials, rows["W-C"].partials)
+	}
+}
+
+// TestAggregationFlushCostSlowsHotWorker: with a huge flush cost, an
+// aggregation-enabled run takes longer than the same run without
+// aggregation — the overhead is on the simulated clock, not just in
+// counters.
+func TestAggregationFlushCostSlowsHotWorker(t *testing.T) {
+	base := baseCfg("PKG", 8, 4)
+	plain, err := Run(zipfGen(1.4, 500, 20000), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := base
+	cfg.AggWindow = 1_000
+	cfg.AggFlushCost = 1.0 // one full service time per partial
+	agg, err := Run(zipfGen(1.4, 500, 20000), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(agg.Duration > plain.Duration) {
+		t.Fatalf("aggregation did not cost simulated time: plain %f ms, agg %f ms",
+			plain.Duration, agg.Duration)
+	}
+	if !(agg.Throughput < plain.Throughput) {
+		t.Fatalf("aggregation did not cost throughput: plain %f, agg %f",
+			plain.Throughput, agg.Throughput)
+	}
+}
+
+// TestAggregationSmallWindowsNoLates pins the completeness-based close:
+// even with windows far smaller than the in-flight span (AggWindow=100
+// vs Sources×Window=800, where a message stuck behind the hot worker's
+// queue is overtaken by thousands of newer seqs), no window closes
+// early — zero late corrections, exactly one Final per (window, key).
+func TestAggregationSmallWindowsNoLates(t *testing.T) {
+	const m = 20000
+	for _, algo := range []string{"KG", "D-C"} {
+		cfg := baseCfg(algo, 16, 8)
+		cfg.Window = 100
+		cfg.AggWindow = 100
+		res, err := Run(zipfGen(1.4, 500, m), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Agg.Late != 0 {
+			t.Fatalf("%s: %d late corrections, want 0 (completeness close)", algo, res.Agg.Late)
+		}
+		if res.Agg.WindowsClosed != m/100 {
+			t.Fatalf("%s: closed %d windows, want exactly %d (no re-closes)", algo, res.Agg.WindowsClosed, m/100)
+		}
+		if res.AggTotal != res.Completed {
+			t.Fatalf("%s: finals sum %d, completed %d", algo, res.AggTotal, res.Completed)
+		}
+	}
+}

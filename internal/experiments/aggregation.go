@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+
+	"slb/internal/aggregation"
+	"slb/internal/core"
+	"slb/internal/dspe"
+	"slb/internal/eventsim"
+	"slb/internal/texttab"
+	"slb/internal/workload"
+)
+
+// Aggregation-overhead experiment parameters. The paper's evaluation
+// measures only the balance side of key splitting; its Section II
+// discussion (and the PKG paper's analysis) prices the other side — the
+// aggregation phase whose traffic and memory grow with the per-key
+// replication factor. This experiment measures that side end to end on
+// both engines: n=16 workers, s=8 sources, z=1.4 (skewed enough that
+// D-C/W-C split the head, tame enough that D-C stays below W-C's d=n).
+const (
+	aggWorkers = 16
+	aggSources = 8
+	aggSkew    = 1.4
+)
+
+// aggMessages is m for the aggregation sweep at each scale.
+func (s Scale) aggMessages() int64 {
+	switch s {
+	case Full:
+		return 1_000_000
+	case Default:
+		return 200_000
+	default:
+		return 30_000
+	}
+}
+
+// aggWindowDivisors sweep the tumbling window size as fractions of the
+// stream: m/50 (many small windows), m/10, m/4 (few large windows).
+// Larger windows amortize replication better per message — a key that
+// recurs within the window costs one partial either way — so the
+// messages-per-window column grows sublinearly for KG and superlinearly
+// in replication for W-C.
+var aggWindowDivisors = []int64{50, 10, 4}
+
+// AggregationOverhead tabulates the cost of the two-phase windowed
+// aggregation for KG, PKG, D-C, W-C and SG across three window sizes:
+// throughput with aggregation on, the throughput delta vs the same
+// topology without aggregation, aggregation messages per window, the
+// measured state replication factor (distinct (window, key, worker)
+// triples per (window, key) — exactly 1 for KG), and the reducer's
+// peak memory in live entries. Two tables: the deterministic
+// discrete-event engine (host-independent numbers) and the goroutine
+// runtime (wall clock). Qualitative ordering, both engines: KG pays
+// zero replication overhead, PKG ≈ 2 choices' worth, D-C more, W-C the
+// most; SG replicates every key everywhere it lands. Note that the
+// reducer's FINAL state dedupes to distinct (window, key) regardless of
+// algorithm — replication is paid in traffic (msgs/window) and merge
+// work, and in worker-side partial state, not in reducer cardinality.
+func AggregationOverhead(sc Scale) ([]*texttab.Table, error) {
+	m := sc.aggMessages()
+	cols := []string{"window", "algo", "events/s", "Δthr%", "msgs/window", "replication", "reducer-peak", "late"}
+
+	evt := texttab.New(fmt.Sprintf(
+		"Aggregation overhead (eventsim, deterministic): n=%d, s=%d, z=%.1f, m=%d",
+		aggWorkers, aggSources, aggSkew, m), cols...)
+	// Per-algorithm baseline throughput without aggregation (window-
+	// independent, run once).
+	evtRun := func(algo string, win int64) (eventsim.Result, error) {
+		gen := workload.NewZipf(aggSkew, ZFKeys, m, Seed)
+		return eventsim.Run(gen, eventsim.Config{
+			Workers:      aggWorkers,
+			Sources:      aggSources,
+			Algorithm:    algo,
+			Core:         core.Config{Seed: Seed, Epsilon: Epsilon},
+			ServiceTime:  1.0,
+			Window:       100,
+			Messages:     m,
+			AggWindow:    win,
+			MeasureAfter: m / 5,
+		})
+	}
+	evtBase := make(map[string]float64)
+	for _, algo := range clusterAlgos {
+		res, err := evtRun(algo, 0)
+		if err != nil {
+			return nil, err
+		}
+		evtBase[algo] = res.Throughput
+	}
+	for _, div := range aggWindowDivisors {
+		win := m / div
+		for _, algo := range clusterAlgos {
+			res, err := evtRun(algo, win)
+			if err != nil {
+				return nil, err
+			}
+			evt.Add(aggRow(win, algo, res.Throughput, evtBase[algo], res.Agg, res.AggReplication)...)
+		}
+	}
+
+	live := texttab.New(fmt.Sprintf(
+		"Aggregation overhead (dspe goroutine runtime, wall clock): n=%d, s=%d, z=%.1f, m=%d",
+		aggWorkers, aggSources, aggSkew, m), cols...)
+	liveRun := func(algo string, win int64) (dspe.Result, error) {
+		gen := workload.NewZipf(aggSkew, ZFKeys, m, Seed)
+		return dspe.Run(gen, dspe.Config{
+			Workers:   aggWorkers,
+			Sources:   aggSources,
+			Algorithm: algo,
+			Core:      core.Config{Seed: Seed, Epsilon: Epsilon},
+			// No artificial service delay: wall-clock throughput here is
+			// engine-bound, so the flush work itself is the visible cost.
+			ServiceTime: 0,
+			Window:      64,
+			QueueLen:    128,
+			AggWindow:   win,
+		})
+	}
+	liveBase := make(map[string]float64)
+	for _, algo := range clusterAlgos {
+		res, err := liveRun(algo, 0)
+		if err != nil {
+			return nil, err
+		}
+		liveBase[algo] = res.Throughput
+	}
+	for _, div := range aggWindowDivisors {
+		win := m / div
+		for _, algo := range clusterAlgos {
+			res, err := liveRun(algo, win)
+			if err != nil {
+				return nil, err
+			}
+			live.Add(aggRow(win, algo, res.Throughput, liveBase[algo], res.Agg, res.AggReplication)...)
+		}
+	}
+	return []*texttab.Table{evt, live}, nil
+}
+
+// aggRow renders one sweep row.
+func aggRow(win int64, algo string, thr, baseThr float64, st aggregation.ReducerStats, repl float64) []string {
+	delta := 0.0
+	if baseThr > 0 {
+		delta = 100 * (1 - thr/baseThr)
+	}
+	perWindow := 0.0
+	if st.WindowsClosed > 0 {
+		perWindow = float64(st.Partials) / float64(st.WindowsClosed)
+	}
+	return []string{
+		fmt.Sprintf("%d", win),
+		algo,
+		fmt.Sprintf("%.0f", thr),
+		fmt.Sprintf("%.1f", delta),
+		fmt.Sprintf("%.1f", perWindow),
+		fmt.Sprintf("%.4f", repl),
+		fmt.Sprintf("%d", st.PeakEntries),
+		fmt.Sprintf("%d", st.Late),
+	}
+}

@@ -46,6 +46,7 @@ var registry = map[string]Entry{
 	"ablate-saturation": {"ablate-saturation", "Ablation: Fig 13 at full worker saturation", true, AblateSaturation},
 	"ablate-straggler":  {"ablate-straggler", "Ablation: straggler worker (load-proxy limitation)", true, AblateStraggler},
 	"live-fig13":        {"live-fig13", "Fig 13 on the real goroutine runtime (wall clock)", true, LiveFig13},
+	"aggregation":       {"aggregation", "Aggregation overhead: two-phase windowed aggregation cost per algorithm and window size", true, AggregationOverhead},
 }
 
 // Lookup returns the experiment registered under name.

@@ -7,6 +7,8 @@ package metrics
 import (
 	"math"
 	"sort"
+
+	"slb/internal/hashing"
 )
 
 // Imbalance returns I = max(load) − avg(load) for a vector of absolute
@@ -52,33 +54,44 @@ func ImbalanceFractions(loads []float64) float64 {
 
 const wordBits = 64
 
-// Replicas counts distinct (key, worker) pairs: the measured memory cost
-// of a partitioning run, in key-replica units (Section IV-B). Workers are
-// tracked in per-key bitsets so the accounting is O(1) per message and
-// O(|K|·n/64) space.
-type Replicas struct {
+// replicas is the shared accounting core behind Replicas and
+// DigestReplicas: distinct (key, worker) pairs, tracked in per-key
+// bitsets so the accounting is O(1) per observation and O(|K|·n/64)
+// space. For n ≤ 64 workers the bitset is an inline uint64 map value
+// (one map entry per key, no per-key slice allocation); larger n fall
+// back to slice-backed bitsets.
+type replicas[K comparable] struct {
 	n     int
 	words int
-	keys  map[string][]uint64
+	small map[K]uint64   // words == 1: inline bitsets
+	keys  map[K][]uint64 // words > 1
 	total int64
 }
 
-// NewReplicas returns an accounting structure for n workers.
-func NewReplicas(n int) *Replicas {
+func newReplicas[K comparable](n int) replicas[K] {
 	if n <= 0 {
-		panic("metrics: NewReplicas with non-positive n")
+		panic("metrics: replica accounting with non-positive n")
 	}
-	return &Replicas{
-		n:     n,
-		words: (n + wordBits - 1) / wordBits,
-		keys:  make(map[string][]uint64),
+	r := replicas[K]{n: n, words: (n + wordBits - 1) / wordBits}
+	if r.words == 1 {
+		r.small = make(map[K]uint64)
+	} else {
+		r.keys = make(map[K][]uint64)
 	}
+	return r
 }
 
-// Observe records that one message of key was processed by worker.
-func (r *Replicas) Observe(key string, worker int) {
+func (r *replicas[K]) observe(key K, worker int) {
 	if worker < 0 || worker >= r.n {
 		panic("metrics: worker out of range")
+	}
+	if r.small != nil {
+		set := r.small[key]
+		if set&(1<<uint(worker)) == 0 {
+			r.small[key] = set | 1<<uint(worker)
+			r.total++
+		}
+		return
 	}
 	set, ok := r.keys[key]
 	if !ok {
@@ -93,27 +106,51 @@ func (r *Replicas) Observe(key string, worker int) {
 }
 
 // Total returns the number of distinct (key, worker) pairs seen.
-func (r *Replicas) Total() int64 { return r.total }
+func (r *replicas[K]) Total() int64 { return r.total }
 
 // Keys returns the number of distinct keys seen.
-func (r *Replicas) Keys() int { return len(r.keys) }
+func (r *replicas[K]) Keys() int {
+	if r.small != nil {
+		return len(r.small)
+	}
+	return len(r.keys)
+}
 
-// PerKey returns the number of workers holding state for key.
-func (r *Replicas) PerKey(key string) int {
-	set, ok := r.keys[key]
-	if !ok {
+// AvgPerKey returns the mean replica count per distinct key — the
+// stream's measured replication factor (1 for KG, ≤ 2 for PKG, up to n
+// when every worker holds the hot keys). It is the multiplier on the
+// downstream aggregation cost: a reducer must merge AvgPerKey partials
+// per key on average. Returns 0 when no keys were observed.
+func (r *replicas[K]) AvgPerKey() float64 {
+	if r.Keys() == 0 {
 		return 0
 	}
+	return float64(r.total) / float64(r.Keys())
+}
+
+// PerKey returns the number of workers holding state for key.
+func (r *replicas[K]) PerKey(key K) int {
+	if r.small != nil {
+		return popcount(r.small[key])
+	}
 	c := 0
-	for _, w := range set {
+	for _, w := range r.keys[key] {
 		c += popcount(w)
 	}
 	return c
 }
 
 // MaxPerKey returns the largest replica count over all keys.
-func (r *Replicas) MaxPerKey() int {
+func (r *replicas[K]) MaxPerKey() int {
 	max := 0
+	if r.small != nil {
+		for _, set := range r.small {
+			if c := popcount(set); c > max {
+				max = c
+			}
+		}
+		return max
+	}
 	for _, set := range r.keys {
 		c := 0
 		for _, w := range set {
@@ -134,6 +171,38 @@ func popcount(x uint64) int {
 	}
 	return c
 }
+
+// Replicas counts distinct (key, worker) pairs: the measured memory cost
+// of a partitioning run, in key-replica units (Section IV-B).
+type Replicas struct {
+	replicas[string]
+}
+
+// NewReplicas returns an accounting structure for n workers.
+func NewReplicas(n int) *Replicas {
+	return &Replicas{newReplicas[string](n)}
+}
+
+// Observe records that one message of key was processed by worker.
+func (r *Replicas) Observe(key string, worker int) { r.observe(key, worker) }
+
+// DigestReplicas is Replicas keyed by a 64-bit identity instead of a
+// key string: the form the aggregation path uses, where entities are
+// (window, key-digest) pairs condensed to one uint64 and observing must
+// not allocate or touch key bytes. Same guarantees up to 64-bit
+// collisions.
+type DigestReplicas struct {
+	replicas[uint64]
+}
+
+// NewDigestReplicas returns a digest-keyed accounting structure for n
+// workers.
+func NewDigestReplicas(n int) *DigestReplicas {
+	return &DigestReplicas{newReplicas[uint64](n)}
+}
+
+// Observe records that worker holds state for the entity id.
+func (r *DigestReplicas) Observe(id uint64, worker int) { r.observe(id, worker) }
 
 // ---------------------------------------------------------------------------
 // Quantiles
@@ -174,13 +243,21 @@ func (q *Quantiles) next() uint64 {
 func (q *Quantiles) Add(v float64) {
 	q.seen++
 	q.sorted = false
-	if len(q.samples) < q.cap {
+	// Append (admission probability 1) only while the retained samples
+	// are exhaustive — after a down-sampling Merge the reservoir can be
+	// below capacity yet already represent a longer stream, and new
+	// samples must then pass the same len/seen admission test as
+	// everything else or they would be overweighted.
+	if len(q.samples) < q.cap && q.seen-1 == int64(len(q.samples)) {
 		q.samples = append(q.samples, v)
 		return
 	}
-	// Replace a random element with probability cap/seen.
-	j := q.next() % uint64(q.seen)
-	if j < uint64(q.cap) {
+	// Replace a random element with probability len/seen. The slot draw
+	// uses Lemire's multiply-shift reduction (unbiased up to a 2⁻⁶⁴-scale
+	// deviation) instead of a modulo, which is biased toward low slots
+	// whenever seen does not divide 2⁶⁴.
+	j := hashing.Bounded(q.next(), uint64(q.seen))
+	if j < uint64(len(q.samples)) {
 		q.samples[j] = v
 	}
 }
@@ -204,8 +281,100 @@ func (q *Quantiles) Quantile(p float64) float64 {
 	if p >= 1 {
 		return q.samples[len(q.samples)-1]
 	}
-	idx := int(p * float64(len(q.samples)-1))
-	return q.samples[idx]
+	// Linear interpolation between order statistics (type-7 estimator):
+	// truncating p·(len−1) to an index would bias every percentile low —
+	// with 100 samples the old floor made "p99" return the 98th order
+	// statistic exactly, never interpolating toward the maximum.
+	pos := p * float64(len(q.samples)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if frac == 0 || lo+1 == len(q.samples) {
+		return q.samples[lo]
+	}
+	return q.samples[lo] + frac*(q.samples[lo+1]-q.samples[lo])
+}
+
+// Merge folds another estimator into this one with count-proportional
+// (Vitter-style) weighting. Each retained sample of a reservoir stands
+// for seen/len(samples) stream items; Merge draws without replacement
+// from the two sample pools with probability proportional to the stream
+// mass each pool still represents, so the result approximates a uniform
+// reservoir over the two concatenated streams. A source that processed
+// 100× the items contributes ≈100× the retained samples — pooled tail
+// percentiles are dominated by whoever actually carried the traffic,
+// not by an arbitrary per-source quota. When both inputs are exhaustive
+// (below capacity) and fit, the merge is an exact concatenation.
+// The argument is not modified.
+func (q *Quantiles) Merge(o *Quantiles) {
+	if o == nil || o.seen == 0 {
+		return
+	}
+	if q.seen == 0 {
+		q.samples = append(q.samples[:0], o.samples...)
+		q.seen = o.seen
+		q.sorted = false
+		// Down-sample to capacity (uniform without-replacement removals),
+		// or later Adds would only ever replace the first cap slots and
+		// the overflow would become immortal.
+		for len(q.samples) > q.cap {
+			j := hashing.Bounded(q.next(), uint64(len(q.samples)))
+			q.samples[j] = q.samples[len(q.samples)-1]
+			q.samples = q.samples[:len(q.samples)-1]
+		}
+		return
+	}
+	q.sorted = false
+	exhaustive := q.seen == int64(len(q.samples)) && o.seen == int64(len(o.samples))
+	if exhaustive && len(q.samples)+len(o.samples) <= q.cap {
+		q.samples = append(q.samples, o.samples...)
+		q.seen += o.seen
+		return
+	}
+	a := q.samples
+	b := append([]float64(nil), o.samples...)
+	// Per-sample stream mass: how many items each retained sample stands
+	// for. The remaining pool masses ra/rb drive the draw probabilities.
+	wa := float64(q.seen) / float64(len(a))
+	wb := float64(o.seen) / float64(len(b))
+	ra, rb := float64(q.seen), float64(o.seen)
+	total := ra + rb
+	// Merged size: bounded by capacity AND by each pool's ability to
+	// supply its proportional share — pool p must cover k·(mass_p/total)
+	// draws. Without this bound a small pool empties mid-merge and the
+	// remaining draws are forced from the other pool, destroying the
+	// weighting (e.g. a fully-retained 100-sample stream merged with a
+	// down-sampled 9900-item stream would keep all 100 fast samples).
+	k := q.cap
+	if ka := int(float64(len(a)) * total / ra); ka < k {
+		k = ka
+	}
+	if kb := int(float64(len(b)) * total / rb); kb < k {
+		k = kb
+	}
+	merged := make([]float64, 0, k)
+	for len(merged) < k {
+		takeA := len(b) == 0
+		if !takeA && len(a) > 0 {
+			// P(draw from a) = ra / (ra + rb), via a 53-bit uniform.
+			u := float64(q.next()>>11) / (1 << 53)
+			takeA = u*(ra+rb) < ra
+		}
+		if takeA {
+			j := hashing.Bounded(q.next(), uint64(len(a)))
+			merged = append(merged, a[j])
+			a[j] = a[len(a)-1]
+			a = a[:len(a)-1]
+			ra -= wa
+		} else {
+			j := hashing.Bounded(q.next(), uint64(len(b)))
+			merged = append(merged, b[j])
+			b[j] = b[len(b)-1]
+			b = b[:len(b)-1]
+			rb -= wb
+		}
+	}
+	q.samples = merged
+	q.seen += o.seen
 }
 
 // Mean returns the mean of the retained samples (≈ stream mean), NaN when

@@ -58,11 +58,27 @@
 // sender-local (no coordination), exactly as in the paper. To compare
 // algorithms under identical streams, use Simulate with a deterministic
 // Generator from NewZipfStream or the dataset stand-ins.
+//
+// # Two-phase aggregation
+//
+// Key splitting buys balance at the price of an aggregation phase:
+// when a key's messages land on d workers, each holds only a partial
+// aggregate and a reducer must merge the d partials per window. Both
+// engines model this end to end — set EngineConfig.AggWindow (goroutine
+// runtime) or ClusterConfig.AggWindow (deterministic event simulation)
+// and read the measured cost from Result.Agg: partial traffic, merge
+// work, reducer memory, and the exact replication factor (1 for KG, up
+// to n for W-Choices). Pipelines compose the same phases explicitly via
+// AddWindowedAggregate and AddWeightedStage. Partials merge across
+// workers by KeyDigest: the digest is a pure function of the key bytes,
+// so partials for one key agree on their identity everywhere without
+// re-hashing (see internal/aggregation).
 package slb
 
 import (
 	"io"
 
+	"slb/internal/aggregation"
 	"slb/internal/analysis"
 	"slb/internal/core"
 	"slb/internal/dspe"
@@ -248,13 +264,18 @@ func RunTopology(gen Generator, cfg EngineConfig) (EngineResult, error) {
 
 // Pipeline is a linear multi-stage topology on the goroutine runtime:
 // spouts → bolt stages connected by grouped streams, each edge with its
-// own grouping scheme. Build with NewPipeline and AddStage, execute
-// with Run.
+// own grouping scheme. Build with NewPipeline, AddStage,
+// AddWindowedAggregate (two-phase partial aggregation) and
+// AddWeightedStage (partial-merging reduce), execute with Run.
 type Pipeline = dspe.Pipeline
 
 // StageFunc processes one tuple at a bolt stage and may emit keyed
 // tuples downstream.
 type StageFunc = dspe.StageFunc
+
+// WeightedStageFunc is the reduce-stage form: it sees each tuple's
+// window id and weight (a partial count) and emits weighted tuples.
+type WeightedStageFunc = dspe.WeightedStageFunc
 
 // PipelineConfig carries engine-level options for a Pipeline run.
 type PipelineConfig = dspe.PipelineConfig
@@ -266,6 +287,38 @@ type PipelineResult = dspe.PipelineResult
 // NewPipeline starts a pipeline definition from a spout stage reading
 // gen with the given parallelism.
 func NewPipeline(gen Generator, spouts int) *Pipeline { return dspe.NewPipeline(gen, spouts) }
+
+// ---------------------------------------------------------------------------
+// Two-phase windowed aggregation
+
+// AggFinal is one merged per-(window, key) result emitted by the
+// reducer stage of a two-phase aggregation (EngineConfig.OnFinal).
+type AggFinal = aggregation.Final
+
+// AggPartial is one worker's windowed partial aggregate — the unit of
+// aggregation traffic between the worker and reducer stages.
+type AggPartial = aggregation.Partial
+
+// AggStats reports the measured cost of the aggregation phase: partial
+// traffic, merge work, finals, late corrections, and the reducer's
+// memory high-water marks. Returned in EngineResult.Agg and
+// ClusterResult.Agg.
+type AggStats = aggregation.ReducerStats
+
+// AggAccumulator is the worker-side windowed partial table (digest
+// keyed, open addressing); exported for applications that embed the
+// aggregation phase in their own processing loops.
+type AggAccumulator = aggregation.Accumulator
+
+// AggReducer merges partials into finals and accounts the cost.
+type AggReducer = aggregation.Reducer
+
+// NewAggAccumulator returns an empty worker-side accumulator for the
+// given worker index.
+func NewAggAccumulator(worker int) *AggAccumulator { return aggregation.NewAccumulator(worker) }
+
+// NewAggReducer returns an empty reducer.
+func NewAggReducer() *AggReducer { return aggregation.NewReducer() }
 
 // ---------------------------------------------------------------------------
 // Analysis helpers
