@@ -159,6 +159,85 @@ func BenchmarkRouteBatchSteadyState(b *testing.B) {
 	}
 }
 
+// BenchmarkRouteBatchDigestsSteadyState is the hash-once half of the
+// digest-carry comparison: one NextBatch and one RouteBatchDigests per
+// slab of 512 — routing plus the digests every downstream layer needs,
+// in one key scan. Compare against
+// BenchmarkRouteBatchRedigestSteadyState, the pre-refactor pattern an
+// aggregating engine had to use (RouteBatch, then digest every key
+// again for the partial tables): the gap is the second key-byte scan
+// this PR removes from the aggregation hot path.
+func BenchmarkRouteBatchDigestsSteadyState(b *testing.B) {
+	for _, algo := range slb.Algorithms {
+		b.Run(algo, func(b *testing.B) {
+			p, err := slb.New(algo, slb.Config{Workers: benchWorkers, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			warm := slb.NewZipfStream(benchZ, benchKeys, 50_000, 2)
+			for {
+				k, ok := warm.Next()
+				if !ok {
+					break
+				}
+				p.Route(k)
+			}
+			gen := slb.NewZipfStream(benchZ, benchKeys, int64(b.N)+benchSlabSize, 1)
+			keys := make([]string, benchSlabSize)
+			digs := make([]slb.KeyDigest, benchSlabSize)
+			dst := make([]int, benchSlabSize)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += benchSlabSize {
+				n := slb.NextBatch(gen, keys)
+				if n == 0 {
+					b.Fatal("stream exhausted")
+				}
+				slb.RouteBatchDigests(p, keys[:n], digs, dst)
+			}
+		})
+	}
+}
+
+// BenchmarkRouteBatchRedigestSteadyState reproduces the two-scan
+// pattern RouteBatchDigests replaces: route the slab, then digest every
+// key again (what the engines' aggregation path did before the digests
+// were carried).
+func BenchmarkRouteBatchRedigestSteadyState(b *testing.B) {
+	for _, algo := range slb.Algorithms {
+		b.Run(algo, func(b *testing.B) {
+			p, err := slb.New(algo, slb.Config{Workers: benchWorkers, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			warm := slb.NewZipfStream(benchZ, benchKeys, 50_000, 2)
+			for {
+				k, ok := warm.Next()
+				if !ok {
+					break
+				}
+				p.Route(k)
+			}
+			gen := slb.NewZipfStream(benchZ, benchKeys, int64(b.N)+benchSlabSize, 1)
+			keys := make([]string, benchSlabSize)
+			digs := make([]slb.KeyDigest, benchSlabSize)
+			dst := make([]int, benchSlabSize)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += benchSlabSize {
+				n := slb.NextBatch(gen, keys)
+				if n == 0 {
+					b.Fatal("stream exhausted")
+				}
+				slb.RouteBatch(p, keys[:n], dst)
+				for j, k := range keys[:n] {
+					digs[j] = slb.DigestKey(k)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSimulateThroughput measures end-to-end simulator throughput
 // (messages routed per second) for the paper's algorithms at n = 50.
 func BenchmarkSimulateThroughput(b *testing.B) {
@@ -221,6 +300,17 @@ func TestSteadyStateRoutingZeroAllocs(t *testing.T) {
 			j += benchSlabSize
 		}); avg != 0 {
 			t.Errorf("%s: steady-state RouteBatch allocates %.4f allocs/slab, want 0", algo, avg)
+		}
+		digs := make([]slb.KeyDigest, benchSlabSize)
+		j = 0
+		if avg := testing.AllocsPerRun(100, func() {
+			if j+benchSlabSize > len(keys) {
+				j = 0
+			}
+			slb.RouteBatchDigests(p, keys[j:j+benchSlabSize], digs, dst)
+			j += benchSlabSize
+		}); avg != 0 {
+			t.Errorf("%s: steady-state RouteBatchDigests allocates %.4f allocs/slab, want 0", algo, avg)
 		}
 	}
 }

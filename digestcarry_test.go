@@ -1,0 +1,156 @@
+// Digest-carry correctness: with aggregation enabled, each message's
+// key bytes are digested exactly ONCE end to end (source → route →
+// aggregate → reduce), in every engine — pinned by counting
+// hashing.Digest calls over full runs — and the carried-digest plumbing
+// changes no results: both engines produce identical finals and
+// replication factors, equal to the single-node ground truth.
+package slb_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"slb"
+	"slb/internal/hashing"
+)
+
+// countDigests runs fn with a hook counting every hashing.Digest call.
+// fn must join all its goroutines before returning (every engine's Run
+// does), so the final load is race-free.
+func countDigests(fn func()) int64 {
+	var n atomic.Int64
+	hashing.SetDigestHook(func() { n.Add(1) })
+	defer hashing.SetDigestHook(nil)
+	fn()
+	return n.Load()
+}
+
+// TestHashOnceEventsim: the discrete-event engine digests each key
+// exactly once per message with aggregation on.
+func TestHashOnceEventsim(t *testing.T) {
+	const m = 10_000
+	got := countDigests(func() {
+		gen := slb.NewZipfStream(1.6, 300, m, 11)
+		if _, err := slb.SimulateCluster(gen, slb.ClusterConfig{
+			Workers: 8, Sources: 4, Algorithm: "D-C",
+			Core: slb.Config{Seed: 11}, ServiceTime: 1.0, AggWindow: 500,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got != m {
+		t.Fatalf("eventsim digested %d times for %d messages, want exactly one per message", got, m)
+	}
+}
+
+// TestHashOnceDspeRun: the goroutine engine digests each key exactly
+// once per message with aggregation on — routing's digests flow into
+// the bolts' partial tables and the reducer, with zero re-scans.
+func TestHashOnceDspeRun(t *testing.T) {
+	const m = 10_000
+	for _, algo := range []string{"KG", "W-C", "SG"} {
+		got := countDigests(func() {
+			gen := slb.NewZipfStream(1.6, 300, m, 11)
+			if _, err := slb.RunTopology(gen, slb.EngineConfig{
+				Workers: 4, Sources: 2, Algorithm: algo,
+				Core: slb.Config{Seed: 11}, AggWindow: 500,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if got != m {
+			t.Fatalf("%s: dspe digested %d times for %d messages, want exactly one per message", algo, got, m)
+		}
+	}
+}
+
+// TestHashOncePipeline: a full two-phase pipeline (D-C windowed
+// partials → KG reduce) re-keys every downstream edge via the carried
+// digest — the only digests of the whole run happen at the spout.
+func TestHashOncePipeline(t *testing.T) {
+	const m = 8_000
+	got := countDigests(func() {
+		gen := slb.NewZipfStream(1.6, 300, m, 11)
+		p := slb.NewPipeline(gen, 2).
+			AddWindowedAggregate("partials", 4, "D-C", 500).
+			AddWeightedStage("reduce", 2, "KG", 0,
+				func(key string, window, count int64, emit func(string, int64)) {})
+		if _, err := p.Run(slb.PipelineConfig{Core: slb.Config{Seed: 11}}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got != m {
+		t.Fatalf("pipeline digested %d times for %d messages, want exactly one per message (spout only)", got, m)
+	}
+}
+
+// TestCrossEngineAggregationParity: with a single source (so routing is
+// deterministic and engine-independent), both engines must produce
+// byte-identical finals — equal to the single-node ground truth — and
+// the exact same measured replication factor. This pins that the
+// digest-carry refactor changed plumbing, not results.
+func TestCrossEngineAggregationParity(t *testing.T) {
+	const (
+		m      = 12_000
+		window = 1_000
+	)
+	type key struct {
+		w int64
+		k string
+	}
+	collect := func() (map[key]int64, func(slb.AggFinal)) {
+		got := make(map[key]int64)
+		return got, func(f slb.AggFinal) { got[key{f.Window, f.Key}] += f.Count }
+	}
+	for _, algo := range []string{"KG", "PKG", "W-C"} {
+		// Ground truth: single-node per-(window, key) counts.
+		truth := make(map[key]int64)
+		gen := slb.NewZipfStream(1.8, 400, m, 29)
+		var idx int64
+		for {
+			k, ok := gen.Next()
+			if !ok {
+				break
+			}
+			truth[key{idx / window, k}]++
+			idx++
+		}
+
+		evtFinals, onEvt := collect()
+		evt, err := slb.SimulateCluster(slb.NewZipfStream(1.8, 400, m, 29), slb.ClusterConfig{
+			Workers: 8, Sources: 1, Algorithm: algo,
+			Core: slb.Config{Seed: 29}, ServiceTime: 1.0,
+			AggWindow: window, OnFinal: onEvt,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		liveFinals, onLive := collect()
+		live, err := slb.RunTopology(slb.NewZipfStream(1.8, 400, m, 29), slb.EngineConfig{
+			Workers: 8, Sources: 1, Algorithm: algo,
+			Core: slb.Config{Seed: 29}, ServiceTime: 0,
+			AggWindow: window, OnFinal: onLive,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for _, finals := range []map[key]int64{evtFinals, liveFinals} {
+			if len(finals) != len(truth) {
+				t.Fatalf("%s: %d finals, want %d", algo, len(finals), len(truth))
+			}
+			for k, want := range truth {
+				if finals[k] != want {
+					t.Fatalf("%s: window %d key %q = %d, want %d", algo, k.w, k.k, finals[k], want)
+				}
+			}
+		}
+		if evt.AggReplication != live.AggReplication {
+			t.Errorf("%s: replication factors diverge across engines: eventsim %v, dspe %v",
+				algo, evt.AggReplication, live.AggReplication)
+		}
+		if evt.AggTotal != m || live.AggTotal != m {
+			t.Errorf("%s: totals %d (eventsim) / %d (dspe), want %d", algo, evt.AggTotal, live.AggTotal, m)
+		}
+	}
+}

@@ -21,12 +21,12 @@
 // case they are aggregated as one key, exactly as they are routed and
 // sketch-counted as one key upstream.
 //
-// Known deviation: the engines currently re-digest each key once more
-// at the aggregation point (the routing layer's batch path keeps its
-// digests internal), so with aggregation enabled a message's key bytes
-// are scanned twice in total — routing's "hashed exactly once"
-// invariant holds per layer, not yet end to end. Exposing RouteBatch's
-// digest scratch would remove the second scan (ROADMAP follow-up).
+// The digest is CARRIED, never recomputed: routing digests each key
+// once at the source (core.RouteBatchDigests / core.RouteDigest), the
+// engines stamp that digest into their tuples, Accumulator.Add folds it
+// into the partial tables, and the flushed Partial hands it onward to
+// the reducer — one key-byte scan per message end to end, pinned by the
+// engines' hash-once tests.
 //
 // # Windows
 //
@@ -244,14 +244,16 @@ func NewAccumulator(worker int) *Accumulator {
 	return &Accumulator{worker: int32(worker), pool: newTablePool(), highest: -1 << 62}
 }
 
-// Add folds one observation of key (with its digest) into the given
-// window's partial table.
+// Add folds one observation of key into the given window's partial
+// table. dg is the key's CARRIED digest (the one routing computed —
+// callers must not re-digest): the table probe is pure integer work.
 func (a *Accumulator) Add(window int64, dg KeyDigest, key string) {
 	a.AddN(window, dg, key, 1)
 }
 
 // AddN folds n observations at once (the batched form: a slab of
-// identical keys is one table probe).
+// identical keys is one table probe). dg is the carried digest, as in
+// Add.
 func (a *Accumulator) AddN(window int64, dg KeyDigest, key string, n int64) {
 	if n <= 0 {
 		return

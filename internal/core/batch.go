@@ -10,6 +10,12 @@ package core
 // previous key, and those repeats reduce to a couple of load compares.
 //
 // The steady-state batch path performs no allocations for any algorithm.
+//
+// RouteBatchDigests is the same path with the digest slab supplied by
+// (and surrendered to) the caller: the one key-byte scan routing
+// performs becomes the digest every downstream layer — aggregation
+// tables, re-keyed edges — operates on, so a message's key is digested
+// exactly once end to end.
 
 import "slb/internal/hashing"
 
@@ -25,6 +31,22 @@ type BatchPartitioner interface {
 	RouteBatch(keys []string, dst []int)
 }
 
+// DigestBatchPartitioner is implemented by partitioners whose batch path
+// can hand the caller the digests routing already computed — the batched
+// half of the hash-once lifecycle. All partitioners in this package
+// implement it; RouteBatch is RouteBatchDigests over a partitioner-owned
+// scratch slab wherever a digest slab is needed at all.
+type DigestBatchPartitioner interface {
+	BatchPartitioner
+
+	// RouteBatchDigests routes exactly like RouteBatch and additionally
+	// fills digs[i] with Digest(keys[i]) for every i — the one scan of
+	// each key's bytes the whole system performs. Callers that aggregate
+	// or re-key downstream keep the slab and never digest again. It
+	// panics if digs or dst is shorter than keys.
+	RouteBatchDigests(keys []string, digs []KeyDigest, dst []int)
+}
+
 // RouteBatch routes a batch of keys through p, using its native batch
 // path when available and falling back to per-message Route otherwise.
 func RouteBatch(p Partitioner, keys []string, dst []int) {
@@ -38,9 +60,39 @@ func RouteBatch(p Partitioner, keys []string, dst []int) {
 	}
 }
 
+// RouteBatchDigests routes a batch through p and returns the computed
+// digests in digs, using the native path when available. The fallback
+// digests each key once and routes through RouteDigest (or Route for
+// foreign implementations, which re-digests — exact, just slower).
+func RouteBatchDigests(p Partitioner, keys []string, digs []KeyDigest, dst []int) {
+	if dbp, ok := p.(DigestBatchPartitioner); ok {
+		dbp.RouteBatchDigests(keys, digs, dst)
+		return
+	}
+	checkBatchDigests(keys, digs, dst)
+	for i, k := range keys {
+		digs[i] = hashing.Digest(k)
+		dst[i] = RouteDigest(p, digs[i], k)
+	}
+}
+
 func checkBatch(keys []string, dst []int) {
 	if len(dst) < len(keys) {
 		panic("core: RouteBatch dst shorter than keys")
+	}
+}
+
+func checkBatchDigests(keys []string, digs []KeyDigest, dst []int) {
+	checkBatch(keys, dst)
+	if len(digs) < len(keys) {
+		panic("core: RouteBatchDigests digs shorter than keys")
+	}
+}
+
+// fillDigests performs the batch's single scan of each key's bytes.
+func fillDigests(keys []string, digs []KeyDigest) {
+	for i, k := range keys {
+		digs[i] = hashing.Digest(k)
 	}
 }
 
@@ -140,6 +192,16 @@ func (k *KeyGrouping) RouteBatch(keys []string, dst []int) {
 	}
 }
 
+// RouteBatchDigests implements DigestBatchPartitioner.
+func (k *KeyGrouping) RouteBatchDigests(keys []string, digs []KeyDigest, dst []int) {
+	checkBatchDigests(keys, digs, dst)
+	for i, key := range keys {
+		dg := hashing.Digest(key)
+		digs[i] = dg
+		dst[i] = k.family.BucketDigest(0, dg, k.n)
+	}
+}
+
 // RouteBatch implements BatchPartitioner: keys are ignored, so the whole
 // slab is a tight round-robin fill.
 func (s *ShuffleGrouping) RouteBatch(keys []string, dst []int) {
@@ -155,15 +217,33 @@ func (s *ShuffleGrouping) RouteBatch(keys []string, dst []int) {
 	s.next = w
 }
 
-// RouteBatch implements BatchPartitioner: a tight digest–two-mix–pick
-// loop. PKG keeps no sketch, so (like KG) there is nothing a run can
-// amortize that would repay the run-detection compare; the batch win is
-// the hoisted dispatch and bounds.
+// RouteBatchDigests implements DigestBatchPartitioner. Routing ignores
+// the keys, but the contract — digs[i] = Digest(keys[i]) — still holds,
+// so a caller that aggregates downstream gets its digests from the same
+// call regardless of the edge's algorithm.
+func (s *ShuffleGrouping) RouteBatchDigests(keys []string, digs []KeyDigest, dst []int) {
+	checkBatchDigests(keys, digs, dst)
+	fillDigests(keys, digs)
+	s.RouteBatch(keys, dst)
+}
+
+// RouteBatch implements BatchPartitioner (one loop, shared with the
+// digest-carry form: the scratch store costs a cached write per
+// message, below measurement noise).
 func (p *PKG) RouteBatch(keys []string, dst []int) {
-	checkBatch(keys, dst)
+	p.RouteBatchDigests(keys, p.scratchDigests(len(keys)), dst)
+}
+
+// RouteBatchDigests implements DigestBatchPartitioner: a tight
+// digest–two-mix–pick loop. PKG keeps no sketch, so (like KG) there is
+// nothing a run can amortize that would repay the run-detection
+// compare; the batch win is the hoisted dispatch and bounds.
+func (p *PKG) RouteBatchDigests(keys []string, digs []KeyDigest, dst []int) {
+	checkBatchDigests(keys, digs, dst)
 	loads := p.loads
 	for i, key := range keys {
 		dg := hashing.Digest(key)
+		digs[i] = dg
 		w0 := p.family.BucketDigest(0, dg, p.n)
 		w1 := p.family.BucketDigest(1, dg, p.n)
 		if loads[w1] < loads[w0] {
@@ -190,23 +270,29 @@ func (p *PKG) RouteBatch(keys []string, dst []int) {
 
 // routeBatchFallback drives the per-message path (sliding-window sketch
 // mode, where rotation points depend on exact offer order, or a θ
-// outside the monotone range).
-func routeBatchFallback(p Partitioner, keys []string, dst []int) {
+// outside the monotone range). The digests are already filled, so even
+// the fallback scans each key once.
+func routeBatchFallback(p DigestRouter, keys []string, digs []KeyDigest, dst []int) {
 	for i, k := range keys {
-		dst[i] = p.Route(k)
+		dst[i] = p.RouteDigest(digs[i], k)
 	}
 }
 
 // RouteBatch implements BatchPartitioner (Algorithm 1 with D-CHOICES).
 func (p *DChoices) RouteBatch(keys []string, dst []int) {
-	checkBatch(keys, dst)
+	p.RouteBatchDigests(keys, p.scratchDigests(len(keys)), dst)
+}
+
+// RouteBatchDigests implements DigestBatchPartitioner.
+func (p *DChoices) RouteBatchDigests(keys []string, digs []KeyDigest, dst []int) {
+	checkBatchDigests(keys, digs, dst)
+	fillDigests(keys, digs)
 	if !p.head.canBatch() {
-		routeBatchFallback(p, keys, dst)
+		routeBatchFallback(p, keys, digs, dst)
 		return
 	}
-	digs := p.digests(keys)
 	for i := 0; i < len(keys); {
-		r := runLenDigest(digs, i)
+		r := runLenDigest(digs[:len(keys)], i)
 		p.routeRun(digs[i], keys[i], r, dst[i:i+r])
 		i += r
 	}
@@ -346,14 +432,19 @@ func (p *DChoices) routeRunNearSolve(dg KeyDigest, key string, r int, dst []int)
 
 // RouteBatch implements BatchPartitioner (Algorithm 1 with W-CHOICES).
 func (p *WChoices) RouteBatch(keys []string, dst []int) {
-	checkBatch(keys, dst)
+	p.RouteBatchDigests(keys, p.scratchDigests(len(keys)), dst)
+}
+
+// RouteBatchDigests implements DigestBatchPartitioner.
+func (p *WChoices) RouteBatchDigests(keys []string, digs []KeyDigest, dst []int) {
+	checkBatchDigests(keys, digs, dst)
+	fillDigests(keys, digs)
 	if !p.head.canBatch() {
-		routeBatchFallback(p, keys, dst)
+		routeBatchFallback(p, keys, digs, dst)
 		return
 	}
-	digs := p.digests(keys)
 	for i := 0; i < len(keys); {
-		r := runLenDigest(digs, i)
+		r := runLenDigest(digs[:len(keys)], i)
 		p.routeRun(digs[i], keys[i], r, dst[i:i+r])
 		i += r
 	}
@@ -376,14 +467,19 @@ func (p *WChoices) routeRun(dg KeyDigest, key string, r int, dst []int) {
 
 // RouteBatch implements BatchPartitioner (RR head baseline).
 func (p *RoundRobin) RouteBatch(keys []string, dst []int) {
-	checkBatch(keys, dst)
+	p.RouteBatchDigests(keys, p.scratchDigests(len(keys)), dst)
+}
+
+// RouteBatchDigests implements DigestBatchPartitioner.
+func (p *RoundRobin) RouteBatchDigests(keys []string, digs []KeyDigest, dst []int) {
+	checkBatchDigests(keys, digs, dst)
+	fillDigests(keys, digs)
 	if !p.head.canBatch() {
-		routeBatchFallback(p, keys, dst)
+		routeBatchFallback(p, keys, digs, dst)
 		return
 	}
-	digs := p.digests(keys)
 	for i := 0; i < len(keys); {
-		r := runLenDigest(digs, i)
+		r := runLenDigest(digs[:len(keys)], i)
 		p.routeRun(digs[i], keys[i], r, dst[i:i+r])
 		i += r
 	}
@@ -415,14 +511,19 @@ func (p *RoundRobin) routeRun(dg KeyDigest, key string, r int, dst []int) {
 
 // RouteBatch implements BatchPartitioner (fixed-d experimental scheme).
 func (p *ForcedD) RouteBatch(keys []string, dst []int) {
-	checkBatch(keys, dst)
+	p.RouteBatchDigests(keys, p.scratchDigests(len(keys)), dst)
+}
+
+// RouteBatchDigests implements DigestBatchPartitioner.
+func (p *ForcedD) RouteBatchDigests(keys []string, digs []KeyDigest, dst []int) {
+	checkBatchDigests(keys, digs, dst)
+	fillDigests(keys, digs)
 	if !p.head.canBatch() {
-		routeBatchFallback(p, keys, dst)
+		routeBatchFallback(p, keys, digs, dst)
 		return
 	}
-	digs := p.digests(keys)
 	for i := 0; i < len(keys); {
-		r := runLenDigest(digs, i)
+		r := runLenDigest(digs[:len(keys)], i)
 		p.routeRun(digs[i], keys[i], r, dst[i:i+r])
 		i += r
 	}
@@ -452,9 +553,12 @@ func (p *ForcedD) routeRun(dg KeyDigest, key string, r int, dst []int) {
 	}
 }
 
-// RouteBatch implements BatchPartitioner. The oracle predicate is a pure
-// function of the key (NewOracle's contract), so it is evaluated once
-// per run.
+// RouteBatch implements BatchPartitioner. Unlike the other schemes it
+// does NOT delegate to RouteBatchDigests: Oracle's head runs never need
+// a digest at all (routeAll is load-only) and tail runs need one per
+// RUN, so filling the whole slab would digest every message of a
+// head-dominated stream for nothing. Parity with RouteBatchDigests is
+// pinned by the experimental batch-parity test.
 func (p *Oracle) RouteBatch(keys []string, dst []int) {
 	checkBatch(keys, dst)
 	for i := 0; i < len(keys); {
@@ -471,14 +575,42 @@ func (p *Oracle) RouteBatch(keys []string, dst []int) {
 	}
 }
 
+// RouteBatchDigests implements DigestBatchPartitioner. Run detection
+// stays over key identity (the oracle predicate is a pure function of
+// the key string, not the digest, and is evaluated once per run), while
+// head runs and tail routing use the filled slab.
+func (p *Oracle) RouteBatchDigests(keys []string, digs []KeyDigest, dst []int) {
+	checkBatchDigests(keys, digs, dst)
+	fillDigests(keys, digs)
+	for i := 0; i < len(keys); {
+		r := runLen(keys, i)
+		if p.isHead(keys[i]) {
+			for j := i; j < i+r; j++ {
+				dst[j] = p.routeAll()
+			}
+		} else {
+			p.routeTailSeg(digs[i], dst[i:i+r])
+		}
+		i += r
+	}
+}
+
 // Interface conformance for every algorithm.
 var (
-	_ BatchPartitioner = (*KeyGrouping)(nil)
-	_ BatchPartitioner = (*ShuffleGrouping)(nil)
-	_ BatchPartitioner = (*PKG)(nil)
-	_ BatchPartitioner = (*DChoices)(nil)
-	_ BatchPartitioner = (*WChoices)(nil)
-	_ BatchPartitioner = (*RoundRobin)(nil)
-	_ BatchPartitioner = (*ForcedD)(nil)
-	_ BatchPartitioner = (*Oracle)(nil)
+	_ DigestBatchPartitioner = (*KeyGrouping)(nil)
+	_ DigestBatchPartitioner = (*ShuffleGrouping)(nil)
+	_ DigestBatchPartitioner = (*PKG)(nil)
+	_ DigestBatchPartitioner = (*DChoices)(nil)
+	_ DigestBatchPartitioner = (*WChoices)(nil)
+	_ DigestBatchPartitioner = (*RoundRobin)(nil)
+	_ DigestBatchPartitioner = (*ForcedD)(nil)
+	_ DigestBatchPartitioner = (*Oracle)(nil)
+	_ DigestRouter           = (*KeyGrouping)(nil)
+	_ DigestRouter           = (*ShuffleGrouping)(nil)
+	_ DigestRouter           = (*PKG)(nil)
+	_ DigestRouter           = (*DChoices)(nil)
+	_ DigestRouter           = (*WChoices)(nil)
+	_ DigestRouter           = (*RoundRobin)(nil)
+	_ DigestRouter           = (*ForcedD)(nil)
+	_ DigestRouter           = (*Oracle)(nil)
 )

@@ -11,24 +11,32 @@
 // sender"). Simulations create one instance per source from a shared
 // Config.
 //
-// # The digest invariant
+// # The hash-once lifecycle
 //
 // Routing operates on KeyDigest, the 64-bit digest of a key's bytes
-// (hashing.Digest): every message is hashed exactly once, and all d
-// candidate workers, the sketch's monitored-entry table and the batch
-// path derive from that digest. The paper's correctness invariant — all
-// senders map a key to the same candidate workers — therefore reads:
-// same digest → same candidates. The digest is a pure, seed-independent
-// function of the key bytes, and candidate derivation depends only on
-// (digest, Seed), never on Instance, so the invariant holds across
-// senders by construction. Distinct keys share a digest only with
-// probability ≈ 2⁻⁶⁴ per pair; such keys are routed and counted as one.
+// (hashing.Digest). A key is digested exactly ONCE per message, at the
+// source, and the digest then travels with the message through every
+// later layer: all d candidate workers, the sketch's monitored-entry
+// table, the batch path, the engines' tuples and the aggregation
+// tables derive from that one digest — source → route → aggregate →
+// reduce, with no second scan of the key bytes anywhere. The paper's
+// correctness invariant — all senders map a key to the same candidate
+// workers — therefore reads: same digest → same candidates. The digest
+// is a pure, seed-independent function of the key bytes, and candidate
+// derivation depends only on (digest, Seed), never on Instance, so the
+// invariant holds across senders by construction. Distinct keys share
+// a digest only with probability ≈ 2⁻⁶⁴ per pair; such keys are
+// routed, aggregated and counted as one.
 //
-// The per-message Route is a thin wrapper (digest once, then route); the
-// batched fast path is RouteBatch (see BatchPartitioner), which
-// additionally amortizes sketch maintenance and candidate derivation
-// over runs of identical keys while reproducing Route's decisions
-// message for message.
+// The APIs expose both ends of the lifecycle. Per message: Route is a
+// thin wrapper (digest once, then route), and RouteDigest (see
+// DigestRouter) is the carried-digest form for callers that already
+// hold the digest. Batched: RouteBatch (see BatchPartitioner) amortizes
+// sketch maintenance and candidate derivation over runs of identical
+// keys, and RouteBatchDigests (see DigestBatchPartitioner) additionally
+// hands the caller the digests routing computed, so downstream layers
+// (windowed aggregation, re-keying) reuse them instead of re-scanning.
+// All batch variants reproduce Route's decisions message for message.
 package core
 
 import (
@@ -60,6 +68,29 @@ type Partitioner interface {
 	// Name returns the paper's symbol for the algorithm (KG, SG, PKG,
 	// D-C, W-C, RR).
 	Name() string
+}
+
+// DigestRouter is implemented by partitioners that can route a message
+// whose key was already digested, the per-message half of the hash-once
+// lifecycle: a caller that carries the digest alongside the key (an
+// engine tuple, a flushed aggregation partial) routes without a second
+// scan of the key bytes. dg must equal Digest(key); key is still
+// required because the head sketches monitor key identities. All
+// partitioners in this package implement it, and Route(key) is always
+// RouteDigest(Digest(key), key).
+type DigestRouter interface {
+	RouteDigest(dg KeyDigest, key string) int
+}
+
+// RouteDigest routes one pre-digested message through p, using its
+// native digest path when available. The fallback for foreign
+// Partitioner implementations is plain Route, which re-digests — exact,
+// just without the hash-once saving.
+func RouteDigest(p Partitioner, dg KeyDigest, key string) int {
+	if dr, ok := p.(DigestRouter); ok {
+		return dr.RouteDigest(dg, key)
+	}
+	return p.Route(key)
 }
 
 // Config carries the common parameters of Table III.
@@ -182,7 +213,12 @@ func NewKeyGrouping(cfg Config) *KeyGrouping {
 
 // Route implements Partitioner.
 func (k *KeyGrouping) Route(key string) int {
-	return k.family.BucketDigest(0, hashing.Digest(key), k.n)
+	return k.RouteDigest(hashing.Digest(key), key)
+}
+
+// RouteDigest implements DigestRouter: one mix of the carried digest.
+func (k *KeyGrouping) RouteDigest(dg KeyDigest, _ string) int {
+	return k.family.BucketDigest(0, dg, k.n)
 }
 
 // Workers implements Partitioner.
@@ -219,6 +255,9 @@ func (s *ShuffleGrouping) Route(string) int {
 	}
 	return w
 }
+
+// RouteDigest implements DigestRouter (SG ignores keys and digests).
+func (s *ShuffleGrouping) RouteDigest(KeyDigest, string) int { return s.Route("") }
 
 // Workers implements Partitioner.
 func (s *ShuffleGrouping) Workers() int { return s.n }
@@ -299,19 +338,15 @@ func (g *greedy) routeCands(cand []int32) int {
 	return best
 }
 
-// digests fills the scratch digest buffer for a batch: one key scan per
-// message, after which run detection and all routing are integer work.
-// The buffer grows to the largest batch ever seen, so steady state
-// allocates nothing.
-func (g *greedy) digests(keys []string) []hashing.KeyDigest {
-	if cap(g.digs) < len(keys) {
-		g.digs = make([]hashing.KeyDigest, len(keys))
+// scratchDigests returns the partitioner-owned digest slab for an
+// n-message batch: the buffer RouteBatch hands to RouteBatchDigests
+// when the caller did not supply its own. It grows to the largest batch
+// ever seen, so steady state allocates nothing.
+func (g *greedy) scratchDigests(n int) []hashing.KeyDigest {
+	if cap(g.digs) < n {
+		g.digs = make([]hashing.KeyDigest, n)
 	}
-	d := g.digs[:len(keys)]
-	for i, k := range keys {
-		d[i] = hashing.Digest(k)
-	}
-	return d
+	return g.digs[:n]
 }
 
 // routeAll picks the globally least-loaded worker (W-Choices head path:
@@ -379,6 +414,9 @@ func NewPKG(cfg Config) *PKG {
 
 // Route implements Partitioner.
 func (p *PKG) Route(key string) int { return p.routeGreedyDigest(hashing.Digest(key), 2) }
+
+// RouteDigest implements DigestRouter.
+func (p *PKG) RouteDigest(dg KeyDigest, _ string) int { return p.routeGreedyDigest(dg, 2) }
 
 // Workers implements Partitioner.
 func (p *PKG) Workers() int { return p.n }
@@ -633,7 +671,11 @@ func (p *DChoices) headCands(dg KeyDigest) []int32 {
 // Route implements Partitioner (Algorithm 1 with D-CHOICES). It is the
 // per-message thin wrapper: digest once, then route on the digest.
 func (p *DChoices) Route(key string) int {
-	dg := hashing.Digest(key)
+	return p.RouteDigest(hashing.Digest(key), key)
+}
+
+// RouteDigest implements DigestRouter.
+func (p *DChoices) RouteDigest(dg KeyDigest, key string) int {
 	inHead := p.head.observeDigest(dg, key)
 	d := 2
 	if inHead {
@@ -715,7 +757,11 @@ func NewForcedD(cfg Config, d int) *ForcedD {
 
 // Route implements Partitioner.
 func (p *ForcedD) Route(key string) int {
-	dg := hashing.Digest(key)
+	return p.RouteDigest(hashing.Digest(key), key)
+}
+
+// RouteDigest implements DigestRouter.
+func (p *ForcedD) RouteDigest(dg KeyDigest, key string) int {
 	if p.head.observeDigest(dg, key) {
 		if p.d == p.n {
 			return p.routeAll()
@@ -752,7 +798,11 @@ func NewWChoices(cfg Config) *WChoices {
 
 // Route implements Partitioner (Algorithm 1 with W-CHOICES).
 func (p *WChoices) Route(key string) int {
-	dg := hashing.Digest(key)
+	return p.RouteDigest(hashing.Digest(key), key)
+}
+
+// RouteDigest implements DigestRouter.
+func (p *WChoices) RouteDigest(dg KeyDigest, key string) int {
 	if p.head.observeDigest(dg, key) {
 		return p.routeAll()
 	}
@@ -792,9 +842,17 @@ func NewOracle(cfg Config, isHead func(string) bool) *Oracle {
 // Route implements Partitioner.
 func (p *Oracle) Route(key string) int {
 	if p.isHead(key) {
-		return p.routeAll()
+		return p.routeAll() // head messages never need the digest
 	}
 	return p.routeGreedyDigest(hashing.Digest(key), 2)
+}
+
+// RouteDigest implements DigestRouter.
+func (p *Oracle) RouteDigest(dg KeyDigest, key string) int {
+	if p.isHead(key) {
+		return p.routeAll()
+	}
+	return p.routeGreedyDigest(dg, 2)
 }
 
 // Workers implements Partitioner.
@@ -827,7 +885,11 @@ func NewRoundRobin(cfg Config) *RoundRobin {
 
 // Route implements Partitioner.
 func (p *RoundRobin) Route(key string) int {
-	dg := hashing.Digest(key)
+	return p.RouteDigest(hashing.Digest(key), key)
+}
+
+// RouteDigest implements DigestRouter.
+func (p *RoundRobin) RouteDigest(dg KeyDigest, key string) int {
 	if p.head.observeDigest(dg, key) {
 		return p.routeHeadRR()
 	}

@@ -19,7 +19,17 @@
 // which merges partials across bolts — the per-key merge fan-in is
 // exactly the replication factor the partitioner paid — and emits
 // finals. Result.Agg reports the measured aggregation traffic, merge
-// work and reducer memory.
+// work and reducer memory; Result.AggReducerUtil the fraction of the
+// run the reducer spent merging.
+//
+// Tuples carry the KeyDigest routing computed (RouteBatchDigests), so a
+// key's bytes are scanned exactly once per message end to end: the
+// bolt-side partial tables and the reducer both operate on the carried
+// digest. Spouts additionally broadcast watermark ticks to EVERY bolt
+// when the global emission sequence enters a new window, so a bolt that
+// happens to receive no traffic still flushes its closed windows —
+// window-close latency depends on stream progress, not on which bolts
+// the partitioner favors.
 //
 // Unlike internal/eventsim, results here depend on the host: use this
 // engine to demonstrate the system end-to-end, and eventsim for
@@ -29,11 +39,11 @@ package dspe
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"slb/internal/aggregation"
 	"slb/internal/core"
-	"slb/internal/hashing"
 	"slb/internal/metrics"
 	"slb/internal/stream"
 )
@@ -124,15 +134,25 @@ type Result struct {
 	// counted exactly (metrics.DigestReplicas). 1 for KG by construction;
 	// up to Workers for W-Choices hot keys. 0 when aggregation is off.
 	AggReplication float64
+	// AggReducerUtil is the fraction of the run's wall clock the reducer
+	// goroutine spent merging partial slabs: its measured utilization
+	// (0 when aggregation is off). Near 1 means the reducer is the
+	// bottleneck stage.
+	AggReducerUtil float64
 	// AggTotal is the sum of all final counts; with aggregation enabled
 	// it must equal Completed (every processed tuple is counted exactly
 	// once — window close is exact, not approximate).
 	AggTotal int64
 }
 
-// tuple is one in-flight message.
+// tuple is one in-flight message. With aggregation on it carries the
+// KeyDigest routing computed, so bolts never re-scan the key bytes. A
+// negative src marks a watermark tick: window holds the id of the
+// window the global emission sequence has entered, there is no key and
+// no ack, and the receiving bolt just flushes its closed windows.
 type tuple struct {
 	key     string
+	dig     core.KeyDigest
 	emitted time.Time
 	window  int64 // tumbling-window id (0 unless Config.AggWindow > 0)
 	src     int32
@@ -194,11 +214,12 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 	// partial slabs over a bounded channel to one reducer goroutine —
 	// the same slab-ownership-transfer discipline as the data plane.
 	var (
-		aggCh    chan []aggregation.Partial
-		aggStats aggregation.ReducerStats
-		aggTotal int64
-		aggRepl  float64
-		reduceWG sync.WaitGroup
+		aggCh      chan []aggregation.Partial
+		aggStats   aggregation.ReducerStats
+		aggTotal   int64
+		aggRepl    float64
+		reduceBusy time.Duration
+		reduceWG   sync.WaitGroup
 	)
 	if cfg.AggWindow > 0 {
 		aggCh = make(chan []aggregation.Partial, 2*cfg.Workers)
@@ -210,9 +231,13 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 			// how bolts interleave (see aggregation.Driver).
 			drv := aggregation.NewDriver(cfg.Workers, cfg.AggWindow, limit)
 			for slab := range aggCh {
+				t0 := time.Now()
 				drv.Merge(slab, cfg.OnFinal)
+				reduceBusy += time.Since(t0)
 			}
+			t0 := time.Now()
 			drv.Finish(cfg.OnFinal)
+			reduceBusy += time.Since(t0)
 			aggStats, aggRepl, aggTotal = drv.Stats(), drv.Replication(), drv.Total()
 		}()
 	}
@@ -229,23 +254,37 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 			if cfg.AggWindow > 0 {
 				acc = aggregation.NewAccumulator(w)
 			}
+			// flushClosed closes windows below `before` and hands the
+			// partials to the reducer (freshly allocated slab: ownership
+			// transfers over the channel).
+			flushClosed := func(before int64) {
+				ps := acc.FlushBefore(before, make([]aggregation.Partial, 0, acc.Entries()))
+				if len(ps) > 0 {
+					aggCh <- ps
+				}
+			}
 			for slab := range in[w] {
 				for _, tp := range slab {
+					if tp.src < 0 {
+						// Watermark tick: the global emission sequence entered
+						// window tp.window, so (with one window of slack, same
+						// as the data path below) older windows are complete at
+						// this bolt even if it never sees another tuple.
+						if acc != nil {
+							flushClosed(tp.window - 1)
+						}
+						continue
+					}
 					simulateWork(svcFor(w), cfg.Spin)
 					if acc != nil {
 						if wm, ok := acc.Watermark(); ok && tp.window > wm {
 							// Watermark advance: flush with one window of slack,
 							// so slabs from lagging spouts (bounded reordering:
 							// at most one drawn-but-unsent slab per spout) do not
-							// fragment a window already flushed. The slab is
-							// freshly allocated — ownership transfers to the
-							// reducer.
-							ps := acc.FlushBefore(tp.window-1, make([]aggregation.Partial, 0, acc.Entries()))
-							if len(ps) > 0 {
-								aggCh <- ps
-							}
+							// fragment a window already flushed.
+							flushClosed(tp.window - 1)
 						}
-						acc.Add(tp.window, hashing.Digest(tp.key), tp.key)
+						acc.Add(tp.window, tp.dig, tp.key)
 					}
 					lat := time.Since(tp.emitted)
 					st.lat.Add(float64(lat))
@@ -266,6 +305,12 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 	// data source to the spouts); see slabSource.
 	nextSlab, _ := slabSource(gen, limit)
 
+	// tickedWindow is the highest window id announced to the bolts via
+	// watermark ticks; the spout whose slab first enters a window
+	// broadcasts the tick (idempotent at the bolts: flushing an already
+	// flushed window is a no-op).
+	var tickedWindow atomic.Int64
+
 	start := time.Now()
 	var spouts sync.WaitGroup
 	for s := 0; s < cfg.Sources; s++ {
@@ -275,6 +320,10 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 			p := parts[s]
 			keys := make([]string, cfg.Batch)
 			dsts := make([]int, cfg.Batch)
+			var digs []core.KeyDigest
+			if cfg.AggWindow > 0 {
+				digs = make([]core.KeyDigest, cfg.Batch)
+			}
 			counts := make([]int, cfg.Workers)
 			pending := make([][]tuple, cfg.Workers)
 			for {
@@ -287,7 +336,30 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 				for i := 0; i < n; i++ {
 					window[s] <- struct{}{}
 				}
-				core.RouteBatch(p, keys[:n], dsts)
+				if cfg.AggWindow > 0 {
+					// Hash-once: routing computes the digests the bolts'
+					// partial tables (and the reducer) will key by.
+					core.RouteBatchDigests(p, keys[:n], digs, dsts)
+					// Broadcast a watermark tick to every bolt when the global
+					// emission sequence enters a window no spout announced yet,
+					// so bolts the partitioner starves still flush on time.
+					if cw := (base + int64(n) - 1) / cfg.AggWindow; cw > tickedWindow.Load() {
+						for {
+							seen := tickedWindow.Load()
+							if cw <= seen {
+								break
+							}
+							if tickedWindow.CompareAndSwap(seen, cw) {
+								for w := range in {
+									in[w] <- []tuple{{src: -1, window: cw}}
+								}
+								break
+							}
+						}
+					}
+				} else {
+					core.RouteBatch(p, keys[:n], dsts)
+				}
 				// Group the slab by destination bolt. The per-bolt slabs are
 				// freshly allocated: ownership transfers over the channel.
 				for i := range counts {
@@ -305,6 +377,7 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 					tp := tuple{key: keys[i], emitted: now, src: int32(s)}
 					if cfg.AggWindow > 0 {
 						tp.window = (base + int64(i)) / cfg.AggWindow
+						tp.dig = digs[i]
 					}
 					pending[w] = append(pending[w], tp)
 				}
@@ -324,9 +397,14 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 	}
 	bolts.Wait()
 	elapsed := time.Since(start)
+	// The reducer keeps draining after the bolts finish (queued slabs,
+	// end-of-stream flushes, Finish); its utilization denominator must
+	// cover that tail, so it is snapshotted after the join.
+	total := elapsed
 	if aggCh != nil {
 		close(aggCh)
 		reduceWG.Wait()
+		total = time.Since(start)
 	}
 
 	res := Result{
@@ -336,6 +414,9 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 		Agg:            aggStats,
 		AggTotal:       aggTotal,
 		AggReplication: aggRepl,
+	}
+	if cfg.AggWindow > 0 && total > 0 {
+		res.AggReducerUtil = float64(reduceBusy) / float64(total)
 	}
 	for w := range stats {
 		st := &stats[w]

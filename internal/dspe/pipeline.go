@@ -7,7 +7,6 @@ import (
 
 	"slb/internal/aggregation"
 	"slb/internal/core"
-	"slb/internal/hashing"
 	"slb/internal/metrics"
 	"slb/internal/stream"
 )
@@ -179,12 +178,15 @@ type PipelineConfig struct {
 	Messages int64
 }
 
-// pipeTuple carries the key plus the root emission time for latency,
-// the root emission sequence number (windowed-aggregate stages derive
-// window ids from it), the window id, and the tuple's weight (how many
-// source tuples it stands for — partials carry their count).
+// pipeTuple carries the key and its KeyDigest (computed once, when the
+// spout routes the first edge, and re-derived downstream only when a
+// stage emits a DIFFERENT key), plus the root emission time for
+// latency, the root emission sequence number (windowed-aggregate stages
+// derive window ids from it), the window id, and the tuple's weight
+// (how many source tuples it stands for — partials carry their count).
 type pipeTuple struct {
 	key    string
+	dig    core.KeyDigest
 	root   time.Time
 	seq    int64
 	window int64
@@ -256,18 +258,38 @@ func (p *Pipeline) Run(cfg PipelineConfig) (PipelineResult, error) {
 				defer stageWGs[s].Done()
 				spec := p.stages[s]
 				var down core.Partitioner
+				var downDig core.DigestRouter
 				if s+1 < len(p.stages) {
 					var err error
 					down, err = senderFor(s+1, ex+spec.parallelism)
 					if err != nil {
 						panic(err) // validated before launch
 					}
+					downDig, _ = down.(core.DigestRouter)
 				}
 				// cur is the tuple being processed; its root/seq/window
 				// propagate onto emissions.
 				var cur pipeTuple
+				// send routes by the tuple's carried digest: downstream edges
+				// re-key without re-scanning unchanged key bytes.
 				send := func(tp pipeTuple) {
-					inputs[s+1][down.Route(tp.key)] <- tp
+					var w int
+					if downDig != nil {
+						w = downDig.RouteDigest(tp.dig, tp.key)
+					} else {
+						w = down.Route(tp.key)
+					}
+					inputs[s+1][w] <- tp
+				}
+				// reDigest maps an emitted key to its digest: the carried one
+				// when the key bytes are unchanged (the common pass-through
+				// case reduces to a pointer compare), one fresh scan when the
+				// stage emitted a genuinely new key.
+				reDigest := func(key string) core.KeyDigest {
+					if key == cur.key {
+						return cur.dig
+					}
+					return core.Digest(key)
 				}
 				emit := func(key string) {
 					if down == nil {
@@ -276,13 +298,13 @@ func (p *Pipeline) Run(cfg PipelineConfig) (PipelineResult, error) {
 					// Pass-through weight: a plain stage re-emitting a partial
 					// tuple (e.g. a router between an aggregate stage and its
 					// reducer) must not collapse a count-5000 partial to 1.
-					send(pipeTuple{key: key, root: cur.root, seq: cur.seq, window: cur.window, weight: cur.weight})
+					send(pipeTuple{key: key, dig: reDigest(key), root: cur.root, seq: cur.seq, window: cur.window, weight: cur.weight})
 				}
 				emitW := func(key string, count int64) {
 					if down == nil {
 						return
 					}
-					send(pipeTuple{key: key, root: cur.root, seq: cur.seq, window: cur.window, weight: count})
+					send(pipeTuple{key: key, dig: reDigest(key), root: cur.root, seq: cur.seq, window: cur.window, weight: count})
 				}
 				var acc *aggregation.Accumulator
 				var buf []aggregation.Partial
@@ -300,8 +322,11 @@ func (p *Pipeline) Run(cfg PipelineConfig) (PipelineResult, error) {
 					}
 					for i := range buf {
 						pp := &buf[i]
+						// The partial carries the digest its table was keyed
+						// by; the reduce edge routes on it with zero re-scans.
 						send(pipeTuple{
 							key:    pp.Key,
+							dig:    pp.Digest,
 							root:   root,
 							seq:    pp.Window * spec.aggWindow,
 							window: pp.Window,
@@ -324,7 +349,7 @@ func (p *Pipeline) Run(cfg PipelineConfig) (PipelineResult, error) {
 							// tuples in flight.
 							flushEmit(w-1, tp.root)
 						}
-						acc.AddN(w, hashing.Digest(tp.key), tp.key, tp.weight)
+						acc.AddN(w, tp.dig, tp.key, tp.weight)
 					case spec.wfn != nil:
 						spec.wfn(tp.key, tp.window, tp.weight, emitW)
 					default:
@@ -368,15 +393,18 @@ func (p *Pipeline) Run(cfg PipelineConfig) (PipelineResult, error) {
 		go func(part core.Partitioner) {
 			defer spoutWG.Done()
 			keys := make([]string, spoutBatch)
+			digs := make([]core.KeyDigest, spoutBatch)
 			dsts := make([]int, spoutBatch)
 			for {
 				n, base := nextSlab(keys)
 				if n == 0 {
 					return
 				}
-				core.RouteBatch(part, keys[:n], dsts)
+				// Hash-once: the digests routing computes here travel with
+				// the tuples through every later stage.
+				core.RouteBatchDigests(part, keys[:n], digs, dsts)
 				for i := 0; i < n; i++ {
-					inputs[0][dsts[i]] <- pipeTuple{key: keys[i], root: time.Now(), seq: base + int64(i), weight: 1}
+					inputs[0][dsts[i]] <- pipeTuple{key: keys[i], dig: digs[i], root: time.Now(), seq: base + int64(i), weight: 1}
 				}
 			}
 		}(part)

@@ -8,6 +8,20 @@
 // and end-to-end latency and total throughput degrade exactly as in the
 // paper's Figures 13 and 14.
 //
+// With Config.AggWindow set, the two-phase aggregation's REDUCER is a
+// modeled service station of its own, not free bookkeeping: each
+// flushed partial costs the flushing worker Config.AggFlushCost
+// (serialize and emit) and then occupies the reducer for
+// Config.AggMergeCost of service, through a bounded FIFO queue
+// (Config.AggQueueLen) that exerts backpressure — a worker whose flush
+// finds the queue full blocks until the reducer drains. Reducer
+// saturation therefore propagates to end-to-end throughput and latency
+// exactly as a saturated worker does: this is the aggregation
+// bottleneck the D/W-Choices balance-vs-replication trade-off is priced
+// against (the cost side PKG's original evaluation flagged).
+// Result.ReducerUtil reports the station's utilization and
+// Result.ReducerPeakQueue its backlog high-water mark.
+//
 // Unlike the goroutine runtime in internal/dspe, results here are
 // bit-reproducible and independent of host speed, which makes this the
 // default engine for regenerating the paper's numbers.
@@ -69,6 +83,20 @@ type Config struct {
 	// partial at window close — the knob that turns replication into a
 	// throughput cost. 0 means ServiceTime/10.
 	AggFlushCost float64
+	// AggMergeCost is the reducer's service time (ms) to merge ONE
+	// partial into its window table. The reducer is a single FIFO
+	// service station, so an aggregate partial arrival rate above
+	// 1/AggMergeCost saturates it. 0 means AggFlushCost/4 (a merge is a
+	// table probe, cheaper than serializing).
+	AggMergeCost float64
+	// AggQueueLen is the reducer's input queue capacity in partials. A
+	// worker flushing into a full queue blocks until the reducer drains
+	// (backpressure), which is how reducer saturation reaches end-to-end
+	// throughput. 0 means 4096.
+	AggQueueLen int
+	// OnFinal, when set (and AggWindow > 0), receives every merged final
+	// the reducer emits, in deterministic order.
+	OnFinal func(aggregation.Final)
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -84,8 +112,16 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Window <= 0 {
 		c.Window = 100
 	}
-	if c.AggWindow > 0 && c.AggFlushCost <= 0 {
-		c.AggFlushCost = c.ServiceTime / 10
+	if c.AggWindow > 0 {
+		if c.AggFlushCost <= 0 {
+			c.AggFlushCost = c.ServiceTime / 10
+		}
+		if c.AggMergeCost <= 0 {
+			c.AggMergeCost = c.AggFlushCost / 4
+		}
+		if c.AggQueueLen <= 0 {
+			c.AggQueueLen = 4096
+		}
 	}
 	c.Core.Workers = c.Workers
 	return c, nil
@@ -120,6 +156,15 @@ type Result struct {
 	// AggTotal is the sum of all final counts; with aggregation enabled
 	// it equals Completed (window close is exact).
 	AggTotal int64
+	// ReducerUtil is the reducer service station's utilization: total
+	// merge service time over the simulated makespan (including the
+	// reducer's end-of-stream drain). Near 1 means the reducer is
+	// saturated and throughput is reducer-bound. 0 when aggregation is
+	// off.
+	ReducerUtil float64
+	// ReducerPeakQueue is the largest backlog (unmerged partials,
+	// including the one in service) the reducer station ever held.
+	ReducerPeakQueue int
 }
 
 // Event kinds.
@@ -178,6 +223,51 @@ type worker struct {
 	readyAt float64
 }
 
+// reducerStation models the aggregation reducer as a single
+// deterministic FIFO server: each admitted partial occupies it for
+// mergeCost, the input queue holds at most cap partials (counting the
+// one in service), and a producer admitting into a full queue waits for
+// the server to drain. Because service is deterministic and FIFO, the
+// whole station reduces to a closed-form recurrence over busyUntil — no
+// events needed — while remaining exact.
+type reducerStation struct {
+	mergeCost float64
+	headroom  float64 // (cap−1)·mergeCost: admission waits while backlog ≥ cap
+	busyUntil float64 // sim time at which every admitted partial is merged
+	busy      float64 // total merge service admitted (ms)
+	peak      int     // backlog high-water mark in partials
+}
+
+func newReducerStation(mergeCost float64, queueLen int) reducerStation {
+	return reducerStation{mergeCost: mergeCost, headroom: float64(queueLen-1) * mergeCost}
+}
+
+// admit feeds n partials produced by one worker's window flush starting
+// at `now`: the worker serializes one every flushCost, then hands it to
+// the reducer queue, blocking while the queue is full. It returns the
+// time the worker is released (its last partial admitted) — the
+// worker's readyAt, which embeds both the flush cost and any reducer
+// backpressure.
+func (r *reducerStation) admit(now float64, n int, flushCost float64) float64 {
+	t := now
+	for j := 0; j < n; j++ {
+		t += flushCost // serialize partial j at the worker
+		if wait := r.busyUntil - r.headroom; wait > t {
+			t = wait // queue full: block until a slot drains
+		}
+		start := t
+		if r.busyUntil > start {
+			start = r.busyUntil
+		}
+		r.busyUntil = start + r.mergeCost
+		r.busy += r.mergeCost
+		if backlog := int((r.busyUntil-t)/r.mergeCost + 0.5); backlog > r.peak {
+			r.peak = backlog
+		}
+	}
+	return t
+}
+
 func (w *worker) push(m pendingMsg) { w.queue = append(w.queue, m) }
 func (w *worker) pop() pendingMsg   { m := w.queue[w.head]; w.head++; w.compact(); return m }
 func (w *worker) backlog() int      { return len(w.queue) - w.head }
@@ -225,23 +315,31 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 		}
 	}
 
-	// Aggregation reducer: merges worker flushes the instant they happen
-	// (off the critical path; the worker-side flush cost is what shows
-	// up in throughput), closing each window the moment its merged count
-	// completes (see aggregation.Driver).
+	// Aggregation reducer: a modeled service station (see reducerStation).
+	// The merged CONTENT is folded in immediately — counters and window
+	// close points are simulated-time-independent — but the merge COST
+	// occupies the station's clock, and a full station queue blocks the
+	// flushing worker.
 	var (
 		drv    *aggregation.Driver
 		aggBuf []aggregation.Partial
+		red    reducerStation
 	)
 	if cfg.AggWindow > 0 {
 		drv = aggregation.NewDriver(cfg.Workers, cfg.AggWindow, limit)
+		red = newReducerStation(cfg.AggMergeCost, cfg.AggQueueLen)
 	}
-	// flushWorker drains wk's windows below `before` into the reducer
-	// and returns the number of partials flushed (the worker's cost).
-	flushWorker := func(wk *worker, before int64) int {
+	// flushWorker drains wk's windows below `before` into the reducer at
+	// simulated time `now` and returns the time the worker is released:
+	// serialization (AggFlushCost per partial) plus any backpressure
+	// stall while the reducer queue is full.
+	flushWorker := func(wk *worker, now float64, before int64) float64 {
 		aggBuf = wk.acc.FlushBefore(before, aggBuf[:0])
-		drv.Merge(aggBuf, nil)
-		return len(aggBuf)
+		drv.Merge(aggBuf, cfg.OnFinal)
+		if len(aggBuf) == 0 {
+			return now
+		}
+		return red.admit(now, len(aggBuf), cfg.AggFlushCost)
 	}
 	svc := func(w int) float64 {
 		t := cfg.ServiceTime
@@ -292,14 +390,23 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 				break
 			}
 			pm := pendingMsg{emitTime: now, src: e.idx}
+			var w int
 			if cfg.AggWindow > 0 {
+				// Hash-once: the key's single byte scan happens here, and
+				// the digest both routes the message and travels with it
+				// into the worker's partial tables.
+				dg := hashing.Digest(key)
 				pm.window = emitted / cfg.AggWindow
-				pm.dig = hashing.Digest(key)
+				pm.dig = dg
 				pm.key = key
+				w = core.RouteDigest(parts[s], dg, key)
+			} else {
+				// No digest consumer downstream: let the partitioner digest
+				// (or, for SG, skip the key bytes entirely).
+				w = parts[s].Route(key)
 			}
 			emitted++
 			inflight[s]++
-			w := parts[s].Route(key)
 			wk := workers[w]
 			// The queue head is the in-service message while busy.
 			wk.push(pm)
@@ -334,11 +441,12 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 			if cfg.AggWindow > 0 {
 				// Two-phase aggregation: fold the message into its window's
 				// partial table; when the watermark advances (one window of
-				// slack, matching internal/dspe), flush and charge the
-				// worker AggFlushCost per partial before its next service.
+				// slack, matching internal/dspe), flush — the worker is
+				// released only once its last partial is serialized AND
+				// admitted into the reducer's bounded queue.
 				if wm, ok := wk.acc.Watermark(); ok && m.window > wm {
-					if n := flushWorker(wk, m.window-1); n > 0 {
-						wk.readyAt = now + float64(n)*cfg.AggFlushCost
+					if t := flushWorker(wk, now, m.window-1); t > now {
+						wk.readyAt = t
 					}
 				}
 				wk.acc.Add(m.window, m.dig, m.key)
@@ -376,14 +484,19 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 		// End of stream: every worker flushes its remaining windows
 		// (completeness-based closing means nothing closes early while
 		// another worker still holds part of a window), then the driver
-		// closes any remainder.
+		// closes any remainder. The drain still occupies the reducer's
+		// clock, so the utilization denominator extends to its finish.
 		for _, wk := range workers {
-			flushWorker(wk, 1<<62)
+			flushWorker(wk, now, 1<<62)
 		}
-		drv.Finish(nil)
+		drv.Finish(cfg.OnFinal)
 		res.Agg = drv.Stats()
 		res.AggReplication = drv.Replication()
 		res.AggTotal = drv.Total()
+		if makespan := max(now, red.busyUntil); makespan > 0 {
+			res.ReducerUtil = red.busy / makespan
+		}
+		res.ReducerPeakQueue = red.peak
 	}
 	for i, wk := range workers {
 		res.Loads[i] = wk.count

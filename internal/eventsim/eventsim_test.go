@@ -227,8 +227,12 @@ func TestAggregationDeterministic(t *testing.T) {
 	}
 	a, b := run(), run()
 	if a.Agg != b.Agg || a.AggReplication != b.AggReplication || a.AggTotal != b.AggTotal ||
-		a.Throughput != b.Throughput || a.Duration != b.Duration {
+		a.Throughput != b.Throughput || a.Duration != b.Duration ||
+		a.ReducerUtil != b.ReducerUtil || a.ReducerPeakQueue != b.ReducerPeakQueue {
 		t.Fatalf("aggregation run not deterministic:\n%+v\n%+v", a, b)
+	}
+	if a.ReducerUtil <= 0 || a.ReducerUtil > 1 {
+		t.Fatalf("reducer utilization %f outside (0, 1]", a.ReducerUtil)
 	}
 }
 

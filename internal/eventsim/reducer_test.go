@@ -1,0 +1,91 @@
+package eventsim
+
+import "testing"
+
+// aggCfg is the stress configuration of the acceptance criterion:
+// small windows (many partials per message) and a high per-partial
+// flush cost (merge cost follows at flush/4), at a load that keeps the
+// workers themselves comfortable.
+func aggCfg(algo string) Config {
+	cfg := baseCfg(algo, 16, 8)
+	cfg.Messages = 20000
+	cfg.AggWindow = 100
+	cfg.AggFlushCost = 2.0 // merge = 0.5 ms/partial
+	return cfg
+}
+
+// TestReducerSaturationWChoices pins the point of modeling the reducer
+// as a service station: under small windows and a high flush cost,
+// W-Choices' replicated partial stream saturates the reducer (util → 1)
+// while KG at the same load leaves it mostly idle — and the saturation
+// is not free: W-C's end-to-end throughput collapses against the same
+// topology without aggregation, far beyond KG's degradation.
+func TestReducerSaturationWChoices(t *testing.T) {
+	const m = 20000
+	wc, err := Run(zipfGen(2.0, 500, m), aggCfg("W-C"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg, err := Run(zipfGen(2.0, 500, m), aggCfg("KG"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wc.ReducerUtil < 0.9 {
+		t.Errorf("W-C reducer utilization %f, want ≥ 0.9 (saturated)", wc.ReducerUtil)
+	}
+	if kg.ReducerUtil > 0.5 {
+		t.Errorf("KG reducer utilization %f, want < 0.5 (unsaturated at the same load)", kg.ReducerUtil)
+	}
+	if !(kg.ReducerUtil < wc.ReducerUtil) {
+		t.Errorf("utilization ordering violated: KG %f, W-C %f", kg.ReducerUtil, wc.ReducerUtil)
+	}
+	// Backpressure bound: the backlog never exceeds the queue capacity.
+	if cap := 4096; wc.ReducerPeakQueue > cap {
+		t.Errorf("W-C reducer backlog %d exceeds queue capacity %d", wc.ReducerPeakQueue, cap)
+	}
+	// Saturation reaches end-to-end throughput: W-C with aggregation
+	// runs at a fraction of W-C without it.
+	plainCfg := aggCfg("W-C")
+	plainCfg.AggWindow = 0
+	plain, err := Run(zipfGen(2.0, 500, m), plainCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wc.Throughput > 0.7*plain.Throughput {
+		t.Errorf("reducer saturation did not reach throughput: agg %f vs plain %f",
+			wc.Throughput, plain.Throughput)
+	}
+	// Exactness survives the modeled station: the merge CONTENT is
+	// unchanged, only its cost is on the clock.
+	if wc.AggTotal != wc.Completed || kg.AggTotal != kg.Completed {
+		t.Errorf("finals no longer conserve messages: W-C %d/%d, KG %d/%d",
+			wc.AggTotal, wc.Completed, kg.AggTotal, kg.Completed)
+	}
+}
+
+// TestReducerBackpressureBoundsQueue: shrinking the reducer queue
+// cannot increase throughput, and the measured backlog respects the
+// configured bound.
+func TestReducerBackpressureBoundsQueue(t *testing.T) {
+	const m = 20000
+	wide := aggCfg("W-C")
+	narrow := aggCfg("W-C")
+	narrow.AggQueueLen = 64
+	w, err := Run(zipfGen(2.0, 500, m), wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Run(zipfGen(2.0, 500, m), narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.ReducerPeakQueue > 64 {
+		t.Errorf("narrow queue backlog %d exceeds configured bound 64", n.ReducerPeakQueue)
+	}
+	if n.Throughput > w.Throughput*1.001 {
+		t.Errorf("narrower reducer queue increased throughput: %f vs %f", n.Throughput, w.Throughput)
+	}
+	if n.AggTotal != n.Completed {
+		t.Errorf("narrow queue lost messages: %d of %d", n.AggTotal, n.Completed)
+	}
+}

@@ -44,30 +44,44 @@ func (s Scale) aggMessages() int64 {
 // in replication for W-C.
 var aggWindowDivisors = []int64{50, 10, 4}
 
+// aggFlushCosts sweeps the per-partial flush cost (ms, against the 1 ms
+// service time) at the smallest window: the knob that prices the
+// aggregation phase. The reducer's merge cost follows it (AggFlushCost/4
+// by default), so the sweep walks the reducer station from negligible
+// to past saturation.
+var aggFlushCosts = []float64{0.1, 0.5, 2.0}
+
 // AggregationOverhead tabulates the cost of the two-phase windowed
 // aggregation for KG, PKG, D-C, W-C and SG across three window sizes:
 // throughput with aggregation on, the throughput delta vs the same
 // topology without aggregation, aggregation messages per window, the
 // measured state replication factor (distinct (window, key, worker)
-// triples per (window, key) — exactly 1 for KG), and the reducer's
-// peak memory in live entries. Two tables: the deterministic
-// discrete-event engine (host-independent numbers) and the goroutine
-// runtime (wall clock). Qualitative ordering, both engines: KG pays
-// zero replication overhead, PKG ≈ 2 choices' worth, D-C more, W-C the
-// most; SG replicates every key everywhere it lands. Note that the
-// reducer's FINAL state dedupes to distinct (window, key) regardless of
-// algorithm — replication is paid in traffic (msgs/window) and merge
-// work, and in worker-side partial state, not in reducer cardinality.
+// triples per (window, key) — exactly 1 for KG), the reducer's
+// peak memory in live entries, and the reducer's utilization as a
+// service station. Three tables: the deterministic discrete-event
+// engine (host-independent numbers), the goroutine runtime (wall
+// clock), and an AggFlushCost sweep on the discrete-event engine that
+// maps the operating region where the balance-friendly schemes' extra
+// partials cost more than their balance gains: as flush/merge cost
+// grows, the reducer saturates for the high-replication schemes first
+// (W-C, then D-C) and their throughput advantage over KG inverts.
+// Qualitative ordering, both engines: KG pays zero replication
+// overhead, PKG ≈ 2 choices' worth, D-C more, W-C the most; SG
+// replicates every key everywhere it lands. Note that the reducer's
+// FINAL state dedupes to distinct (window, key) regardless of
+// algorithm — replication is paid in traffic (msgs/window), merge work
+// and reducer-station occupancy, and in worker-side partial state, not
+// in reducer cardinality.
 func AggregationOverhead(sc Scale) ([]*texttab.Table, error) {
 	m := sc.aggMessages()
-	cols := []string{"window", "algo", "events/s", "Δthr%", "msgs/window", "replication", "reducer-peak", "late"}
+	cols := []string{"window", "algo", "events/s", "Δthr%", "msgs/window", "replication", "reducer-peak", "late", "red-util"}
 
 	evt := texttab.New(fmt.Sprintf(
 		"Aggregation overhead (eventsim, deterministic): n=%d, s=%d, z=%.1f, m=%d",
 		aggWorkers, aggSources, aggSkew, m), cols...)
 	// Per-algorithm baseline throughput without aggregation (window-
 	// independent, run once).
-	evtRun := func(algo string, win int64) (eventsim.Result, error) {
+	evtRun := func(algo string, win int64, flushCost float64) (eventsim.Result, error) {
 		gen := workload.NewZipf(aggSkew, ZFKeys, m, Seed)
 		return eventsim.Run(gen, eventsim.Config{
 			Workers:      aggWorkers,
@@ -78,12 +92,13 @@ func AggregationOverhead(sc Scale) ([]*texttab.Table, error) {
 			Window:       100,
 			Messages:     m,
 			AggWindow:    win,
+			AggFlushCost: flushCost,
 			MeasureAfter: m / 5,
 		})
 	}
 	evtBase := make(map[string]float64)
 	for _, algo := range clusterAlgos {
-		res, err := evtRun(algo, 0)
+		res, err := evtRun(algo, 0, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -92,11 +107,11 @@ func AggregationOverhead(sc Scale) ([]*texttab.Table, error) {
 	for _, div := range aggWindowDivisors {
 		win := m / div
 		for _, algo := range clusterAlgos {
-			res, err := evtRun(algo, win)
+			res, err := evtRun(algo, win, 0)
 			if err != nil {
 				return nil, err
 			}
-			evt.Add(aggRow(win, algo, res.Throughput, evtBase[algo], res.Agg, res.AggReplication)...)
+			evt.Add(aggRow(win, algo, res.Throughput, evtBase[algo], res.Agg, res.AggReplication, res.ReducerUtil)...)
 		}
 	}
 
@@ -133,14 +148,43 @@ func AggregationOverhead(sc Scale) ([]*texttab.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			live.Add(aggRow(win, algo, res.Throughput, liveBase[algo], res.Agg, res.AggReplication)...)
+			live.Add(aggRow(win, algo, res.Throughput, liveBase[algo], res.Agg, res.AggReplication, res.AggReducerUtil)...)
 		}
 	}
-	return []*texttab.Table{evt, live}, nil
+
+	// Flush-cost sweep at the smallest window (the partial-heaviest
+	// regime): where does the aggregation phase eat the balance gain?
+	sweepWin := m / aggWindowDivisors[0]
+	sweep := texttab.New(fmt.Sprintf(
+		"AggFlushCost sweep (eventsim): n=%d, s=%d, z=%.1f, m=%d, window=%d, merge=flush/4",
+		aggWorkers, aggSources, aggSkew, m, sweepWin),
+		"flush-ms", "algo", "events/s", "Δthr%", "replication", "red-util", "red-peakq")
+	for _, fc := range aggFlushCosts {
+		for _, algo := range clusterAlgos {
+			res, err := evtRun(algo, sweepWin, fc)
+			if err != nil {
+				return nil, err
+			}
+			delta := 0.0
+			if base := evtBase[algo]; base > 0 {
+				delta = 100 * (1 - res.Throughput/base)
+			}
+			sweep.Add(
+				fmt.Sprintf("%.2f", fc),
+				algo,
+				fmt.Sprintf("%.0f", res.Throughput),
+				fmt.Sprintf("%.1f", delta),
+				fmt.Sprintf("%.4f", res.AggReplication),
+				fmt.Sprintf("%.3f", res.ReducerUtil),
+				fmt.Sprintf("%d", res.ReducerPeakQueue),
+			)
+		}
+	}
+	return []*texttab.Table{evt, live, sweep}, nil
 }
 
-// aggRow renders one sweep row.
-func aggRow(win int64, algo string, thr, baseThr float64, st aggregation.ReducerStats, repl float64) []string {
+// aggRow renders one window-sweep row.
+func aggRow(win int64, algo string, thr, baseThr float64, st aggregation.ReducerStats, repl, util float64) []string {
 	delta := 0.0
 	if baseThr > 0 {
 		delta = 100 * (1 - thr/baseThr)
@@ -158,5 +202,6 @@ func aggRow(win int64, algo string, thr, baseThr float64, st aggregation.Reducer
 		fmt.Sprintf("%.4f", repl),
 		fmt.Sprintf("%d", st.PeakEntries),
 		fmt.Sprintf("%d", st.Late),
+		fmt.Sprintf("%.3f", util),
 	}
 }

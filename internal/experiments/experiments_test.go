@@ -410,10 +410,10 @@ func TestRunAllSimulation(t *testing.T) {
 // same ordering.
 func TestAggregationOverheadOrdering(t *testing.T) {
 	tabs := mustRun(t, "aggregation")
-	if len(tabs) != 2 {
-		t.Fatalf("aggregation returned %d tables, want 2 (eventsim + dspe)", len(tabs))
+	if len(tabs) != 3 {
+		t.Fatalf("aggregation returned %d tables, want 3 (eventsim + dspe + flush-cost sweep)", len(tabs))
 	}
-	for _, tab := range tabs {
+	for _, tab := range tabs[:2] {
 		// Group rows by window size.
 		byWindow := make(map[string]map[string][]string)
 		for _, row := range tab.Rows {
@@ -448,5 +448,34 @@ func TestAggregationOverheadOrdering(t *testing.T) {
 				t.Errorf("%s w=%s: KG traffic %f not below W-C's %f", tab.Title, win, msgs("KG"), msgs("W-C"))
 			}
 		}
+	}
+
+	// The flush-cost sweep prices the aggregation phase: at every cost
+	// point the replication-heavy W-C occupies the reducer station more
+	// than KG, and W-C's utilization rises with the per-partial cost.
+	sweep := tabs[2]
+	byCost := make(map[string]map[string][]string)
+	var costs []string
+	for _, row := range sweep.Rows {
+		fc, algo := row[0], row[1]
+		if byCost[fc] == nil {
+			byCost[fc] = make(map[string][]string)
+			costs = append(costs, fc)
+		}
+		byCost[fc][algo] = row
+	}
+	if len(costs) < 3 {
+		t.Fatalf("sweep covers %d flush costs, want ≥ 3", len(costs))
+	}
+	prevWC := -1.0
+	for _, fc := range costs {
+		util := func(algo string) float64 { return cell(t, byCost[fc][algo], 5) }
+		if !(util("W-C") > util("KG")) {
+			t.Errorf("sweep fc=%s: W-C reducer utilization %f not above KG's %f", fc, util("W-C"), util("KG"))
+		}
+		if util("W-C") < prevWC {
+			t.Errorf("sweep fc=%s: W-C reducer utilization %f fell below previous cost point's %f", fc, util("W-C"), prevWC)
+		}
+		prevWC = util("W-C")
 	}
 }

@@ -41,10 +41,26 @@ const seedMix = 0x9e3779b97f4a7c15
 // are routed (and counted) as one key — harmless for load balancing.
 type KeyDigest uint64
 
+// digestHook, when non-nil, is invoked once per Digest call. It exists
+// for tests that pin the hash-once invariant (each message's key bytes
+// are scanned exactly once end to end); production code never sets it,
+// so the cost is one predicted branch per digest.
+var digestHook func()
+
+// SetDigestHook installs (or, with nil, removes) the per-Digest test
+// hook. Callers must install the hook before any goroutine that digests
+// and remove it after all such goroutines have been joined; the hook
+// itself must be safe for concurrent invocation (e.g. an atomic
+// counter increment).
+func SetDigestHook(f func()) { digestHook = f }
+
 // Digest returns the 64-bit digest of key: a single FNV-1a pass over the
 // key bytes. It is the only place in the routing path that touches the
 // key's bytes.
 func Digest(key string) KeyDigest {
+	if digestHook != nil {
+		digestHook()
+	}
 	var h uint64 = fnvOffset64
 	for j := 0; j < len(key); j++ {
 		h ^= uint64(key[j])

@@ -26,8 +26,12 @@
 //
 // The hot path is batched end to end: draw a slab of keys from a
 // generator and route it in one call. Every message is hashed exactly
-// once into a 64-bit KeyDigest; candidate workers, the heavy-hitter
-// sketch and both engines all operate on that digest.
+// once into a 64-bit KeyDigest — at the source, when routing — and that
+// digest then follows the message through its whole life: candidate
+// workers, the heavy-hitter sketch, both engines' tuples, the windowed
+// aggregation tables and the reducer's merges all operate on the
+// carried digest (source → route → aggregate → reduce), never
+// re-scanning the key bytes.
 //
 //	cfg := slb.Config{Workers: 50, Seed: 42}
 //	p := slb.NewDChoices(cfg)
@@ -54,6 +58,12 @@
 // D-Choices' periodic d-solver, which allocates a few hundred bytes
 // once per Config.SolveEvery messages (amortized ≈ 0 per message).
 //
+// Callers that aggregate (or otherwise need the key digests) use
+// RouteBatchDigests instead: the same routing, with the digests the
+// router computed written into a caller-owned slab, so the downstream
+// stages reuse them rather than paying a second key scan. The
+// per-message analogue is RouteDigest for a digest already in hand.
+//
 // Each Partitioner instance embodies one sender: load estimates are
 // sender-local (no coordination), exactly as in the paper. To compare
 // algorithms under identical streams, use Simulate with a deterministic
@@ -70,9 +80,21 @@
 // work, reducer memory, and the exact replication factor (1 for KG, up
 // to n for W-Choices). Pipelines compose the same phases explicitly via
 // AddWindowedAggregate and AddWeightedStage. Partials merge across
-// workers by KeyDigest: the digest is a pure function of the key bytes,
-// so partials for one key agree on their identity everywhere without
-// re-hashing (see internal/aggregation).
+// workers by the CARRIED KeyDigest: routing digests each key once at
+// the source, the engines' tuples and flushed partials transport that
+// digest, and the reducer merges by it — no layer re-hashes
+// (see internal/aggregation).
+//
+// The reducer itself is a modeled service station, not free
+// bookkeeping: in the discrete-event engine each merged partial costs
+// ClusterConfig.AggMergeCost of reducer service through a bounded queue
+// whose backpressure stalls flushing workers, so reducer saturation
+// degrades end-to-end throughput exactly as a hot worker does.
+// ClusterResult.ReducerUtil reports the station's utilization (near 1
+// when the aggregation phase, not the workers, is the bottleneck — the
+// regime where W-Choices' extra partials outweigh its balance gain),
+// and EngineResult.AggReducerUtil is the goroutine runtime's wall-clock
+// equivalent.
 package slb
 
 import (
@@ -99,10 +121,20 @@ type Partitioner = core.Partitioner
 // per-message Route would. All partitioners in this module implement it.
 type BatchPartitioner = core.BatchPartitioner
 
+// DigestBatchPartitioner is a BatchPartitioner whose batch path hands
+// the caller the digests routing computed (see RouteBatchDigests). All
+// partitioners in this module implement it.
+type DigestBatchPartitioner = core.DigestBatchPartitioner
+
+// DigestRouter is a partitioner that routes a message whose key is
+// already digested (see RouteDigest). All partitioners in this module
+// implement it.
+type DigestRouter = core.DigestRouter
+
 // KeyDigest is the canonical 64-bit digest of a key: every message is
-// hashed once, and all routing layers (candidate choice, sketches,
-// engines) identify keys by digest. Same digest → same candidates, on
-// every sender.
+// hashed once, at the source, and all later layers (candidate choice,
+// sketches, engines, aggregation tables) identify keys by that carried
+// digest. Same digest → same candidates, on every sender.
 type KeyDigest = core.KeyDigest
 
 // DigestKey returns the canonical digest of a key (one scan of its
@@ -113,6 +145,24 @@ func DigestKey(key string) KeyDigest { return core.Digest(key) }
 // path when available and falling back to per-message Route otherwise.
 // dst must be at least as long as keys.
 func RouteBatch(p Partitioner, keys []string, dst []int) { core.RouteBatch(p, keys, dst) }
+
+// RouteBatchDigests routes keys[i] to dst[i] through p and fills
+// digs[i] with DigestKey(keys[i]) — the digest routing itself computed,
+// handed to the caller so aggregation and re-keying downstream reuse it
+// instead of scanning the key bytes again (the hash-once lifecycle:
+// source → route → aggregate → reduce). digs and dst must be at least
+// as long as keys. Routing decisions are identical to RouteBatch.
+func RouteBatchDigests(p Partitioner, keys []string, digs []KeyDigest, dst []int) {
+	core.RouteBatchDigests(p, keys, digs, dst)
+}
+
+// RouteDigest routes one message through p by its carried digest; dg
+// must equal DigestKey(key). This is the per-message half of the
+// hash-once lifecycle, for callers (engines, pipelines) whose tuples
+// already carry the digest.
+func RouteDigest(p Partitioner, dg KeyDigest, key string) int {
+	return core.RouteDigest(p, dg, key)
+}
 
 // Config carries the partitioner parameters (Table III of the paper):
 // worker count, hash seed, head threshold θ (default 1/(5n)), solver
