@@ -238,6 +238,41 @@ func BenchmarkRouteBatchRedigestSteadyState(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedReduce runs the discrete-event cluster at the
+// reducer-saturating aggregation config (W-Choices, AggFlushCost =
+// 2 ms, small windows) with the reduce stage unsharded vs sharded
+// 4 ways: one full deterministic run per iteration, with the modeled
+// throughput and the busiest shard's utilization attached as custom
+// metrics. R=1 pins the saturated regime (util ≈ 1); R=4 shows the
+// saturation point moved and the reducer-bound throughput recovered.
+func BenchmarkShardedReduce(b *testing.B) {
+	const m = 20_000
+	for _, shards := range []int{1, 4} {
+		b.Run("R="+strconv.Itoa(shards), func(b *testing.B) {
+			var last slb.ClusterResult
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				gen := slb.NewZipfStream(2.0, 500, m, 23)
+				res, err := slb.SimulateCluster(gen, slb.ClusterConfig{
+					Workers: 16, Sources: 8, Algorithm: "W-C",
+					Core: slb.Config{Seed: 7}, ServiceTime: 1.0,
+					Window: 50, Messages: m,
+					AggWindow: 100, AggFlushCost: 2.0, AggShards: shards,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.AggTotal != m {
+					b.Fatalf("finals sum to %d, want %d", res.AggTotal, m)
+				}
+				last = res
+			}
+			b.ReportMetric(last.Throughput, "modeled-events/s")
+			b.ReportMetric(last.ReducerUtil, "max-shard-util")
+		})
+	}
+}
+
 // BenchmarkSimulateThroughput measures end-to-end simulator throughput
 // (messages routed per second) for the paper's algorithms at n = 50.
 func BenchmarkSimulateThroughput(b *testing.B) {

@@ -26,40 +26,49 @@ func countDigests(fn func()) int64 {
 }
 
 // TestHashOnceEventsim: the discrete-event engine digests each key
-// exactly once per message with aggregation on.
+// exactly once per message with aggregation on — including with the
+// reduce stage sharded, whose per-shard routing and completeness
+// thresholds run on the carried digest.
 func TestHashOnceEventsim(t *testing.T) {
 	const m = 10_000
-	got := countDigests(func() {
-		gen := slb.NewZipfStream(1.6, 300, m, 11)
-		if _, err := slb.SimulateCluster(gen, slb.ClusterConfig{
-			Workers: 8, Sources: 4, Algorithm: "D-C",
-			Core: slb.Config{Seed: 11}, ServiceTime: 1.0, AggWindow: 500,
-		}); err != nil {
-			t.Fatal(err)
-		}
-	})
-	if got != m {
-		t.Fatalf("eventsim digested %d times for %d messages, want exactly one per message", got, m)
-	}
-}
-
-// TestHashOnceDspeRun: the goroutine engine digests each key exactly
-// once per message with aggregation on — routing's digests flow into
-// the bolts' partial tables and the reducer, with zero re-scans.
-func TestHashOnceDspeRun(t *testing.T) {
-	const m = 10_000
-	for _, algo := range []string{"KG", "W-C", "SG"} {
+	for _, shards := range []int{1, 4} {
 		got := countDigests(func() {
 			gen := slb.NewZipfStream(1.6, 300, m, 11)
-			if _, err := slb.RunTopology(gen, slb.EngineConfig{
-				Workers: 4, Sources: 2, Algorithm: algo,
-				Core: slb.Config{Seed: 11}, AggWindow: 500,
+			if _, err := slb.SimulateCluster(gen, slb.ClusterConfig{
+				Workers: 8, Sources: 4, Algorithm: "D-C",
+				Core: slb.Config{Seed: 11}, ServiceTime: 1.0, AggWindow: 500,
+				AggShards: shards,
 			}); err != nil {
 				t.Fatal(err)
 			}
 		})
 		if got != m {
-			t.Fatalf("%s: dspe digested %d times for %d messages, want exactly one per message", algo, got, m)
+			t.Fatalf("R=%d: eventsim digested %d times for %d messages, want exactly one per message", shards, got, m)
+		}
+	}
+}
+
+// TestHashOnceDspeRun: the goroutine engine digests each key exactly
+// once per message with aggregation on — routing's digests flow into
+// the bolts' partial tables, the shard split, and the reducers, with
+// zero re-scans.
+func TestHashOnceDspeRun(t *testing.T) {
+	const m = 10_000
+	for _, algo := range []string{"KG", "W-C", "SG"} {
+		for _, shards := range []int{1, 4} {
+			got := countDigests(func() {
+				gen := slb.NewZipfStream(1.6, 300, m, 11)
+				if _, err := slb.RunTopology(gen, slb.EngineConfig{
+					Workers: 4, Sources: 2, Algorithm: algo,
+					Core: slb.Config{Seed: 11}, AggWindow: 500,
+					AggShards: shards,
+				}); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if got != m {
+				t.Fatalf("%s R=%d: dspe digested %d times for %d messages, want exactly one per message", algo, shards, got, m)
+			}
 		}
 	}
 }
@@ -151,6 +160,104 @@ func TestCrossEngineAggregationParity(t *testing.T) {
 		}
 		if evt.AggTotal != m || live.AggTotal != m {
 			t.Errorf("%s: totals %d (eventsim) / %d (dspe), want %d", algo, evt.AggTotal, live.AggTotal, m)
+		}
+	}
+}
+
+// TestCrossEngineShardedMergerParity extends the parity test across
+// the sharded reduce stage and every built-in merge operator: with a
+// single source (deterministic, engine-independent routing), both
+// engines at every shard count must produce identical finals — counts
+// AND merged values, equal to the single-node ground truth computed by
+// driving the operator directly — and bit-equal replication factors.
+// Sharding and pluggable merging change the reduce stage's topology,
+// never its results.
+func TestCrossEngineShardedMergerParity(t *testing.T) {
+	const (
+		m      = 8_000
+		window = 800
+	)
+	sample := func(key string, seq int64) int64 { return int64(len(key)) + seq%13 }
+	type fk struct {
+		w int64
+		k string
+	}
+	for _, merger := range []slb.Merger{slb.CountMerger, slb.SumMerger, slb.MinMerger, slb.MaxMerger, slb.DistinctMerger} {
+		// Ground truth: fold every message's sample through the operator
+		// per (window, key) on a single node.
+		truthVal := make(map[fk]slb.MergeValue)
+		truthCount := make(map[fk]int64)
+		gen := slb.NewZipfStream(1.8, 400, m, 29)
+		var idx int64
+		for {
+			k, ok := gen.Next()
+			if !ok {
+				break
+			}
+			id := fk{idx / window, k}
+			v := truthVal[id]
+			merger.Observe(&v, sample(k, idx), 1)
+			truthVal[id] = v
+			truthCount[id]++
+			idx++
+		}
+
+		for _, shards := range []int{1, 3} {
+			collect := func() (map[fk]slb.AggFinal, func(slb.AggFinal)) {
+				got := make(map[fk]slb.AggFinal)
+				return got, func(f slb.AggFinal) {
+					if _, dup := got[fk{f.Window, f.Key}]; dup {
+						t.Errorf("%s R=%d: (window %d, key %q) finalized twice", merger.Name(), shards, f.Window, f.Key)
+					}
+					got[fk{f.Window, f.Key}] = f
+				}
+			}
+			evtFinals, onEvt := collect()
+			evt, err := slb.SimulateCluster(slb.NewZipfStream(1.8, 400, m, 29), slb.ClusterConfig{
+				Workers: 8, Sources: 1, Algorithm: "W-C",
+				Core: slb.Config{Seed: 29}, ServiceTime: 1.0,
+				AggWindow: window, AggShards: shards,
+				AggMerger: merger, AggValue: sample, OnFinal: onEvt,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			liveFinals, onLive := collect()
+			live, err := slb.RunTopology(slb.NewZipfStream(1.8, 400, m, 29), slb.EngineConfig{
+				Workers: 8, Sources: 1, Algorithm: "W-C",
+				Core: slb.Config{Seed: 29}, ServiceTime: 0,
+				AggWindow: window, AggShards: shards,
+				AggMerger: merger, AggValue: sample, OnFinal: onLive,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for engine, finals := range map[string]map[fk]slb.AggFinal{"eventsim": evtFinals, "dspe": liveFinals} {
+				if len(finals) != len(truthCount) {
+					t.Fatalf("%s R=%d %s: %d finals, want %d", merger.Name(), shards, engine, len(finals), len(truthCount))
+				}
+				for id, wantCount := range truthCount {
+					f := finals[id]
+					wantValue := merger.Result(truthVal[id])
+					if f.Count != wantCount || f.Value != wantValue {
+						t.Fatalf("%s R=%d %s: (window %d, key %q) count/value %d/%d, want %d/%d",
+							merger.Name(), shards, engine, id.w, id.k, f.Count, f.Value, wantCount, wantValue)
+					}
+				}
+			}
+			if evt.AggReplication != live.AggReplication {
+				t.Errorf("%s R=%d: replication diverges across engines: eventsim %v, dspe %v",
+					merger.Name(), shards, evt.AggReplication, live.AggReplication)
+			}
+			if evt.AggTotal != m || live.AggTotal != m {
+				t.Errorf("%s R=%d: totals %d (eventsim) / %d (dspe), want %d",
+					merger.Name(), shards, evt.AggTotal, live.AggTotal, m)
+			}
+			if evt.Agg.Late != 0 || live.Agg.Late != 0 {
+				t.Errorf("%s R=%d: late corrections %d (eventsim) / %d (dspe), want 0",
+					merger.Name(), shards, evt.Agg.Late, live.Agg.Late)
+			}
 		}
 	}
 }

@@ -1,12 +1,15 @@
 // Trending: a three-stage streaming topology — the two-phase shape the
-// paper's evaluation models. Stage one (shuffle-grouped, stateless)
-// normalizes raw events into hashtags; stage two (D-Choices, stateful)
-// keeps windowed partial counts per hashtag; stage three (key-grouped)
-// is the reducer that merges each hashtag's partials into exact
-// per-window finals. The hot hashtag would crush a key-grouped counting
-// stage; D-Choices splits exactly that key — and this example shows
-// what the split costs downstream: the partial tuples stage three must
-// merge.
+// paper's evaluation models — ranking hashtags by total ENGAGEMENT, a
+// weighted sum rather than a plain count. Stage one (shuffle-grouped)
+// normalizes raw events into hashtags and stamps each with its
+// engagement weight; stage two (D-Choices, stateful) folds the weights
+// through a Sum merger per (window, hashtag) — windowed weighted
+// partials; stage three (key-grouped) is the reduce stage merging each
+// hashtag's partial sums into exact per-window finals. The hot hashtag
+// would crush a key-grouped counting stage; D-Choices splits exactly
+// that key — and this example shows what the split costs downstream
+// (the partial tuples stage three must merge) and proves the weighted
+// sums still come out EXACT against a single-node ground truth.
 //
 //	go run ./examples/trending
 package main
@@ -21,11 +24,24 @@ import (
 	"slb"
 )
 
+// engagement returns the deterministic weight of one event on a tag
+// (likes + reposts, say) — derived from the tag so the single-node
+// ground truth is independent of executor interleaving.
+func engagement(tag string) int64 {
+	return int64(len(tag)%5) + 1
+}
+
+// normalize extracts the lower-cased hashtag from a raw event key.
+func normalize(key string) string {
+	raw := "User123 Check This Out #" + strings.ToUpper(key)
+	return strings.ToLower(raw[strings.LastIndexByte(raw, '#')+1:])
+}
+
 func main() {
 	const (
 		spouts    = 4
 		normers   = 4  // stage 1 parallelism (stateless)
-		counters  = 12 // stage 2 parallelism (stateful partials)
+		counters  = 12 // stage 2 parallelism (stateful weighted partials)
 		reducers  = 2  // stage 3 parallelism (merge)
 		hashtags  = 3_000
 		events    = 120_000
@@ -37,22 +53,41 @@ func main() {
 	// Raw events: "user123 check this out #<tag>" with Zipf tags.
 	events0 := slb.NewZipfStream(zTrending, hashtags, events, seed)
 
+	// Single-node ground truth: total engagement per tag.
+	truth := map[string]int64{}
+	var truthTotal int64
+	for {
+		key, ok := events0.Next()
+		if !ok {
+			break
+		}
+		tag := normalize(key)
+		truth[tag] += engagement(tag)
+		truthTotal += engagement(tag)
+	}
+	events0.Reset()
+
 	var mu sync.Mutex
-	counts := map[string]int64{}
+	sums := map[string]int64{}
 	distinct := map[int64]map[string]bool{} // (window, tag) pairs seen
 
 	pipe := slb.NewPipeline(events0, spouts).
-		AddStage("normalize", normers, "SG", 0, func(key string, emit func(string)) {
-			// Simulate extraction: the spout key is the raw event; the
-			// hashtag is its last token, lower-cased.
-			raw := "User123 Check This Out #" + strings.ToUpper(key)
-			tag := strings.ToLower(raw[strings.LastIndexByte(raw, '#')+1:])
-			emit(tag)
-		}).
-		AddWindowedAggregate("count-partial", counters, "D-C", window).
-		AddWeightedStage("merge", reducers, "KG", 0, func(tag string, win int64, count int64, _ func(string, int64)) {
+		// Simulate extraction: the spout key is the raw event; the
+		// hashtag is its last token, lower-cased, weighted by its
+		// engagement — a WEIGHTED emission, so downstream stages see
+		// tuples standing for several likes each.
+		AddWeightedStage("normalize", normers, "SG", 0,
+			func(key string, _ int64, _ int64, emit func(string, int64)) {
+				tag := normalize(key)
+				emit(tag, engagement(tag))
+			}).
+		// Windowed weighted partial sums, split by D-Choices: the Sum
+		// merger folds each tuple's weight per (window, tag) and flushes
+		// one partial-sum tuple per pair at window close.
+		AddWindowedMerge("sum-partial", counters, "D-C", window, slb.SumMerger).
+		AddWeightedStage("merge", reducers, "KG", 0, func(tag string, win int64, sum int64, _ func(string, int64)) {
 			mu.Lock()
-			counts[tag] += count
+			sums[tag] += sum
 			if distinct[win] == nil {
 				distinct[win] = map[string]bool{}
 			}
@@ -65,20 +100,31 @@ func main() {
 		log.Fatal(err)
 	}
 
-	tags := make([]string, 0, len(counts))
-	var totalCounted int64
-	for tag := range counts {
+	// Exactness: weighted sums reassemble from the split partials
+	// without loss — tag for tag against the ground truth.
+	tags := make([]string, 0, len(sums))
+	var totalMerged int64
+	for tag := range sums {
 		tags = append(tags, tag)
-		totalCounted += counts[tag]
+		totalMerged += sums[tag]
 	}
-	if totalCounted != int64(events) {
-		log.Fatalf("count mismatch: merged %d, emitted %d", totalCounted, events)
+	if totalMerged != truthTotal {
+		log.Fatalf("engagement mismatch: merged %d, ground truth %d", totalMerged, truthTotal)
 	}
-	sort.Slice(tags, func(i, j int) bool { return counts[tags[i]] > counts[tags[j]] })
-	fmt.Println("trending now (exact, merged from windowed partials):")
+	if len(sums) != len(truth) {
+		log.Fatalf("merged %d distinct tags, ground truth has %d", len(sums), len(truth))
+	}
+	for tag, want := range truth {
+		if sums[tag] != want {
+			log.Fatalf("tag %q: merged engagement %d, ground truth %d", tag, sums[tag], want)
+		}
+	}
+
+	sort.Slice(tags, func(i, j int) bool { return sums[tags[i]] > sums[tags[j]] })
+	fmt.Println("trending now (total engagement, exact, merged from windowed weighted partials):")
 	for _, tag := range tags[:5] {
-		fmt.Printf("  #%-8s %7d  (%.1f%%)\n", tag, counts[tag],
-			100*float64(counts[tag])/float64(events))
+		fmt.Printf("  #%-8s %7d  (%.1f%%)\n", tag, sums[tag],
+			100*float64(sums[tag])/float64(truthTotal))
 	}
 
 	fmt.Printf("\nprocessed %d events end-to-end in %v (p99 latency %v)\n",
@@ -96,7 +142,8 @@ func main() {
 		pairs += len(tags)
 	}
 	agg := res.Stages[1]
-	fmt.Printf("\nthe counting stage stays balanced even though one hashtag carries\n")
+	fmt.Printf("\nexactness check passed: %d tags match the ground truth to the unit.\n", len(truth))
+	fmt.Printf("the summing stage stays balanced even though one hashtag carries\n")
 	fmt.Printf("half the stream; the bill is the merge stage's %d partial tuples\n", agg.AggPartials)
 	fmt.Printf("(%.2f per distinct hashtag-window) — the paper's balance/overhead tradeoff.\n",
 		float64(agg.AggPartials)/float64(pairs))

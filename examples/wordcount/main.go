@@ -2,12 +2,14 @@
 // two-phase topology on the goroutine DSPE. Words follow a Zipf
 // distribution (as natural language does) and are partitioned with
 // D-Choices; each bolt keeps windowed partial counts and flushes closed
-// windows to a reducer stage, which merges the partials — the
-// aggregation phase whose traffic is proportional to how many workers
-// share a key — and emits exact per-window finals. The example prints
-// the top words (summed over windows), the per-bolt load balance, and
-// the aggregation bill D-Choices actually paid: partial messages,
-// measured replication factor, and reducer memory.
+// windows to a SHARDED reduce stage (AggShards parallel reducers, each
+// owning the words whose digests map to it), which merges the partials
+// — the aggregation phase whose traffic is proportional to how many
+// workers share a key — and emits exact per-window finals. The example
+// prints the top words (summed over windows, checked against a
+// single-node ground truth), the per-bolt load balance, and the
+// aggregation bill D-Choices actually paid: partial messages, measured
+// replication factor, and reducer memory.
 //
 //	go run ./examples/wordcount
 package main
@@ -49,6 +51,7 @@ func main() {
 	const (
 		workers  = 16
 		sources  = 4
+		shards   = 4 // parallel reducer shards (keyed by word digest)
 		keys     = 5_000
 		messages = 200_000
 		window   = 20_000 // tumbling window: 10 windows over the run
@@ -58,9 +61,21 @@ func main() {
 	// A Zipf(1.1) word stream — roughly English-like (p("the") ≈ 7%).
 	words := wordStream{inner: slb.NewZipfStream(1.1, keys, messages, seed)}
 
-	// Final counts, merged by the reducer stage per (window, word);
-	// summed over windows here for the top-words report. OnFinal runs on
-	// the single reducer goroutine, so no locking is needed.
+	// Single-node ground truth for the exactness check below.
+	truth := make(map[string]int64)
+	for {
+		w, ok := words.Next()
+		if !ok {
+			break
+		}
+		truth[w]++
+	}
+	words.Reset()
+
+	// Final counts, merged by the sharded reduce stage per (window,
+	// word); summed over windows here for the top-words report. OnFinal
+	// calls are serialized by the engine across the reducer shards, so
+	// no locking is needed.
 	total := make(map[string]int64)
 	windows := make(map[int64]bool)
 	res, err := slb.RunTopology(words, slb.EngineConfig{
@@ -69,7 +84,9 @@ func main() {
 		Algorithm: "D-C",
 		Core:      slb.Config{Seed: seed},
 		AggWindow: window,
+		AggShards: shards,
 		OnFinal: func(f slb.AggFinal) {
+			// Serialized across reducer shards by the engine.
 			total[f.Key] += f.Count
 			windows[f.Window] = true
 		},
@@ -93,15 +110,31 @@ func main() {
 
 	st := res.Agg
 	fmt.Printf("\nload imbalance I(m) = %.6f across %d bolts\n", res.Imbalance, workers)
-	fmt.Printf("aggregation bill over %d windows of %d words:\n", len(windows), window)
+	fmt.Printf("aggregation bill over %d windows of %d words, reduced by %d shards:\n",
+		len(windows), window, shards)
 	fmt.Printf("  %d partial messages (%.1f per window), %d merges, %d finals\n",
 		st.Partials, float64(st.Partials)/float64(st.WindowsClosed), st.Merges, st.Finals)
 	fmt.Printf("  measured replication factor %.3f (KG would pay exactly 1.000)\n", res.AggReplication)
 	fmt.Printf("  reducer peak memory: %d live entries over %d open windows\n",
 		st.PeakEntries, st.PeakWindows)
+	fmt.Printf("  busiest reducer shard merged %.1f%% of the run (mean %.1f%%)\n",
+		100*res.AggReducerUtil, 100*res.AggReducerUtilMean)
+
+	// Exactness: sharding the reduce stage changes its topology, never
+	// its results — every word's merged total equals the single-node
+	// ground truth, word for word.
 	if res.AggTotal != res.Completed {
 		log.Fatalf("count mismatch: finals sum to %d, processed %d", res.AggTotal, res.Completed)
 	}
-	fmt.Println("\nhot words are split across several bolts (kept balanced); the")
-	fmt.Println("reducer pays one merge per extra replica — the paper's tradeoff.")
+	if len(total) != len(truth) {
+		log.Fatalf("merged %d distinct words, ground truth has %d", len(total), len(truth))
+	}
+	for w, want := range truth {
+		if total[w] != want {
+			log.Fatalf("word %q: merged %d, ground truth %d", w, total[w], want)
+		}
+	}
+	fmt.Printf("\nexactness check passed: %d distinct words match the ground truth.\n", len(truth))
+	fmt.Println("hot words are split across several bolts (kept balanced); each")
+	fmt.Println("reducer shard pays one merge per extra replica — the paper's tradeoff.")
 }

@@ -9,6 +9,15 @@
 // the aggregation overhead the paper trades against balance — KG pays
 // one partial per key and window, W-Choices up to n.
 //
+// WHAT is aggregated is pluggable: a Merger operator (count, sum,
+// min/max, approximate-distinct, or custom) rides inside the tables as
+// a fixed 128-bit Value per entry, observed at the workers and combined
+// at the reducer; message counts are tracked alongside regardless,
+// because they drive the completeness-based window close. The reduce
+// stage scales out via ShardedDriver: R independent Drivers keyed by
+// digest (ShardFor), each closing its slice of every window on
+// per-shard completeness thresholds counted at emission.
+//
 // # The digest-merge invariant
 //
 // Tables on both sides are keyed by hashing.KeyDigest, the canonical
@@ -63,12 +72,16 @@ type KeyDigest = hashing.KeyDigest
 // aggregation traffic from workers to the reducer. Worker identifies
 // the producing worker so the reducer can account distinct
 // (window, key, worker) state replicas exactly, independent of how
-// many flush fragments the worker emitted.
+// many flush fragments the worker emitted. Count is always the number
+// of source messages folded in (the reducer's completeness currency);
+// Val is the merger's typed state for those messages (equal to Count
+// under CountMerger).
 type Partial struct {
 	Window int64
 	Digest KeyDigest
 	Key    string
 	Count  int64
+	Val    Value
 	Worker int32
 }
 
@@ -79,21 +92,26 @@ func WindowKeyID(window int64, dg KeyDigest) uint64 {
 	return hashing.Mix64(dg) ^ hashing.Mix64(KeyDigest(uint64(window)*0x9e3779b97f4a7c15+1))
 }
 
-// Final is the reducer's merged result for (window, key).
+// Final is the reducer's merged result for (window, key). Count is the
+// number of source messages merged; Value is the merger's rendered
+// result over them (identical to Count under CountMerger).
 type Final struct {
 	Window int64
 	Key    string
 	Count  int64
+	Value  int64
 }
 
 // ---------------------------------------------------------------------------
 // Partial tables
 
 // slot is one open-addressing entry; Count == 0 marks an empty slot
-// (live entries always have Count ≥ 1).
+// (live entries always have Count ≥ 1). val is the merger state,
+// updated by the caller after add returns the slot.
 type slot struct {
 	dig   KeyDigest
 	count int64
+	val   Value
 	key   string
 }
 
@@ -114,26 +132,38 @@ func newTable() *table {
 	return &table{slots: make([]slot, minTableSize), mask: minTableSize - 1}
 }
 
-// addN folds n observations of (dg, key) into the table.
-func (t *table) addN(dg KeyDigest, key string, n int64) {
+// add folds n messages of (dg, key) into the table's count and returns
+// the live slot so the caller can fold its merger state into val. The
+// returned pointer is valid until the next add.
+func (t *table) add(dg KeyDigest, key string, n int64) *slot {
 	t.sum += n
 	i := hashing.Mix64(dg) & t.mask
 	for {
 		s := &t.slots[i]
 		if s.count == 0 {
-			s.dig, s.key, s.count = dg, key, n
+			s.dig, s.key, s.count, s.val = dg, key, n, Value{}
 			t.used++
 			if 4*t.used >= 3*len(t.slots) {
 				t.grow()
+				return t.find(dg)
 			}
-			return
+			return s
 		}
 		if s.dig == dg {
 			s.count += n
-			return
+			return s
 		}
 		i = (i + 1) & t.mask
 	}
+}
+
+// find returns the live slot of dg (which must be present).
+func (t *table) find(dg KeyDigest) *slot {
+	i := hashing.Mix64(dg) & t.mask
+	for t.slots[i].dig != dg || t.slots[i].count == 0 {
+		i = (i + 1) & t.mask
+	}
+	return &t.slots[i]
 }
 
 func (t *table) grow() {
@@ -230,6 +260,7 @@ func (p *tablePool) entries() int {
 // DSPE.
 type Accumulator struct {
 	worker  int32
+	m       Merger
 	pool    tablePool
 	highest int64 // highest window id ever added (the watermark input)
 	sawAny  bool
@@ -238,28 +269,48 @@ type Accumulator struct {
 	closed  int64 // windows flushed
 }
 
-// NewAccumulator returns an empty accumulator for the given worker
-// index (stamped into every flushed Partial).
+// NewAccumulator returns an empty counting accumulator for the given
+// worker index (stamped into every flushed Partial).
 func NewAccumulator(worker int) *Accumulator {
-	return &Accumulator{worker: int32(worker), pool: newTablePool(), highest: -1 << 62}
+	return NewAccumulatorMerger(worker, nil)
+}
+
+// NewAccumulatorMerger returns an empty accumulator whose partial
+// tables fold samples with the given merge operator (nil means
+// CountMerger). The reducer merging its partials must use the same
+// operator.
+func NewAccumulatorMerger(worker int, m Merger) *Accumulator {
+	if m == nil {
+		m = CountMerger
+	}
+	return &Accumulator{worker: int32(worker), m: m, pool: newTablePool(), highest: -1 << 62}
 }
 
 // Add folds one observation of key into the given window's partial
 // table. dg is the key's CARRIED digest (the one routing computed —
 // callers must not re-digest): the table probe is pure integer work.
 func (a *Accumulator) Add(window int64, dg KeyDigest, key string) {
-	a.AddN(window, dg, key, 1)
+	a.AddSample(window, dg, key, 1, 1)
 }
 
 // AddN folds n observations at once (the batched form: a slab of
 // identical keys is one table probe). dg is the carried digest, as in
-// Add.
+// Add. Each observation carries sample 1, so under CountMerger (and
+// SumMerger over unweighted streams) AddN(…, n) equals n Adds.
 func (a *Accumulator) AddN(window int64, dg KeyDigest, key string, n int64) {
+	a.AddSample(window, dg, key, n, 1)
+}
+
+// AddSample folds n observations of the given sample into the window's
+// partial table: the message count grows by n (the completeness
+// currency) and the merger observes (sample, n). dg is the carried
+// digest, as in Add.
+func (a *Accumulator) AddSample(window int64, dg KeyDigest, key string, n, sample int64) {
 	if n <= 0 {
 		return
 	}
 	t, _ := a.pool.get(window)
-	t.addN(dg, key, n)
+	a.m.Observe(&t.add(dg, key, n).val, sample, n)
 	if window > a.highest {
 		a.highest = window
 	}
@@ -306,6 +357,7 @@ func (a *Accumulator) flushOne(w int64, dst []Partial) []Partial {
 			Digest: t.slots[i].dig,
 			Key:    t.slots[i].key,
 			Count:  t.slots[i].count,
+			Val:    t.slots[i].val,
 			Worker: a.worker,
 		})
 	}
@@ -379,15 +431,26 @@ func (s ReducerStats) ReplicationFactor() float64 {
 // funnel partial slabs through a single reducer executor, which is the
 // paper's model of the aggregation bottleneck).
 type Reducer struct {
+	m      Merger
 	pool   tablePool
 	live   int                // live entries across open windows
 	closed map[int64]struct{} // ids already finalized (windows may close out of order)
 	stats  ReducerStats
 }
 
-// NewReducer returns an empty reducer.
+// NewReducer returns an empty counting reducer.
 func NewReducer() *Reducer {
-	return &Reducer{pool: newTablePool(), closed: make(map[int64]struct{})}
+	return NewReducerMerger(nil)
+}
+
+// NewReducerMerger returns an empty reducer combining partial values
+// with the given merge operator (nil means CountMerger) — the same
+// operator the accumulators that feed it were built with.
+func NewReducerMerger(m Merger) *Reducer {
+	if m == nil {
+		m = CountMerger
+	}
+	return &Reducer{m: m, pool: newTablePool(), closed: make(map[int64]struct{})}
 }
 
 // Merge folds a slab of partials into the reducer's open windows.
@@ -402,7 +465,7 @@ func (r *Reducer) Merge(ps []Partial) {
 			r.stats.PeakWindows = len(r.pool.open)
 		}
 		before := t.used
-		t.addN(p.Digest, p.Key, p.Count)
+		r.m.Combine(&t.add(p.Digest, p.Key, p.Count).val, p.Val)
 		r.stats.Partials++
 		if t.used == before {
 			r.stats.Merges++
@@ -435,7 +498,12 @@ func (r *Reducer) closeWindow(w int64, dst []Final) []Final {
 		if t.slots[i].count == 0 {
 			continue
 		}
-		dst = append(dst, Final{Window: w, Key: t.slots[i].key, Count: t.slots[i].count})
+		dst = append(dst, Final{
+			Window: w,
+			Key:    t.slots[i].key,
+			Count:  t.slots[i].count,
+			Value:  r.m.Result(t.slots[i].val),
+		})
 	}
 	r.stats.Finals += int64(t.used)
 	r.stats.WindowsClosed++
@@ -502,36 +570,55 @@ func (r *Reducer) Stats() ReducerStats { return r.stats }
 type Driver struct {
 	red      *Reducer
 	reps     *metrics.DigestReplicas
-	winSize  int64
-	messages int64
+	expected func(w int64) (int64, bool)
 	total    int64
 	finals   []Final
 	ws       []int64 // scratch: distinct windows per slab
 }
 
-// NewDriver returns a driver for an engine run of `messages` total
-// messages in tumbling windows of windowSize (the final window holds
-// the remainder).
+// NewDriver returns a counting driver for an engine run of `messages`
+// total messages in tumbling windows of windowSize (the final window
+// holds the remainder).
 func NewDriver(workers int, windowSize, messages int64) *Driver {
+	return NewDriverMerger(workers, windowSize, messages, nil)
+}
+
+// NewDriverMerger is NewDriver with a pluggable merge operator (nil
+// means CountMerger).
+func NewDriverMerger(workers int, windowSize, messages int64, m Merger) *Driver {
 	if windowSize <= 0 {
 		panic("aggregation: Driver windowSize must be positive")
 	}
+	return newDriverExpected(workers, m, closedFormExpected(windowSize, messages))
+}
+
+// newDriverExpected builds a driver whose per-window completeness
+// threshold comes from the given function: expected(w) returns the
+// number of messages the driver must merge before window w may close,
+// and whether that number is FINAL (a window must never close against
+// a still-growing threshold — see ShardedDriver, whose per-shard
+// thresholds are counted at emission and only final once the whole
+// window has been emitted).
+func newDriverExpected(workers int, m Merger, expected func(w int64) (int64, bool)) *Driver {
 	return &Driver{
-		red:      NewReducer(),
+		red:      NewReducerMerger(m),
 		reps:     metrics.NewDigestReplicas(workers),
-		winSize:  windowSize,
-		messages: messages,
+		expected: expected,
 	}
 }
 
-// expected returns window w's exact message count.
-func (d *Driver) expected(w int64) int64 {
-	if d.messages > 0 {
-		if last := (d.messages - 1) / d.winSize; w == last {
-			return d.messages - last*d.winSize
+// closedFormExpected is the unsharded threshold: every tumbling window
+// holds exactly windowSize messages except the stream's final window,
+// which holds the remainder. Always final.
+func closedFormExpected(windowSize, messages int64) func(w int64) (int64, bool) {
+	return func(w int64) (int64, bool) {
+		if messages > 0 {
+			if last := (messages - 1) / windowSize; w == last {
+				return messages - last*windowSize, true
+			}
 		}
+		return windowSize, true
 	}
-	return d.winSize
 }
 
 // Merge folds one flushed slab into the reducer and closes every
@@ -549,7 +636,7 @@ func (d *Driver) Merge(ps []Partial, onFinal func(Final)) {
 		}
 	}
 	for _, w := range d.ws {
-		if d.red.WindowTotal(w) >= d.expected(w) {
+		if exp, final := d.expected(w); final && d.red.WindowTotal(w) >= exp {
 			d.emit(d.red.CloseWindow(w, d.finals[:0]), onFinal)
 		}
 	}

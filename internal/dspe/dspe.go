@@ -14,13 +14,18 @@
 //
 // With Config.AggWindow set the topology becomes the two-phase windowed
 // aggregation the paper's overhead analysis is about: bolts keep
-// digest-keyed partial counts per tumbling window (internal/aggregation)
-// and flush closed windows as batched partial slabs to a reducer stage,
-// which merges partials across bolts — the per-key merge fan-in is
-// exactly the replication factor the partitioner paid — and emits
-// finals. Result.Agg reports the measured aggregation traffic, merge
-// work and reducer memory; Result.AggReducerUtil the fraction of the
-// run the reducer spent merging.
+// digest-keyed partial aggregates per tumbling window
+// (internal/aggregation; the merge operator is pluggable via
+// Config.AggMerger — count by default) and flush closed windows as
+// batched partial slabs to a reduce stage of Config.AggShards parallel
+// reducer goroutines, sharded by key digest (aggregation.ShardFor), so
+// a key's partials always meet at one reducer. Each shard has its own
+// bounded flush channel and closes its slice of every window on
+// per-shard completeness (thresholds counted at the spouts as they
+// route); finals fan back in through OnFinal. Result.Agg reports the
+// measured aggregation traffic, merge work and reducer memory;
+// Result.AggReducerUtil the busiest shard's merging fraction of the
+// run (AggReducerUtilMean the average shard's).
 //
 // Tuples carry the KeyDigest routing computed (RouteBatchDigests), so a
 // key's bytes are scanned exactly once per message end to end: the
@@ -79,14 +84,36 @@ type Config struct {
 	// bolts (failure injection: stragglers). nil means homogeneous.
 	SlowFactor map[int]float64
 	// AggWindow, when positive, turns the topology into a two-phase
-	// windowed count aggregation: every bolt keeps per-key partial counts
+	// windowed aggregation: every bolt keeps per-key partial aggregates
 	// per tumbling window of AggWindow tuples (window ids stamped at the
 	// spout from the global emission sequence) and flushes closed windows
-	// as batched partial slabs to a reducer stage, which merges partials
+	// as batched partial slabs to the reduce stage, which merges partials
 	// by key digest and emits finals. Zero disables aggregation.
 	AggWindow int64
+	// AggShards is R, the number of parallel reducer goroutines the
+	// reduce stage is sharded into by key digest (aggregation.ShardFor):
+	// each shard owns the keys whose digests map to it, has its own
+	// bounded flush channel, and closes its slice of every window on
+	// per-shard completeness. 0 means 1 (a single reducer goroutine).
+	AggShards int
+	// AggMerger selects the merge operator applied per (window, key):
+	// aggregation.CountMerger (the default, nil), SumMerger, MinMerger,
+	// MaxMerger, DistinctMerger, or any custom Merger.
+	AggMerger aggregation.Merger
+	// AggValue derives the 64-bit sample the merger observes for each
+	// message; seq is the message's global emission index. nil means the
+	// constant 1 (so sum ≡ count).
+	AggValue func(key string, seq int64) int64
+	// AggMergeCost, when positive, simulates a per-partial merge cost at
+	// the reducer shards (slept or spun per Config.Spin, batched per
+	// slab), so wall-clock runs can reproduce the reducer-bound regime
+	// the discrete-event engine models with its AggMergeCost — and show
+	// sharding move the saturation point. Zero adds no artificial cost.
+	AggMergeCost time.Duration
 	// OnFinal, when set (and AggWindow > 0), receives every merged final
-	// from the reducer. It is called from the single reducer goroutine.
+	// from the reduce stage. Calls are serialized across reducer shards
+	// (a mutex when AggShards > 1), so the callback needs no locking of
+	// its own.
 	OnFinal func(aggregation.Final)
 }
 
@@ -105,6 +132,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Batch > c.Window {
 		c.Batch = c.Window
+	}
+	if c.AggShards <= 0 {
+		c.AggShards = 1
 	}
 	c.Core.Workers = c.Workers
 	return c, nil
@@ -134,11 +164,15 @@ type Result struct {
 	// counted exactly (metrics.DigestReplicas). 1 for KG by construction;
 	// up to Workers for W-Choices hot keys. 0 when aggregation is off.
 	AggReplication float64
-	// AggReducerUtil is the fraction of the run's wall clock the reducer
-	// goroutine spent merging partial slabs: its measured utilization
-	// (0 when aggregation is off). Near 1 means the reducer is the
-	// bottleneck stage.
+	// AggReducerUtil is the fraction of the run's wall clock the BUSIEST
+	// reducer shard's goroutine spent merging partial slabs: the reduce
+	// stage's bottleneck utilization (0 when aggregation is off). Near 1
+	// means that shard — and with it the stage — is the bottleneck;
+	// sharding (Config.AggShards) spreads the load and moves it down.
 	AggReducerUtil float64
+	// AggReducerUtilMean is the mean merging fraction across the reducer
+	// shards (equal to AggReducerUtil when AggShards == 1).
+	AggReducerUtilMean float64
 	// AggTotal is the sum of all final counts; with aggregation enabled
 	// it must equal Completed (every processed tuple is counted exactly
 	// once — window close is exact, not approximate).
@@ -146,7 +180,8 @@ type Result struct {
 }
 
 // tuple is one in-flight message. With aggregation on it carries the
-// KeyDigest routing computed, so bolts never re-scan the key bytes. A
+// KeyDigest routing computed, so bolts never re-scan the key bytes,
+// plus the merger sample Config.AggValue derived at the spout. A
 // negative src marks a watermark tick: window holds the id of the
 // window the global emission sequence has entered, there is no key and
 // no ack, and the receiving bolt just flushes its closed windows.
@@ -155,6 +190,7 @@ type tuple struct {
 	dig     core.KeyDigest
 	emitted time.Time
 	window  int64 // tumbling-window id (0 unless Config.AggWindow > 0)
+	val     int64 // merger sample (1 unless Config.AggValue is set)
 	src     int32
 }
 
@@ -211,35 +247,70 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 	}
 
 	// Aggregation (two-phase) plumbing: bolts flush closed windows as
-	// partial slabs over a bounded channel to one reducer goroutine —
-	// the same slab-ownership-transfer discipline as the data plane.
+	// partial slabs, split by key-digest shard, over R bounded channels
+	// to R reducer goroutines — the same slab-ownership-transfer
+	// discipline as the data plane. Each shard's goroutine owns that
+	// shard's Driver inside the ShardedDriver; windows close on
+	// per-shard completeness (thresholds counted at the spouts via
+	// ObserveEmits), so each (window, key) yields exactly one Final
+	// regardless of how bolts and shards interleave.
+	shards := cfg.AggShards
 	var (
-		aggCh      chan []aggregation.Partial
-		aggStats   aggregation.ReducerStats
-		aggTotal   int64
-		aggRepl    float64
-		reduceBusy time.Duration
+		sd         *aggregation.ShardedDriver
+		aggCh      []chan []aggregation.Partial
+		reduceBusy []time.Duration
 		reduceWG   sync.WaitGroup
 	)
 	if cfg.AggWindow > 0 {
-		aggCh = make(chan []aggregation.Partial, 2*cfg.Workers)
-		reduceWG.Add(1)
-		go func() {
-			defer reduceWG.Done()
-			// Windows close on completeness (merged count == window size),
-			// so each (window, key) yields exactly one Final regardless of
-			// how bolts interleave (see aggregation.Driver).
-			drv := aggregation.NewDriver(cfg.Workers, cfg.AggWindow, limit)
-			for slab := range aggCh {
-				t0 := time.Now()
-				drv.Merge(slab, cfg.OnFinal)
-				reduceBusy += time.Since(t0)
+		sd = aggregation.NewShardedDriver(cfg.Workers, shards, cfg.AggWindow, limit, cfg.AggMerger)
+		aggCh = make([]chan []aggregation.Partial, shards)
+		reduceBusy = make([]time.Duration, shards)
+		// Finals fan back in through one callback; serialize it across
+		// shard goroutines so OnFinal needs no locking of its own.
+		onFinal := cfg.OnFinal
+		if onFinal != nil && shards > 1 {
+			var finalMu sync.Mutex
+			user := cfg.OnFinal
+			onFinal = func(f aggregation.Final) {
+				finalMu.Lock()
+				user(f)
+				finalMu.Unlock()
 			}
-			t0 := time.Now()
-			drv.Finish(cfg.OnFinal)
-			reduceBusy += time.Since(t0)
-			aggStats, aggRepl, aggTotal = drv.Stats(), drv.Replication(), drv.Total()
-		}()
+		}
+		for r := 0; r < shards; r++ {
+			aggCh[r] = make(chan []aggregation.Partial, 2*cfg.Workers)
+			reduceWG.Add(1)
+			go func(r int) {
+				defer reduceWG.Done()
+				// The simulated merge cost is paid as a DEBT settled in
+				// ≥ 1 ms chunks, with each settlement's measured oversleep
+				// credited back: per-slab sleeps would bottom out at the
+				// timer floor and charge every shard the slab COUNT (which
+				// sharding does not reduce — each bolt flush sends one slab
+				// per shard) instead of the partial count (which it does).
+				var debt time.Duration
+				settle := func(threshold time.Duration) {
+					if debt > threshold {
+						s0 := time.Now()
+						simulateWork(debt, cfg.Spin)
+						debt -= time.Since(s0)
+					}
+				}
+				for slab := range aggCh[r] {
+					t0 := time.Now()
+					if cfg.AggMergeCost > 0 {
+						debt += cfg.AggMergeCost * time.Duration(len(slab))
+						settle(time.Millisecond)
+					}
+					sd.MergeShard(r, slab, onFinal)
+					reduceBusy[r] += time.Since(t0)
+				}
+				t0 := time.Now()
+				settle(0)
+				sd.FinishShard(r, onFinal)
+				reduceBusy[r] += time.Since(t0)
+			}(r)
+		}
 	}
 
 	stats := make([]boltStats, cfg.Workers)
@@ -251,16 +322,53 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 			st := &stats[w]
 			st.lat = metrics.NewQuantiles(1 << 14)
 			var acc *aggregation.Accumulator
+			var scratch []aggregation.Partial
+			var shardOf []int32 // per-partial shard, parallel to scratch
+			var shardCounts []int
+			var slabs [][]aggregation.Partial
 			if cfg.AggWindow > 0 {
-				acc = aggregation.NewAccumulator(w)
+				acc = aggregation.NewAccumulatorMerger(w, cfg.AggMerger)
+				shardCounts = make([]int, shards)
+				slabs = make([][]aggregation.Partial, shards)
 			}
-			// flushClosed closes windows below `before` and hands the
-			// partials to the reducer (freshly allocated slab: ownership
-			// transfers over the channel).
+			// flushClosed closes windows below `before`, splits the
+			// partials by reducer shard (one ShardFor per partial, shard
+			// recorded for the fill pass), and hands each shard its slab
+			// (freshly allocated: ownership transfers over the channel;
+			// the bolt-local scratches are reused across flushes).
 			flushClosed := func(before int64) {
-				ps := acc.FlushBefore(before, make([]aggregation.Partial, 0, acc.Entries()))
-				if len(ps) > 0 {
-					aggCh <- ps
+				scratch = acc.FlushBefore(before, scratch[:0])
+				if len(scratch) == 0 {
+					return
+				}
+				if shards == 1 {
+					aggCh[0] <- append(make([]aggregation.Partial, 0, len(scratch)), scratch...)
+					return
+				}
+				if cap(shardOf) < len(scratch) {
+					shardOf = make([]int32, len(scratch))
+				}
+				shardOf = shardOf[:len(scratch)]
+				for r := range shardCounts {
+					shardCounts[r] = 0
+				}
+				for i := range scratch {
+					r := aggregation.ShardFor(scratch[i].Digest, shards)
+					shardOf[i] = int32(r)
+					shardCounts[r]++
+				}
+				for i := range scratch {
+					r := shardOf[i]
+					if slabs[r] == nil {
+						slabs[r] = make([]aggregation.Partial, 0, shardCounts[r])
+					}
+					slabs[r] = append(slabs[r], scratch[i])
+				}
+				for r, slab := range slabs {
+					if slab != nil {
+						aggCh[r] <- slab
+						slabs[r] = nil
+					}
 				}
 			}
 			for slab := range in[w] {
@@ -284,7 +392,7 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 							// fragment a window already flushed.
 							flushClosed(tp.window - 1)
 						}
-						acc.Add(tp.window, tp.dig, tp.key)
+						acc.AddSample(tp.window, tp.dig, tp.key, 1, tp.val)
 					}
 					lat := time.Since(tp.emitted)
 					st.lat.Add(float64(lat))
@@ -294,9 +402,7 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 				}
 			}
 			if acc != nil {
-				if ps := acc.FlushAll(nil); len(ps) > 0 {
-					aggCh <- ps
-				}
+				flushClosed(1 << 62)
 			}
 		}(w)
 	}
@@ -338,8 +444,13 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 				}
 				if cfg.AggWindow > 0 {
 					// Hash-once: routing computes the digests the bolts'
-					// partial tables (and the reducer) will key by.
+					// partial tables (and the reduce stage) will key by.
 					core.RouteBatchDigests(p, keys[:n], digs, dsts)
+					// Count the slab toward its windows' per-shard
+					// completeness thresholds BEFORE any of its tuples can be
+					// sent (a threshold must never lag a mergeable partial).
+					// No-op with one shard.
+					sd.ObserveEmits(base, digs[:n])
 					// Broadcast a watermark tick to every bolt when the global
 					// emission sequence enters a window no spout announced yet,
 					// so bolts the partitioner starves still flush on time.
@@ -378,6 +489,10 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 					if cfg.AggWindow > 0 {
 						tp.window = (base + int64(i)) / cfg.AggWindow
 						tp.dig = digs[i]
+						tp.val = 1
+						if cfg.AggValue != nil {
+							tp.val = cfg.AggValue(keys[i], base+int64(i))
+						}
 					}
 					pending[w] = append(pending[w], tp)
 				}
@@ -397,26 +512,36 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 	}
 	bolts.Wait()
 	elapsed := time.Since(start)
-	// The reducer keeps draining after the bolts finish (queued slabs,
-	// end-of-stream flushes, Finish); its utilization denominator must
-	// cover that tail, so it is snapshotted after the join.
+	// The reducer shards keep draining after the bolts finish (queued
+	// slabs, end-of-stream flushes, Finish); the utilization denominator
+	// must cover that tail, so it extends to the last shard's join.
 	total := elapsed
 	if aggCh != nil {
-		close(aggCh)
+		for _, ch := range aggCh {
+			close(ch)
+		}
 		reduceWG.Wait()
 		total = time.Since(start)
 	}
 
 	res := Result{
-		Algorithm:      cfg.Algorithm,
-		Elapsed:        elapsed,
-		Loads:          make([]int64, cfg.Workers),
-		Agg:            aggStats,
-		AggTotal:       aggTotal,
-		AggReplication: aggRepl,
+		Algorithm: cfg.Algorithm,
+		Elapsed:   elapsed,
+		Loads:     make([]int64, cfg.Workers),
 	}
-	if cfg.AggWindow > 0 && total > 0 {
-		res.AggReducerUtil = float64(reduceBusy) / float64(total)
+	if cfg.AggWindow > 0 {
+		res.Agg = sd.Stats()
+		res.AggTotal = sd.Total()
+		res.AggReplication = sd.Replication()
+		if total > 0 {
+			for _, busy := range reduceBusy {
+				u := float64(busy) / float64(total)
+				res.AggReducerUtilMean += u / float64(shards)
+				if u > res.AggReducerUtil {
+					res.AggReducerUtil = u
+				}
+			}
+		}
 	}
 	for w := range stats {
 		st := &stats[w]

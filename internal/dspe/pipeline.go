@@ -24,11 +24,13 @@ import (
 // source→worker DAG to the DAGs real DSPE applications use
 // (e.g. tokenize → count).
 //
-// Three stage kinds compose the paper's two-phase applications:
+// Four stage kinds compose the paper's two-phase applications:
 // AddStage (plain per-tuple functions), AddWindowedAggregate (per-key
 // partial counts per tumbling window, flushed downstream as weighted
-// partial tuples — the aggregation phase key splitting makes necessary)
-// and AddWeightedStage (functions that see tuple weights and windows —
+// partial tuples — the aggregation phase key splitting makes
+// necessary), AddWindowedMerge (the same with a pluggable merge
+// operator over tuple weights: sum, min/max, approximate-distinct) and
+// AddWeightedStage (functions that see tuple weights and windows —
 // the reduce phase merging partials, typically grouped "KG").
 type Pipeline struct {
 	gen    stream.Generator
@@ -60,7 +62,8 @@ type stageSpec struct {
 	grouping    string // algorithm for the edge INTO this stage
 	fn          StageFunc
 	wfn         WeightedStageFunc
-	aggWindow   int64 // > 0: windowed-aggregate stage
+	aggWindow   int64              // > 0: windowed-aggregate stage
+	merger      aggregation.Merger // non-nil: merge operator over tuple weights
 	service     time.Duration
 }
 
@@ -134,6 +137,47 @@ func (p *Pipeline) AddWindowedAggregate(name string, parallelism int, grouping s
 		parallelism: parallelism,
 		grouping:    grouping,
 		aggWindow:   window,
+	})
+	return p
+}
+
+// AddWindowedMerge is AddWindowedAggregate with a pluggable merge
+// operator: executors fold each incoming tuple's WEIGHT through the
+// merger per (window, key) — the addend for aggregation.SumMerger, the
+// comparand for Min/Max — and, when a window closes, emit one weighted
+// tuple per (window, key) partial whose weight is the merger's RESULT
+// for that partial.
+//
+// The stage boundary carries that scalar result, not the merger's
+// internal state, so a downstream AddWeightedStage (typically grouped
+// "KG") can reassemble a key's split partials only for operators whose
+// results stay combinable as plain numbers: sum the sums (Count/Sum),
+// min the mins / max the maxes. DistinctMerger does NOT qualify — an
+// HLL estimate of each fragment cannot be combined into an estimate of
+// the union — so use it here only when this stage's grouping keeps
+// each key on one executor (e.g. "KG"); when a splitting grouping must
+// feed a distinct count, use the engines' AggMerger path instead,
+// whose flushed partials transport the full combinable state.
+//
+// AddWindowedMerge(…, aggregation.SumMerger) over weight-1 tuples
+// behaves identically to AddWindowedAggregate (a count IS a sum of
+// ones).
+func (p *Pipeline) AddWindowedMerge(name string, parallelism int, grouping string, window int64, m aggregation.Merger) *Pipeline {
+	if parallelism <= 0 {
+		panic("dspe: stage parallelism must be positive")
+	}
+	if window <= 0 {
+		panic("dspe: aggregate window must be positive")
+	}
+	if m == nil {
+		panic("dspe: AddWindowedMerge requires a merge operator")
+	}
+	p.stages = append(p.stages, stageSpec{
+		name:        name,
+		parallelism: parallelism,
+		grouping:    grouping,
+		aggWindow:   window,
+		merger:      m,
 	})
 	return p
 }
@@ -237,7 +281,7 @@ func (p *Pipeline) Run(cfg PipelineConfig) (PipelineResult, error) {
 		if spec.aggWindow > 0 {
 			accs[s] = make([]*aggregation.Accumulator, spec.parallelism)
 			for ex := range accs[s] {
-				accs[s][ex] = aggregation.NewAccumulator(ex)
+				accs[s][ex] = aggregation.NewAccumulatorMerger(ex, spec.merger)
 			}
 		}
 	}
@@ -322,6 +366,14 @@ func (p *Pipeline) Run(cfg PipelineConfig) (PipelineResult, error) {
 					}
 					for i := range buf {
 						pp := &buf[i]
+						// The partial's weight is what the stage computed for
+						// it: the fold of its tuples' weights through the
+						// merger (== the plain count for the default
+						// aggregate stage, whose fold is a sum of weights).
+						weight := pp.Count
+						if spec.merger != nil {
+							weight = spec.merger.Result(pp.Val)
+						}
 						// The partial carries the digest its table was keyed
 						// by; the reduce edge routes on it with zero re-scans.
 						send(pipeTuple{
@@ -330,7 +382,7 @@ func (p *Pipeline) Run(cfg PipelineConfig) (PipelineResult, error) {
 							root:   root,
 							seq:    pp.Window * spec.aggWindow,
 							window: pp.Window,
-							weight: pp.Count,
+							weight: weight,
 						})
 					}
 				}
@@ -349,7 +401,15 @@ func (p *Pipeline) Run(cfg PipelineConfig) (PipelineResult, error) {
 							// tuples in flight.
 							flushEmit(w-1, tp.root)
 						}
-						acc.AddN(w, tp.dig, tp.key, tp.weight)
+						if spec.merger != nil {
+							// Merge stage: the tuple's weight is the SAMPLE the
+							// operator folds (one observation per tuple).
+							acc.AddSample(w, tp.dig, tp.key, 1, tp.weight)
+						} else {
+							// Default aggregate stage: the weight folds into the
+							// count (a count-5000 partial stands for 5000 tuples).
+							acc.AddN(w, tp.dig, tp.key, tp.weight)
+						}
 					case spec.wfn != nil:
 						spec.wfn(tp.key, tp.window, tp.weight, emitW)
 					default:

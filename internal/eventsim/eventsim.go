@@ -8,19 +8,35 @@
 // and end-to-end latency and total throughput degrade exactly as in the
 // paper's Figures 13 and 14.
 //
-// With Config.AggWindow set, the two-phase aggregation's REDUCER is a
-// modeled service station of its own, not free bookkeeping: each
-// flushed partial costs the flushing worker Config.AggFlushCost
-// (serialize and emit) and then occupies the reducer for
-// Config.AggMergeCost of service, through a bounded FIFO queue
-// (Config.AggQueueLen) that exerts backpressure — a worker whose flush
-// finds the queue full blocks until the reducer drains. Reducer
-// saturation therefore propagates to end-to-end throughput and latency
-// exactly as a saturated worker does: this is the aggregation
-// bottleneck the D/W-Choices balance-vs-replication trade-off is priced
-// against (the cost side PKG's original evaluation flagged).
-// Result.ReducerUtil reports the station's utilization and
-// Result.ReducerPeakQueue its backlog high-water mark.
+// With Config.AggWindow set, the two-phase aggregation's REDUCE STAGE
+// is a set of modeled service stations, not free bookkeeping: the
+// stage is sharded Config.AggShards ways by key digest
+// (aggregation.ShardFor over the carried KeyDigest, so a key's
+// partials always meet at one shard), each flushed partial costs the
+// flushing worker Config.AggFlushCost (serialize and emit) and then
+// occupies ITS shard's station for Config.AggMergeCost of service,
+// through that shard's bounded FIFO queue (Config.AggQueueLen) that
+// exerts backpressure — a worker whose flush finds the shard queue
+// full blocks until that shard drains. Reducer saturation therefore
+// propagates to end-to-end throughput and latency exactly as a
+// saturated worker does — and moves with R: the stage's capacity is
+// AggShards/AggMergeCost partials per ms, so sharding relocates the
+// saturation point the D/W-Choices balance-vs-replication trade-off is
+// priced against. Result.ReducerUtil reports the most-loaded shard's
+// utilization (ReducerUtilMean the average, ReducerShardUtil each) and
+// Result.ReducerPeakQueue the largest per-shard backlog.
+//
+// Values merged per (window, key) are pluggable: Config.AggMerger
+// selects the operator (count by default; sum/min/max/distinct built
+// in) and Config.AggValue derives each message's merged sample.
+//
+// Workers flush on watermark progress, not only on their own traffic:
+// when the global emission sequence enters a new window, idle workers
+// are ticked to flush their closed windows immediately (and busy
+// workers flush when they drain), so window-close latency follows
+// stream progress rather than end-of-stream. Per-worker arrival order
+// equals emission order here, so a tick flush is always complete —
+// it never fragments a window's partial.
 //
 // Unlike the goroutine runtime in internal/dspe, results here are
 // bit-reproducible and independent of host speed, which makes this the
@@ -83,17 +99,34 @@ type Config struct {
 	// partial at window close — the knob that turns replication into a
 	// throughput cost. 0 means ServiceTime/10.
 	AggFlushCost float64
-	// AggMergeCost is the reducer's service time (ms) to merge ONE
-	// partial into its window table. The reducer is a single FIFO
-	// service station, so an aggregate partial arrival rate above
-	// 1/AggMergeCost saturates it. 0 means AggFlushCost/4 (a merge is a
-	// table probe, cheaper than serializing).
+	// AggMergeCost is a reducer shard's service time (ms) to merge ONE
+	// partial into its window table. Each shard is a FIFO service
+	// station, so an aggregate partial arrival rate above
+	// AggShards/AggMergeCost saturates the stage. 0 means AggFlushCost/4
+	// (a merge is a table probe, cheaper than serializing).
 	AggMergeCost float64
-	// AggQueueLen is the reducer's input queue capacity in partials. A
-	// worker flushing into a full queue blocks until the reducer drains
-	// (backpressure), which is how reducer saturation reaches end-to-end
-	// throughput. 0 means 4096.
+	// AggQueueLen is EACH reducer shard's input queue capacity in
+	// partials. A worker flushing into a full shard queue blocks until
+	// that shard drains (backpressure), which is how reducer saturation
+	// reaches end-to-end throughput. 0 means 4096.
 	AggQueueLen int
+	// AggShards is R, the number of parallel reducer stations the reduce
+	// stage is sharded into by key digest (aggregation.ShardFor). Window
+	// close stays completeness-based PER SHARD: each shard's slice of a
+	// window closes the instant the shard has merged every message the
+	// sources emitted into it (per-shard thresholds are counted at
+	// routing, on the already-computed digest). 0 means 1 (the single
+	// reducer of the unsharded model).
+	AggShards int
+	// AggMerger selects the merge operator applied per (window, key):
+	// aggregation.CountMerger (the default, nil), SumMerger, MinMerger,
+	// MaxMerger, DistinctMerger, or any custom Merger.
+	AggMerger aggregation.Merger
+	// AggValue derives the 64-bit sample the merger observes for each
+	// message: the addend for sum, the comparand for min/max, the
+	// element for distinct. seq is the message's global emission index.
+	// nil means the constant 1 (so sum ≡ count).
+	AggValue func(key string, seq int64) int64
 	// OnFinal, when set (and AggWindow > 0), receives every merged final
 	// the reducer emits, in deterministic order.
 	OnFinal func(aggregation.Final)
@@ -121,6 +154,9 @@ func (c Config) withDefaults() (Config, error) {
 		}
 		if c.AggQueueLen <= 0 {
 			c.AggQueueLen = 4096
+		}
+		if c.AggShards <= 0 {
+			c.AggShards = 1
 		}
 	}
 	c.Core.Workers = c.Workers
@@ -156,14 +192,21 @@ type Result struct {
 	// AggTotal is the sum of all final counts; with aggregation enabled
 	// it equals Completed (window close is exact).
 	AggTotal int64
-	// ReducerUtil is the reducer service station's utilization: total
+	// ReducerUtil is the MOST LOADED reducer shard's utilization: its
 	// merge service time over the simulated makespan (including the
-	// reducer's end-of-stream drain). Near 1 means the reducer is
-	// saturated and throughput is reducer-bound. 0 when aggregation is
-	// off.
+	// end-of-stream drain). Near 1 means that shard is saturated and
+	// throughput is reducer-bound; sharding (Config.AggShards) spreads
+	// the load and moves this down. 0 when aggregation is off.
 	ReducerUtil float64
+	// ReducerUtilMean is the mean utilization across the reducer shards
+	// (equal to ReducerUtil when AggShards == 1). The max/mean gap
+	// measures how evenly the digest sharding spread the merge load.
+	ReducerUtilMean float64
+	// ReducerShardUtil is each reducer shard's utilization, indexed by
+	// shard. nil when aggregation is off.
+	ReducerShardUtil []float64
 	// ReducerPeakQueue is the largest backlog (unmerged partials,
-	// including the one in service) the reducer station ever held.
+	// including the one in service) any single reducer shard ever held.
 	ReducerPeakQueue int
 }
 
@@ -205,6 +248,7 @@ type pendingMsg struct {
 	// Aggregation fields (populated only when Config.AggWindow > 0).
 	window int64
 	dig    hashing.KeyDigest
+	val    int64 // the merger's sample (Config.AggValue)
 	key    string
 }
 
@@ -223,13 +267,14 @@ type worker struct {
 	readyAt float64
 }
 
-// reducerStation models the aggregation reducer as a single
-// deterministic FIFO server: each admitted partial occupies it for
-// mergeCost, the input queue holds at most cap partials (counting the
-// one in service), and a producer admitting into a full queue waits for
-// the server to drain. Because service is deterministic and FIFO, the
-// whole station reduces to a closed-form recurrence over busyUntil — no
-// events needed — while remaining exact.
+// reducerStation models ONE reducer shard as a deterministic FIFO
+// server: each admitted partial occupies it for mergeCost, the input
+// queue holds at most cap partials (counting the one in service), and
+// a producer admitting into a full queue waits for the server to
+// drain. Because service is deterministic and FIFO, the whole station
+// reduces to a closed-form recurrence over busyUntil — no events
+// needed — while remaining exact. The sharded reduce stage is just R
+// of these, one per digest shard.
 type reducerStation struct {
 	mergeCost float64
 	headroom  float64 // (cap−1)·mergeCost: admission waits while backlog ≥ cap
@@ -242,28 +287,24 @@ func newReducerStation(mergeCost float64, queueLen int) reducerStation {
 	return reducerStation{mergeCost: mergeCost, headroom: float64(queueLen-1) * mergeCost}
 }
 
-// admit feeds n partials produced by one worker's window flush starting
-// at `now`: the worker serializes one every flushCost, then hands it to
-// the reducer queue, blocking while the queue is full. It returns the
-// time the worker is released (its last partial admitted) — the
-// worker's readyAt, which embeds both the flush cost and any reducer
-// backpressure.
-func (r *reducerStation) admit(now float64, n int, flushCost float64) float64 {
-	t := now
-	for j := 0; j < n; j++ {
-		t += flushCost // serialize partial j at the worker
-		if wait := r.busyUntil - r.headroom; wait > t {
-			t = wait // queue full: block until a slot drains
-		}
-		start := t
-		if r.busyUntil > start {
-			start = r.busyUntil
-		}
-		r.busyUntil = start + r.mergeCost
-		r.busy += r.mergeCost
-		if backlog := int((r.busyUntil-t)/r.mergeCost + 0.5); backlog > r.peak {
-			r.peak = backlog
-		}
+// admitOne hands the station one partial that became ready at time t
+// (already serialized by the flushing worker): the producer blocks
+// while the station's queue is full, then enqueues. It returns the
+// time the producer is released — t, or later if backpressure stalled
+// it. Per-partial admission is what lets one worker's flush interleave
+// partials across several shard stations in serialization order.
+func (r *reducerStation) admitOne(t float64) float64 {
+	if wait := r.busyUntil - r.headroom; wait > t {
+		t = wait // queue full: block until a slot drains
+	}
+	start := t
+	if r.busyUntil > start {
+		start = r.busyUntil
+	}
+	r.busyUntil = start + r.mergeCost
+	r.busy += r.mergeCost
+	if backlog := int((r.busyUntil-t)/r.mergeCost + 0.5); backlog > r.peak {
+		r.peak = backlog
 	}
 	return t
 }
@@ -311,35 +352,43 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 	for i := range workers {
 		workers[i] = &worker{lat: metrics.NewQuantiles(1 << 15)}
 		if cfg.AggWindow > 0 {
-			workers[i].acc = aggregation.NewAccumulator(i)
+			workers[i].acc = aggregation.NewAccumulatorMerger(i, cfg.AggMerger)
 		}
 	}
 
-	// Aggregation reducer: a modeled service station (see reducerStation).
-	// The merged CONTENT is folded in immediately — counters and window
+	// Aggregation reduce stage: AggShards modeled service stations (see
+	// reducerStation), one per digest shard, behind a ShardedDriver that
+	// preserves the completeness-based window close per shard. The
+	// merged CONTENT is folded in immediately — counters and window
 	// close points are simulated-time-independent — but the merge COST
-	// occupies the station's clock, and a full station queue blocks the
-	// flushing worker.
+	// occupies each shard station's clock, and a full shard queue blocks
+	// the flushing worker.
 	var (
-		drv    *aggregation.Driver
-		aggBuf []aggregation.Partial
-		red    reducerStation
+		drv      *aggregation.ShardedDriver
+		aggBuf   []aggregation.Partial
+		stations []reducerStation
 	)
 	if cfg.AggWindow > 0 {
-		drv = aggregation.NewDriver(cfg.Workers, cfg.AggWindow, limit)
-		red = newReducerStation(cfg.AggMergeCost, cfg.AggQueueLen)
+		drv = aggregation.NewShardedDriver(cfg.Workers, cfg.AggShards, cfg.AggWindow, limit, cfg.AggMerger)
+		stations = make([]reducerStation, cfg.AggShards)
+		for r := range stations {
+			stations[r] = newReducerStation(cfg.AggMergeCost, cfg.AggQueueLen)
+		}
 	}
-	// flushWorker drains wk's windows below `before` into the reducer at
-	// simulated time `now` and returns the time the worker is released:
-	// serialization (AggFlushCost per partial) plus any backpressure
-	// stall while the reducer queue is full.
+	// flushWorker drains wk's windows below `before` into the reduce
+	// stage at simulated time `now` and returns the time the worker is
+	// released: it serializes one partial every AggFlushCost and admits
+	// each into ITS digest shard's station, absorbing any backpressure
+	// stall while that shard's queue is full.
 	flushWorker := func(wk *worker, now float64, before int64) float64 {
 		aggBuf = wk.acc.FlushBefore(before, aggBuf[:0])
 		drv.Merge(aggBuf, cfg.OnFinal)
-		if len(aggBuf) == 0 {
-			return now
+		t := now
+		for i := range aggBuf {
+			t += cfg.AggFlushCost // serialize partial i at the worker
+			t = stations[aggregation.ShardFor(aggBuf[i].Digest, cfg.AggShards)].admitOne(t)
 		}
-		return red.admit(now, len(aggBuf), cfg.AggFlushCost)
+		return t
 	}
 	svc := func(w int) float64 {
 		t := cfg.ServiceTime
@@ -362,7 +411,31 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 		lastDone     float64
 		measureStart float64
 		peakQueue    int
+		announced    = int64(-1 << 62) // highest window id emission has entered
 	)
+	// tickIdle is the watermark tick for workers with no traffic: when
+	// the global emission sequence enters a new window, every idle
+	// worker flushes its closed windows immediately instead of at end of
+	// stream (busy workers flush on their own watermark advance or when
+	// they drain — see evDone). Per-worker arrival order here equals
+	// emission order, so an idle worker provably holds every message it
+	// will ever get for windows < announced: the tick flush is complete,
+	// never a fragment. The flush cost still lands on the worker's clock
+	// (readyAt), exactly as a traffic-driven flush would.
+	tickIdle := func() {
+		for _, wk := range workers {
+			if wk.busy || wk.acc.OpenWindows() == 0 {
+				continue
+			}
+			start := now
+			if wk.readyAt > start {
+				start = wk.readyAt
+			}
+			if t := flushWorker(wk, start, announced); t > wk.readyAt {
+				wk.readyAt = t
+			}
+		}
+	}
 	schedule := func(t float64, kind int8, idx int32) {
 		seq++
 		heap.Push(&h, event{t: t, seq: seq, kind: kind, idx: idx})
@@ -393,12 +466,25 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 			var w int
 			if cfg.AggWindow > 0 {
 				// Hash-once: the key's single byte scan happens here, and
-				// the digest both routes the message and travels with it
-				// into the worker's partial tables.
+				// the digest both routes the message, picks its reducer
+				// shard, and travels with it into the worker's partial
+				// tables.
 				dg := hashing.Digest(key)
 				pm.window = emitted / cfg.AggWindow
 				pm.dig = dg
 				pm.key = key
+				pm.val = 1
+				if cfg.AggValue != nil {
+					pm.val = cfg.AggValue(key, emitted)
+				}
+				// Count the emission toward its shard's completeness
+				// threshold (no-op when AggShards == 1), and tick idle
+				// workers when the stream enters a new window.
+				drv.ObserveEmit(emitted, dg)
+				if pm.window > announced {
+					announced = pm.window
+					tickIdle()
+				}
 				w = core.RouteDigest(parts[s], dg, key)
 			} else {
 				// No digest consumer downstream: let the partitioner digest
@@ -443,13 +529,13 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 				// partial table; when the watermark advances (one window of
 				// slack, matching internal/dspe), flush — the worker is
 				// released only once its last partial is serialized AND
-				// admitted into the reducer's bounded queue.
+				// admitted into its reducer shard's bounded queue.
 				if wm, ok := wk.acc.Watermark(); ok && m.window > wm {
 					if t := flushWorker(wk, now, m.window-1); t > now {
 						wk.readyAt = t
 					}
 				}
-				wk.acc.Add(m.window, m.dig, m.key)
+				wk.acc.AddSample(m.window, m.dig, m.key, 1, m.val)
 			}
 			// Ack frees the source's window slot.
 			s := int(m.src)
@@ -466,6 +552,20 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 				schedule(start+svc(w), evDone, e.idx)
 			} else {
 				wk.busy = false
+				// Watermark tick, deferred: a worker that was busy when the
+				// stream entered a new window flushes its closed windows the
+				// moment it drains (it now provably holds its complete share
+				// of every window < announced), instead of waiting for its
+				// own next tuple — which for a trickle worker never comes.
+				if cfg.AggWindow > 0 && wk.acc.OpenWindows() > 0 {
+					start := now
+					if wk.readyAt > start {
+						start = wk.readyAt
+					}
+					if t := flushWorker(wk, start, announced); t > wk.readyAt {
+						wk.readyAt = t
+					}
+				}
 			}
 		}
 	}
@@ -484,19 +584,42 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 		// End of stream: every worker flushes its remaining windows
 		// (completeness-based closing means nothing closes early while
 		// another worker still holds part of a window), then the driver
-		// closes any remainder. The drain still occupies the reducer's
-		// clock, so the utilization denominator extends to its finish.
+		// closes any remainder. The drain still occupies the shard
+		// stations' clocks, so the utilization denominator extends to
+		// the last shard's finish.
 		for _, wk := range workers {
-			flushWorker(wk, now, 1<<62)
+			start := now
+			if wk.readyAt > start {
+				start = wk.readyAt
+			}
+			flushWorker(wk, start, 1<<62)
 		}
 		drv.Finish(cfg.OnFinal)
 		res.Agg = drv.Stats()
 		res.AggReplication = drv.Replication()
 		res.AggTotal = drv.Total()
-		if makespan := max(now, red.busyUntil); makespan > 0 {
-			res.ReducerUtil = red.busy / makespan
+		makespan := now
+		for r := range stations {
+			if stations[r].busyUntil > makespan {
+				makespan = stations[r].busyUntil
+			}
 		}
-		res.ReducerPeakQueue = red.peak
+		res.ReducerShardUtil = make([]float64, len(stations))
+		if makespan > 0 {
+			for r := range stations {
+				u := stations[r].busy / makespan
+				res.ReducerShardUtil[r] = u
+				res.ReducerUtilMean += u / float64(len(stations))
+				if u > res.ReducerUtil {
+					res.ReducerUtil = u
+				}
+			}
+		}
+		for r := range stations {
+			if stations[r].peak > res.ReducerPeakQueue {
+				res.ReducerPeakQueue = stations[r].peak
+			}
+		}
 	}
 	for i, wk := range workers {
 		res.Loads[i] = wk.count

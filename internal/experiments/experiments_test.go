@@ -410,8 +410,8 @@ func TestRunAllSimulation(t *testing.T) {
 // same ordering.
 func TestAggregationOverheadOrdering(t *testing.T) {
 	tabs := mustRun(t, "aggregation")
-	if len(tabs) != 3 {
-		t.Fatalf("aggregation returned %d tables, want 3 (eventsim + dspe + flush-cost sweep)", len(tabs))
+	if len(tabs) != 5 {
+		t.Fatalf("aggregation returned %d tables, want 5 (eventsim + dspe + flush-cost sweep + two AggShards sweeps)", len(tabs))
 	}
 	for _, tab := range tabs[:2] {
 		// Group rows by window size.
@@ -477,5 +477,63 @@ func TestAggregationOverheadOrdering(t *testing.T) {
 			t.Errorf("sweep fc=%s: W-C reducer utilization %f fell below previous cost point's %f", fc, util("W-C"), prevWC)
 		}
 		prevWC = util("W-C")
+	}
+}
+
+// TestAggregationShardSweep pins the R-sweep acceptance criteria on
+// the deterministic engine at the PR-3 saturating config (W-Choices,
+// AggFlushCost = 2 ms, smallest window): R=1's single reducer station
+// saturates; R=4 pulls the max shard utilization below 0.9 and
+// recovers at least half of the throughput lost to reducer saturation
+// (measured against the reducer-free baseline — the worker-side flush
+// bill is paid identically at every R). The goroutine runtime's sweep
+// must show the same parallelization as a wall-clock speedup.
+func TestAggregationShardSweep(t *testing.T) {
+	m := Quick.aggMessages()
+	win := m / aggWindowDivisors[0]
+	tab, err := shardSweepEventsim(m, win, map[string]float64{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc := make(map[string][]string)
+	for _, row := range tab.Rows {
+		if row[1] == "W-C" {
+			wc[row[0]] = row
+		}
+	}
+	if len(wc) < 3 {
+		t.Fatalf("W-C appears at %d shard counts, want ≥ 3", len(wc))
+	}
+	util := func(r string) float64 { return cell(t, wc[r], 5) }
+	if util("1") < 0.9 {
+		t.Errorf("R=1 reducer util %.3f, want ≥ 0.9 (the saturating config must saturate)", util("1"))
+	}
+	if util("4") >= 0.9 {
+		t.Errorf("R=4 max shard util %.3f, want < 0.9: sharding must move the saturation point", util("4"))
+	}
+	if recov := cell(t, wc["4"], 4); recov < 50 {
+		t.Errorf("R=4 recovered %.1f%% of the reducer-saturation loss, want ≥ 50%%", recov)
+	}
+	// Max shard utilization is non-increasing in R.
+	prev := 2.0
+	for _, r := range aggShardCounts {
+		u := util(strconv.Itoa(r))
+		if u > prev+1e-9 {
+			t.Errorf("R=%d util %.3f above R/2's %.3f: utilization must fall as shards are added", r, u, prev)
+		}
+		prev = u
+	}
+
+	live, err := shardSweepLive(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := map[string]float64{}
+	for _, row := range live.Rows {
+		speedup[row[0]] = cell(t, row, 3)
+	}
+	// Measured ≈ 3.3× at R=4; assert 1.5× to stay robust on slow hosts.
+	if speedup["4"] < 1.5 {
+		t.Errorf("dspe R=4 wall-clock speedup %.2f, want ≥ 1.5", speedup["4"])
 	}
 }

@@ -73,28 +73,46 @@
 //
 // Key splitting buys balance at the price of an aggregation phase:
 // when a key's messages land on d workers, each holds only a partial
-// aggregate and a reducer must merge the d partials per window. Both
-// engines model this end to end — set EngineConfig.AggWindow (goroutine
-// runtime) or ClusterConfig.AggWindow (deterministic event simulation)
-// and read the measured cost from Result.Agg: partial traffic, merge
-// work, reducer memory, and the exact replication factor (1 for KG, up
-// to n for W-Choices). Pipelines compose the same phases explicitly via
-// AddWindowedAggregate and AddWeightedStage. Partials merge across
-// workers by the CARRIED KeyDigest: routing digests each key once at
-// the source, the engines' tuples and flushed partials transport that
-// digest, and the reducer merges by it — no layer re-hashes
-// (see internal/aggregation).
+// aggregate and a reduce stage must merge the d partials per window.
+// Both engines model this end to end — set EngineConfig.AggWindow
+// (goroutine runtime) or ClusterConfig.AggWindow (deterministic event
+// simulation) and read the measured cost from Result.Agg: partial
+// traffic, merge work, reducer memory, and the exact replication
+// factor (1 for KG, up to n for W-Choices). Pipelines compose the same
+// phases explicitly via AddWindowedAggregate, AddWindowedMerge and
+// AddWeightedStage. Partials merge across workers by the CARRIED
+// KeyDigest: routing digests each key once at the source, the engines'
+// tuples and flushed partials transport that digest, and the reduce
+// stage merges by it — no layer re-hashes (see internal/aggregation).
 //
-// The reducer itself is a modeled service station, not free
-// bookkeeping: in the discrete-event engine each merged partial costs
-// ClusterConfig.AggMergeCost of reducer service through a bounded queue
-// whose backpressure stalls flushing workers, so reducer saturation
-// degrades end-to-end throughput exactly as a hot worker does.
-// ClusterResult.ReducerUtil reports the station's utilization (near 1
-// when the aggregation phase, not the workers, is the bottleneck — the
-// regime where W-Choices' extra partials outweigh its balance gain),
-// and EngineResult.AggReducerUtil is the goroutine runtime's wall-clock
-// equivalent.
+// WHAT is merged per (window, key) is pluggable: the Merger operator
+// (CountMerger by default; SumMerger, MinMerger, MaxMerger and the
+// approximate-distinct DistinctMerger built in, custom operators
+// welcome) rides inside the partial tables as a fixed 128-bit state,
+// so non-count aggregations keep the zero-allocation steady state.
+// Select it with AggMerger and derive each message's merged sample
+// with AggValue on either engine; message COUNTS are tracked alongside
+// regardless, because they drive the completeness-based window close.
+//
+// The reduce stage itself is sharded and modeled, not free
+// bookkeeping. AggShards (both engines) splits it into R independent
+// reducer stations keyed by the carried digest (a key's partials
+// always meet at exactly one shard), and each shard closes its slice
+// of a window the instant it has merged every message the sources
+// emitted into it — per-shard thresholds are counted at routing time,
+// so duplicates and late corrections remain structurally impossible.
+// In the discrete-event engine each merged partial costs
+// ClusterConfig.AggMergeCost of its shard's service through a bounded
+// per-shard queue whose backpressure stalls flushing workers: a
+// saturated reduce stage degrades end-to-end throughput exactly as a
+// hot worker does, and adding shards moves the saturation point
+// (stage capacity = AggShards/AggMergeCost partials per ms).
+// ClusterResult.ReducerUtil reports the busiest shard's utilization
+// (ReducerUtilMean the average — near-1 max at R=1 is the regime where
+// W-Choices' extra partials outweigh its balance gain), and
+// EngineResult.AggReducerUtil / AggReducerUtilMean are the goroutine
+// runtime's wall-clock equivalents, with EngineConfig.AggMergeCost
+// available to reproduce the reducer-bound regime in wall-clock runs.
 package slb
 
 import (
@@ -369,6 +387,42 @@ func NewAggAccumulator(worker int) *AggAccumulator { return aggregation.NewAccum
 
 // NewAggReducer returns an empty reducer.
 func NewAggReducer() *AggReducer { return aggregation.NewReducer() }
+
+// Merger is the pluggable merge operator of the two-phase aggregation:
+// a commutative, associative fold over per-message samples, observed
+// incrementally at the workers and combined across workers' partials
+// at the reduce stage. Select one via EngineConfig.AggMerger /
+// ClusterConfig.AggMerger (with AggValue deriving each message's
+// sample), or per pipeline stage via Pipeline.AddWindowedMerge.
+type Merger = aggregation.Merger
+
+// MergeValue is a Merger's fixed-size (128-bit) state, carried inline
+// in the partial tables and flushed partials so pluggable operators
+// keep the zero-allocation steady state.
+type MergeValue = aggregation.Value
+
+// The built-in merge operators.
+var (
+	// CountMerger counts messages (the default everywhere a Merger is
+	// not given): Final.Value equals Final.Count.
+	CountMerger = aggregation.CountMerger
+	// SumMerger sums each message's AggValue sample.
+	SumMerger = aggregation.SumMerger
+	// MinMerger keeps the smallest sample.
+	MinMerger = aggregation.MinMerger
+	// MaxMerger keeps the largest sample.
+	MaxMerger = aggregation.MaxMerger
+	// DistinctMerger estimates the distinct sample count per
+	// (window, key) with a compact 16-register HyperLogLog that merges
+	// across workers without bias.
+	DistinctMerger = aggregation.DistinctMerger
+)
+
+// AggShardFor returns the reducer shard among `shards` that the reduce
+// stage merges a key digest's partials at (the Lemire reduction both
+// engines use when AggShards > 1); exported so applications embedding
+// the aggregation phase can co-partition their own reduce stage.
+func AggShardFor(dg KeyDigest, shards int) int { return aggregation.ShardFor(dg, shards) }
 
 // ---------------------------------------------------------------------------
 // Analysis helpers
