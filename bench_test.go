@@ -273,6 +273,57 @@ func BenchmarkShardedReduce(b *testing.B) {
 	}
 }
 
+// BenchmarkRouteAtScale measures the head-aware schemes' routing cost
+// across deployment sizes, scan vs tournament load index, on the
+// head-dominated workload (z = 2.0, ≈80% of messages in the head) that
+// maximizes argmin pressure. The acceptance shape: W-C/tree ns/op stays
+// roughly flat from n=256 to n=16384 (O(log n) head routing) while
+// W-C/scan grows linearly with n. D-C's candidate path is O(c) per run
+// of a head key by construction (c = deduplicated candidates); the tree
+// variant bounds the per-message cost of multi-message runs at
+// O(log c). Theta is pinned so the sketch (and the head set) is
+// identical at every n — the sweep varies ONLY the argmin cost.
+func BenchmarkRouteAtScale(b *testing.B) {
+	for _, algo := range []string{"W-C", "D-C"} {
+		for _, mode := range []struct {
+			name string
+			lidx int
+		}{{"scan", slb.LoadIndexScan}, {"tree", slb.LoadIndexTree}} {
+			for _, n := range []int{64, 256, 1024, 4096, 16384} {
+				b.Run(algo+"/"+mode.name+"/n="+strconv.Itoa(n), func(b *testing.B) {
+					cfg := slb.Config{Workers: n, Seed: 1, Theta: 1.0 / (5 * 2048), LoadIndex: mode.lidx}
+					p, err := slb.New(algo, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					warm := slb.NewZipfStream(benchZ, benchKeys, 50_000, 2)
+					wkeys := make([]string, benchSlabSize)
+					wdst := make([]int, benchSlabSize)
+					for {
+						k := slb.NextBatch(warm, wkeys)
+						if k == 0 {
+							break
+						}
+						slb.RouteBatch(p, wkeys[:k], wdst)
+					}
+					gen := slb.NewZipfStream(benchZ, benchKeys, int64(b.N)+benchSlabSize, 1)
+					keys := make([]string, benchSlabSize)
+					dst := make([]int, benchSlabSize)
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i += benchSlabSize {
+						k := slb.NextBatch(gen, keys)
+						if k == 0 {
+							b.Fatal("stream exhausted")
+						}
+						slb.RouteBatch(p, keys[:k], dst)
+					}
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkSimulateThroughput measures end-to-end simulator throughput
 // (messages routed per second) for the paper's algorithms at n = 50.
 func BenchmarkSimulateThroughput(b *testing.B) {
@@ -346,6 +397,39 @@ func TestSteadyStateRoutingZeroAllocs(t *testing.T) {
 			j += benchSlabSize
 		}); avg != 0 {
 			t.Errorf("%s: steady-state RouteBatchDigests allocates %.4f allocs/slab, want 0", algo, avg)
+		}
+	}
+	// The tournament load-index path (large deployments) upholds the
+	// same contract: warm steady-state routing through the tree — full
+	// argmin tree, candidate subset tournaments, prefix-window cache —
+	// allocates nothing, for both APIs.
+	for _, algo := range []string{"D-C", "W-C"} {
+		cfg := slb.Config{Workers: 1024, Seed: 7, SolveEvery: 1 << 30, LoadIndex: slb.LoadIndexTree}
+		p, err := slb.New(algo, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range keys {
+			p.Route(k)
+		}
+		i := 0
+		if avg := testing.AllocsPerRun(5000, func() {
+			p.Route(keys[i%len(keys)])
+			i++
+		}); avg != 0 {
+			t.Errorf("%s/tree: steady-state Route allocates %.4f allocs/op, want 0", algo, avg)
+		}
+		dst := make([]int, benchSlabSize)
+		digs := make([]slb.KeyDigest, benchSlabSize)
+		j := 0
+		if avg := testing.AllocsPerRun(100, func() {
+			if j+benchSlabSize > len(keys) {
+				j = 0
+			}
+			slb.RouteBatchDigests(p, keys[j:j+benchSlabSize], digs, dst)
+			j += benchSlabSize
+		}); avg != 0 {
+			t.Errorf("%s/tree: steady-state RouteBatchDigests allocates %.4f allocs/slab, want 0", algo, avg)
 		}
 	}
 }

@@ -24,10 +24,11 @@ import (
 func main() {
 	scaleFlag := flag.String("scale", "default", "experiment scale: quick|default|full")
 	csvDir := flag.String("csv", "", "also write CSV files into this directory")
+	jsonDir := flag.String("json", "", "also write BENCH_*.json files into this directory (CI perf artifacts)")
 	chartFlag := flag.Bool("chart", false, "render chartable tables as ASCII plots (log-scale y)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: slbsim [-scale quick|default|full] [-csv DIR] <experiment>|all|list\n\nexperiments:\n")
+			"usage: slbsim [-scale quick|default|full] [-csv DIR] [-json DIR] <experiment>|all|list\n\nexperiments:\n")
 		for _, e := range experiments.List(false) {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", e.Name, e.Description)
 		}
@@ -35,7 +36,7 @@ func main() {
 	}
 	flag.Parse()
 
-	if err := clirun.Main(os.Stdout, clirun.Options{Scale: *scaleFlag, CSVDir: *csvDir, Chart: *chartFlag}, flag.Args()); err != nil {
+	if err := clirun.Main(os.Stdout, clirun.Options{Scale: *scaleFlag, CSVDir: *csvDir, JSONDir: *jsonDir, Chart: *chartFlag}, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "slbsim:", err)
 		os.Exit(1)
 	}

@@ -24,10 +24,11 @@ import (
 func main() {
 	scaleFlag := flag.String("scale", "default", "experiment scale: quick|default|full")
 	csvDir := flag.String("csv", "", "also write CSV files into this directory")
+	jsonDir := flag.String("json", "", "also write BENCH_*.json files into this directory (CI perf artifacts)")
 	chartFlag := flag.Bool("chart", false, "render chartable tables as ASCII plots (log-scale y)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: slbstorm [-scale quick|default|full] [-csv DIR] <experiment>|all|list\n\nexperiments:\n")
+			"usage: slbstorm [-scale quick|default|full] [-csv DIR] [-json DIR] <experiment>|all|list\n\nexperiments:\n")
 		for _, e := range experiments.List(true) {
 			if e.Cluster {
 				fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", e.Name, e.Description)
@@ -37,7 +38,7 @@ func main() {
 	}
 	flag.Parse()
 
-	if err := clirun.Main(os.Stdout, clirun.Options{Scale: *scaleFlag, CSVDir: *csvDir, Cluster: true, Chart: *chartFlag}, flag.Args()); err != nil {
+	if err := clirun.Main(os.Stdout, clirun.Options{Scale: *scaleFlag, CSVDir: *csvDir, JSONDir: *jsonDir, Cluster: true, Chart: *chartFlag}, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "slbstorm:", err)
 		os.Exit(1)
 	}

@@ -94,9 +94,13 @@ func WindowKeyID(window int64, dg KeyDigest) uint64 {
 
 // Final is the reducer's merged result for (window, key). Count is the
 // number of source messages merged; Value is the merger's rendered
-// result over them (identical to Count under CountMerger).
+// result over them (identical to Count under CountMerger). Digest is
+// the key's carried KeyDigest — the same one that routed and merged the
+// messages — so downstream consumers (re-keyed edges, the driver's
+// replica accounting) never re-scan the key bytes.
 type Final struct {
 	Window int64
+	Digest KeyDigest
 	Key    string
 	Count  int64
 	Value  int64
@@ -500,6 +504,7 @@ func (r *Reducer) closeWindow(w int64, dst []Final) []Final {
 		}
 		dst = append(dst, Final{
 			Window: w,
+			Digest: t.slots[i].dig,
 			Key:    t.slots[i].key,
 			Count:  t.slots[i].count,
 			Value:  r.m.Result(t.slots[i].val),
@@ -651,6 +656,13 @@ func (d *Driver) emit(fs []Final, onFinal func(Final)) {
 	d.finals = fs
 	for _, f := range fs {
 		d.total += f.Count
+		// The window is closed: completeness-based closing guarantees no
+		// further partial can ever arrive for this (window, key), so its
+		// replica bitset is released back to the pool. The accounting
+		// stays exact (Total/Keys/AvgPerKey/MaxPerKey are cumulative)
+		// while the tracker's memory follows the OPEN windows instead of
+		// the whole stream.
+		d.reps.Release(WindowKeyID(f.Window, f.Digest))
 		if onFinal != nil {
 			onFinal(f)
 		}

@@ -287,3 +287,45 @@ func BenchmarkAccumulatorWindow(b *testing.B) {
 	}
 	_ = finals
 }
+
+// TestDriverReleasesClosedWindowReplicas pins the pooled replica
+// accounting: finals carry the key digest, and the driver retires each
+// (window, key) replica bitset the moment its window closes, so the
+// tracker's live set follows the open windows while the reported
+// replication factor stays exact.
+func TestDriverReleasesClosedWindowReplicas(t *testing.T) {
+	const windowSize, messages = 100, 1000
+	d := NewDriver(4, windowSize, messages)
+	var finals int
+	for w := int64(0); w < messages/windowSize; w++ {
+		var ps []Partial
+		for k := 0; k < 10; k++ {
+			key := fmt.Sprintf("k%d", k)
+			dg := hashing.Digest(key)
+			// Two workers hold partials for every key: replication 2.
+			ps = append(ps,
+				Partial{Window: w, Digest: dg, Key: key, Count: 5, Worker: 0},
+				Partial{Window: w, Digest: dg, Key: key, Count: 5, Worker: 1})
+		}
+		d.Merge(ps, func(f Final) {
+			finals++
+			if f.Digest != hashing.Digest(f.Key) {
+				t.Fatalf("final %q carries digest %d, want %d", f.Key, f.Digest, hashing.Digest(f.Key))
+			}
+		})
+		// Every window closes on completeness, so no replica bitsets
+		// stay live after its finals are emitted.
+		if live := d.reps.Live(); live != 0 {
+			t.Fatalf("window %d: %d replica bitsets still live after close", w, live)
+		}
+	}
+	if finals != 10*messages/windowSize {
+		t.Fatalf("finals = %d, want %d", finals, 10*messages/windowSize)
+	}
+	if got := d.Replication(); got != 2 {
+		t.Fatalf("Replication = %f, want 2 (exact despite releases)", got)
+	}
+	if d.Total() != messages {
+		t.Fatalf("Total = %d, want %d", d.Total(), messages)
+	}
+}

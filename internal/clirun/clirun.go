@@ -20,6 +20,10 @@ type Options struct {
 	Scale string
 	// CSVDir, when non-empty, receives CSV copies of every table.
 	CSVDir string
+	// JSONDir, when non-empty, receives machine-readable JSON copies of
+	// every table, named BENCH_<experiment>_<index>.json — the format
+	// CI uploads as its perf-trajectory artifact.
+	JSONDir string
 	// Cluster selects which experiment family this binary owns
 	// (false: simulation, true: DSPE cluster).
 	Cluster bool
@@ -65,6 +69,12 @@ func Main(w io.Writer, opts Options, args []string) error {
 			if csvDir != "" {
 				path := filepath.Join(csvDir, fmt.Sprintf("%s_%d.csv", expName, i))
 				if err := t.WriteCSV(path); err != nil {
+					return err
+				}
+			}
+			if opts.JSONDir != "" {
+				path := filepath.Join(opts.JSONDir, fmt.Sprintf("BENCH_%s_%d.json", expName, i))
+				if err := t.WriteJSON(path); err != nil {
 					return err
 				}
 			}

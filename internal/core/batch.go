@@ -96,61 +96,137 @@ func fillDigests(keys []string, digs []KeyDigest) {
 	}
 }
 
-// candCacheSlots sizes the direct-mapped head-candidate cache. The head
-// of a skewed distribution is a handful of keys (at the default
-// θ = 1/(5n) rarely more than a few dozen), so a small cache holds the
-// working set; collisions merely cost a recompute.
-const candCacheSlots = 32
+// candWays is the head-candidate cache's set associativity. A skewed
+// head is exactly the access pattern that thrashes a direct-mapped
+// cache — two hot keys sharing a slot evict each other on every run,
+// and at large d each eviction costs a d-mix recompute — while 4-way
+// sets with LRU replacement keep the hottest keys resident.
+const candWays = 4
+
+// candCacheSets returns the number of sets: 8 (32 entries) covers the
+// few-dozen-key heads of the paper's configurations; large deployments
+// (whose θ-derived heads are bigger and whose recomputes cost thousands
+// of mixes) get 16 sets (64 entries). Storage is entries·n int32s.
+func candCacheSets(n int) int {
+	if n >= 2048 {
+		return 16
+	}
+	return 8
+}
+
+// candDWindow is how many consecutive d values one cached derivation
+// serves, and candDSlack how far past the requested d a miss derives.
+// The D-Choices solver re-runs every SolveEvery messages and its d
+// JITTERS by ±1–2 around the fixed point (the head snapshot is a
+// fluctuating estimate); keying entries on an exact d would invalidate
+// every cached list at each wobble, re-deriving thousands of buckets
+// per head key. The dedup-prefix property makes the window free:
+// deduplication preserves first-occurrence order, so the deduplicated
+// list for d′ < d is exactly a PREFIX of the list derived for d — one
+// derivation records the prefix length at each of the top candDWindow
+// d values and serves them all, bit-exactly.
+const (
+	candDWindow = 4
+	candDSlack  = 2
+)
 
 // candCache memoizes head keys' candidate worker lists across batches.
 // Candidates are a pure function of (digest, d), so entries never go
 // stale: a lookup validates both. Deriving a head key's d candidates is
 // d hash mixes — the single largest per-message cost for D-Choices when
 // the solver picks a large d — and with the cache the batch path pays it
-// once per (head key, d) instead of once per run.
+// once per (head key, d window) instead of once per run.
 type candCache struct {
 	n     int
-	digs  [candCacheSlots]KeyDigest
-	ds    [candCacheSlots]int32 // d the entry holds (0 = empty)
-	lens  [candCacheSlots]int32 // deduplicated length of the entry
-	cands []int32               // flat [candCacheSlots][n]
+	sets  int
+	digs  []KeyDigest // sets·candWays entries
+	dhi   []int32     // highest d the entry's derivation covers (0 = empty)
+	lens  []int32     // flat [entries][candDWindow]: dedup prefix length at d = dhi−k
+	used  []uint32    // LRU stamps, one per entry
+	tick  uint32
+	cands []int32 // flat [sets·candWays][n]
+	// Dedup stamps: mark[w] == epoch means worker w is already in the
+	// list being built. An epoch bump invalidates every mark in O(1),
+	// making a miss O(d) instead of the O(d²) a membership scan costs —
+	// the difference between microseconds and milliseconds per miss
+	// once the solver picks d in the thousands (large deployments).
+	mark  []int32
+	epoch int32
 }
 
 func newCandCache(n int) candCache {
-	return candCache{n: n, cands: make([]int32, candCacheSlots*n)}
+	sets := candCacheSets(n)
+	entries := sets * candWays
+	return candCache{
+		n:     n,
+		sets:  sets,
+		digs:  make([]KeyDigest, entries),
+		dhi:   make([]int32, entries),
+		lens:  make([]int32, entries*candDWindow),
+		used:  make([]uint32, entries),
+		cands: make([]int32, entries*n),
+		mark:  make([]int32, n),
+	}
 }
 
-// lookup returns the candidate list for (dg, d), deriving and caching it
-// on miss. The stored list is deduplicated preserving first-occurrence
-// order, which routes identically: a duplicate worker can never beat its
-// first occurrence (same load, later position), so dropping it changes
-// neither the argmin nor the tie-break — while shortening the scan the
-// router pays per message (at d near n, hash collisions make the list
-// noticeably shorter than d).
+// lookup returns the candidate list for (dg, d), deriving and caching
+// it on miss (into the set's least-recently-used way). The stored list
+// is deduplicated preserving first-occurrence order, which routes
+// identically: a duplicate worker can never beat its first occurrence
+// (same load, later position), so dropping it changes neither the
+// argmin nor the tie-break — while shortening the scan the router pays
+// per message (at d near n, hash collisions make the list noticeably
+// shorter than d). A hit serves any d within the entry's derivation
+// window as the recorded dedup prefix (see candDWindow).
 func (cc *candCache) lookup(dg KeyDigest, d int, f *hashing.Family) []int32 {
-	s := int(hashing.Mix64(dg) & (candCacheSlots - 1))
-	base := cc.cands[s*cc.n : s*cc.n : (s+1)*cc.n]
-	if cc.digs[s] == dg && cc.ds[s] == int32(d) {
-		return base[:cc.lens[s]]
-	}
-	c := base
-	for i := 0; i < d; i++ {
-		w := int32(f.BucketDigest(i, dg, cc.n))
-		dup := false
-		for _, seen := range c {
-			if seen == w {
-				dup = true
-				break
-			}
+	cc.tick++
+	if cc.tick == 0 { // wrapped: old stamps would invert the LRU order
+		for i := range cc.used {
+			cc.used[i] = 0
 		}
-		if !dup {
+		cc.tick = 1
+	}
+	set := int(hashing.Mix64(dg) & uint64(cc.sets-1))
+	e := set * candWays
+	victim := e
+	for w := e; w < e+candWays; w++ {
+		hi := cc.dhi[w]
+		if cc.digs[w] == dg && int32(d) <= hi && int32(d) > hi-candDWindow {
+			cc.used[w] = cc.tick
+			return cc.cands[w*cc.n : w*cc.n+int(cc.lens[w*candDWindow+int(hi-int32(d))])]
+		}
+		if cc.used[w] < cc.used[victim] {
+			victim = w
+		}
+	}
+	cc.epoch++
+	if cc.epoch == 0 { // wrapped: every mark is stale garbage, clear once
+		for i := range cc.mark {
+			cc.mark[i] = 0
+		}
+		cc.epoch = 1
+	}
+	// Derive past the requested d (bounded by the family size n) so the
+	// solver's next wobble stays inside the window.
+	dhi := d + candDSlack
+	if dhi > cc.n {
+		dhi = cc.n
+	}
+	c := cc.cands[victim*cc.n : victim*cc.n : (victim+1)*cc.n]
+	for i := 0; i < dhi; i++ {
+		w := int32(f.BucketDigest(i, dg, cc.n))
+		if cc.mark[w] != cc.epoch {
+			cc.mark[w] = cc.epoch
 			c = append(c, w)
 		}
+		if k := dhi - 1 - i; k < candDWindow {
+			cc.lens[victim*candDWindow+k] = int32(len(c))
+		}
 	}
-	cc.digs[s] = dg
-	cc.ds[s] = int32(d)
-	cc.lens[s] = int32(len(c))
-	return c
+	cc.digs[victim] = dg
+	cc.dhi[victim] = int32(dhi)
+	cc.used[victim] = cc.tick
+	return cc.cands[victim*cc.n : victim*cc.n+int(cc.lens[victim*candDWindow+int(int32(dhi)-int32(d))])]
 }
 
 // runLen returns the length of the run of identical keys starting at i.
@@ -237,7 +313,9 @@ func (p *PKG) RouteBatch(keys []string, dst []int) {
 // RouteBatchDigests implements DigestBatchPartitioner: a tight
 // digest–two-mix–pick loop. PKG keeps no sketch, so (like KG) there is
 // nothing a run can amortize that would repay the run-detection
-// compare; the batch win is the hoisted dispatch and bounds.
+// compare; the batch win is the hoisted dispatch and bounds. The plain
+// increments are safe: PKG never argmins over the whole vector, so it
+// never carries a load index to keep in sync.
 func (p *PKG) RouteBatchDigests(keys []string, digs []KeyDigest, dst []int) {
 	checkBatchDigests(keys, digs, dst)
 	loads := p.loads
@@ -338,13 +416,18 @@ func (p *DChoices) routeRunBulk(dg KeyDigest, key string, r int, dst []int) {
 		return
 	}
 	headCands := p.headCands(dg)
+	if p.useCandTree(len(headCands), r-cross) {
+		p.routeCandsTree(headCands, dst[cross:r])
+		return
+	}
 	for m := cross; m < r; m++ {
 		dst[m] = p.routeCands(headCands)
 	}
 }
 
 // routeTailSeg routes a segment of tail messages of one key: the
-// 2-choice pair is derived once, then two load compares per message.
+// 2-choice pair is derived once, then two load compares per message
+// (plus the O(log n) load-index repair when the scheme carries one).
 func (g *greedy) routeTailSeg(dg KeyDigest, dst []int) {
 	t0 := g.family.BucketDigest(0, dg, g.n)
 	t1 := g.family.BucketDigest(1, dg, g.n)
@@ -354,7 +437,7 @@ func (g *greedy) routeTailSeg(dg KeyDigest, dst []int) {
 		if loads[t1] < loads[t0] {
 			w = t1
 		}
-		loads[w]++
+		g.bump(w)
 		dst[m] = w
 	}
 }
@@ -383,7 +466,7 @@ func (p *DChoices) routeRunNearSolve(dg KeyDigest, key string, r int, dst []int)
 			if p.loads[t1] < p.loads[t0] {
 				w = t1
 			}
-			p.loads[w]++
+			p.bump(w)
 			dst[m] = w
 			m++
 			continue
@@ -419,8 +502,12 @@ func (p *DChoices) routeRunNearSolve(dg KeyDigest, key string, r int, dst []int)
 				headCands = p.cache.lookup(dg, p.d, p.family)
 				headD = p.d
 			}
-			for j := m; j < m+t; j++ {
-				dst[j] = p.routeCands(headCands)
+			if p.useCandTree(len(headCands), t) {
+				p.routeCandsTree(headCands, dst[m:m+t])
+			} else {
+				for j := m; j < m+t; j++ {
+					dst[j] = p.routeCands(headCands)
+				}
 			}
 		}
 		m += t
@@ -488,7 +575,8 @@ func (p *RoundRobin) RouteBatchDigests(keys []string, digs []KeyDigest, dst []in
 // routeRun routes r consecutive messages of one key; head messages take
 // the round-robin ring in a tight fill, tail messages the cached
 // 2-choice pair. Like W-Choices, the run is offered in one sketch
-// operation.
+// operation. The ring fill's plain increments are safe: RR never
+// argmins over the whole vector, so it never carries a load index.
 func (p *RoundRobin) routeRun(dg KeyDigest, key string, r int, dst []int) {
 	c0, n0 := p.head.observeRun(dg, key, r)
 	cross := p.head.headCrossing(c0, n0, r)
@@ -548,6 +636,10 @@ func (p *ForcedD) routeRun(dg KeyDigest, key string, r int, dst []int) {
 		return
 	}
 	headCands := p.cache.lookup(dg, p.d, p.family)
+	if p.useCandTree(len(headCands), r-cross) {
+		p.routeCandsTree(headCands, dst[cross:r])
+		return
+	}
 	for m := cross; m < r; m++ {
 		dst[m] = p.routeCands(headCands)
 	}

@@ -124,6 +124,15 @@ type Config struct {
 	// stream (extension for drifting workloads: bounded adaptation
 	// latency). 0 keeps the paper's insertion-only sketch.
 	SketchWindow uint64
+	// LoadIndex selects the argmin structure behind whole-vector load
+	// scans (the W-Choices head path, D-Choices at d ≥ n) and large
+	// candidate lists: LoadIndexAuto (0, the default) uses the packed
+	// conditional-move scan below the measured crossover (n = 128,
+	// see loadtree.go) and the O(log n) tournament load tree at or
+	// above it; LoadIndexScan forces the scan (requires Workers <
+	// 65536, the packing limit); LoadIndexTree forces the tree.
+	// Routing decisions are bit-identical in every mode.
+	LoadIndex int
 }
 
 // maxAutoSketchCapacity bounds the derived sketch capacity 4·⌈1/θ⌉; a θ
@@ -140,8 +149,15 @@ func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		panic("core: Config.Workers must be positive")
 	}
-	if c.Workers >= 1<<packShift {
-		panic(fmt.Sprintf("core: Config.Workers must be below %d (packed argmin scans); got %d", 1<<packShift, c.Workers))
+	if c.LoadIndex < LoadIndexAuto || c.LoadIndex > LoadIndexTree {
+		panic(fmt.Sprintf("core: Config.LoadIndex must be LoadIndexAuto, LoadIndexScan or LoadIndexTree; got %d", c.LoadIndex))
+	}
+	// The packed scan encodes (load << 16 | worker) in one int64, so it
+	// cannot represent ≥ 65536 workers; the tournament tree has no such
+	// limit, and LoadIndexAuto routes every larger n to it. Only a
+	// FORCED scan is rejected.
+	if c.LoadIndex == LoadIndexScan && c.Workers >= 1<<packShift {
+		panic(fmt.Sprintf("core: Config.LoadIndex=LoadIndexScan requires Workers below %d (packed argmin encoding); got %d", 1<<packShift, c.Workers))
 	}
 	if math.IsNaN(c.Theta) || c.Theta < 0 {
 		panic(fmt.Sprintf("core: Config.Theta must be ≥ 0 (0 selects the default 1/(5n)); got %v", c.Theta))
@@ -271,11 +287,18 @@ func (s *ShuffleGrouping) Name() string { return "SG" }
 // greedy holds the state shared by all load-aware schemes: the hash
 // family, this sender's local load vector, and a candidate scratch
 // buffer for the batch path (so steady-state routing never allocates).
+// Schemes that argmin over the whole vector (W-C's head path, D-C at
+// d ≥ n, ForcedD, Oracle) additionally carry the tournament load index
+// (see loadtree.go) when the worker count warrants it; tree == nil
+// means every argmin is a scan and increments are plain.
 type greedy struct {
 	n      int
 	family *hashing.Family
 	loads  []int64
 	digs   []hashing.KeyDigest // scratch: per-batch digests (grows to the largest batch seen)
+	lidx   int8                // Config.LoadIndex (crossover policy for candidate tournaments)
+	tree   *loadTree           // full-vector load index, nil below the crossover
+	ctree  []int32             // scratch: candidate subset tournament (grows to the largest list)
 }
 
 func newGreedy(cfg Config) greedy {
@@ -283,6 +306,30 @@ func newGreedy(cfg Config) greedy {
 		n:      cfg.Workers,
 		family: hashing.NewFamily(cfg.Workers, cfg.Seed),
 		loads:  make([]int64, cfg.Workers),
+		lidx:   int8(cfg.LoadIndex),
+	}
+}
+
+// enableLoadIndex attaches the tournament load index when the
+// configuration calls for it; only the schemes that ever argmin over
+// the whole vector call this (PKG, RR, SG and KG never do, so they
+// never pay the per-increment maintenance).
+func (g *greedy) enableLoadIndex(cfg Config) {
+	if cfg.LoadIndex == LoadIndexScan {
+		return
+	}
+	if cfg.LoadIndex == LoadIndexTree || g.n >= loadIndexCrossover {
+		g.tree = newLoadTree(g.loads)
+	}
+}
+
+// bump accounts one message on worker w, maintaining the load index
+// when present. Every load increment of a tree-carrying scheme must go
+// through here (or replicate the fix), or the index goes stale.
+func (g *greedy) bump(w int) {
+	g.loads[w]++
+	if g.tree != nil {
+		g.tree.fix(w)
 	}
 }
 
@@ -299,7 +346,7 @@ func (g *greedy) routeGreedyDigest(dg KeyDigest, d int) int {
 			best, bestLoad = w, g.loads[w]
 		}
 	}
-	g.loads[best]++
+	g.bump(best)
 	return best
 }
 
@@ -309,7 +356,9 @@ func (g *greedy) routeGreedyDigest(dg KeyDigest, d int) int {
 // during the scan — the FIRST position attaining it, which is exactly
 // the sequential first-lowest-wins tie-break. Valid while positions fit
 // packShift bits and loads stay below 2⁴⁷ (a per-sender message count no
-// real run approaches); withDefaults rejects larger worker counts.
+// real run approaches). Larger worker counts use the tournament load
+// tree instead (loadtree.go), which packs nothing; withDefaults rejects
+// them only when LoadIndexScan is forced.
 const (
 	packShift = 16
 	packMask  = 1<<packShift - 1
@@ -334,7 +383,7 @@ func (g *greedy) routeCands(cand []int32) int {
 			best, bestLoad = w, loads[w]
 		}
 	}
-	loads[best]++
+	g.bump(best)
 	return best
 }
 
@@ -350,11 +399,21 @@ func (g *greedy) scratchDigests(n int) []hashing.KeyDigest {
 }
 
 // routeAll picks the globally least-loaded worker (W-Choices head path:
-// "there is no need to hash the keys in the head"). Unlike routeCands —
-// whose data-dependent gathers favor a plain scan — the contiguous load
-// scan is latency-bound, so four packed (load, index) conditional-move
-// chains measurably beat the branchy argmin here.
+// "there is no need to hash the keys in the head"). With the load index
+// attached this is an O(1) root read plus an O(log n) repair — the
+// sublinear path that keeps head routing flat as n grows into the
+// thousands. Below the crossover (tree == nil) it falls back to the
+// packed scan: unlike routeCands — whose data-dependent gathers favor a
+// plain branchy scan — the contiguous load scan is latency-bound, so
+// four packed (load, index) conditional-move chains measurably beat the
+// branchy argmin there. Both paths implement the same first-lowest-wins
+// tie-break, bit-exactly.
 func (g *greedy) routeAll() int {
+	if t := g.tree; t != nil {
+		w := t.min()
+		g.bump(w)
+		return w
+	}
 	loads := g.loads
 	b0 := loads[0] << packShift
 	b1, b2, b3 := maxPacked, maxPacked, maxPacked
@@ -644,7 +703,7 @@ type DChoices struct {
 // NewDChoices returns a D-C partitioner.
 func NewDChoices(cfg Config) *DChoices {
 	cfg = cfg.withDefaults()
-	return &DChoices{
+	p := &DChoices{
 		greedy:     newGreedy(cfg),
 		head:       newHeadTracker(cfg),
 		eps:        cfg.Epsilon,
@@ -653,7 +712,18 @@ func NewDChoices(cfg Config) *DChoices {
 		cache:      newCandCache(cfg.Workers),
 		lastCands:  make([]int32, 0, cfg.Workers),
 	}
+	p.enableLoadIndex(cfg)
+	return p
 }
+
+// candMemoMax bounds the hot-key memo: memoizing means COPYING the
+// list (that is what makes it immune to cache-slot overwrites by
+// colliding keys), and once the solver picks d in the hundreds the
+// per-switch copy costs more than the cache probe it saves — under an
+// i.i.d. Zipf stream runs are short (expected 1/(1−p₁) messages), so
+// the memo switches constantly. Large lists are served straight from
+// the shared cache instead.
+const candMemoMax = 64
 
 // headCands returns the candidate list for a head key, through the
 // hot-key memo and the shared cache.
@@ -662,6 +732,9 @@ func (p *DChoices) headCands(dg KeyDigest) []int32 {
 		return p.lastCands
 	}
 	c := p.cache.lookup(dg, p.d, p.family)
+	if len(c) > candMemoMax {
+		return c
+	}
 	p.lastDig = dg
 	p.lastD = int32(p.d)
 	p.lastCands = append(p.lastCands[:0], c...)
@@ -676,16 +749,20 @@ func (p *DChoices) Route(key string) int {
 
 // RouteDigest implements DigestRouter.
 func (p *DChoices) RouteDigest(dg KeyDigest, key string) int {
-	inHead := p.head.observeDigest(dg, key)
-	d := 2
-	if inHead {
-		d = p.findOptimalChoices()
-		if d >= p.n {
+	if p.head.observeDigest(dg, key) {
+		if p.findOptimalChoices() >= p.n {
 			// Switching point: use the W-Choices strategy.
 			return p.routeAll()
 		}
+		// Head keys route over the memoized deduplicated candidate
+		// list instead of re-deriving d buckets per message: identical
+		// decisions (a duplicate can never beat its first occurrence,
+		// and list order is bucket order), but the dominant key of a
+		// skewed stream revalidates with two compares instead of d
+		// hash mixes.
+		return p.routeCands(p.headCands(dg))
 	}
-	return p.routeGreedyDigest(dg, d)
+	return p.routeGreedyDigest(dg, 2)
 }
 
 // findOptimalChoices returns the cached d, re-solving on the configured
@@ -747,12 +824,14 @@ func NewForcedD(cfg Config, d int) *ForcedD {
 	if d > cfg.Workers {
 		d = cfg.Workers
 	}
-	return &ForcedD{
+	p := &ForcedD{
 		greedy: newGreedy(cfg),
 		head:   newHeadTracker(cfg),
 		d:      d,
 		cache:  newCandCache(cfg.Workers),
 	}
+	p.enableLoadIndex(cfg)
+	return p
 }
 
 // Route implements Partitioner.
@@ -766,7 +845,9 @@ func (p *ForcedD) RouteDigest(dg KeyDigest, key string) int {
 		if p.d == p.n {
 			return p.routeAll()
 		}
-		return p.routeGreedyDigest(dg, p.d)
+		// Cached deduplicated candidates, as in DChoices.RouteDigest:
+		// identical decisions to a d-bucket derivation, fewer mixes.
+		return p.routeCands(p.cache.lookup(dg, p.d, p.family))
 	}
 	return p.routeGreedyDigest(dg, 2)
 }
@@ -793,7 +874,9 @@ type WChoices struct {
 // NewWChoices returns a W-C partitioner.
 func NewWChoices(cfg Config) *WChoices {
 	cfg = cfg.withDefaults()
-	return &WChoices{greedy: newGreedy(cfg), head: newHeadTracker(cfg)}
+	p := &WChoices{greedy: newGreedy(cfg), head: newHeadTracker(cfg)}
+	p.enableLoadIndex(cfg)
+	return p
 }
 
 // Route implements Partitioner (Algorithm 1 with W-CHOICES).
@@ -836,7 +919,9 @@ func NewOracle(cfg Config, isHead func(string) bool) *Oracle {
 	if isHead == nil {
 		panic("core: NewOracle requires a head predicate")
 	}
-	return &Oracle{greedy: newGreedy(cfg), isHead: isHead}
+	p := &Oracle{greedy: newGreedy(cfg), isHead: isHead}
+	p.enableLoadIndex(cfg)
+	return p
 }
 
 // Route implements Partitioner.

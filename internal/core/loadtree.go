@@ -1,0 +1,191 @@
+package core
+
+// loadtree.go implements the load-index subsystem: a flat-array
+// tournament tree over the sender-local load vector that answers "which
+// worker currently has the lowest load?" in O(1) and absorbs one load
+// increment in O(log n), replacing the O(n) argmin scans that made the
+// W-Choices head path (and large-d D-Choices candidate evaluation)
+// linear in the deployment size. This is what opens the paper's actual
+// operating regime — hundreds to tens of thousands of workers — where
+// "two choices are not enough" and the head of the distribution must be
+// spread over many (W-Choices: all) workers per message.
+//
+// # Tie-breaking is part of the contract
+//
+// The scans route ties to the FIRST position attaining the minimum
+// (routeAll: lowest worker index; routeCands: earliest candidate-list
+// position). The tree's comparison therefore prefers the lower index on
+// equal loads, which makes the root the lexicographic (load, index)
+// minimum — bit-exact with the scans, message for message, for every
+// algorithm. The parity tests pin this: a scan-configured and a
+// tree-configured partitioner produce identical worker sequences on
+// identical streams.
+//
+// # Shape
+//
+// The tree is the standard iterative ("bottom-up segment tree") layout
+// over exactly n leaves: node[n+i] represents worker i, node[k] for
+// k ∈ [1, n) holds the winner (lower (load, index)) of its children
+// node[2k] and node[2k+1], and node[1] is the global argmin. No
+// power-of-two padding is needed — min is associative and commutative,
+// so the bracket's shape cannot change the winner or the tie-break.
+// After loads[w] changes, fixing the path from leaf n+w to the root
+// restores every invariant in ⌈log₂ n⌉ steps.
+//
+// # Crossover
+//
+// Below loadIndexCrossover workers the packed 4-way conditional-move
+// scan in routeAll is faster (it streams the load vector with near-zero
+// branch cost, while the tree pays pointer-chasing and per-increment
+// maintenance), so the index is adaptive: Config.LoadIndexAuto keeps
+// the scan below the crossover and switches to the tree at or above it.
+// The crossover was measured with BenchmarkRouteAtScale and the
+// `scale` experiment's routing table on the W-C head path (see slb.go
+// package docs): scan and tree run neck-and-neck at n = 64 (scan ≈ 8%
+// ahead), and the tree is ≈ 2× faster by n = 256, so 128 is the
+// default switch point. The tree also has no packing limit, which is
+// what lifts the former Workers < 65536 cap: the packed scan encodes
+// (load << 16 | index) in one int64 and cannot represent more workers,
+// while tree nodes store bare worker indices.
+const loadIndexCrossover = 128
+
+// Config.LoadIndex values: how the argmin over the whole load vector
+// (W-Choices' head path, D-Choices at d ≥ n) and over large candidate
+// lists is computed. Routing decisions are bit-identical in all modes;
+// only the cost changes.
+const (
+	// LoadIndexAuto (the default) selects by worker count: the packed
+	// scan below loadIndexCrossover, the tournament tree at or above it.
+	LoadIndexAuto = 0
+	// LoadIndexScan forces the packed conditional-move scan everywhere.
+	// Requires Workers < 65536 (the packing limit); construction panics
+	// otherwise.
+	LoadIndexScan = 1
+	// LoadIndexTree forces the tournament tree (and the candidate
+	// subset tournament in the batch path) at every worker count.
+	LoadIndexTree = 2
+)
+
+// loadTree is the tournament (winner) tree over one sender's load
+// vector. It aliases the greedy load slice — it never owns the loads,
+// it only indexes them — so reads are always of live values; callers
+// must fix(w) after every change to loads[w].
+type loadTree struct {
+	n     int
+	loads []int64
+	node  []int32 // 2n nodes; node[1] is the root, node[n+i] leaf i
+}
+
+// newLoadTree builds the index over the given load vector (not copied).
+func newLoadTree(loads []int64) *loadTree {
+	t := &loadTree{n: len(loads), loads: loads, node: make([]int32, 2*len(loads))}
+	t.rebuild()
+	return t
+}
+
+// winner returns whichever of two worker indices has the lower
+// (load, index) — exactly the scans' first-lowest-wins tie-break.
+func (t *loadTree) winner(a, b int32) int32 {
+	la, lb := t.loads[a], t.loads[b]
+	if lb < la || (lb == la && b < a) {
+		return b
+	}
+	return a
+}
+
+// rebuild recomputes every node from the current loads in O(n).
+func (t *loadTree) rebuild() {
+	n := t.n
+	for i := 0; i < n; i++ {
+		t.node[n+i] = int32(i)
+	}
+	for k := n - 1; k >= 1; k-- {
+		t.node[k] = t.winner(t.node[2*k], t.node[2*k+1])
+	}
+}
+
+// min returns the least-loaded worker (lowest index on ties) in O(1).
+func (t *loadTree) min() int {
+	if t.n == 1 {
+		return 0
+	}
+	return int(t.node[1])
+}
+
+// fix restores the tree after loads[w] changed: recompute the winners
+// on the leaf-to-root path, ⌈log₂ n⌉ comparisons. The walk does not
+// early-exit on an unchanged winner index, because an unchanged winner
+// with a changed load still alters every comparison above it.
+func (t *loadTree) fix(w int) {
+	for k := (t.n + w) >> 1; k >= 1; k >>= 1 {
+		t.node[k] = t.winner(t.node[2*k], t.node[2*k+1])
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Candidate subset tournament (batch head runs)
+//
+// D-Choices with a large d evaluates an argmin over d deduplicated
+// candidates per head message; the full-vector tree cannot answer
+// subset queries, but within one RUN of a head key the candidate set is
+// fixed and only this router's own increments touch it. routeCandsTree
+// therefore builds a throwaway tournament over the candidate LIST
+// (leaves are list positions, ties prefer the earlier position — the
+// routeCands tie-break) in O(c), then routes each message of the run in
+// O(log c): O(c + r·log c) for an r-message run versus the scan's
+// O(r·c). The scratch array is owned by the greedy core and grows to
+// the largest candidate list seen, so steady state allocates nothing.
+
+// useCandTree reports whether a head segment of msgs messages over c
+// candidates should route through the subset tournament. The build
+// costs ≈2 scans' worth of work (c leaves + c−1 winner compares), so
+// the break-even is at three messages: 2c + 3·log c < 3c for any c
+// above the crossover. Below the crossover the scan's tight gather
+// loop wins regardless — except under LoadIndexTree, which applies the
+// tournament at every size past break-even so the parity suite
+// exercises it throughout.
+func (g *greedy) useCandTree(c, msgs int) bool {
+	if msgs < 3 || c < 2 || g.lidx == LoadIndexScan {
+		return false
+	}
+	return g.lidx == LoadIndexTree || c >= loadIndexCrossover
+}
+
+// candWinner is the subset tournament's comparison: positions into the
+// candidate list, loads read through the list, earlier position wins
+// ties (routeCands' first-occurrence-wins, bit-exact).
+func (g *greedy) candWinner(cand []int32, a, b int32) int32 {
+	la, lb := g.loads[cand[a]], g.loads[cand[b]]
+	if lb < la || (lb == la && b < a) {
+		return b
+	}
+	return a
+}
+
+// routeCandsTree routes len(dst) consecutive messages of one head key
+// over its candidate list through a subset tournament, reproducing
+// len(dst) sequential routeCands calls exactly. Callers guarantee
+// len(cand) ≥ 2 and that nothing else touches the loads between the
+// messages (true within a batch run).
+func (g *greedy) routeCandsTree(cand []int32, dst []int) {
+	c := len(cand)
+	if cap(g.ctree) < 2*c {
+		g.ctree = make([]int32, 2*c)
+	}
+	t := g.ctree[:2*c]
+	for i := 0; i < c; i++ {
+		t[c+i] = int32(i)
+	}
+	for k := c - 1; k >= 1; k-- {
+		t[k] = g.candWinner(cand, t[2*k], t[2*k+1])
+	}
+	for m := range dst {
+		pos := int(t[1])
+		w := int(cand[pos])
+		g.bump(w) // also maintains the full-vector tree
+		for k := (c + pos) >> 1; k >= 1; k >>= 1 {
+			t[k] = g.candWinner(cand, t[2*k], t[2*k+1])
+		}
+		dst[m] = w
+	}
+}

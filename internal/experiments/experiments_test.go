@@ -537,3 +537,68 @@ func TestAggregationShardSweep(t *testing.T) {
 		t.Errorf("dspe R=4 wall-clock speedup %.2f, want ≥ 1.5", speedup["4"])
 	}
 }
+
+// TestScaleShape pins the large-deployment story end to end at Quick
+// scale: (1) PKG's imbalance grows with n while D-C and W-C stay
+// near-flat — the paper's "two choices are not enough" claim in the
+// regime its title is about; (2) the tournament load index keeps W-C
+// head routing far below the linear scan at the largest n; (3) added
+// workers keep raising D-C/W-C throughput after PKG has plateaued.
+func TestScaleShape(t *testing.T) {
+	tabs := mustRun(t, "scale")
+	if len(tabs) != 3 {
+		t.Fatalf("scale returned %d tables, want 3", len(tabs))
+	}
+	route, imb, thr := tabs[0], tabs[1], tabs[2]
+
+	// (2) Routing cost: at the largest n the W-C scan is linear in n
+	// and the tree logarithmic; require a ≥2x gap (the measured gap is
+	// >10x — the slack absorbs CI timer noise).
+	last := route.Rows[len(route.Rows)-1]
+	wcScan, wcTree := cell(t, last, 1), cell(t, last, 2)
+	if wcScan < 2*wcTree {
+		t.Errorf("scale routing at n=%s: W-C scan %g ns/msg not ≥2x tree %g ns/msg", last[0], wcScan, wcTree)
+	}
+
+	// (1) Imbalance. At the moderate z=0.8 two choices still suffice at
+	// n=16 (p₁ < 2/n) and stop sufficing as n grows: PKG must GROW by
+	// ≥3x across the sweep. At every skew, PKG at the largest n must
+	// sit ≥10x above D-C and W-C, which stay near-flat (<0.01).
+	var z08 [][]string
+	for _, row := range imb.Rows {
+		if row[0] == "0.8" {
+			z08 = append(z08, row)
+		}
+	}
+	if len(z08) < 2 {
+		t.Fatalf("scale imbalance table missing z=0.8 rows")
+	}
+	pkgFirst, pkgLast := cell(t, z08[0], 3), cell(t, z08[len(z08)-1], 3)
+	if pkgLast < 3*pkgFirst {
+		t.Errorf("scale imbalance z=0.8: PKG %g (n=%s) → %g (n=%s), want ≥3x growth with n",
+			pkgFirst, z08[0][1], pkgLast, z08[len(z08)-1][1])
+	}
+	lastN := imb.Rows[len(imb.Rows)-1][1]
+	for _, row := range imb.Rows {
+		if row[1] != lastN {
+			continue
+		}
+		pkg, dc, wc := cell(t, row, 3), cell(t, row, 4), cell(t, row, 5)
+		for name, v := range map[string]float64{"D-C": dc, "W-C": wc} {
+			if v > 0.01 {
+				t.Errorf("scale imbalance z=%s n=%s: %s = %g, want near-flat (<0.01)", row[0], row[1], name, v)
+			}
+			if pkg < 10*v {
+				t.Errorf("scale imbalance z=%s n=%s: PKG %g not ≥10x %s %g", row[0], row[1], pkg, name, v)
+			}
+		}
+	}
+
+	// (3) Throughput: at the largest n, D-C and W-C clear PKG by ≥2x
+	// (PKG is pinned by its two hot-key workers; they are not).
+	lastT := thr.Rows[len(thr.Rows)-1]
+	pkgThr, dcThr, wcThr := cell(t, lastT, 2), cell(t, lastT, 3), cell(t, lastT, 4)
+	if dcThr < 2*pkgThr || wcThr < 2*pkgThr {
+		t.Errorf("scale throughput at n=%s: D-C %g / W-C %g not ≥2x PKG %g", lastT[0], dcThr, wcThr, pkgThr)
+	}
+}

@@ -54,18 +54,32 @@ func ImbalanceFractions(loads []float64) float64 {
 
 const wordBits = 64
 
+// arenaBitsets is how many multi-word bitsets one arena slab provides:
+// new bitsets are carved from slabs of words·arenaBitsets uint64s, so
+// large-n accounting performs one allocation per arenaBitsets keys
+// instead of one per key.
+const arenaBitsets = 128
+
 // replicas is the shared accounting core behind Replicas and
 // DigestReplicas: distinct (key, worker) pairs, tracked in per-key
 // bitsets so the accounting is O(1) per observation and O(|K|·n/64)
 // space. For n ≤ 64 workers the bitset is an inline uint64 map value
-// (one map entry per key, no per-key slice allocation); larger n fall
-// back to slice-backed bitsets.
+// (one map entry per key, no per-key slice allocation); larger n use
+// POOLED multi-word bitsets — carved from arena slabs and recycled
+// through a free list by release — so per-window accounting at large n
+// neither allocates per key nor grows without bound as windows close.
 type replicas[K comparable] struct {
 	n     int
 	words int
 	small map[K]uint64   // words == 1: inline bitsets
-	keys  map[K][]uint64 // words > 1
+	keys  map[K][]uint64 // words > 1: pooled bitsets
+	arena []uint64       // slab the next fresh bitsets are carved from
+	free  [][]uint64     // zeroed bitsets recycled by release
 	total int64
+	seen  int64 // distinct keys ever observed, including released ones
+	// releasedMax preserves MaxPerKey across releases: the largest
+	// per-key replica count among released keys.
+	releasedMax int
 }
 
 func newReplicas[K comparable](n int) replicas[K] {
@@ -81,12 +95,31 @@ func newReplicas[K comparable](n int) replicas[K] {
 	return r
 }
 
+// alloc hands out one zeroed bitset: recycled from the free list when
+// possible, otherwise carved from the current arena slab.
+func (r *replicas[K]) alloc() []uint64 {
+	if k := len(r.free); k > 0 {
+		s := r.free[k-1]
+		r.free = r.free[:k-1]
+		return s
+	}
+	if len(r.arena) < r.words {
+		r.arena = make([]uint64, r.words*arenaBitsets)
+	}
+	s := r.arena[:r.words:r.words]
+	r.arena = r.arena[r.words:]
+	return s
+}
+
 func (r *replicas[K]) observe(key K, worker int) {
 	if worker < 0 || worker >= r.n {
 		panic("metrics: worker out of range")
 	}
 	if r.small != nil {
-		set := r.small[key]
+		set, ok := r.small[key]
+		if !ok {
+			r.seen++
+		}
 		if set&(1<<uint(worker)) == 0 {
 			r.small[key] = set | 1<<uint(worker)
 			r.total++
@@ -95,8 +128,9 @@ func (r *replicas[K]) observe(key K, worker int) {
 	}
 	set, ok := r.keys[key]
 	if !ok {
-		set = make([]uint64, r.words)
+		set = r.alloc()
 		r.keys[key] = set
+		r.seen++
 	}
 	w, b := worker/wordBits, uint(worker%wordBits)
 	if set[w]&(1<<b) == 0 {
@@ -105,11 +139,52 @@ func (r *replicas[K]) observe(key K, worker int) {
 	}
 }
 
+// release retires a key that can no longer be observed (e.g. its window
+// closed), recycling its bitset onto the free list. Every cumulative
+// statistic — Total, Keys, AvgPerKey, MaxPerKey — is preserved; only
+// the per-key set is dropped, so PerKey reports 0 for released keys. A
+// key observed again AFTER release is counted as a fresh key (its pairs
+// recounted), so callers must release only keys that are structurally
+// done — exactly what the aggregation driver's completeness-based
+// window close guarantees.
+func (r *replicas[K]) release(key K) {
+	if r.small != nil {
+		set, ok := r.small[key]
+		if !ok {
+			return
+		}
+		if c := popcount(set); c > r.releasedMax {
+			r.releasedMax = c
+		}
+		delete(r.small, key)
+		return
+	}
+	set, ok := r.keys[key]
+	if !ok {
+		return
+	}
+	c := 0
+	for i, w := range set {
+		c += popcount(w)
+		set[i] = 0
+	}
+	if c > r.releasedMax {
+		r.releasedMax = c
+	}
+	r.free = append(r.free, set)
+	delete(r.keys, key)
+}
+
 // Total returns the number of distinct (key, worker) pairs seen.
 func (r *replicas[K]) Total() int64 { return r.total }
 
-// Keys returns the number of distinct keys seen.
-func (r *replicas[K]) Keys() int {
+// Keys returns the number of distinct keys seen (including released
+// ones).
+func (r *replicas[K]) Keys() int { return int(r.seen) }
+
+// Live returns the number of keys currently holding a bitset (seen
+// minus released): the accounting structure's memory footprint in keys.
+func (r *replicas[K]) Live() int {
 	if r.small != nil {
 		return len(r.small)
 	}
@@ -140,9 +215,10 @@ func (r *replicas[K]) PerKey(key K) int {
 	return c
 }
 
-// MaxPerKey returns the largest replica count over all keys.
+// MaxPerKey returns the largest replica count over all keys, released
+// ones included.
 func (r *replicas[K]) MaxPerKey() int {
-	max := 0
+	max := r.releasedMax
 	if r.small != nil {
 		for _, set := range r.small {
 			if c := popcount(set); c > max {
@@ -186,6 +262,10 @@ func NewReplicas(n int) *Replicas {
 // Observe records that one message of key was processed by worker.
 func (r *Replicas) Observe(key string, worker int) { r.observe(key, worker) }
 
+// Release retires a key that can no longer be observed, recycling its
+// bitset; all cumulative statistics are preserved (see release).
+func (r *Replicas) Release(key string) { r.release(key) }
+
 // DigestReplicas is Replicas keyed by a 64-bit identity instead of a
 // key string: the form the aggregation path uses, where entities are
 // (window, key-digest) pairs condensed to one uint64 and observing must
@@ -203,6 +283,13 @@ func NewDigestReplicas(n int) *DigestReplicas {
 
 // Observe records that worker holds state for the entity id.
 func (r *DigestReplicas) Observe(id uint64, worker int) { r.observe(id, worker) }
+
+// Release retires an entity id that can no longer be observed — the
+// aggregation driver calls this for every (window, key) the moment the
+// window closes, so replica accounting memory tracks the OPEN windows
+// rather than the whole stream. All cumulative statistics are
+// preserved (see release).
+func (r *DigestReplicas) Release(id uint64) { r.release(id) }
 
 // ---------------------------------------------------------------------------
 // Quantiles

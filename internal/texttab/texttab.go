@@ -4,6 +4,7 @@
 package texttab
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -162,6 +163,30 @@ func csvEscape(s string) string {
 		return s
 	}
 	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// WriteJSON writes the table to path as a single JSON object
+// {"title", "columns", "rows"} with every cell a string, creating
+// parent directories as needed. This is the machine-readable artifact
+// format the CI perf trajectory accumulates (BENCH_*.json): stable
+// field order, indented, diffable across commits.
+func (t *Table) WriteJSON(path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	rows := t.Rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	data, err := json.MarshalIndent(struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}{t.Title, t.Columns, rows}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // Find returns the first row whose cells at the given column indices

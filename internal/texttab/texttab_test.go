@@ -1,6 +1,7 @@
 package texttab
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -140,5 +141,36 @@ func TestFind(t *testing.T) {
 	}
 	if tab.Find(map[int]string{0: "nope"}) != nil {
 		t.Fatal("Find matched nothing")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	tab := New("perf \"quoted\"", "n", "ns/msg")
+	tab.Add("16", "59.3")
+	tab.Add("4096", "a,b\nc\t")
+	path := filepath.Join(t.TempDir(), "sub", "BENCH_x_0.json")
+	if err := tab.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("WriteJSON produced invalid JSON: %v\n%s", err, data)
+	}
+	if got.Title != tab.Title {
+		t.Fatalf("title = %q, want %q", got.Title, tab.Title)
+	}
+	if len(got.Columns) != 2 || got.Columns[1] != "ns/msg" {
+		t.Fatalf("columns = %v", got.Columns)
+	}
+	if len(got.Rows) != 2 || got.Rows[1][1] != "a,b\nc\t" {
+		t.Fatalf("rows = %v", got.Rows)
 	}
 }

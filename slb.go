@@ -113,6 +113,41 @@
 // EngineResult.AggReducerUtil / AggReducerUtilMean are the goroutine
 // runtime's wall-clock equivalents, with EngineConfig.AggMergeCost
 // available to reproduce the reducer-bound regime in wall-clock runs.
+//
+// # Balancing at scale
+//
+// The paper's title regime — hundreds to tens of thousands of workers —
+// is fully supported. Worker counts are unbounded (the former 65536
+// cap is gone), and the head-aware schemes' argmin over worker loads is
+// backed by an adaptive LOAD INDEX: below a measured crossover of
+// n = 128 it is the packed conditional-move scan (scan and tree run
+// neck-and-neck at n = 64; the scan wins below, the tree clearly above
+// — ≈2x at n = 256), and from the crossover up it is a flat-array
+// tournament tree with O(1) argmin reads and O(log n) updates, with
+// tie-breaking bit-exact to the scans — so W-Choices head routing
+// stays near-flat (≈110–150 ns/msg on the reference machine) from
+// n = 256 to n = 16384 while the scan grows linearly to ≈10 µs/msg
+// (BenchmarkRouteAtScale and the `scale` experiment's routing table;
+// ≈69x at n = 16384).
+// D-Choices' large-d candidate evaluation amortizes through a
+// set-associative candidate cache whose entries serve a window of d
+// values (the solver's d jitters ±1; deduplicated candidate lists for
+// smaller d are prefixes of larger ones, so one derivation serves the
+// window bit-exactly) and a per-run candidate tournament; its cost is
+// O(c) per run of a head key, c being the deduplicated candidate
+// count — when the solver drives c toward n, W-Choices is the faster
+// strategy, exactly as the paper prescribes (D-C switches to W-C at
+// d ≥ n). All of this preserves the zero-allocation steady state, and
+// Config.LoadIndex (LoadIndexAuto/LoadIndexScan/LoadIndexTree) pins
+// the selection for measurement.
+//
+// The `scale` experiment (cmd/slbstorm) reproduces the large-deployment
+// story end to end at n ∈ {16 … 16384} × {KG, PKG, D-C, W-C, SG}:
+// routing ns/msg scan vs tree, imbalance at scale (PKG grows with n —
+// e.g. 4.0e-6 → 1.9e-2 at z = 0.8 — while D-C/W-C hold ≈1e-5), and
+// discrete-event throughput (PKG plateaus at its two hot-key workers'
+// drain rate from n = 64 on, D-C/W-C keep the offered rate at every n).
+// CI emits these tables per run as BENCH_*.json artifacts.
 package slb
 
 import (
@@ -184,8 +219,27 @@ func RouteDigest(p Partitioner, dg KeyDigest, key string) int {
 
 // Config carries the partitioner parameters (Table III of the paper):
 // worker count, hash seed, head threshold θ (default 1/(5n)), solver
-// tolerance ε (default 1e-4), sketch capacity and solve cadence.
+// tolerance ε (default 1e-4), sketch capacity, solve cadence, and the
+// load-index selection (see LoadIndexAuto).
 type Config = core.Config
+
+// Config.LoadIndex values: how the head-aware schemes compute the
+// argmin over worker loads (the W-Choices head path routes EVERY head
+// message to the globally least-loaded worker). LoadIndexAuto — the
+// default — uses a packed conditional-move scan below the measured
+// crossover (n = 128) and a flat-array tournament tree (O(1) argmin
+// read, O(log n) update per message) at or above it, which keeps head
+// routing roughly flat in n up to tens of thousands of workers.
+// Routing decisions are bit-identical in every mode; only cost
+// changes. LoadIndexScan forces the scan (requires Workers < 65536 —
+// the packed encoding's limit, which is also why worker counts beyond
+// 65536 are supported only through the tree); LoadIndexTree forces the
+// tree. See the `scale` experiment for measured numbers.
+const (
+	LoadIndexAuto = core.LoadIndexAuto
+	LoadIndexScan = core.LoadIndexScan
+	LoadIndexTree = core.LoadIndexTree
+)
 
 // Algorithms lists the paper's algorithm symbols in presentation order:
 // KG, SG, PKG, D-C, W-C, RR.
