@@ -48,26 +48,36 @@ func TestHashOnceEventsim(t *testing.T) {
 	}
 }
 
+// dataplanes names both tuple transports of the goroutine runtime; the
+// digest-carry and parity properties must hold identically on each.
+var dataplanes = map[string]slb.Dataplane{
+	"channel": slb.DataplaneChannel,
+	"ring":    slb.DataplaneRing,
+}
+
 // TestHashOnceDspeRun: the goroutine engine digests each key exactly
 // once per message with aggregation on — routing's digests flow into
 // the bolts' partial tables, the shard split, and the reducers, with
-// zero re-scans.
+// zero re-scans. The ring plane's combiner tree adds merge hops but no
+// re-hash: combined partials carry their constituents' digests.
 func TestHashOnceDspeRun(t *testing.T) {
 	const m = 10_000
-	for _, algo := range []string{"KG", "W-C", "SG"} {
-		for _, shards := range []int{1, 4} {
-			got := countDigests(func() {
-				gen := slb.NewZipfStream(1.6, 300, m, 11)
-				if _, err := slb.RunTopology(gen, slb.EngineConfig{
-					Workers: 4, Sources: 2, Algorithm: algo,
-					Core: slb.Config{Seed: 11}, AggWindow: 500,
-					AggShards: shards,
-				}); err != nil {
-					t.Fatal(err)
+	for plane, dp := range dataplanes {
+		for _, algo := range []string{"KG", "W-C", "SG"} {
+			for _, shards := range []int{1, 4} {
+				got := countDigests(func() {
+					gen := slb.NewZipfStream(1.6, 300, m, 11)
+					if _, err := slb.RunTopology(gen, slb.EngineConfig{
+						Workers: 4, Sources: 2, Algorithm: algo,
+						Core: slb.Config{Seed: 11}, AggWindow: 500,
+						AggShards: shards, Dataplane: dp,
+					}); err != nil {
+						t.Fatal(err)
+					}
+				})
+				if got != m {
+					t.Fatalf("%s %s R=%d: dspe digested %d times for %d messages, want exactly one per message", plane, algo, shards, got, m)
 				}
-			})
-			if got != m {
-				t.Fatalf("%s R=%d: dspe digested %d times for %d messages, want exactly one per message", algo, shards, got, m)
 			}
 		}
 	}
@@ -78,18 +88,20 @@ func TestHashOnceDspeRun(t *testing.T) {
 // digest — the only digests of the whole run happen at the spout.
 func TestHashOncePipeline(t *testing.T) {
 	const m = 8_000
-	got := countDigests(func() {
-		gen := slb.NewZipfStream(1.6, 300, m, 11)
-		p := slb.NewPipeline(gen, 2).
-			AddWindowedAggregate("partials", 4, "D-C", 500).
-			AddWeightedStage("reduce", 2, "KG", 0,
-				func(key string, window, count int64, emit func(string, int64)) {})
-		if _, err := p.Run(slb.PipelineConfig{Core: slb.Config{Seed: 11}}); err != nil {
-			t.Fatal(err)
+	for plane, dp := range dataplanes {
+		got := countDigests(func() {
+			gen := slb.NewZipfStream(1.6, 300, m, 11)
+			p := slb.NewPipeline(gen, 2).
+				AddWindowedAggregate("partials", 4, "D-C", 500).
+				AddWeightedStage("reduce", 2, "KG", 0,
+					func(key string, window, count int64, emit func(string, int64)) {})
+			if _, err := p.Run(slb.PipelineConfig{Core: slb.Config{Seed: 11}, Dataplane: dp}); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if got != m {
+			t.Fatalf("%s: pipeline digested %d times for %d messages, want exactly one per message (spout only)", plane, got, m)
 		}
-	})
-	if got != m {
-		t.Fatalf("pipeline digested %d times for %d messages, want exactly one per message (spout only)", got, m)
 	}
 }
 
@@ -134,32 +146,43 @@ func TestCrossEngineAggregationParity(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		liveFinals, onLive := collect()
-		live, err := slb.RunTopology(slb.NewZipfStream(1.8, 400, m, 29), slb.EngineConfig{
-			Workers: 8, Sources: 1, Algorithm: algo,
-			Core: slb.Config{Seed: 29}, ServiceTime: 0,
-			AggWindow: window, OnFinal: onLive,
-		})
-		if err != nil {
-			t.Fatal(err)
+		if len(evtFinals) != len(truth) {
+			t.Fatalf("%s eventsim: %d finals, want %d", algo, len(evtFinals), len(truth))
+		}
+		for k, want := range truth {
+			if evtFinals[k] != want {
+				t.Fatalf("%s eventsim: window %d key %q = %d, want %d", algo, k.w, k.k, evtFinals[k], want)
+			}
+		}
+		if evt.AggTotal != m {
+			t.Errorf("%s eventsim: total %d, want %d", algo, evt.AggTotal, m)
 		}
 
-		for _, finals := range []map[key]int64{evtFinals, liveFinals} {
-			if len(finals) != len(truth) {
-				t.Fatalf("%s: %d finals, want %d", algo, len(finals), len(truth))
+		for plane, dp := range dataplanes {
+			liveFinals, onLive := collect()
+			live, err := slb.RunTopology(slb.NewZipfStream(1.8, 400, m, 29), slb.EngineConfig{
+				Workers: 8, Sources: 1, Algorithm: algo,
+				Core: slb.Config{Seed: 29}, ServiceTime: 0,
+				AggWindow: window, OnFinal: onLive, Dataplane: dp,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(liveFinals) != len(truth) {
+				t.Fatalf("%s dspe/%s: %d finals, want %d", algo, plane, len(liveFinals), len(truth))
 			}
 			for k, want := range truth {
-				if finals[k] != want {
-					t.Fatalf("%s: window %d key %q = %d, want %d", algo, k.w, k.k, finals[k], want)
+				if liveFinals[k] != want {
+					t.Fatalf("%s dspe/%s: window %d key %q = %d, want %d", algo, plane, k.w, k.k, liveFinals[k], want)
 				}
 			}
-		}
-		if evt.AggReplication != live.AggReplication {
-			t.Errorf("%s: replication factors diverge across engines: eventsim %v, dspe %v",
-				algo, evt.AggReplication, live.AggReplication)
-		}
-		if evt.AggTotal != m || live.AggTotal != m {
-			t.Errorf("%s: totals %d (eventsim) / %d (dspe), want %d", algo, evt.AggTotal, live.AggTotal, m)
+			if evt.AggReplication != live.AggReplication {
+				t.Errorf("%s: replication factors diverge across engines: eventsim %v, dspe/%s %v",
+					algo, evt.AggReplication, plane, live.AggReplication)
+			}
+			if live.AggTotal != m {
+				t.Errorf("%s dspe/%s: total %d, want %d", algo, plane, live.AggTotal, m)
+			}
 		}
 	}
 }
@@ -222,18 +245,35 @@ func TestCrossEngineShardedMergerParity(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			liveFinals, onLive := collect()
-			live, err := slb.RunTopology(slb.NewZipfStream(1.8, 400, m, 29), slb.EngineConfig{
-				Workers: 8, Sources: 1, Algorithm: "W-C",
-				Core: slb.Config{Seed: 29}, ServiceTime: 0,
-				AggWindow: window, AggShards: shards,
-				AggMerger: merger, AggValue: sample, OnFinal: onLive,
-			})
-			if err != nil {
-				t.Fatal(err)
+			engines := map[string]map[fk]slb.AggFinal{"eventsim": evtFinals}
+			for plane, dp := range dataplanes {
+				liveFinals, onLive := collect()
+				live, err := slb.RunTopology(slb.NewZipfStream(1.8, 400, m, 29), slb.EngineConfig{
+					Workers: 8, Sources: 1, Algorithm: "W-C",
+					Core: slb.Config{Seed: 29}, ServiceTime: 0,
+					AggWindow: window, AggShards: shards,
+					AggMerger: merger, AggValue: sample, OnFinal: onLive,
+					Dataplane: dp,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				engines["dspe/"+plane] = liveFinals
+				if evt.AggReplication != live.AggReplication {
+					t.Errorf("%s R=%d: replication diverges across engines: eventsim %v, dspe/%s %v",
+						merger.Name(), shards, evt.AggReplication, plane, live.AggReplication)
+				}
+				if live.AggTotal != m {
+					t.Errorf("%s R=%d dspe/%s: total %d, want %d",
+						merger.Name(), shards, plane, live.AggTotal, m)
+				}
+				if live.Agg.Late != 0 {
+					t.Errorf("%s R=%d dspe/%s: late corrections %d, want 0",
+						merger.Name(), shards, plane, live.Agg.Late)
+				}
 			}
 
-			for engine, finals := range map[string]map[fk]slb.AggFinal{"eventsim": evtFinals, "dspe": liveFinals} {
+			for engine, finals := range engines {
 				if len(finals) != len(truthCount) {
 					t.Fatalf("%s R=%d %s: %d finals, want %d", merger.Name(), shards, engine, len(finals), len(truthCount))
 				}
@@ -246,17 +286,11 @@ func TestCrossEngineShardedMergerParity(t *testing.T) {
 					}
 				}
 			}
-			if evt.AggReplication != live.AggReplication {
-				t.Errorf("%s R=%d: replication diverges across engines: eventsim %v, dspe %v",
-					merger.Name(), shards, evt.AggReplication, live.AggReplication)
+			if evt.AggTotal != m {
+				t.Errorf("%s R=%d: eventsim total %d, want %d", merger.Name(), shards, evt.AggTotal, m)
 			}
-			if evt.AggTotal != m || live.AggTotal != m {
-				t.Errorf("%s R=%d: totals %d (eventsim) / %d (dspe), want %d",
-					merger.Name(), shards, evt.AggTotal, live.AggTotal, m)
-			}
-			if evt.Agg.Late != 0 || live.Agg.Late != 0 {
-				t.Errorf("%s R=%d: late corrections %d (eventsim) / %d (dspe), want 0",
-					merger.Name(), shards, evt.Agg.Late, live.Agg.Late)
+			if evt.Agg.Late != 0 {
+				t.Errorf("%s R=%d: eventsim late corrections %d, want 0", merger.Name(), shards, evt.Agg.Late)
 			}
 		}
 	}

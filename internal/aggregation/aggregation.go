@@ -60,6 +60,7 @@ package aggregation
 
 import (
 	"slices"
+	"sync"
 
 	"slb/internal/hashing"
 	"slb/internal/metrics"
@@ -575,6 +576,7 @@ func (r *Reducer) Stats() ReducerStats { return r.stats }
 type Driver struct {
 	red      *Reducer
 	reps     *metrics.DigestReplicas
+	repMu    sync.Mutex // guards reps: combiner-tree bolts observe concurrently
 	expected func(w int64) (int64, bool)
 	total    int64
 	finals   []Final
@@ -635,7 +637,12 @@ func (d *Driver) Merge(ps []Partial, onFinal func(Final)) {
 	d.red.Merge(ps)
 	d.ws = d.ws[:0]
 	for i := range ps {
-		d.reps.Observe(WindowKeyID(ps[i].Window, ps[i].Digest), int(ps[i].Worker))
+		// Combined partials (Worker < 0) merged away their worker identity;
+		// the engine already observed each constituent (window, key, worker)
+		// triple at the bolt via ShardedDriver.ObserveReplica.
+		if ps[i].Worker >= 0 {
+			d.observeReplica(WindowKeyID(ps[i].Window, ps[i].Digest), int(ps[i].Worker))
+		}
 		if i == 0 || ps[i].Window != ps[i-1].Window {
 			d.ws = append(d.ws, ps[i].Window)
 		}
@@ -662,11 +669,22 @@ func (d *Driver) emit(fs []Final, onFinal func(Final)) {
 		// stays exact (Total/Keys/AvgPerKey/MaxPerKey are cumulative)
 		// while the tracker's memory follows the OPEN windows instead of
 		// the whole stream.
+		d.repMu.Lock()
 		d.reps.Release(WindowKeyID(f.Window, f.Digest))
+		d.repMu.Unlock()
 		if onFinal != nil {
 			onFinal(f)
 		}
 	}
+}
+
+// observeReplica records one (window-key id, worker) state replica.
+// Thread-safe: under the combiner tree, bolts observe the original
+// triples concurrently with the shard goroutine closing windows.
+func (d *Driver) observeReplica(id uint64, worker int) {
+	d.repMu.Lock()
+	d.reps.Observe(id, worker)
+	d.repMu.Unlock()
 }
 
 // Stats returns the reducer's cost counters.

@@ -103,15 +103,33 @@ func fillDigests(keys []string, digs []KeyDigest) {
 // sets with LRU replacement keep the hottest keys resident.
 const candWays = 4
 
-// candCacheSets returns the number of sets: 8 (32 entries) covers the
-// few-dozen-key heads of the paper's configurations; large deployments
-// (whose θ-derived heads are bigger and whose recomputes cost thousands
-// of mixes) get 16 sets (64 entries). Storage is entries·n int32s.
+// candCacheSets returns the INITIAL number of sets: 8 (32 entries)
+// covers the few-dozen-key heads of the paper's configurations; large
+// deployments (whose θ-derived heads are bigger and whose recomputes
+// cost thousands of mixes) start at 16 sets (64 entries). The D-Choices
+// solver then grows the cache to the head cardinality its sketch
+// actually observes (ensureHeadCapacity) — the static guess only has to
+// carry the warm-up. Storage is entries·n int32s.
 func candCacheSets(n int) int {
 	if n >= 2048 {
 		return 16
 	}
 	return 8
+}
+
+// candCacheMaxEntries caps cache growth so the candidate store
+// (entries·n int32s) stays ≤ ~4 MiB: a deployment with a huge worker
+// count gets fewer, larger entries. Never below the static default, so
+// growth can only ever be a no-op there, not a shrink.
+func candCacheMaxEntries(n int) int {
+	m := (4 << 20) / (4 * n)
+	if m < 32 {
+		m = 32
+	}
+	if m > 256 {
+		m = 256
+	}
+	return m
 }
 
 // candDWindow is how many consecutive d values one cached derivation
@@ -167,6 +185,38 @@ func newCandCache(n int) candCache {
 		cands: make([]int32, entries*n),
 		mark:  make([]int32, n),
 	}
+}
+
+// ensureHeadCapacity grows the cache to fit an observed head of
+// `heads` keys: the smallest power-of-two set count giving at least
+// 2·heads entries (half-empty sets keep LRU conflicts rare), within
+// candCacheMaxEntries. The previous sizing keyed off n alone, so a
+// low-θ configuration whose sketch tracked hundreds of head keys
+// thrashed a 32-entry cache — every hot key re-deriving its d buckets
+// once per run. The solver calls this with each head snapshot; growth
+// discards the cached entries, which is harmless because candidates
+// are a pure function of (digest, d) and re-derive bit-identically on
+// the next lookup. Never shrinks.
+func (cc *candCache) ensureHeadCapacity(heads int) {
+	want := 2 * heads
+	if m := candCacheMaxEntries(cc.n); want > m {
+		want = m
+	}
+	if want <= cc.sets*candWays {
+		return
+	}
+	sets := cc.sets
+	for sets*candWays < want {
+		sets <<= 1
+	}
+	entries := sets * candWays
+	cc.sets = sets
+	cc.digs = make([]KeyDigest, entries)
+	cc.dhi = make([]int32, entries)
+	cc.lens = make([]int32, entries*candDWindow)
+	cc.used = make([]uint32, entries)
+	cc.cands = make([]int32, entries*cc.n)
+	cc.tick = 0
 }
 
 // lookup returns the candidate list for (dg, d), deriving and caching

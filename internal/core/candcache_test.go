@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"slb/internal/hashing"
+	"slb/internal/workload"
+)
+
+// TestCandCacheEnsureHeadCapacity pins the growth rule: smallest
+// power-of-two set count holding 2·heads entries, capped by
+// candCacheMaxEntries, never shrinking — and lookups after a regrow
+// return the same candidate lists (candidates are a pure function of
+// (digest, d)).
+func TestCandCacheEnsureHeadCapacity(t *testing.T) {
+	const n = 64
+	f := hashing.NewFamily(99, n)
+	cc := newCandCache(n)
+	if cc.sets != candCacheSets(n) {
+		t.Fatalf("initial sets = %d, want %d", cc.sets, candCacheSets(n))
+	}
+
+	// Record lists derived by the small cache.
+	type probe struct {
+		dg KeyDigest
+		d  int
+	}
+	probes := []probe{
+		{hashing.Digest("alpha"), 5},
+		{hashing.Digest("beta"), 9},
+		{hashing.Digest("gamma"), 33},
+	}
+	before := make([][]int32, len(probes))
+	for i, pr := range probes {
+		before[i] = append([]int32(nil), cc.lookup(pr.dg, pr.d, f)...)
+	}
+
+	// A head below half the current capacity must not grow.
+	cc.ensureHeadCapacity(10) // 2·10 = 20 ≤ 32 entries
+	if cc.sets != candCacheSets(n) {
+		t.Fatalf("premature growth to %d sets for a 10-key head", cc.sets)
+	}
+
+	// A 100-key head needs ≥ 200 entries → 64 sets (256 entries),
+	// which is exactly the memory cap for n = 64.
+	cc.ensureHeadCapacity(100)
+	if got := cc.sets * candWays; got != 256 {
+		t.Fatalf("grew to %d entries for a 100-key head, want 256", got)
+	}
+	if cc.sets&(cc.sets-1) != 0 {
+		t.Fatalf("set count %d is not a power of two", cc.sets)
+	}
+	for i, pr := range probes {
+		after := cc.lookup(pr.dg, pr.d, f)
+		if len(after) != len(before[i]) {
+			t.Fatalf("probe %d: list length changed across regrow: %d → %d", i, len(before[i]), len(after))
+		}
+		for j := range after {
+			if after[j] != before[i][j] {
+				t.Fatalf("probe %d: candidate %d changed across regrow: %d → %d", i, j, before[i][j], after[j])
+			}
+		}
+	}
+
+	// The cap binds: an absurd head cannot exceed candCacheMaxEntries.
+	cc.ensureHeadCapacity(1 << 20)
+	if got, m := cc.sets*candWays, candCacheMaxEntries(n); got > m {
+		t.Fatalf("grew past the memory cap: %d entries > %d", got, m)
+	}
+	// And growth never reverses.
+	cc.ensureHeadCapacity(1)
+	if got := cc.sets * candWays; got != 256 {
+		t.Fatalf("cache shrank to %d entries", got)
+	}
+}
+
+// TestCandCacheMaxEntries pins the cap's shape: ~4 MiB of candidate
+// storage, floored at the static default, ceilinged at 256 entries.
+func TestCandCacheMaxEntries(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{
+		{16, 256},     // small n: the 256-entry ceiling binds
+		{8192, 128},   // 4 MiB / (4·8192) = 128
+		{65536, 32},   // large n: the 32-entry floor binds
+		{1 << 20, 32}, // absurd n: still the floor
+	} {
+		if got := candCacheMaxEntries(tc.n); got != tc.want {
+			t.Errorf("candCacheMaxEntries(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+// TestDChoicesCacheGrowsWithObservedHead drives a D-Choices instance
+// with a low θ — a head of hundreds of keys, far beyond the static
+// 32-entry cache — and checks the solver grew the cache to what the
+// sketch observed. Decision parity across the growth is covered by
+// TestRouteBatchMatchesRoute (Route and RouteBatch share the solver,
+// and a regrown cache re-derives identical candidate lists).
+func TestDChoicesCacheGrowsWithObservedHead(t *testing.T) {
+	c := cfg(64)
+	c.Theta = 0.001 // hundreds of head keys
+	p := NewDChoices(c)
+	gen := workload.NewZipf(0.8, 500, 40_000, 13)
+	keys := make([]string, 256)
+	digs := make([]KeyDigest, 256)
+	dst := make([]int, 256)
+	for {
+		n := 0
+		for n < len(keys) {
+			k, ok := gen.Next()
+			if !ok {
+				break
+			}
+			keys[n] = k
+			n++
+		}
+		if n == 0 {
+			break
+		}
+		p.RouteBatchDigests(keys[:n], digs, dst)
+	}
+	if got, init := p.cache.sets*candWays, candCacheSets(64)*candWays; got <= init {
+		t.Fatalf("cache stayed at %d entries under a several-hundred-key head (initial %d)", got, init)
+	}
+}

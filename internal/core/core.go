@@ -774,6 +774,10 @@ func (p *DChoices) findOptimalChoices() int {
 		return p.d
 	}
 	head, tail := p.head.headSnapshot()
+	// Size the candidate cache by the head cardinality the sketch
+	// actually observes, not by n: the snapshot is already in hand and
+	// the solve cadence makes the (rare) regrow free.
+	p.cache.ensureHeadCapacity(len(head))
 	p.d = analysis.SolveD(head, tail, p.n, p.eps)
 	if p.d < 2 {
 		p.d = 2

@@ -1,0 +1,104 @@
+package dspe
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"slb/internal/texttab"
+	"slb/internal/workload"
+)
+
+// BenchmarkPipelineThroughput is the dataplane A/B: the same
+// spout→bolt→sharded-reduce topology (W-C, AggShards=4, skewed stream)
+// timed end to end — the full Run call, reducer drain included — on
+// the channel plane and on the SPSC ring plane, in two regimes:
+//
+//   - raw: AggMergeCost = 0, so the wall clock is the dataplane itself.
+//     The ring plane's win here is lock-free per-edge rings: no
+//     per-tuple in-flight channel handshake, no per-slab allocation,
+//     batched Grant/Publish on every edge.
+//   - reduce-bound: the PR-4 reference regime (AggMergeCost = 50 µs,
+//     the merge cost that saturates the reduce stage at R = 1 and is
+//     quartered by R = 4). Here the worker-side combiner tree is
+//     structural: it pre-merges same-host partials before the shard
+//     hop, so the reducers pay the per-partial cost roughly once per
+//     (window, key) instead of once per (window, key, worker).
+//
+// When SLB_BENCH_DIR is set, the run writes the measured table as
+// BENCH_pipeline_throughput.json — the engine's entry in the CI perf
+// trajectory, alongside routing's BENCH_* tables.
+func BenchmarkPipelineThroughput(b *testing.B) {
+	regimes := []struct {
+		name string
+		msgs int64
+		keys int
+		cost time.Duration
+	}{
+		{"raw", 200_000, 300, 0},
+		{"reduce-bound", 20_000, 2000, 50 * time.Microsecond},
+	}
+	planes := []struct {
+		name string
+		dp   Dataplane
+	}{
+		{"channel", DataplaneChannel},
+		{"ring", DataplaneRing},
+	}
+
+	rate := make(map[string]float64)
+	for _, reg := range regimes {
+		for _, plane := range planes {
+			b.Run(reg.name+"/"+plane.name, func(b *testing.B) {
+				cfg := Config{
+					Workers:      16,
+					Sources:      4,
+					Algorithm:    "W-C",
+					AggWindow:    500,
+					AggShards:    4,
+					Messages:     reg.msgs,
+					AggMergeCost: reg.cost,
+					Dataplane:    plane.dp,
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := Run(workload.NewZipf(1.4, reg.keys, reg.msgs, 17), cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				mps := float64(reg.msgs) * float64(b.N) / b.Elapsed().Seconds()
+				b.ReportMetric(mps, "msgs/s")
+				rate[reg.name+"/"+plane.name] = mps
+			})
+		}
+	}
+
+	if dir := os.Getenv("SLB_BENCH_DIR"); dir != "" {
+		tab := &texttab.Table{
+			Title:   "pipeline throughput: channel vs ring dataplane (W-C, R=4, z=1.4)",
+			Columns: []string{"regime", "dataplane", "msgs/s", "speedup"},
+		}
+		for _, reg := range regimes {
+			base := rate[reg.name+"/channel"]
+			if base <= 0 {
+				continue
+			}
+			for _, plane := range planes {
+				mps := rate[reg.name+"/"+plane.name]
+				tab.Rows = append(tab.Rows, []string{
+					reg.name,
+					plane.name,
+					fmt.Sprintf("%.0f", mps),
+					fmt.Sprintf("%.2fx", mps/base),
+				})
+			}
+		}
+		if err := tab.WriteJSON(filepath.Join(dir, "BENCH_pipeline_throughput.json")); err != nil {
+			b.Fatalf("writing bench artifact: %v", err)
+		}
+	}
+}

@@ -115,7 +115,30 @@ type Config struct {
 	// (a mutex when AggShards > 1), so the callback needs no locking of
 	// its own.
 	OnFinal func(aggregation.Final)
+	// Dataplane selects the transport tuples and partials travel on:
+	// DataplaneChannel (the default) moves freshly allocated slabs over
+	// buffered Go channels; DataplaneRing moves tuples through per-edge
+	// lock-free SPSC rings (internal/ring) whose slot arrays are the
+	// tuple arena, with a worker-side combiner tree pre-merging bolt
+	// partials in front of the reducer-shard hop. Results are identical
+	// across dataplanes (same finals, same replication factors); only
+	// the wall-clock cost differs.
+	Dataplane Dataplane
 }
+
+// Dataplane names a tuple-transport implementation; see Config.Dataplane.
+type Dataplane int
+
+const (
+	// DataplaneChannel moves tuple slabs over buffered Go channels with
+	// ownership transfer (one allocation per slab): the baseline.
+	DataplaneChannel Dataplane = iota
+	// DataplaneRing moves tuples through per-edge lock-free SPSC ring
+	// buffers: zero-allocation steady state, batched publish/consume,
+	// atomic in-flight acks, and a worker-side combiner tree in front
+	// of the reduce stage.
+	DataplaneRing
+)
 
 func (c Config) withDefaults() (Config, error) {
 	if c.Workers <= 0 || c.Sources <= 0 {
@@ -177,6 +200,13 @@ type Result struct {
 	// it must equal Completed (every processed tuple is counted exactly
 	// once — window close is exact, not approximate).
 	AggTotal int64
+	// AggBoltPartials is the number of partials the bolts flushed: the
+	// worker-side aggregation output. Under DataplaneChannel the reduce
+	// stage merges exactly these (Agg.Partials == AggBoltPartials);
+	// under DataplaneRing the combiner tree pre-merges them, so
+	// Agg.Partials — what the reducers actually merged — is strictly
+	// smaller whenever replication gives the tree anything to combine.
+	AggBoltPartials int64
 }
 
 // tuple is one in-flight message. With aggregation on it carries the
@@ -224,6 +254,9 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 	if cfg.Messages > 0 && cfg.Messages < limit {
 		limit = cfg.Messages
 	}
+	if cfg.Dataplane == DataplaneRing {
+		return runRing(gen, cfg, parts, limit)
+	}
 
 	// Channels carry tuple slabs: one send per (slab, destination bolt)
 	// instead of one per message.
@@ -236,6 +269,15 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 	window := make([]chan struct{}, cfg.Sources)
 	for i := range window {
 		window[i] = make(chan struct{}, cfg.Window)
+	}
+	// Watermark-tick slabs are recycled through a freelist: the tick
+	// broadcast is per (bolt, window), and allocating each single-tuple
+	// tick slab was the hot path's one remaining per-window allocation.
+	// The channel hop gives the recycle the happens-before the reuse
+	// needs; if the pool runs dry the spout just allocates.
+	var tickFree chan []tuple
+	if cfg.AggWindow > 0 {
+		tickFree = make(chan []tuple, 4*cfg.Workers)
 	}
 
 	svcFor := func(w int) time.Duration {
@@ -314,6 +356,7 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 	}
 
 	stats := make([]boltStats, cfg.Workers)
+	boltPartials := make([]int64, cfg.Workers) // written at bolt exit
 	var bolts sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		bolts.Add(1)
@@ -372,17 +415,23 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 				}
 			}
 			for slab := range in[w] {
-				for _, tp := range slab {
-					if tp.src < 0 {
-						// Watermark tick: the global emission sequence entered
-						// window tp.window, so (with one window of slack, same
-						// as the data path below) older windows are complete at
-						// this bolt even if it never sees another tuple.
-						if acc != nil {
-							flushClosed(tp.window - 1)
-						}
-						continue
+				if len(slab) == 1 && slab[0].src < 0 {
+					// Watermark tick (always its own single-tuple slab): the
+					// global emission sequence entered window slab[0].window,
+					// so (with one window of slack, same as the data path
+					// below) older windows are complete at this bolt even if
+					// it never sees another tuple. The slab goes back to the
+					// freelist for the next broadcast.
+					if acc != nil {
+						flushClosed(slab[0].window - 1)
 					}
+					select {
+					case tickFree <- slab:
+					default:
+					}
+					continue
+				}
+				for _, tp := range slab {
 					simulateWork(svcFor(w), cfg.Spin)
 					if acc != nil {
 						if wm, ok := acc.Watermark(); ok && tp.window > wm {
@@ -403,6 +452,7 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 			}
 			if acc != nil {
 				flushClosed(1 << 62)
+				boltPartials[w] = acc.Flushed()
 			}
 		}(w)
 	}
@@ -462,7 +512,15 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 							}
 							if tickedWindow.CompareAndSwap(seen, cw) {
 								for w := range in {
-									in[w] <- []tuple{{src: -1, window: cw}}
+									var tk []tuple
+									select {
+									case tk = <-tickFree:
+										tk = tk[:1]
+									default:
+										tk = make([]tuple, 1)
+									}
+									tk[0] = tuple{src: -1, window: cw}
+									in[w] <- tk
 								}
 								break
 							}
@@ -533,6 +591,9 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 		res.Agg = sd.Stats()
 		res.AggTotal = sd.Total()
 		res.AggReplication = sd.Replication()
+		for _, n := range boltPartials {
+			res.AggBoltPartials += n
+		}
 		if total > 0 {
 			for _, busy := range reduceBusy {
 				u := float64(busy) / float64(total)

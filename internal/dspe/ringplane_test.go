@@ -1,0 +1,287 @@
+package dspe
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"slb/internal/aggregation"
+	"slb/internal/core"
+	"slb/internal/workload"
+)
+
+// collectFinals runs the topology and returns every final keyed by
+// (window, key), plus the result. The engine serializes OnFinal, so the
+// map needs no lock.
+func collectFinals(t *testing.T, cfg Config, gen *workload.Zipf) (map[string][2]int64, Result) {
+	t.Helper()
+	finals := make(map[string][2]int64)
+	cfg.OnFinal = func(f aggregation.Final) {
+		id := fmt.Sprintf("%d|%s", f.Window, f.Key)
+		if _, dup := finals[id]; dup {
+			t.Errorf("duplicate final for %s", id)
+		}
+		finals[id] = [2]int64{f.Count, f.Value}
+	}
+	res, err := Run(gen, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return finals, res
+}
+
+// TestRingDataplaneParity pins the tentpole's correctness contract: the
+// ring dataplane (SPSC rings + combiner tree) must produce bit-equal
+// finals AND bit-equal replication factors to the channel baseline.
+// Replication is compared with a single source, where routing — and
+// therefore the (window, key, worker) triples — is deterministic.
+func TestRingDataplaneParity(t *testing.T) {
+	for _, algo := range []string{"KG", "W-C"} {
+		for _, shards := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/shards=%d", algo, shards), func(t *testing.T) {
+				base := Config{
+					Workers:   8,
+					Sources:   1,
+					Algorithm: algo,
+					AggWindow: 500,
+					AggShards: shards,
+					Messages:  20_000,
+				}
+
+				chCfg := base
+				chCfg.Dataplane = DataplaneChannel
+				chFinals, chRes := collectFinals(t, chCfg, workload.NewZipf(1.2, 300, 20_000, 7))
+
+				rgCfg := base
+				rgCfg.Dataplane = DataplaneRing
+				rgFinals, rgRes := collectFinals(t, rgCfg, workload.NewZipf(1.2, 300, 20_000, 7))
+
+				if len(chFinals) != len(rgFinals) {
+					t.Fatalf("final count differs: channel %d, ring %d", len(chFinals), len(rgFinals))
+				}
+				for id, want := range chFinals {
+					if got, ok := rgFinals[id]; !ok || got != want {
+						t.Fatalf("final %s: channel %v, ring %v (present=%v)", id, want, got, ok)
+					}
+				}
+				if chRes.AggReplication != rgRes.AggReplication {
+					t.Errorf("replication differs: channel %v, ring %v", chRes.AggReplication, rgRes.AggReplication)
+				}
+				for _, res := range []Result{chRes, rgRes} {
+					if res.Completed != 20_000 || res.AggTotal != 20_000 {
+						t.Errorf("completed/total: %d/%d, want 20000/20000", res.Completed, res.AggTotal)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRingDataplaneParityMultiSource relaxes to what stays deterministic
+// under concurrent spouts — the finals (window membership follows the
+// global emission sequence regardless of which spout draws a slab) —
+// and checks them bit-equal across dataplanes.
+func TestRingDataplaneParityMultiSource(t *testing.T) {
+	base := Config{
+		Workers:   12,
+		Sources:   4,
+		Algorithm: "W-C",
+		AggWindow: 400,
+		AggShards: 4,
+		Messages:  24_000,
+	}
+	chCfg := base
+	chCfg.Dataplane = DataplaneChannel
+	chFinals, chRes := collectFinals(t, chCfg, workload.NewZipf(1.4, 200, 24_000, 11))
+
+	rgCfg := base
+	rgCfg.Dataplane = DataplaneRing
+	rgFinals, rgRes := collectFinals(t, rgCfg, workload.NewZipf(1.4, 200, 24_000, 11))
+
+	if len(chFinals) != len(rgFinals) {
+		t.Fatalf("final count differs: channel %d, ring %d", len(chFinals), len(rgFinals))
+	}
+	for id, want := range chFinals {
+		if got, ok := rgFinals[id]; !ok || got != want {
+			t.Fatalf("final %s: channel %v, ring %v (present=%v)", id, want, got, ok)
+		}
+	}
+	if chRes.AggTotal != 24_000 || rgRes.AggTotal != 24_000 {
+		t.Errorf("totals: channel %d, ring %d, want 24000", chRes.AggTotal, rgRes.AggTotal)
+	}
+}
+
+// TestRingCombinerCutsReducerTraffic pins the combiner tree's reason to
+// exist: under a skewed stream and a replicating partitioner, the
+// partials the reducers merge (Agg.Partials) must be STRICTLY below the
+// partials the bolts flushed (AggBoltPartials) on the ring plane, while
+// the channel plane merges exactly what the bolts flush. Workers=16
+// also exercises the interior tree nodes (two groups of 8).
+func TestRingCombinerCutsReducerTraffic(t *testing.T) {
+	base := Config{
+		Workers:   16,
+		Sources:   2,
+		Algorithm: "W-C",
+		AggWindow: 500,
+		AggShards: 2,
+		Messages:  30_000,
+	}
+
+	chCfg := base
+	chCfg.Dataplane = DataplaneChannel
+	chRes, err := Run(workload.NewZipf(1.5, 100, 30_000, 3), chCfg)
+	if err != nil {
+		t.Fatalf("Run(channel): %v", err)
+	}
+	if chRes.Agg.Partials != chRes.AggBoltPartials {
+		t.Errorf("channel plane: reducers merged %d partials, bolts flushed %d (must be equal)",
+			chRes.Agg.Partials, chRes.AggBoltPartials)
+	}
+
+	rgCfg := base
+	rgCfg.Dataplane = DataplaneRing
+	rgRes, err := Run(workload.NewZipf(1.5, 100, 30_000, 3), rgCfg)
+	if err != nil {
+		t.Fatalf("Run(ring): %v", err)
+	}
+	if rgRes.AggBoltPartials == 0 {
+		t.Fatal("ring plane: no bolt partials recorded")
+	}
+	if rgRes.Agg.Partials >= rgRes.AggBoltPartials {
+		t.Errorf("ring plane: combiner tree did not reduce traffic: reducers merged %d, bolts flushed %d",
+			rgRes.Agg.Partials, rgRes.AggBoltPartials)
+	}
+	if rgRes.AggTotal != rgRes.Completed {
+		t.Errorf("ring plane: AggTotal %d != Completed %d", rgRes.AggTotal, rgRes.Completed)
+	}
+}
+
+// TestRingDataplaneNoAgg sanity-checks the plain (no aggregation)
+// topology on rings: every message is processed exactly once.
+func TestRingDataplaneNoAgg(t *testing.T) {
+	res, err := Run(workload.NewZipf(1.1, 500, 15_000, 5), Config{
+		Workers:   6,
+		Sources:   3,
+		Algorithm: "PKG",
+		Messages:  15_000,
+		Dataplane: DataplaneRing,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Completed != 15_000 {
+		t.Fatalf("Completed = %d, want 15000", res.Completed)
+	}
+	var sum int64
+	for _, l := range res.Loads {
+		sum += l
+	}
+	if sum != 15_000 {
+		t.Fatalf("Loads sum = %d, want 15000", sum)
+	}
+}
+
+// TestPipelineRingDataplaneParity runs the same two-phase aggregation
+// pipeline (windowed aggregate → KG reduce) on both dataplanes and
+// checks the reduced per-(window, key) counts against the stream's
+// ground truth — and therefore against each other — exactly.
+func TestPipelineRingDataplaneParity(t *testing.T) {
+	const (
+		m          = 10_000
+		windowSize = 1_000
+	)
+	truth := aggGroundTruth(zipfGen(1.5, 200, m), windowSize)
+
+	for _, dp := range []Dataplane{DataplaneChannel, DataplaneRing} {
+		name := "channel"
+		if dp == DataplaneRing {
+			name = "ring"
+		}
+		t.Run(name, func(t *testing.T) {
+			var mu sync.Mutex
+			got := make(map[int64]map[string]int64)
+			p := NewPipeline(zipfGen(1.5, 200, m), 2).
+				AddWindowedAggregate("partial", 4, "D-C", windowSize).
+				AddWeightedStage("reduce", 2, "KG", 0, func(key string, window, count int64, _ func(string, int64)) {
+					mu.Lock()
+					mm := got[window]
+					if mm == nil {
+						mm = make(map[string]int64)
+						got[window] = mm
+					}
+					mm[key] += count
+					mu.Unlock()
+				})
+			res, err := p.Run(PipelineConfig{Core: core.Config{Seed: 5}, QueueLen: 32, Dataplane: dp})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Emitted != m {
+				t.Fatalf("emitted %d of %d", res.Emitted, m)
+			}
+			if len(got) != len(truth) {
+				t.Fatalf("got %d windows, want %d", len(got), len(truth))
+			}
+			for w, wantKeys := range truth {
+				if len(got[w]) != len(wantKeys) {
+					t.Fatalf("window %d: got %d keys, want %d", w, len(got[w]), len(wantKeys))
+				}
+				for k, want := range wantKeys {
+					if got[w][k] != want {
+						t.Fatalf("window %d key %q: got %d, want %d", w, k, got[w][k], want)
+					}
+				}
+			}
+			if res.Stages[1].Processed != res.Stages[0].AggPartials {
+				t.Fatalf("reduce processed %d, aggregate emitted %d", res.Stages[1].Processed, res.Stages[0].AggPartials)
+			}
+		})
+	}
+}
+
+// mallocsForRun measures the cumulative allocation count of one ring-
+// plane run of m messages.
+func mallocsForRun(t *testing.T, m int64) uint64 {
+	t.Helper()
+	gen := workload.NewZipf(1.3, 200, m, 9)
+	cfg := Config{
+		Workers:   8,
+		Sources:   2,
+		Algorithm: "W-C",
+		AggWindow: 500,
+		AggShards: 2,
+		Messages:  m,
+		Dataplane: DataplaneRing,
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if _, err := Run(gen, cfg); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs
+}
+
+// TestRingDataplaneAllocsSublinear extends the 0 allocs/op discipline
+// to the whole tuple path: tuples live in ring slots and partial tables
+// are recycled, so a longer run must not allocate proportionally more.
+// The per-run fixed cost (rings, partitioners, reservoirs, goroutines)
+// cancels in the difference; the marginal cost per extra message must
+// be ~0 (the bound leaves slack for per-window bookkeeping rows, which
+// grow with windows, not messages).
+func TestRingDataplaneAllocsSublinear(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation accounting run")
+	}
+	const m1, m2 = 20_000, 120_000
+	a1 := mallocsForRun(t, m1)
+	a2 := mallocsForRun(t, m2)
+	extra := float64(a2) - float64(a1)
+	perMsg := extra / float64(m2-m1)
+	t.Logf("mallocs: %d @ %d msgs, %d @ %d msgs → %.4f allocs per extra message", a1, m1, a2, m2, perMsg)
+	if perMsg > 0.05 {
+		t.Fatalf("ring dataplane allocates %.4f per extra message, want ≤ 0.05", perMsg)
+	}
+}

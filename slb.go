@@ -114,6 +114,44 @@
 // runtime's wall-clock equivalents, with EngineConfig.AggMergeCost
 // available to reproduce the reducer-bound regime in wall-clock runs.
 //
+// # The goroutine engine's dataplanes
+//
+// The goroutine runtime executes one topology — spouts route a keyed
+// stream into bolts, bolts flush windowed partials toward R reducer
+// shards — over either of two tuple transports, selected by
+// EngineConfig.Dataplane / PipelineConfig.Dataplane:
+//
+//   - DataplaneChannel (the default): bounded Go channels, one shared
+//     MPSC inbox per executor, tuples moving in per-batch slabs and the
+//     in-flight ack window implemented as a semaphore channel.
+//   - DataplaneRing: every (sender, receiver) edge gets its own
+//     lock-free single-producer/single-consumer ring buffer
+//     (internal/ring — power-of-two capacity, cache-line-padded
+//     cursors, cached-sequence fast path, batched Grant/Publish and
+//     Acquire/Release windows). The ring slots ARE the tuple arena:
+//     tuples are written and read in place, no slab is allocated, and
+//     the zero-allocation steady state extends from routing to the
+//     whole spout→bolt→reducer tuple path. Acks become one padded
+//     atomic in-flight counter per source, bumped per slab and
+//     decremented per consumed batch.
+//
+// The ring plane also restructures the shard hop through a worker-side
+// COMBINER TREE: bolts push flushed partials into per-shard trees
+// (fan-in 8) whose interior nodes pre-merge same-(window, key)
+// partials through the pluggable Merger — exact, because the Merger is
+// a commutative, associative fold — and whose per-shard roots buffer
+// to window completeness, so each reducer shard merges roughly one
+// combined partial per (window, key) instead of one per (window, key,
+// worker): the reduce stage's merge traffic drops from the replication
+// factor to ≈ 1 (EngineResult.AggBoltPartials vs Agg.Partials measures
+// the cut). Everything observable is pinned across dataplanes — window
+// close, hash-once digest carry, finals, and replication factors are
+// bit-identical — so the selector doubles as an A/B harness:
+// BenchmarkPipelineThroughput measures the ring plane at ≈ 1.6x the
+// channel baseline on the raw tuple path and ≥ 2x in the reducer-bound
+// reference regime (AggShards = 4, 50 µs merge cost), where the
+// combiner tree's traffic cut is structural.
+//
 // # Balancing at scale
 //
 // The paper's title regime — hundreds to tens of thousands of workers —
@@ -375,6 +413,22 @@ func SimulateCluster(gen Generator, cfg ClusterConfig) (ClusterResult, error) {
 // EngineConfig configures the concurrent goroutine runtime (bounded
 // channels, ack-based windows, wall-clock measurement).
 type EngineConfig = dspe.Config
+
+// Dataplane selects how the goroutine runtime moves tuples between its
+// stages (EngineConfig.Dataplane / PipelineConfig.Dataplane). Both
+// planes execute the same topology and produce bit-identical results.
+type Dataplane = dspe.Dataplane
+
+// The goroutine runtime's dataplanes. DataplaneChannel — the default —
+// uses bounded Go channels (one shared MPSC inbox per executor).
+// DataplaneRing replaces every edge with per-(sender, receiver)
+// lock-free SPSC ring buffers whose slots double as the tuple arena,
+// and pre-merges same-host bolt partials through a worker-side
+// combiner tree before the shard hop to the reducers.
+const (
+	DataplaneChannel = dspe.DataplaneChannel
+	DataplaneRing    = dspe.DataplaneRing
+)
 
 // EngineResult reports wall-clock throughput and latency of a topology.
 type EngineResult = dspe.Result
