@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"slb/internal/clirun"
 	"slb/internal/experiments"
@@ -26,9 +27,11 @@ func main() {
 	csvDir := flag.String("csv", "", "also write CSV files into this directory")
 	jsonDir := flag.String("json", "", "also write BENCH_*.json files into this directory (CI perf artifacts)")
 	chartFlag := flag.Bool("chart", false, "render chartable tables as ASCII plots (log-scale y)")
+	meta := clirun.MetaFlag{}
+	flag.Var(meta, "meta", "key=value run metadata recorded in every BENCH_*.json (repeatable)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: slbstorm [-scale quick|default|full] [-csv DIR] [-json DIR] <experiment>|all|list\n\nexperiments:\n")
+			"usage: slbstorm [-scale quick|default|full] [-csv DIR] [-json DIR] [-meta k=v]... <experiment>|all|list\n\nexperiments:\n")
 		for _, e := range experiments.List(true) {
 			if e.Cluster {
 				fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", e.Name, e.Description)
@@ -37,8 +40,11 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if _, ok := meta["timestamp"]; !ok {
+		meta["timestamp"] = time.Now().UTC().Format(time.RFC3339)
+	}
 
-	if err := clirun.Main(os.Stdout, clirun.Options{Scale: *scaleFlag, CSVDir: *csvDir, JSONDir: *jsonDir, Cluster: true, Chart: *chartFlag}, flag.Args()); err != nil {
+	if err := clirun.Main(os.Stdout, clirun.Options{Scale: *scaleFlag, CSVDir: *csvDir, JSONDir: *jsonDir, Cluster: true, Chart: *chartFlag, Meta: meta}, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "slbstorm:", err)
 		os.Exit(1)
 	}

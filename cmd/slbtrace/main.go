@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	slbtrace gen   -out trace.slbt [-dataset WP|TW|CT | -z 1.4 -keys 10000] [-messages 1000000] [-seed 42] [-scale quick|default|full]
+//	slbtrace gen   -out trace.slbt [-dataset WP|TW|CT | -z 1.4 -keys 10000] [-messages 1000000] [-seed 42] [-scale quick|default|full] [-payload keylen|mix]
 //	slbtrace stats -in trace.slbt
 //	slbtrace head  -in trace.slbt [-theta 0.004] [-top 20]
 //	slbtrace sim   -in trace.slbt -algo D-C [-workers 50] [-sources 5]
@@ -75,6 +75,7 @@ func cmdGen(args []string) error {
 	messages := fs.Int64("messages", 1_000_000, "messages to generate")
 	seed := fs.Uint64("seed", 42, "generator seed")
 	scale := fs.String("scale", "default", "dataset scale: quick|default|full")
+	payload := fs.String("payload", "", "record per-message payload values (version-2 trace): keylen|mix")
 	fs.Parse(args)
 	if *out == "" {
 		return fmt.Errorf("gen: -out is required")
@@ -94,6 +95,16 @@ func cmdGen(args []string) error {
 	} else {
 		gen = workload.NewZipf(*z, *keys, *messages, *seed)
 	}
+	if *payload != "" {
+		fn, err := payloadFunc(*payload)
+		if err != nil {
+			return err
+		}
+		// Derive once at record time; replay then supplies these values
+		// as recorded data (the engines' sampling contract — see
+		// stream.ValueBatchGenerator).
+		gen = stream.WithValues(gen, fn)
+	}
 
 	n, err := tracefile.WriteFile(*out, gen)
 	if err != nil {
@@ -106,6 +117,27 @@ func cmdGen(args []string) error {
 	fmt.Printf("wrote %d messages to %s (%.2f bytes/message)\n",
 		n, *out, float64(info.Size())/float64(n))
 	return nil
+}
+
+// payloadFunc maps a -payload model name to a deterministic derivation;
+// the derived values are written into the trace, so every replay of the
+// file observes the same samples regardless of the model chosen here.
+func payloadFunc(name string) (func(key string, seq int64) int64, error) {
+	switch name {
+	case "keylen":
+		return func(key string, _ int64) int64 { return int64(len(key)) }, nil
+	case "mix":
+		// A sign-varying mix of key identity and position: exercises
+		// sum/min/max mergers with non-trivial, reproducible samples.
+		return func(key string, seq int64) int64 {
+			v := int64(hashing.Digest(key))%1000 + seq%97
+			if seq%5 == 0 {
+				v = -v
+			}
+			return v
+		}, nil
+	}
+	return nil, fmt.Errorf("gen: unknown payload model %q (keylen|mix)", name)
 }
 
 func parseScale(s string) (workload.Scale, error) {
@@ -135,6 +167,26 @@ func cmdStats(args []string) error {
 	st := stream.Collect(g)
 	fmt.Printf("messages: %d\nkeys:     %d\np1:       %.4f%% (key %q)\n",
 		st.Messages, st.Keys, 100*st.P1, st.TopKey)
+	if g.HasValues() {
+		g.Reset()
+		keys := make([]string, 512)
+		vals := make([]int64, 512)
+		var sum, n int64
+		for {
+			c := g.NextBatchValues(keys, vals)
+			if c == 0 {
+				break
+			}
+			for _, v := range vals[:c] {
+				sum += v
+			}
+			n += int64(c)
+		}
+		fmt.Printf("payload:  recorded (version 2), sum %d, mean %.3f\n",
+			sum, float64(sum)/float64(n))
+	} else {
+		fmt.Println("payload:  none (version 1; replay supplies the constant 1)")
+	}
 	return nil
 }
 

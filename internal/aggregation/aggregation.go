@@ -61,6 +61,7 @@ package aggregation
 import (
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"slb/internal/hashing"
 	"slb/internal/metrics"
@@ -441,6 +442,12 @@ type Reducer struct {
 	live   int                // live entries across open windows
 	closed map[int64]struct{} // ids already finalized (windows may close out of order)
 	stats  ReducerStats
+
+	// liveA/openA mirror live and len(pool.open) into atomics, updated
+	// once per Merge/close call, so a telemetry snapshot goroutine can
+	// read the reducer's occupancy while the owning goroutine merges.
+	liveA atomic.Int64
+	openA atomic.Int64
 }
 
 // NewReducer returns an empty counting reducer.
@@ -481,6 +488,8 @@ func (r *Reducer) Merge(ps []Partial) {
 			}
 		}
 	}
+	r.liveA.Store(int64(r.live))
+	r.openA.Store(int64(len(r.pool.open)))
 }
 
 // WindowTotal returns the total message count merged into the given
@@ -516,6 +525,8 @@ func (r *Reducer) closeWindow(w int64, dst []Final) []Final {
 	r.live -= t.used
 	r.closed[w] = struct{}{}
 	r.pool.recycle(w)
+	r.liveA.Store(int64(r.live))
+	r.openA.Store(int64(len(r.pool.open)))
 	return dst
 }
 
@@ -548,6 +559,15 @@ func (r *Reducer) CloseAll(dst []Final) []Final {
 
 // Entries returns the live (window, key) entries currently held.
 func (r *Reducer) Entries() int { return r.live }
+
+// LiveEntries is the concurrent-safe form of Entries: an atomic
+// snapshot updated once per Merge/close call, readable while the owning
+// goroutine merges (telemetry gauges poll it).
+func (r *Reducer) LiveEntries() int64 { return r.liveA.Load() }
+
+// LiveWindows is the concurrent-safe count of currently open windows,
+// with the same per-call granularity as LiveEntries.
+func (r *Reducer) LiveWindows() int64 { return r.openA.Load() }
 
 // Stats returns the accumulated cost counters.
 func (r *Reducer) Stats() ReducerStats { return r.stats }
@@ -689,6 +709,24 @@ func (d *Driver) observeReplica(id uint64, worker int) {
 
 // Stats returns the reducer's cost counters.
 func (d *Driver) Stats() ReducerStats { return d.red.Stats() }
+
+// LiveEntries returns the reducer's current live (window, key) entries;
+// safe to call concurrently with Merge (see Reducer.LiveEntries).
+func (d *Driver) LiveEntries() int64 { return d.red.LiveEntries() }
+
+// LiveWindows returns the reducer's currently open window count; safe
+// to call concurrently with Merge.
+func (d *Driver) LiveWindows() int64 { return d.red.LiveWindows() }
+
+// LiveReplicas returns the number of (window, key) identities currently
+// holding a replica bitset — the replica tracker's live memory
+// footprint, which follows the open windows because completed windows
+// release their bitsets. Thread-safe (repMu).
+func (d *Driver) LiveReplicas() int {
+	d.repMu.Lock()
+	defer d.repMu.Unlock()
+	return d.reps.Live()
+}
 
 // Replication returns the exact measured state replication factor:
 // distinct (window, key, worker) triples per distinct (window, key).

@@ -275,6 +275,29 @@ func (sd *ShardedDriver) FinishShard(r int, onFinal func(Final)) {
 // StatsShard returns shard r's cost counters.
 func (sd *ShardedDriver) StatsShard(r int) ReducerStats { return sd.drivers[r].Stats() }
 
+// LiveEntriesShard returns shard r's current live (window, key)
+// entries. Safe to call concurrently with that shard's MergeShard —
+// telemetry gauges poll it mid-run.
+func (sd *ShardedDriver) LiveEntriesShard(r int) int64 { return sd.drivers[r].LiveEntries() }
+
+// LiveWindowsShard returns shard r's currently open window count; same
+// concurrency contract as LiveEntriesShard.
+func (sd *ShardedDriver) LiveWindowsShard(r int) int64 { return sd.drivers[r].LiveWindows() }
+
+// LiveReplicasShard returns the number of (window, key) identities on
+// shard r currently holding a replica bitset. Thread-safe.
+func (sd *ShardedDriver) LiveReplicasShard(r int) int { return sd.drivers[r].LiveReplicas() }
+
+// LiveReplicas sums the live replica-bitset count across shards: the
+// reduce stage's replica-accounting memory footprint. Thread-safe.
+func (sd *ShardedDriver) LiveReplicas() int {
+	n := 0
+	for _, d := range sd.drivers {
+		n += d.LiveReplicas()
+	}
+	return n
+}
+
 // Stats returns the reduce stage's cost counters summed across shards.
 // PeakEntries is the sum of per-shard peaks (an upper bound on the
 // stage's simultaneous memory: shards peak independently); PeakWindows

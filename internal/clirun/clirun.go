@@ -8,6 +8,9 @@ import (
 	"fmt"
 	"io"
 	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 
 	"slb/internal/asciichart"
 	"slb/internal/experiments"
@@ -30,6 +33,37 @@ type Options struct {
 	// Chart additionally renders chartable tables as ASCII plots
 	// (log-scale y, matching the paper's figures).
 	Chart bool
+	// Meta is free-form run metadata (seed, config, timestamp — the
+	// -meta flag plus whatever the binary stamps) merged into every
+	// JSON table's "meta" object alongside the driver's own keys
+	// (experiment, table index, scale), so consumers keying the
+	// BENCH_*.json trajectory can match on configuration rather than
+	// file name alone. Caller keys win over the driver's on collision.
+	Meta map[string]string
+}
+
+// MetaFlag accumulates repeated -meta key=value flags into a metadata
+// map; it implements flag.Value for the CLI binaries.
+type MetaFlag map[string]string
+
+// String implements flag.Value.
+func (m MetaFlag) String() string {
+	parts := make([]string, 0, len(m))
+	for k, v := range m {
+		parts = append(parts, k+"="+v)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// Set implements flag.Value, parsing one key=value pair.
+func (m MetaFlag) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok || k == "" {
+		return fmt.Errorf("meta flag %q is not key=value", s)
+	}
+	m[k] = v
+	return nil
 }
 
 // Main executes one CLI invocation.
@@ -73,8 +107,25 @@ func Main(w io.Writer, opts Options, args []string) error {
 				}
 			}
 			if opts.JSONDir != "" {
+				// The JSON artifact carries run metadata: the driver's
+				// keys identify which run produced the table, the
+				// caller's (Options.Meta) add seed/config/timestamp. A
+				// shallow copy keeps the printed/CSV table untouched.
+				meta := map[string]string{
+					"experiment": expName,
+					"table":      strconv.Itoa(i),
+					"scale":      scaleFlag,
+				}
+				for k, v := range t.Meta {
+					meta[k] = v
+				}
+				for k, v := range opts.Meta {
+					meta[k] = v
+				}
+				jt := *t
+				jt.Meta = meta
 				path := filepath.Join(opts.JSONDir, fmt.Sprintf("BENCH_%s_%d.json", expName, i))
-				if err := t.WriteJSON(path); err != nil {
+				if err := jt.WriteJSON(path); err != nil {
 					return err
 				}
 			}

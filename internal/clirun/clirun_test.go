@@ -1,6 +1,7 @@
 package clirun
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -88,5 +89,69 @@ func TestMainAllCluster(t *testing.T) {
 	out := b.String()
 	if !strings.Contains(out, "Fig 13") || !strings.Contains(out, "Fig 14") {
 		t.Errorf("cluster 'all' missing figures:\n%s", out)
+	}
+}
+
+func TestMainJSONCarriesMeta(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	opts := Options{
+		Scale:   "quick",
+		JSONDir: dir,
+		Meta:    map[string]string{"seed": "42", "host": "ci-runner"},
+	}
+	if err := Main(&b, opts, []string{"fig3"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_fig3_0.json"))
+	if err != nil {
+		t.Fatalf("JSON not written: %v", err)
+	}
+	var doc struct {
+		Title string            `json:"title"`
+		Meta  map[string]string `json:"meta"`
+		Rows  [][]string        `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"experiment": "fig3",
+		"table":      "0",
+		"scale":      "quick",
+		"seed":       "42",
+		"host":       "ci-runner",
+	}
+	for k, v := range want {
+		if doc.Meta[k] != v {
+			t.Errorf("meta[%q] = %q, want %q", k, doc.Meta[k], v)
+		}
+	}
+	if len(doc.Rows) == 0 {
+		t.Error("JSON table has no rows")
+	}
+}
+
+func TestMetaFlag(t *testing.T) {
+	m := MetaFlag{}
+	for _, kv := range []string{"seed=7", "config=W-C,n=8", "seed=9"} {
+		if err := m.Set(kv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m["seed"] != "9" {
+		t.Errorf("repeated key should overwrite: seed = %q", m["seed"])
+	}
+	if m["config"] != "W-C,n=8" {
+		t.Errorf("value with '=' mangled: %q", m["config"])
+	}
+	if err := m.Set("novalue"); err == nil {
+		t.Error("bare token accepted")
+	}
+	if err := m.Set("=x"); err == nil {
+		t.Error("empty key accepted")
+	}
+	if got := m.String(); !strings.Contains(got, "seed=9") {
+		t.Errorf("String() = %q", got)
 	}
 }

@@ -170,6 +170,13 @@ type candCache struct {
 	// once the solver picks d in the thousands (large deployments).
 	mark  []int32
 	epoch int32
+
+	// Hit/miss counters over lookup calls (one lookup serves a whole
+	// run, so these count runs, not messages); surfaced via RouteStats.
+	// Note the hot-key memo in DChoices.headCands short-circuits most
+	// lookups for the dominant key — memo hits never reach the cache.
+	hits   int64
+	misses int64
 }
 
 func newCandCache(n int) candCache {
@@ -243,12 +250,14 @@ func (cc *candCache) lookup(dg KeyDigest, d int, f *hashing.Family) []int32 {
 		hi := cc.dhi[w]
 		if cc.digs[w] == dg && int32(d) <= hi && int32(d) > hi-candDWindow {
 			cc.used[w] = cc.tick
+			cc.hits++
 			return cc.cands[w*cc.n : w*cc.n+int(cc.lens[w*candDWindow+int(hi-int32(d))])]
 		}
 		if cc.used[w] < cc.used[victim] {
 			victim = w
 		}
 	}
+	cc.misses++
 	cc.epoch++
 	if cc.epoch == 0 { // wrapped: every mark is stale garbage, clear once
 		for i := range cc.mark {
@@ -459,6 +468,7 @@ func (p *DChoices) routeRunBulk(dg KeyDigest, key string, r int, dst []int) {
 	if cross == r {
 		return
 	}
+	p.head.noteHead(r - cross)
 	if p.d >= p.n {
 		for m := cross; m < r; m++ {
 			dst[m] = p.routeAll()
@@ -543,6 +553,7 @@ func (p *DChoices) routeRunNearSolve(dg KeyDigest, key string, r int, dst []int)
 			}
 			t++
 		}
+		p.head.noteHead(t)
 		if p.d >= p.n {
 			for j := m; j < m+t; j++ {
 				dst[j] = p.routeAll()
@@ -597,6 +608,7 @@ func (p *WChoices) routeRun(dg KeyDigest, key string, r int, dst []int) {
 	if cross > 0 {
 		p.routeTailSeg(dg, dst[:cross])
 	}
+	p.head.noteHead(r - cross)
 	for m := cross; m < r; m++ {
 		dst[m] = p.routeAll()
 	}
@@ -633,6 +645,7 @@ func (p *RoundRobin) routeRun(dg KeyDigest, key string, r int, dst []int) {
 	if cross > 0 {
 		p.routeTailSeg(dg, dst[:cross])
 	}
+	p.head.noteHead(r - cross)
 	w := p.next
 	for m := cross; m < r; m++ {
 		dst[m] = w
@@ -679,6 +692,7 @@ func (p *ForcedD) routeRun(dg KeyDigest, key string, r int, dst []int) {
 	if cross == r {
 		return
 	}
+	p.head.noteHead(r - cross)
 	if p.d == p.n {
 		for m := cross; m < r; m++ {
 			dst[m] = p.routeAll()

@@ -299,6 +299,14 @@ type greedy struct {
 	lidx   int8                // Config.LoadIndex (crossover policy for candidate tournaments)
 	tree   *loadTree           // full-vector load index, nil below the crossover
 	ctree  []int32             // scratch: candidate subset tournament (grows to the largest list)
+
+	// Plain (single-goroutine, like the partitioner itself) argmin-path
+	// counters, surfaced through RouteStats: messages routed via a
+	// tournament tree (full-vector or candidate-subset) vs a linear
+	// scan (packed full-vector or branchy candidate scan). One int64
+	// increment on paths that cost tens of ns — below measurement noise.
+	nTreeMin int64
+	nScanMin int64
 }
 
 func newGreedy(cfg Config) greedy {
@@ -374,6 +382,7 @@ const maxPacked = int64(1)<<62 - 1
 // rarely-taken compare branch well predicted, measurably beating the
 // packed conditional-move variant routeAll uses.
 func (g *greedy) routeCands(cand []int32) int {
+	g.nScanMin++
 	loads := g.loads
 	best := int(cand[0])
 	bestLoad := loads[best]
@@ -410,10 +419,12 @@ func (g *greedy) scratchDigests(n int) []hashing.KeyDigest {
 // tie-break, bit-exactly.
 func (g *greedy) routeAll() int {
 	if t := g.tree; t != nil {
+		g.nTreeMin++
 		w := t.min()
 		g.bump(w)
 		return w
 	}
+	g.nScanMin++
 	loads := g.loads
 	b0 := loads[0] << packShift
 	b1, b2, b3 := maxPacked, maxPacked, maxPacked
@@ -504,6 +515,11 @@ type HeadTracker struct {
 	sketch *spacesaving.Summary  // insertion-only mode (the paper's)
 	win    *spacesaving.Windowed // sliding mode (drift extension)
 	theta  float64
+	// headMsgs counts messages classified as head (plain counter,
+	// single-goroutine like the owning partitioner; see RouteStats).
+	// The per-message path counts in observeDigest; the batch paths
+	// count whole head segments at the crossing split.
+	headMsgs int64
 }
 
 func newHeadTracker(cfg Config) HeadTracker {
@@ -530,10 +546,32 @@ func (h *HeadTracker) observeDigest(dg KeyDigest, key string) bool {
 		if !ok || c < minHeadCount {
 			return false
 		}
-		return float64(c) >= h.theta*float64(h.win.N())
+		if float64(c) >= h.theta*float64(h.win.N()) {
+			h.headMsgs++
+			return true
+		}
+		return false
 	}
 	c := h.sketch.OfferDigest(dg, key)
-	return h.isHeadAt(c, h.sketch.N())
+	if h.isHeadAt(c, h.sketch.N()) {
+		h.headMsgs++
+		return true
+	}
+	return false
+}
+
+// noteHead accounts n head-classified messages from a batch path's
+// crossing split (the arithmetic predicate never goes through
+// observeDigest there).
+func (h *HeadTracker) noteHead(n int) { h.headMsgs += int64(n) }
+
+// sketchStats returns the occupancy, capacity, and lifetime eviction
+// count (head churn) of the tracker's sketch, in either mode.
+func (h *HeadTracker) sketchStats() (length, capacity int, evictions uint64) {
+	if h.win != nil {
+		return h.win.Len(), h.win.Capacity(), h.win.Evictions()
+	}
+	return h.sketch.Len(), h.sketch.Capacity(), h.sketch.Evictions()
 }
 
 // isHeadAt evaluates the head predicate for an arithmetic count/stream
@@ -688,6 +726,7 @@ type DChoices struct {
 	d          int    // current number of choices for the head
 	solved     bool   // whether d has ever been computed
 	lastSolveN uint64 // sketch N at the last solve
+	solves     int64  // FINDOPTIMALCHOICES runs (instrumentation)
 
 	cache candCache // batch path: memoized head-key candidate lists
 
@@ -773,6 +812,7 @@ func (p *DChoices) findOptimalChoices() int {
 	if p.solved && n-p.lastSolveN < uint64(p.solveEvery) {
 		return p.d
 	}
+	p.solves++
 	head, tail := p.head.headSnapshot()
 	// Size the candidate cache by the head cardinality the sketch
 	// actually observes, not by n: the snapshot is already in hand and

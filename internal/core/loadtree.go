@@ -168,6 +168,7 @@ func (g *greedy) candWinner(cand []int32, a, b int32) int32 {
 // len(cand) ≥ 2 and that nothing else touches the loads between the
 // messages (true within a batch run).
 func (g *greedy) routeCandsTree(cand []int32, dst []int) {
+	g.nTreeMin += int64(len(dst))
 	c := len(cand)
 	if cap(g.ctree) < 2*c {
 		g.ctree = make([]int32, 2*c)

@@ -51,6 +51,7 @@ import (
 	"slb/internal/core"
 	"slb/internal/metrics"
 	"slb/internal/stream"
+	"slb/internal/telemetry"
 )
 
 // Config describes one topology run.
@@ -101,8 +102,10 @@ type Config struct {
 	// MaxMerger, DistinctMerger, or any custom Merger.
 	AggMerger aggregation.Merger
 	// AggValue derives the 64-bit sample the merger observes for each
-	// message; seq is the message's global emission index. nil means the
-	// constant 1 (so sum ≡ count).
+	// message; seq is the message's global emission index. nil falls
+	// back to the generator's recorded payload values when it carries
+	// any (stream.ValueBatchGenerator — e.g. a version-2 tracefile
+	// replay), and to the constant 1 (so sum ≡ count) otherwise.
 	AggValue func(key string, seq int64) int64
 	// AggMergeCost, when positive, simulates a per-partial merge cost at
 	// the reducer shards (slept or spun per Config.Spin, batched per
@@ -124,6 +127,14 @@ type Config struct {
 	// across dataplanes (same finals, same replication factors); only
 	// the wall-clock cost differs.
 	Dataplane Dataplane
+	// Telemetry, when non-nil, receives the run's live metric series:
+	// per-spout routing activity (core.RouteRecorder), ack-window and
+	// ring publish/acquire stalls, per-bolt queue depths and processed
+	// counts, bolt-side partial flushes, and per-shard reducer busy time
+	// and occupancy gauges. Series names and labels are listed in
+	// internal/dspe/telemetry.go and the slb package doc (§ Telemetry).
+	// All hooks are per-slab or snapshot-time; nil adds no work at all.
+	Telemetry *telemetry.Registry
 }
 
 // Dataplane names a tuple-transport implementation; see Config.Dataplane.
@@ -211,7 +222,8 @@ type Result struct {
 
 // tuple is one in-flight message. With aggregation on it carries the
 // KeyDigest routing computed, so bolts never re-scan the key bytes,
-// plus the merger sample Config.AggValue derived at the spout. A
+// plus the merger sample resolved at the spout (AggValue hook, else
+// generator-recorded value, else 1 — see Config.AggValue). A
 // negative src marks a watermark tick: window holds the id of the
 // window the global emission sequence has entered, there is no key and
 // no ack, and the receiving bolt just flushes its closed windows.
@@ -220,7 +232,7 @@ type tuple struct {
 	dig     core.KeyDigest
 	emitted time.Time
 	window  int64 // tumbling-window id (0 unless Config.AggWindow > 0)
-	val     int64 // merger sample (1 unless Config.AggValue is set)
+	val     int64 // merger sample (see Config.AggValue for the contract)
 	src     int32
 }
 
@@ -257,6 +269,7 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 	if cfg.Dataplane == DataplaneRing {
 		return runRing(gen, cfg, parts, limit)
 	}
+	pt := newPlaneTelemetry(cfg)
 
 	// Channels carry tuple slabs: one send per (slab, destination bolt)
 	// instead of one per message.
@@ -264,6 +277,7 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 	for i := range in {
 		in[i] = make(chan []tuple, cfg.QueueLen)
 	}
+	pt.observeChannelQueues(in)
 	// Per-source window semaphores: spouts acquire before emitting, bolts
 	// release after processing (the ack path).
 	window := make([]chan struct{}, cfg.Sources)
@@ -305,6 +319,7 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 	)
 	if cfg.AggWindow > 0 {
 		sd = aggregation.NewShardedDriver(cfg.Workers, shards, cfg.AggWindow, limit, cfg.AggMerger)
+		pt.observeReduce(sd)
 		aggCh = make([]chan []aggregation.Partial, shards)
 		reduceBusy = make([]time.Duration, shards)
 		// Finals fan back in through one callback; serialize it across
@@ -345,12 +360,16 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 						settle(time.Millisecond)
 					}
 					sd.MergeShard(r, slab, onFinal)
-					reduceBusy[r] += time.Since(t0)
+					d := time.Since(t0)
+					reduceBusy[r] += d
+					pt.addReduce(r, len(slab), d)
 				}
 				t0 := time.Now()
 				settle(0)
 				sd.FinishShard(r, onFinal)
-				reduceBusy[r] += time.Since(t0)
+				d := time.Since(t0)
+				reduceBusy[r] += d
+				pt.addReduce(r, 0, d)
 			}(r)
 		}
 	}
@@ -384,6 +403,7 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 				if len(scratch) == 0 {
 					return
 				}
+				pt.addBoltPartials(len(scratch))
 				if shards == 1 {
 					aggCh[0] <- append(make([]aggregation.Partial, 0, len(scratch)), scratch...)
 					return
@@ -449,6 +469,7 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 					st.sum += lat
 					<-window[tp.src] // ack
 				}
+				pt.addBoltMsgs(w, len(slab))
 			}
 			if acc != nil {
 				flushClosed(1 << 62)
@@ -460,6 +481,7 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 	// The input stream is shared by all spouts (shuffle grouping from the
 	// data source to the spouts); see slabSource.
 	nextSlab, _ := slabSource(gen, limit)
+	genVals := stream.Values(gen) != nil
 
 	// tickedWindow is the highest window id announced to the bolts via
 	// watermark ticks; the spout whose slab first enters a window
@@ -477,25 +499,43 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 			keys := make([]string, cfg.Batch)
 			dsts := make([]int, cfg.Batch)
 			var digs []core.KeyDigest
+			var vals []int64
 			if cfg.AggWindow > 0 {
 				digs = make([]core.KeyDigest, cfg.Batch)
+				// Sampling contract (stream.ValueBatchGenerator): the
+				// AggValue hook wins; else recorded generator values; else
+				// the constant 1 (leaving vals nil keeps the draw key-only).
+				if cfg.AggValue == nil && genVals {
+					vals = make([]int64, cfg.Batch)
+				}
 			}
 			counts := make([]int, cfg.Workers)
 			pending := make([][]tuple, cfg.Workers)
 			for {
-				n, base := nextSlab(keys)
+				n, base := nextSlab(keys, vals)
 				if n == 0 {
 					return
 				}
 				// Acquire the whole slab's in-flight slots (Batch ≤ Window,
-				// so this always completes once acks drain).
+				// so this always completes once acks drain). With telemetry
+				// on, the acquisition is timed per slab: this is where ack
+				// backpressure (slow bolts) stalls the spout.
+				var t0 time.Time
+				if pt != nil {
+					t0 = time.Now()
+				}
 				for i := 0; i < n; i++ {
 					window[s] <- struct{}{}
+				}
+				if pt != nil {
+					pt.addAckWait(s, time.Since(t0))
+					t0 = time.Now()
 				}
 				if cfg.AggWindow > 0 {
 					// Hash-once: routing computes the digests the bolts'
 					// partial tables (and the reduce stage) will key by.
 					core.RouteBatchDigests(p, keys[:n], digs, dsts)
+					pt.recordRoute(s, p, n, time.Since(t0))
 					// Count the slab toward its windows' per-shard
 					// completeness thresholds BEFORE any of its tuples can be
 					// sent (a threshold must never lag a mergeable partial).
@@ -528,6 +568,7 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 					}
 				} else {
 					core.RouteBatch(p, keys[:n], dsts)
+					pt.recordRoute(s, p, n, time.Since(t0))
 				}
 				// Group the slab by destination bolt. The per-bolt slabs are
 				// freshly allocated: ownership transfers over the channel.
@@ -550,6 +591,8 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 						tp.val = 1
 						if cfg.AggValue != nil {
 							tp.val = cfg.AggValue(keys[i], base+int64(i))
+						} else if vals != nil {
+							tp.val = vals[i]
 						}
 					}
 					pending[w] = append(pending[w], tp)
@@ -650,12 +693,14 @@ func poolLatency(stats []boltStats) *metrics.Quantiles {
 // message), capped at limit total keys, and each draw also returns the
 // slab's base position in the global emission sequence, from which the
 // spout derives tumbling-window ids — plus an accessor for the total
-// drawn so far. Both Run and Pipeline.Run feed their spouts from one
-// of these.
-func slabSource(gen stream.Generator, limit int64) (draw func(dst []string) (int, int64), drawn func() int64) {
+// drawn so far. A non-nil vals slice (len ≥ len(dst)) is filled in
+// lockstep with the keys' payload values (stream.NextBatchValues);
+// nil draws keys only. Both Run and Pipeline.Run feed their spouts
+// from one of these.
+func slabSource(gen stream.Generator, limit int64) (draw func(dst []string, vals []int64) (int, int64), drawn func() int64) {
 	var mu sync.Mutex
 	var emitted int64
-	draw = func(dst []string) (int, int64) {
+	draw = func(dst []string, vals []int64) (int, int64) {
 		mu.Lock()
 		defer mu.Unlock()
 		if rem := limit - emitted; rem < int64(len(dst)) {
@@ -665,7 +710,12 @@ func slabSource(gen stream.Generator, limit int64) (draw func(dst []string) (int
 			return 0, emitted
 		}
 		base := emitted
-		n := stream.NextBatch(gen, dst)
+		var n int
+		if vals != nil {
+			n = stream.NextBatchValues(gen, dst, vals)
+		} else {
+			n = stream.NextBatch(gen, dst)
+		}
 		emitted += int64(n)
 		return n, base
 	}

@@ -465,7 +465,7 @@ func (p *Pipeline) Run(cfg PipelineConfig) (PipelineResult, error) {
 			digs := make([]core.KeyDigest, spoutBatch)
 			dsts := make([]int, spoutBatch)
 			for {
-				n, base := nextSlab(keys)
+				n, base := nextSlab(keys, nil)
 				if n == 0 {
 					return
 				}

@@ -126,6 +126,28 @@ func pushSlab[T any](q *ring.SPSC[T], xs []T) {
 	}
 }
 
+// pushSlabTimed is pushSlab returning the time spent backed off on a
+// full ring — the producer-visible publish stall. The clock runs only
+// across backoff calls, so an uncontended publish costs no time reads;
+// spouts use it when telemetry is on.
+func pushSlabTimed[T any](q *ring.SPSC[T], xs []T) (stall time.Duration) {
+	spins := 0
+	for len(xs) > 0 {
+		g := q.Grant(len(xs))
+		if g == nil {
+			t0 := time.Now()
+			backoff(&spins)
+			stall += time.Since(t0)
+			continue
+		}
+		spins = 0
+		n := copy(g, xs)
+		q.Publish(n)
+		xs = xs[n:]
+	}
+	return stall
+}
+
 // inflightCounter is one source's atomic in-flight window, padded so
 // the counters of different sources never share a cache line.
 type inflightCounter struct {
@@ -139,6 +161,7 @@ type inflightCounter struct {
 func runRing(gen stream.Generator, cfg Config, parts []core.Partitioner, limit int64) (Result, error) {
 	shards := cfg.AggShards
 	agg := cfg.AggWindow > 0
+	pt := newPlaneTelemetry(cfg)
 
 	// Spout→bolt edges: one SPSC ring per (source, bolt) pair. The ring
 	// slots are the tuple arena — tuples are written and read in place.
@@ -149,6 +172,7 @@ func runRing(gen stream.Generator, cfg Config, parts []core.Partitioner, limit i
 			in[s][w] = ring.New[tuple](ringCapFor(cfg))
 		}
 	}
+	pt.observeRingQueues(in)
 	// Per-source in-flight windows: the spout adds per slab (after
 	// waiting for room), bolts subtract per consumed batch. Replaces the
 	// channel plane's two-channel-ops-per-message semaphore.
@@ -178,6 +202,7 @@ func runRing(gen stream.Generator, cfg Config, parts []core.Partitioner, limit i
 	groups := 0
 	if agg {
 		sd = aggregation.NewShardedDriver(cfg.Workers, shards, cfg.AggWindow, limit, cfg.AggMerger)
+		pt.observeReduce(sd)
 		reduceBusy = make([]time.Duration, shards)
 		onFinal = cfg.OnFinal
 		if onFinal != nil && shards > 1 {
@@ -239,7 +264,7 @@ func runRing(gen stream.Generator, cfg Config, parts []core.Partitioner, limit i
 			reduceWG.Add(1)
 			go func(r int) {
 				defer reduceWG.Done()
-				reduceBusy[r] = shardRoot(cfg, sd, r, rootIn[r], onFinal)
+				reduceBusy[r] = shardRoot(cfg, sd, r, rootIn[r], onFinal, pt)
 			}(r)
 		}
 	}
@@ -271,6 +296,7 @@ func runRing(gen stream.Generator, cfg Config, parts []core.Partitioner, limit i
 			// each). The staging buffers are recycled across flushes.
 			flushClosed := func(before int64) {
 				scratch = acc.FlushBefore(before, scratch[:0])
+				pt.addBoltPartials(len(scratch))
 				for i := range scratch {
 					p := &scratch[i]
 					r := aggregation.ShardFor(p.Digest, shards)
@@ -334,11 +360,18 @@ func runRing(gen stream.Generator, cfg Config, parts []core.Partitioner, limit i
 					q.Release(len(a))
 					if acks > 0 {
 						inflight[s].n.Add(int64(-acks))
+						pt.addBoltMsgs(w, acks)
 					}
 					progressed = true
 				}
 				if progressed {
 					spins = 0
+				} else if pt != nil {
+					// A fruitless full pass: the bolt is input-starved. The
+					// backoff (the only non-progress path) is what gets timed.
+					t0 := time.Now()
+					backoff(&spins)
+					pt.addAcquireStall(w, time.Since(t0))
 				} else {
 					backoff(&spins)
 				}
@@ -354,6 +387,7 @@ func runRing(gen stream.Generator, cfg Config, parts []core.Partitioner, limit i
 	}
 
 	nextSlab, _ := slabSource(gen, limit)
+	genVals := stream.Values(gen) != nil
 	var tickedWindow atomic.Int64
 
 	start := time.Now()
@@ -366,8 +400,14 @@ func runRing(gen stream.Generator, cfg Config, parts []core.Partitioner, limit i
 			keys := make([]string, cfg.Batch)
 			dsts := make([]int, cfg.Batch)
 			var digs []core.KeyDigest
+			var vals []int64
 			if agg {
 				digs = make([]core.KeyDigest, cfg.Batch)
+				// Sampling contract: AggValue hook > recorded generator
+				// values > constant 1 (see Config.AggValue).
+				if cfg.AggValue == nil && genVals {
+					vals = make([]int64, cfg.Batch)
+				}
 			}
 			// Reused per-destination staging: the slab is grouped by bolt
 			// and each group published with ONE Grant/Publish pair, so the
@@ -379,7 +419,7 @@ func runRing(gen stream.Generator, cfg Config, parts []core.Partitioner, limit i
 				pend[w] = make([]tuple, 0, cfg.Batch)
 			}
 			for {
-				n, base := nextSlab(keys)
+				n, base := nextSlab(keys, vals)
 				if n == 0 {
 					break
 				}
@@ -387,12 +427,21 @@ func runRing(gen stream.Generator, cfg Config, parts []core.Partitioner, limit i
 				// this always clears once acks drain). Only this goroutine
 				// adds, so load-then-add cannot overshoot.
 				spins := 0
+				var t0 time.Time
+				if pt != nil {
+					t0 = time.Now()
+				}
 				for inflight[s].n.Load() > int64(cfg.Window-n) {
 					backoff(&spins)
+				}
+				if pt != nil {
+					pt.addAckWait(s, time.Since(t0))
+					t0 = time.Now()
 				}
 				inflight[s].n.Add(int64(n))
 				if agg {
 					core.RouteBatchDigests(p, keys[:n], digs, dsts)
+					pt.recordRoute(s, p, n, time.Since(t0))
 					// Thresholds before visibility, as in the channel plane.
 					sd.ObserveEmits(base, digs[:n])
 					if cw := (base + int64(n) - 1) / cfg.AggWindow; cw > tickedWindow.Load() {
@@ -414,6 +463,7 @@ func runRing(gen stream.Generator, cfg Config, parts []core.Partitioner, limit i
 					}
 				} else {
 					core.RouteBatch(p, keys[:n], dsts)
+					pt.recordRoute(s, p, n, time.Since(t0))
 				}
 				now := time.Now()
 				for i := 0; i < n; i++ {
@@ -424,16 +474,24 @@ func runRing(gen stream.Generator, cfg Config, parts []core.Partitioner, limit i
 						tp.val = 1
 						if cfg.AggValue != nil {
 							tp.val = cfg.AggValue(keys[i], base+int64(i))
+						} else if vals != nil {
+							tp.val = vals[i]
 						}
 					}
 					pend[dsts[i]] = append(pend[dsts[i]], tp)
 				}
+				var stall time.Duration
 				for w := range pend {
 					if len(pend[w]) > 0 {
-						pushSlab(in[s][w], pend[w])
+						if pt != nil {
+							stall += pushSlabTimed(in[s][w], pend[w])
+						} else {
+							pushSlab(in[s][w], pend[w])
+						}
 						pend[w] = pend[w][:0]
 					}
 				}
+				pt.addPublishStall(s, stall)
 			}
 			for w := range in[s] {
 				in[s][w].Close()
@@ -555,13 +613,14 @@ func combineNode(m aggregation.Merger, ins []*ring.SPSC[aggregation.Partial], ou
 // merges — the shard hop's actual traffic — using the same ≥ 1 ms
 // debt-settling discipline as the channel plane. Returns the busy time
 // (folding, flushing, merging) for the utilization report.
-func shardRoot(cfg Config, sd *aggregation.ShardedDriver, r int, ins []*ring.SPSC[aggregation.Partial], onFinal func(aggregation.Final)) time.Duration {
+func shardRoot(cfg Config, sd *aggregation.ShardedDriver, r int, ins []*ring.SPSC[aggregation.Partial], onFinal func(aggregation.Final), pt *planeTelemetry) time.Duration {
 	comb := aggregation.NewCombiner(sd, r)
 	drained := make([]bool, len(ins))
 	remaining := len(ins)
 	var busy time.Duration
 	var debt time.Duration
-	var charged int64 // combined partials already charged to the debt
+	var charged int64   // combined partials already charged to the debt
+	var published int64 // combined partials already published to telemetry
 	settle := func(threshold time.Duration) {
 		if cfg.AggMergeCost > 0 {
 			if d := comb.Out() - charged; d > 0 {
@@ -596,7 +655,9 @@ func shardRoot(cfg Config, sd *aggregation.ShardedDriver, r int, ins []*ring.SPS
 				comb.Fold(&a[j])
 			}
 			q.Release(len(a))
-			busy += time.Since(t0)
+			d := time.Since(t0)
+			busy += d
+			pt.addReduce(r, 0, d)
 			progressed = true
 		}
 		if !progressed {
@@ -607,11 +668,20 @@ func shardRoot(cfg Config, sd *aggregation.ShardedDriver, r int, ins []*ring.SPS
 		t0 := time.Now()
 		comb.FlushComplete(onFinal)
 		settle(time.Millisecond)
-		busy += time.Since(t0)
+		d := time.Since(t0)
+		busy += d
+		// Published partial count follows what the DRIVER merged
+		// (comb.Out() — combined partials past the root's pre-merge), so
+		// reduce_partials_total/bolt_partials_total is the tree's
+		// end-to-end pre-merge ratio.
+		pt.addReduce(r, int(comb.Out()-published), d)
+		published = comb.Out()
 	}
 	t0 := time.Now()
 	comb.Finish(onFinal)
 	settle(0)
-	busy += time.Since(t0)
+	d := time.Since(t0)
+	busy += d
+	pt.addReduce(r, int(comb.Out()-published), d)
 	return busy
 }

@@ -28,7 +28,10 @@
 //
 // Values merged per (window, key) are pluggable: Config.AggMerger
 // selects the operator (count by default; sum/min/max/distinct built
-// in) and Config.AggValue derives each message's merged sample.
+// in) and each message's merged sample is resolved by the sampling
+// contract — the Config.AggValue hook, else the generator's recorded
+// payload values (stream.ValueBatchGenerator, e.g. a version-2
+// tracefile replay), else the constant 1.
 //
 // Workers flush on watermark progress, not only on their own traffic:
 // when the global emission sequence enters a new window, idle workers
@@ -52,6 +55,7 @@ import (
 	"slb/internal/hashing"
 	"slb/internal/metrics"
 	"slb/internal/stream"
+	"slb/internal/telemetry"
 )
 
 // Config describes one simulated deployment. Times are in milliseconds.
@@ -125,11 +129,23 @@ type Config struct {
 	// AggValue derives the 64-bit sample the merger observes for each
 	// message: the addend for sum, the comparand for min/max, the
 	// element for distinct. seq is the message's global emission index.
-	// nil means the constant 1 (so sum ≡ count).
+	// nil falls back to the generator's recorded payload values when it
+	// carries any (stream.ValueBatchGenerator — e.g. a version-2
+	// tracefile replay), and to the constant 1 (so sum ≡ count)
+	// otherwise.
 	AggValue func(key string, seq int64) int64
 	// OnFinal, when set (and AggWindow > 0), receives every merged final
 	// the reducer emits, in deterministic order.
 	OnFinal func(aggregation.Final)
+	// Telemetry, when non-nil, receives the run's live metric series:
+	// per-spout routing activity, emitted/completed counts, per-worker
+	// queue depths, reducer-shard busy time and occupancy, and simulated
+	// backpressure stalls. Durations are SIMULATED time stored as ns, so
+	// the series are deterministic. Series names are listed in
+	// internal/eventsim/telemetry.go and the slb package doc
+	// (§ Telemetry). The simulation's results are identical with and
+	// without a registry.
+	Telemetry *telemetry.Registry
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -248,7 +264,7 @@ type pendingMsg struct {
 	// Aggregation fields (populated only when Config.AggWindow > 0).
 	window int64
 	dig    hashing.KeyDigest
-	val    int64 // the merger's sample (Config.AggValue)
+	val    int64 // the merger's sample (see Config.AggValue)
 	key    string
 }
 
@@ -343,10 +359,15 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 	if cfg.Messages > 0 && cfg.Messages < limit {
 		limit = cfg.Messages
 	}
-	// The event loop consumes one key per emit event, but pulls them
+	tel := newSimTelemetry(cfg, parts)
+	// The event loop consumes one message per emit event, but pulls them
 	// through a prefetch slab so the generator's batch emission path is
-	// driven; the key sequence is identical to per-message Next.
-	keys := stream.NewPuller(gen, 512)
+	// driven; the key sequence is identical to per-message Next. The
+	// value-aware puller also carries each message's recorded payload
+	// (constant 1 for generators without one — see the sampling
+	// contract on Config.AggValue).
+	keys := stream.NewValuePuller(gen, 512)
+	genVals := stream.Values(gen) != nil
 
 	workers := make([]*worker, cfg.Workers)
 	for i := range workers {
@@ -370,6 +391,7 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 	)
 	if cfg.AggWindow > 0 {
 		drv = aggregation.NewShardedDriver(cfg.Workers, cfg.AggShards, cfg.AggWindow, limit, cfg.AggMerger)
+		tel.observeReduce(drv)
 		stations = make([]reducerStation, cfg.AggShards)
 		for r := range stations {
 			stations[r] = newReducerStation(cfg.AggMergeCost, cfg.AggQueueLen)
@@ -386,8 +408,13 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 		t := now
 		for i := range aggBuf {
 			t += cfg.AggFlushCost // serialize partial i at the worker
-			t = stations[aggregation.ShardFor(aggBuf[i].Digest, cfg.AggShards)].admitOne(t)
+			r := aggregation.ShardFor(aggBuf[i].Digest, cfg.AggShards)
+			t = stations[r].admitOne(t)
+			tel.noteAdmit(r, cfg.AggMergeCost, stations[r].peak)
 		}
+		// Anything beyond pure serialization time is admission stall:
+		// the worker was blocked on a full shard queue (backpressure).
+		tel.noteFlush(t - now - cfg.AggFlushCost*float64(len(aggBuf)))
 		return t
 	}
 	svc := func(w int) float64 {
@@ -458,7 +485,7 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 				blocked[s] = true
 				break // resumes on next ack
 			}
-			key, ok := keys.Next()
+			key, genVal, ok := keys.Next()
 			if !ok {
 				break
 			}
@@ -473,9 +500,13 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 				pm.window = emitted / cfg.AggWindow
 				pm.dig = dg
 				pm.key = key
+				// Sampling contract: AggValue hook > recorded generator
+				// values > constant 1 (see Config.AggValue).
 				pm.val = 1
 				if cfg.AggValue != nil {
 					pm.val = cfg.AggValue(key, emitted)
+				} else if genVals {
+					pm.val = genVal
 				}
 				// Count the emission toward its shard's completeness
 				// threshold (no-op when AggShards == 1), and tick idle
@@ -498,7 +529,9 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 			wk.push(pm)
 			if b := wk.backlog(); b > peakQueue {
 				peakQueue = b
+				tel.notePeakQueue(peakQueue)
 			}
+			tel.noteEmit(s, w, wk.backlog(), now)
 			if !wk.busy {
 				wk.busy = true
 				start := now
@@ -513,6 +546,7 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 			wk := workers[w]
 			m := wk.pop()
 			completed++
+			tel.noteDone(w, wk.backlog(), now)
 			if completed == cfg.MeasureAfter {
 				measureStart = now
 			}
@@ -570,6 +604,7 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 		}
 	}
 
+	tel.flushRoutes()
 	res := Result{
 		Algorithm: cfg.Algorithm,
 		Completed: completed,

@@ -1,7 +1,13 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation (Section V) plus the ablations called out in DESIGN.md.
 // Each runner returns one or more texttab.Tables; the cmd/slbsim and
-// cmd/slbstorm binaries print them and optionally write CSV.
+// cmd/slbstorm binaries print them and, via internal/clirun, optionally
+// write CSV copies and machine-readable BENCH_*.json artifacts. The
+// JSON artifacts carry a "meta" object — experiment name, table index,
+// scale from the driver, plus seed/config/timestamp from the binaries'
+// -meta flags — so the CI perf trajectory they accumulate can be keyed
+// on how each number was produced, not just on file name (cmd/slbsoak
+// gates its soak summaries the same way).
 //
 // Experiments run at three scales: Quick (sub-second to seconds, used by
 // tests and benches), Default (the harness default), and Full (the

@@ -155,6 +155,7 @@ type Summary struct {
 	n        uint64   // stream length observed so far
 	free     *bucket  // recycled bucket nodes (linked via next)
 	last     *counter // memo of the last offered counter (hot-key fast path)
+	evicted  uint64   // min-counter replacements (head churn; see Evictions)
 }
 
 // New returns an empty Summary that monitors at most capacity keys.
@@ -179,6 +180,13 @@ func (s *Summary) N() uint64 { return s.n }
 
 // Len returns the number of currently monitored keys.
 func (s *Summary) Len() int { return s.len }
+
+// Evictions returns how many times an offer replaced the minimum
+// counter (an unmonitored key displacing a monitored one). Once the
+// sketch is full this is the churn of the monitored set: near zero on a
+// stable skewed stream, and rising when the head drifts — the signal
+// the telemetry layer exports as sketch churn.
+func (s *Summary) Evictions() uint64 { return s.evicted }
 
 // Offer feeds one occurrence of key to the sketch.
 func (s *Summary) Offer(key string) {
@@ -225,6 +233,7 @@ func (s *Summary) OfferDigestN(d hashing.KeyDigest, key string, r uint64) uint64
 	}
 	// Replace the minimum counter: the evicted key's count becomes the new
 	// key's overestimation error.
+	s.evicted++
 	victim := s.min.head
 	s.table.del(victim.dig)
 	victim.err = victim.count
@@ -566,6 +575,7 @@ func (s *Summary) attachSorted(c *counter, count uint64) {
 func (s *Summary) Clone() *Summary {
 	out := New(s.capacity)
 	out.n = s.n
+	out.evicted = s.evicted
 	entries := s.entriesWithDigests()
 	for i := len(entries) - 1; i >= 0; i-- {
 		e := entries[i]
@@ -592,4 +602,5 @@ func (s *Summary) Reset() {
 	s.len = 0
 	s.n = 0
 	s.last = nil
+	s.evicted = 0
 }

@@ -20,6 +20,7 @@ type Windowed struct {
 	window   uint64
 	cur      *Summary
 	prev     *Summary
+	retired  uint64 // evictions accumulated by rotated-out generations
 }
 
 // NewWindowed returns a windowed sketch; each generation monitors at
@@ -48,9 +49,38 @@ func (w *Windowed) Offer(key string) {
 func (w *Windowed) OfferDigest(d hashing.KeyDigest, key string) {
 	w.cur.OfferDigest(d, key)
 	if w.cur.N() >= w.window {
+		if w.prev != nil {
+			w.retired += w.prev.Evictions()
+		}
 		w.prev = w.cur
 		w.cur = New(w.capacity)
 	}
+}
+
+// Len returns the number of monitored entries across the live
+// generations. A key hot in both generations is counted twice — Len is
+// an occupancy gauge (table slots in use), not a distinct-key count.
+func (w *Windowed) Len() int {
+	n := w.cur.Len()
+	if w.prev != nil {
+		n += w.prev.Len()
+	}
+	return n
+}
+
+// Capacity returns the total monitored-entry capacity across both
+// generations.
+func (w *Windowed) Capacity() int { return 2 * w.capacity }
+
+// Evictions returns the min-counter replacements over the sketch's
+// whole lifetime, including rotated-out generations (head churn; see
+// Summary.Evictions).
+func (w *Windowed) Evictions() uint64 {
+	n := w.retired + w.cur.Evictions()
+	if w.prev != nil {
+		n += w.prev.Evictions()
+	}
+	return n
 }
 
 // N returns the stream mass covered by the live generations (at most

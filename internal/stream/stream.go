@@ -54,6 +54,110 @@ func NextBatch(gen Generator, dst []string) int {
 	return len(dst)
 }
 
+// ValueBatchGenerator is implemented by generators whose messages carry
+// an int64 payload sample alongside the key — recorded trace replays
+// (tracefile version 2) and WithValues wrappers. The sample is what a
+// windowed merger aggregates (aggregation.Merger.Observe).
+//
+// The engines' sampling contract, in precedence order:
+//
+//  1. the engine's AggValue hook, when set (an explicit per-run
+//     override — it sees key and global emission sequence);
+//  2. the generator's recorded values, when it implements this
+//     interface and HasValues reports true;
+//  3. the constant 1, making every sum-like merge a count.
+type ValueBatchGenerator interface {
+	Generator
+	// NextBatchValues fills keys and vals in lockstep — vals[i] is the
+	// payload of keys[i] — with up to len(keys) messages (len(vals)
+	// must be ≥ len(keys)) and returns how many were produced. The key
+	// sequence is exactly what NextBatch would produce.
+	NextBatchValues(keys []string, vals []int64) int
+	// HasValues reports whether the stream actually records payload
+	// values; false means NextBatchValues fills the constant 1 (e.g. a
+	// version-1 trace replayed through a value-aware reader).
+	HasValues() bool
+}
+
+// Values returns gen's value-bearing view when it records real payload
+// samples, or nil when it does not (engines then fall back to their
+// AggValue hook or the constant 1; see ValueBatchGenerator).
+func Values(gen Generator) ValueBatchGenerator {
+	if vg, ok := gen.(ValueBatchGenerator); ok && vg.HasValues() {
+		return vg
+	}
+	return nil
+}
+
+// NextBatchValues pulls up to len(keys) messages with their payload
+// values, using gen's native lockstep path when available and falling
+// back to NextBatch with constant-1 values otherwise. len(vals) must
+// be ≥ len(keys).
+func NextBatchValues(gen Generator, keys []string, vals []int64) int {
+	if vg, ok := gen.(ValueBatchGenerator); ok {
+		return vg.NextBatchValues(keys, vals)
+	}
+	n := NextBatch(gen, keys)
+	for i := 0; i < n; i++ {
+		vals[i] = 1
+	}
+	return n
+}
+
+// valueFunc attaches derived payload values to a key generator; see
+// WithValues.
+type valueFunc struct {
+	Generator
+	fn  func(key string, seq int64) int64
+	seq int64
+}
+
+// WithValues wraps gen so each key carries the payload fn(key, seq),
+// where seq is the message's position in the stream (0-based). The
+// wrapper implements ValueBatchGenerator, so writing it through
+// tracefile.Write produces a version-2 trace whose replay supplies the
+// derived values as recorded data — the bridge from synthetic payload
+// models to the record-once/replay-bit-identically workflow.
+func WithValues(gen Generator, fn func(key string, seq int64) int64) ValueBatchGenerator {
+	return &valueFunc{Generator: gen, fn: fn}
+}
+
+// Next implements Generator (the value is derived but unreported; use
+// NextBatchValues for lockstep consumption).
+func (g *valueFunc) Next() (string, bool) {
+	k, ok := g.Generator.Next()
+	if ok {
+		g.seq++
+	}
+	return k, ok
+}
+
+// NextBatch implements BatchGenerator.
+func (g *valueFunc) NextBatch(dst []string) int {
+	n := NextBatch(g.Generator, dst)
+	g.seq += int64(n)
+	return n
+}
+
+// NextBatchValues implements ValueBatchGenerator.
+func (g *valueFunc) NextBatchValues(keys []string, vals []int64) int {
+	n := NextBatch(g.Generator, keys)
+	for i := 0; i < n; i++ {
+		vals[i] = g.fn(keys[i], g.seq+int64(i))
+	}
+	g.seq += int64(n)
+	return n
+}
+
+// HasValues implements ValueBatchGenerator.
+func (g *valueFunc) HasValues() bool { return true }
+
+// Reset implements Generator.
+func (g *valueFunc) Reset() {
+	g.Generator.Reset()
+	g.seq = 0
+}
+
 // Stats summarizes a key stream: the columns of Table I.
 type Stats struct {
 	Messages int64   // number of messages m
@@ -218,4 +322,38 @@ func (p *Puller) Next() (string, bool) {
 	k := p.buf[p.pos]
 	p.pos++
 	return k, true
+}
+
+// ValuePuller is Puller's value-aware sibling: per-message consumption
+// of (key, payload) pairs through a prefetch slab, filled via
+// NextBatchValues (so generators without recorded values yield the
+// constant 1). The key sequence is exactly the generator's.
+type ValuePuller struct {
+	gen    Generator
+	keys   []string
+	vals   []int64
+	pos, n int
+}
+
+// NewValuePuller returns a ValuePuller with the given prefetch slab
+// size.
+func NewValuePuller(gen Generator, slab int) *ValuePuller {
+	if slab <= 0 {
+		slab = 256
+	}
+	return &ValuePuller{gen: gen, keys: make([]string, slab), vals: make([]int64, slab)}
+}
+
+// Next returns the next message's key and payload value.
+func (p *ValuePuller) Next() (string, int64, bool) {
+	if p.pos == p.n {
+		p.n = NextBatchValues(p.gen, p.keys, p.vals)
+		p.pos = 0
+		if p.n == 0 {
+			return "", 0, false
+		}
+	}
+	k, v := p.keys[p.pos], p.vals[p.pos]
+	p.pos++
+	return k, v, true
 }

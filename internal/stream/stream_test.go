@@ -152,3 +152,92 @@ func TestNextBatchMatchesNext(t *testing.T) {
 		}
 	}
 }
+
+func TestWithValuesDerivesPerMessage(t *testing.T) {
+	fn := func(key string, seq int64) int64 { return int64(len(key))*100 + seq }
+	g := WithValues(FromSlice([]string{"a", "bb", "a", "ccc"}), fn)
+	if !g.HasValues() || Values(g) == nil {
+		t.Fatal("WithValues must report recorded values")
+	}
+	keys := make([]string, 3)
+	vals := make([]int64, 3)
+	var gotK []string
+	var gotV []int64
+	for {
+		n := g.NextBatchValues(keys, vals)
+		if n == 0 {
+			break
+		}
+		gotK = append(gotK, keys[:n]...)
+		gotV = append(gotV, vals[:n]...)
+	}
+	wantK := []string{"a", "bb", "a", "ccc"}
+	wantV := []int64{100, 201, 102, 303}
+	for i := range wantK {
+		if gotK[i] != wantK[i] || gotV[i] != wantV[i] {
+			t.Fatalf("message %d = (%q, %d), want (%q, %d)", i, gotK[i], gotV[i], wantK[i], wantV[i])
+		}
+	}
+	// Reset rewinds the derived sequence too.
+	g.Reset()
+	if n := g.NextBatchValues(keys, vals); n == 0 || vals[0] != 100 {
+		t.Fatalf("after Reset first value = %d, want 100", vals[0])
+	}
+	// Mixed consumption: keys pulled through Next advance seq so later
+	// batch pulls stay aligned.
+	g.Reset()
+	if k, ok := g.Next(); !ok || k != "a" {
+		t.Fatalf("Next = %q", k)
+	}
+	if n := g.NextBatchValues(keys, vals); n == 0 || vals[0] != 201 {
+		t.Fatalf("value after one Next = %d, want 201", vals[0])
+	}
+}
+
+func TestNextBatchValuesFallback(t *testing.T) {
+	// A plain Generator has no recorded values: the helper fills the
+	// constant 1 and Values() reports nil (so engines keep key+seq or
+	// count semantics).
+	g := FromSlice([]string{"x", "y", "z"})
+	if Values(g) != nil {
+		t.Fatal("plain generator must not report values")
+	}
+	keys := make([]string, 8)
+	vals := make([]int64, 8)
+	if n := NextBatchValues(g, keys, vals); n != 3 {
+		t.Fatalf("filled %d", n)
+	}
+	for i := 0; i < 3; i++ {
+		if vals[i] != 1 {
+			t.Fatalf("value %d = %d, want 1", i, vals[i])
+		}
+	}
+}
+
+func TestValuePullerMatchesBatch(t *testing.T) {
+	fn := func(key string, seq int64) int64 { return seq * seq }
+	mk := func() ValueBatchGenerator {
+		keys := make([]string, 100)
+		for i := range keys {
+			keys[i] = string(rune('a' + i%7))
+		}
+		return WithValues(FromSlice(keys), fn)
+	}
+	p := NewValuePuller(mk(), 16)
+	ref := mk()
+	keys := make([]string, 100)
+	vals := make([]int64, 100)
+	n := ref.NextBatchValues(keys, vals)
+	for i := 0; i < n; i++ {
+		k, v, ok := p.Next()
+		if !ok {
+			t.Fatalf("puller ended early at %d", i)
+		}
+		if k != keys[i] || v != vals[i] {
+			t.Fatalf("message %d = (%q, %d), want (%q, %d)", i, k, v, keys[i], vals[i])
+		}
+	}
+	if _, _, ok := p.Next(); ok {
+		t.Fatal("puller overran the stream")
+	}
+}

@@ -13,11 +13,16 @@ import (
 	"strings"
 )
 
-// Table is an ordered grid of string cells with a header.
+// Table is an ordered grid of string cells with a header. Meta is
+// free-form run metadata (configuration, seed, timestamp) carried into
+// the JSON artifact so downstream consumers can key on how the numbers
+// were produced, not just on the file name; it does not affect the
+// text or CSV renderings.
 type Table struct {
 	Title   string
 	Columns []string
 	Rows    [][]string
+	Meta    map[string]string
 }
 
 // New returns an empty table with the given title and column header.
@@ -166,10 +171,11 @@ func csvEscape(s string) string {
 }
 
 // WriteJSON writes the table to path as a single JSON object
-// {"title", "columns", "rows"} with every cell a string, creating
-// parent directories as needed. This is the machine-readable artifact
-// format the CI perf trajectory accumulates (BENCH_*.json): stable
-// field order, indented, diffable across commits.
+// {"title", "meta", "columns", "rows"} with every cell a string,
+// creating parent directories as needed. This is the machine-readable
+// artifact format the CI perf trajectory accumulates (BENCH_*.json):
+// stable field order (map keys marshal sorted), indented, diffable
+// across commits. "meta" is omitted when the table carries none.
 func (t *Table) WriteJSON(path string) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
@@ -179,10 +185,11 @@ func (t *Table) WriteJSON(path string) error {
 		rows = [][]string{}
 	}
 	data, err := json.MarshalIndent(struct {
-		Title   string     `json:"title"`
-		Columns []string   `json:"columns"`
-		Rows    [][]string `json:"rows"`
-	}{t.Title, t.Columns, rows}, "", "  ")
+		Title   string            `json:"title"`
+		Meta    map[string]string `json:"meta,omitempty"`
+		Columns []string          `json:"columns"`
+		Rows    [][]string        `json:"rows"`
+	}{t.Title, t.Meta, t.Columns, rows}, "", "  ")
 	if err != nil {
 		return err
 	}

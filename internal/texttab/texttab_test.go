@@ -174,3 +174,42 @@ func TestWriteJSON(t *testing.T) {
 		t.Fatalf("rows = %v", got.Rows)
 	}
 }
+
+func TestWriteJSONMeta(t *testing.T) {
+	dir := t.TempDir()
+	tab := New("Meta", "a")
+	tab.Add("1")
+
+	// Without metadata the "meta" field is omitted entirely, keeping
+	// pre-existing BENCH artifacts byte-stable.
+	bare := filepath.Join(dir, "bare.json")
+	if err := tab.WriteJSON(bare); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != "{\n  \"title\": \"Meta\",\n  \"columns\": [\n    \"a\"\n  ],\n  \"rows\": [\n    [\n      \"1\"\n    ]\n  ]\n}\n" {
+		t.Fatalf("bare JSON changed:\n%s", raw)
+	}
+
+	tab.Meta = map[string]string{"seed": "7", "scale": "quick"}
+	withMeta := filepath.Join(dir, "meta.json")
+	if err := tab.WriteJSON(withMeta); err != nil {
+		t.Fatal(err)
+	}
+	raw, err = os.ReadFile(withMeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Meta map[string]string `json:"meta"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Meta["seed"] != "7" || doc.Meta["scale"] != "quick" {
+		t.Fatalf("meta round-trip wrong: %v", doc.Meta)
+	}
+}

@@ -6,10 +6,20 @@
 //	header:  magic "SLBT" | version u32 | message count i64
 //	message: varint id            (id < len(dict): back-reference)
 //	         varint len | bytes   (id == len(dict): new key, appended)
+//	         zigzag-varint value  (version 2 only: the payload sample)
 //
 // Keys are dictionary-coded by first appearance, so typical skewed
-// traces compress to ≈1–2 bytes per message. Readers implement
-// stream.Generator and can therefore drive every engine in this module.
+// traces compress to ≈1–2 bytes per message. Version 2 additionally
+// records an int64 payload value per message — the sample a windowed
+// merger aggregates (see stream.ValueBatchGenerator for the engines'
+// sampling contract). Write picks the version automatically: key-only
+// generators keep producing byte-identical version-1 traces, while
+// value-bearing generators (stream.WithValues, another replay) yield
+// version 2. Readers accept both; a version-1 replay reports
+// HasValues() == false and supplies the constant 1.
+//
+// Readers implement stream.Generator (and stream.ValueBatchGenerator)
+// and can therefore drive every engine in this module.
 package tracefile
 
 import (
@@ -27,22 +37,32 @@ import (
 // Magic identifies trace files.
 const Magic = "SLBT"
 
-// Version is the current format version.
-const Version = 1
+// Version is the newest format version this package writes and reads.
+// Version 1 encodes keys only; version 2 appends a payload value to
+// every message.
+const Version = 2
 
 // maxKeyLen guards against corrupt length prefixes.
 const maxKeyLen = 1 << 20
 
-// Write encodes every key of gen (reset first) to w and returns the
-// message count. The generator is reset again afterwards.
+// Write encodes every message of gen (reset first) to w and returns the
+// message count. When gen records payload values (stream.Values returns
+// non-nil) the trace is written as version 2 with the values inline;
+// otherwise the output is a byte-identical version-1 key trace. The
+// generator is reset again afterwards.
 func Write(w io.Writer, gen stream.Generator) (int64, error) {
+	vg := stream.Values(gen)
+	version := uint32(1)
+	if vg != nil {
+		version = 2
+	}
 	gen.Reset()
 	bw := bufio.NewWriterSize(w, 1<<16)
 	if _, err := bw.WriteString(Magic); err != nil {
 		return 0, err
 	}
 	var hdr [12]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], Version)
+	binary.LittleEndian.PutUint32(hdr[0:4], version)
 	binary.LittleEndian.PutUint64(hdr[4:12], uint64(gen.Len()))
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return 0, err
@@ -51,33 +71,49 @@ func Write(w io.Writer, gen stream.Generator) (int64, error) {
 	ids := make(map[string]uint64)
 	var buf [binary.MaxVarintLen64]byte
 	var count int64
+	keys := make([]string, 512)
+	vals := make([]int64, 512)
 	for {
-		key, ok := gen.Next()
-		if !ok {
+		var n int
+		if vg != nil {
+			n = vg.NextBatchValues(keys, vals)
+		} else {
+			n = stream.NextBatch(gen, keys)
+		}
+		if n == 0 {
 			break
 		}
-		id, seen := ids[key]
-		if !seen {
-			id = uint64(len(ids))
-			ids[key] = id
-			n := binary.PutUvarint(buf[:], id)
-			if _, err := bw.Write(buf[:n]); err != nil {
-				return count, err
+		for i := 0; i < n; i++ {
+			key := keys[i]
+			id, seen := ids[key]
+			if !seen {
+				id = uint64(len(ids))
+				ids[key] = id
+				m := binary.PutUvarint(buf[:], id)
+				if _, err := bw.Write(buf[:m]); err != nil {
+					return count, err
+				}
+				m = binary.PutUvarint(buf[:], uint64(len(key)))
+				if _, err := bw.Write(buf[:m]); err != nil {
+					return count, err
+				}
+				if _, err := bw.WriteString(key); err != nil {
+					return count, err
+				}
+			} else {
+				m := binary.PutUvarint(buf[:], id)
+				if _, err := bw.Write(buf[:m]); err != nil {
+					return count, err
+				}
 			}
-			n = binary.PutUvarint(buf[:], uint64(len(key)))
-			if _, err := bw.Write(buf[:n]); err != nil {
-				return count, err
+			if version >= 2 {
+				m := binary.PutVarint(buf[:], vals[i])
+				if _, err := bw.Write(buf[:m]); err != nil {
+					return count, err
+				}
 			}
-			if _, err := bw.WriteString(key); err != nil {
-				return count, err
-			}
-		} else {
-			n := binary.PutUvarint(buf[:], id)
-			if _, err := bw.Write(buf[:n]); err != nil {
-				return count, err
-			}
+			count++
 		}
-		count++
 	}
 	gen.Reset()
 	if count != gen.Len() {
@@ -105,6 +141,7 @@ func WriteFile(path string, gen stream.Generator) (int64, error) {
 type Reader struct {
 	br       io.ByteReader
 	dict     []string
+	version  uint32
 	declared int64
 	read     int64
 }
@@ -126,11 +163,13 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if err := readFull(br, hdr); err != nil {
 		return nil, fmt.Errorf("tracefile: short header: %w", err)
 	}
-	if v := binary.LittleEndian.Uint32(hdr[0:4]); v != Version {
+	v := binary.LittleEndian.Uint32(hdr[0:4])
+	if v < 1 || v > Version {
 		return nil, fmt.Errorf("tracefile: unsupported version %d", v)
 	}
 	return &Reader{
 		br:       br,
+		version:  v,
 		declared: int64(binary.LittleEndian.Uint64(hdr[4:12])),
 	}, nil
 }
@@ -149,38 +188,58 @@ func readFull(br io.ByteReader, p []byte) error {
 // Declared returns the message count from the header.
 func (r *Reader) Declared() int64 { return r.declared }
 
-// Next decodes one key; io.EOF after the last message.
+// HasValues reports whether the trace records payload values (format
+// version ≥ 2); when false, NextValue supplies the constant 1.
+func (r *Reader) HasValues() bool { return r.version >= 2 }
+
+// Next decodes one key (discarding any recorded value); io.EOF after
+// the last message.
 func (r *Reader) Next() (string, error) {
+	k, _, err := r.NextValue()
+	return k, err
+}
+
+// NextValue decodes one message as its key and payload value (1 for
+// version-1 traces); io.EOF after the last message.
+func (r *Reader) NextValue() (string, int64, error) {
 	if r.read >= r.declared {
-		return "", io.EOF
+		return "", 0, io.EOF
 	}
 	id, err := binary.ReadUvarint(r.br)
 	if err != nil {
-		return "", fmt.Errorf("tracefile: message %d: %w", r.read, err)
+		return "", 0, fmt.Errorf("tracefile: message %d: %w", r.read, err)
 	}
+	var key string
 	switch {
 	case id < uint64(len(r.dict)):
-		r.read++
-		return r.dict[id], nil
+		key = r.dict[id]
 	case id == uint64(len(r.dict)):
 		n, err := binary.ReadUvarint(r.br)
 		if err != nil {
-			return "", fmt.Errorf("tracefile: key length: %w", err)
+			return "", 0, fmt.Errorf("tracefile: key length: %w", err)
 		}
 		if n > maxKeyLen {
-			return "", fmt.Errorf("tracefile: key length %d exceeds limit", n)
+			return "", 0, fmt.Errorf("tracefile: key length %d exceeds limit", n)
 		}
 		buf := make([]byte, n)
 		if err := readFull(r.br, buf); err != nil {
-			return "", fmt.Errorf("tracefile: key bytes: %w", err)
+			return "", 0, fmt.Errorf("tracefile: key bytes: %w", err)
 		}
-		key := string(buf)
+		key = string(buf)
 		r.dict = append(r.dict, key)
-		r.read++
-		return key, nil
 	default:
-		return "", fmt.Errorf("tracefile: id %d skips dictionary (size %d)", id, len(r.dict))
+		return "", 0, fmt.Errorf("tracefile: id %d skips dictionary (size %d)", id, len(r.dict))
 	}
+	val := int64(1)
+	if r.version >= 2 {
+		v, err := binary.ReadVarint(r.br)
+		if err != nil {
+			return "", 0, fmt.Errorf("tracefile: message %d value: %w", r.read, err)
+		}
+		val = v
+	}
+	r.read++
+	return key, val, nil
 }
 
 // Keys returns the dictionary decoded so far.
@@ -226,6 +285,15 @@ func (g *BytesGenerator) Next() (string, bool) {
 func (g *BytesGenerator) NextBatch(dst []string) int {
 	return readerBatch(g.r, dst)
 }
+
+// NextBatchValues implements stream.ValueBatchGenerator.
+func (g *BytesGenerator) NextBatchValues(keys []string, vals []int64) int {
+	return readerBatchValues(g.r, keys, vals)
+}
+
+// HasValues implements stream.ValueBatchGenerator: true for version-2
+// traces, whose replay supplies the recorded payload values.
+func (g *BytesGenerator) HasValues() bool { return g.r.HasValues() }
 
 // Len implements stream.Generator.
 func (g *BytesGenerator) Len() int64 { return g.r.declared }
@@ -286,6 +354,15 @@ func (g *FileGenerator) NextBatch(dst []string) int {
 	return readerBatch(g.r, dst)
 }
 
+// NextBatchValues implements stream.ValueBatchGenerator.
+func (g *FileGenerator) NextBatchValues(keys []string, vals []int64) int {
+	return readerBatchValues(g.r, keys, vals)
+}
+
+// HasValues implements stream.ValueBatchGenerator: true for version-2
+// traces, whose replay supplies the recorded payload values.
+func (g *FileGenerator) HasValues() bool { return g.r.HasValues() }
+
 // readerBatch fills dst by repeated decode; errors (including EOF) end
 // the stream.
 func readerBatch(r *Reader, dst []string) int {
@@ -297,6 +374,19 @@ func readerBatch(r *Reader, dst []string) int {
 		dst[i] = k
 	}
 	return len(dst)
+}
+
+// readerBatchValues fills keys and vals in lockstep; errors (including
+// EOF) end the stream.
+func readerBatchValues(r *Reader, keys []string, vals []int64) int {
+	for i := range keys {
+		k, v, err := r.NextValue()
+		if err != nil {
+			return i
+		}
+		keys[i], vals[i] = k, v
+	}
+	return len(keys)
 }
 
 // Len implements stream.Generator.
@@ -322,6 +412,8 @@ func (g *FileGenerator) Close() error {
 }
 
 var (
-	_ stream.BatchGenerator = (*BytesGenerator)(nil)
-	_ stream.BatchGenerator = (*FileGenerator)(nil)
+	_ stream.BatchGenerator      = (*BytesGenerator)(nil)
+	_ stream.BatchGenerator      = (*FileGenerator)(nil)
+	_ stream.ValueBatchGenerator = (*BytesGenerator)(nil)
+	_ stream.ValueBatchGenerator = (*FileGenerator)(nil)
 )

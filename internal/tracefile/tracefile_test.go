@@ -2,6 +2,7 @@ package tracefile
 
 import (
 	"bytes"
+	"encoding/binary"
 	"io"
 	"path/filepath"
 	"testing"
@@ -260,5 +261,152 @@ func TestGeneratorNextBatchMatchesNext(t *testing.T) {
 	}
 	if _, ok := seq.Next(); ok {
 		t.Fatal("batch trace ended early")
+	}
+}
+
+// traceVals derives a deterministic, sign-varying payload from key and
+// sequence — the kind of sample AggValue hooks used to compute at
+// replay time and version-2 traces now record.
+func traceVals(key string, seq int64) int64 {
+	v := int64(len(key))*37 + seq%101
+	if seq%3 == 0 {
+		v = -v
+	}
+	return v
+}
+
+func TestRoundTripValues(t *testing.T) {
+	orig := stream.WithValues(workload.NewZipf(1.5, 200, 8000, 11), traceVals)
+	var buf bytes.Buffer
+	n, err := Write(&buf, orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8000 {
+		t.Fatalf("wrote %d messages", n)
+	}
+	g, err := NewBytesGenerator(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasValues() {
+		t.Fatal("value-bearing trace reports HasValues() == false")
+	}
+	keys := make([]string, 97)
+	vals := make([]int64, 97)
+	var seq int64
+	for {
+		n := g.NextBatchValues(keys, vals)
+		if n == 0 {
+			break
+		}
+		for i := 0; i < n; i++ {
+			if want := traceVals(keys[i], seq); vals[i] != want {
+				t.Fatalf("message %d value = %d, want %d", seq, vals[i], want)
+			}
+			seq++
+		}
+	}
+	if seq != 8000 {
+		t.Fatalf("decoded %d messages", seq)
+	}
+	// The key sequence must be unchanged by the value column.
+	g.Reset()
+	orig.Reset()
+	got, want := drain(g), drain(orig)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("key mismatch at %d: %q vs %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRoundTripValuesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vals.slbt")
+	orig := stream.WithValues(workload.NewZipf(1.2, 50, 3000, 4), traceVals)
+	if _, err := WriteFile(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	g, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if !g.HasValues() {
+		t.Fatal("file trace reports HasValues() == false")
+	}
+	sum := func() int64 {
+		keys := make([]string, 64)
+		vals := make([]int64, 64)
+		var s int64
+		for {
+			n := g.NextBatchValues(keys, vals)
+			if n == 0 {
+				return s
+			}
+			for _, v := range vals[:n] {
+				s += v
+			}
+		}
+	}
+	first := sum()
+	g.Reset()
+	if again := sum(); again != first {
+		t.Fatalf("value sum changed across Reset: %d vs %d", again, first)
+	}
+}
+
+func TestVersion1StillReadable(t *testing.T) {
+	// A key-only generator must keep producing version-1 traces (the
+	// bytes existing tooling and committed traces expect), and their
+	// replay supplies the constant 1 through the value-aware paths.
+	var buf bytes.Buffer
+	if _, err := Write(&buf, workload.NewZipf(1.3, 40, 1000, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if v := binary.LittleEndian.Uint32(buf.Bytes()[4:8]); v != 1 {
+		t.Fatalf("key-only trace written as version %d", v)
+	}
+	g, err := NewBytesGenerator(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.HasValues() {
+		t.Fatal("version-1 trace reports HasValues() == true")
+	}
+	if stream.Values(g) != nil {
+		t.Fatal("stream.Values must reject a version-1 replay")
+	}
+	keys := make([]string, 1000)
+	vals := make([]int64, 1000)
+	if n := g.NextBatchValues(keys, vals); n != 1000 {
+		t.Fatalf("decoded %d messages", n)
+	}
+	for i, v := range vals {
+		if v != 1 {
+			t.Fatalf("message %d value = %d, want the constant 1", i, v)
+		}
+	}
+}
+
+func TestTruncatedValueColumn(t *testing.T) {
+	orig := stream.WithValues(stream.FromSlice([]string{"alpha", "beta"}), traceVals)
+	var buf bytes.Buffer
+	if _, err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	// Drop the final byte (the last message's value varint).
+	r, err := NewReader(bytes.NewReader(buf.Bytes()[:buf.Len()-1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decodeErr error
+	for {
+		if _, _, decodeErr = r.NextValue(); decodeErr != nil {
+			break
+		}
+	}
+	if decodeErr == io.EOF {
+		t.Fatal("truncated value column decoded cleanly to EOF")
 	}
 }

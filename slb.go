@@ -152,6 +152,49 @@
 // reference regime (AggShards = 4, 50 µs merge cost), where the
 // combiner tree's traffic cut is structural.
 //
+// # Telemetry
+//
+// Every engine can publish its live metric series into a label-aware
+// registry (internal/telemetry): pass a telemetry.NewRegistry() as
+// EngineConfig.Telemetry or ClusterConfig.Telemetry and read it with
+// Registry.Snapshot() — safe concurrently with the run — or the
+// snapshot's WriteText/WriteJSON renderings. Series are identified by
+// name plus labels; every series carries engine=<name> and
+// algo=<algorithm>, with per-instance labels (spout=, worker=, shard=)
+// where the source is per-goroutine. Counters and histograms are
+// monotonic over a run; Snapshot.Delta(prev) turns two snapshots into
+// interval rates. Results are bit-identical with and without a
+// registry attached — instrumentation rides the existing batch
+// boundaries (the routing hot path keeps its zero-allocation
+// steady state; BenchmarkRouteBatchDigestsInstrumented asserts it).
+//
+// The goroutine runtime (engine=dspe-channel / engine=dspe-ring)
+// publishes per spout route_msgs_total, route_ns_total,
+// route_batches_total and spout_ack_wait_ns_total (the ring plane adds
+// publish_stall_ns_total); per worker a queue_depth gauge — channel
+// backlog on the channel plane, ring occupancy on the ring plane —
+// plus bolt_msgs_total, bolt_partials_total and (ring)
+// acquire_stall_ns_total; and per reducer shard reduce_partials_total,
+// reduce_busy_ns_total and the reduce_open_windows /
+// reduce_live_entries / reduce_live_replicas occupancy gauges. The
+// discrete-event engine (engine=eventsim) publishes the same routing
+// series plus sim_emitted_total, sim_completed_total, sim_clock_ns,
+// per-worker queue_depth and sim_peak_queue, flush_stall_ns_total, and
+// the per-shard reducer series — every duration measured in SIMULATED
+// nanoseconds, so interval rates are deterministic. The full series
+// inventory lives in internal/dspe/telemetry.go and
+// internal/eventsim/telemetry.go.
+//
+// cmd/slbsoak drives all of this as a soak harness: drifting workloads
+// (NewDriftStream) cycled across eventsim and both dspe dataplanes for
+// minutes to hours, each leg's registry sampled on an interval into
+// JSONL rows (per-shard reducer utilization, queue depths, routing
+// rates, stalls), a per-engine summary written as a BENCH_soak JSON
+// artifact carrying its configuration string in "meta", and — given
+// -baseline — a nonzero exit when throughput regresses against the
+// best matching baseline in the accumulated trajectory (CI gates on
+// the deterministic eventsim row; see ci/BENCH_soak_baseline.json).
+//
 // # Balancing at scale
 //
 // The paper's title regime — hundreds to tens of thousands of workers —
