@@ -1,7 +1,8 @@
 // Command slbsoak runs an hours-capable soak: drifting Zipf workloads
-// (workload.Drift) cycled across all three engines — eventsim, the
-// dspe channel plane and the dspe ring plane — with each run's
-// telemetry registry sampled on a fixed interval. Interval rows stream
+// (workload.Drift) cycled across every engine — eventsim, the dspe
+// channel plane, the dspe ring plane and (with -tcp, on by default
+// under -short) the dspe engine over the loopback TCP transport — with
+// each run's telemetry registry sampled on a fixed interval. Interval rows stream
 // to stdout as JSONL while the soak progresses; at the end a per-engine
 // summary table prints and, optionally, is written as a BENCH_soak
 // artifact whose "meta" carries the configuration string and seed so a
@@ -9,7 +10,7 @@
 //
 // Usage:
 //
-//	slbsoak [-short] [-duration D] [-interval D] [-cycles N]
+//	slbsoak [-short] [-tcp] [-duration D] [-interval D] [-cycles N]
 //	        [-algo NAME] [-workers N] [-sources N] [-shards N]
 //	        [-messages N] [-keys N] [-z S] [-epoch N] [-stride N]
 //	        [-seed N] [-service D]
@@ -57,6 +58,7 @@ func main() {
 	stride := flag.Int("stride", 4096, "key-identity rotation stride per drift epoch")
 	seed := flag.Uint64("seed", 1, "workload/partitioner seed (each cycle offsets it)")
 	service := flag.Duration("service", 20*time.Microsecond, "dspe per-message bolt service time")
+	tcp := flag.Bool("tcp", false, "add a dspe loopback-TCP-transport leg to each cycle (changes the baseline config identity)")
 	spin := flag.Bool("spin", false, "busy-wait the dspe service time (faithful CPU load for long soaks; burns host CPU)")
 	jsonl := flag.String("jsonl", "", "also append interval rows to this JSONL file")
 	snapshotPath := flag.String("snapshot", "", "write the final per-engine telemetry snapshots to this JSON file")
@@ -97,6 +99,10 @@ func main() {
 		if !set["service"] {
 			*service = 5 * time.Microsecond
 		}
+		if !set["tcp"] {
+			// CI's smoke gate should exercise the wire too.
+			*tcp = true
+		}
 	}
 
 	var jsonlFile *os.File
@@ -114,6 +120,7 @@ func main() {
 		Algorithm: *algo, Workers: *workers, Sources: *sources, Shards: *shards,
 		Messages: *messages, Keys: *keys, Zipf: *zipf, EpochLen: *epoch,
 		Stride: *stride, Seed: *seed, ServiceTime: *service, Spin: *spin,
+		TCP: *tcp,
 		Emit: func(r soak.Row) {
 			enc.Encode(r)
 			if jsonlFile != nil {

@@ -476,8 +476,8 @@ func (p *DChoices) routeRunBulk(dg KeyDigest, key string, r int, dst []int) {
 		return
 	}
 	headCands := p.headCands(dg)
-	if p.useCandTree(len(headCands), r-cross) {
-		p.routeCandsTree(headCands, dst[cross:r])
+	if p.useCandTree(dg, len(headCands), r-cross) {
+		p.routeCandsTree(dg, headCands, dst[cross:r])
 		return
 	}
 	for m := cross; m < r; m++ {
@@ -563,8 +563,8 @@ func (p *DChoices) routeRunNearSolve(dg KeyDigest, key string, r int, dst []int)
 				headCands = p.cache.lookup(dg, p.d, p.family)
 				headD = p.d
 			}
-			if p.useCandTree(len(headCands), t) {
-				p.routeCandsTree(headCands, dst[m:m+t])
+			if p.useCandTree(dg, len(headCands), t) {
+				p.routeCandsTree(dg, headCands, dst[m:m+t])
 			} else {
 				for j := m; j < m+t; j++ {
 					dst[j] = p.routeCands(headCands)
@@ -700,8 +700,8 @@ func (p *ForcedD) routeRun(dg KeyDigest, key string, r int, dst []int) {
 		return
 	}
 	headCands := p.cache.lookup(dg, p.d, p.family)
-	if p.useCandTree(len(headCands), r-cross) {
-		p.routeCandsTree(headCands, dst[cross:r])
+	if p.useCandTree(dg, len(headCands), r-cross) {
+		p.routeCandsTree(dg, headCands, dst[cross:r])
 		return
 	}
 	for m := cross; m < r; m++ {

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// shortRunStream builds a stream that chops two hot keys into many
+// 1–2 message runs separated by cold-key traffic — the regime the
+// persistent candidate tournament exists for. A long opening run per
+// hot key seeds the cache (useCandTree needs ≥ 3 messages cold).
+func shortRunStream(msgs int) []string {
+	keys := make([]string, 0, msgs)
+	hot := []string{"hot-alpha", "hot-beta"}
+	for _, h := range hot {
+		for i := 0; i < 8; i++ {
+			keys = append(keys, h)
+		}
+	}
+	rng := uint64(0xfeed)
+	next := func(n int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int((rng >> 33) % uint64(n))
+	}
+	for len(keys) < msgs {
+		h := hot[next(2)]
+		for r := 1 + next(2); r > 0 && len(keys) < msgs; r-- {
+			keys = append(keys, h)
+		}
+		for c := 1 + next(3); c > 0 && len(keys) < msgs; c-- {
+			keys = append(keys, fmt.Sprintf("cold-%d", next(500)))
+		}
+	}
+	return keys[:msgs]
+}
+
+// TestCandTourShortRunParity pins that the persistent tournament's
+// repair path routes bit-identically to the forced scan on a stream of
+// deliberately short head runs, through the batched API with a slab
+// size that splits runs across batch boundaries. Greedy-7 under
+// LoadIndexTree caches tournaments for every head run (c = 7 < the
+// crossover), so 1–2 message runs exercise the replay path constantly.
+func TestCandTourShortRunParity(t *testing.T) {
+	keys := shortRunStream(30000)
+	for _, algo := range []string{"Greedy-7", "D-C"} {
+		for _, n := range []int{16, 200} {
+			t.Run(fmt.Sprintf("%s/n=%d", algo, n), func(t *testing.T) {
+				scan, tree := scanTreePartitioners(t, algo, n)
+				const slab = 61
+				dstS := make([]int, slab)
+				dstT := make([]int, slab)
+				for i := 0; i < len(keys); i += slab {
+					end := i + slab
+					if end > len(keys) {
+						end = len(keys)
+					}
+					RouteBatch(scan, keys[i:end], dstS)
+					RouteBatch(tree, keys[i:end], dstT)
+					for j := 0; j < end-i; j++ {
+						if dstS[j] != dstT[j] {
+							t.Fatalf("msg %d (key %q): scan → %d, tree → %d", i+j, keys[i+j], dstS[j], dstT[j])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCandTourLogRollover drives one core far past candTourLogMax
+// increments between runs of a cached head key, forcing generation
+// bumps (replay impossible, entry invalidated) and verifying routing
+// stays bit-exact with the scan through the rebuild.
+func TestCandTourLogRollover(t *testing.T) {
+	const target = 4 * candTourLogMax
+	keys := make([]string, 0, target+candTourLogMax+512)
+	for len(keys) < target {
+		for i := 0; i < 6; i++ {
+			keys = append(keys, "hot-alpha")
+		}
+		// Enough cold traffic to roll the modification log several
+		// times before the hot key returns.
+		for i := 0; i < candTourLogMax+257; i++ {
+			keys = append(keys, fmt.Sprintf("cold-%d", i%911))
+		}
+	}
+	scan, tree := scanTreePartitioners(t, "Greedy-7", 32)
+	const slab = 128
+	dstS := make([]int, slab)
+	dstT := make([]int, slab)
+	for i := 0; i < len(keys); i += slab {
+		end := i + slab
+		if end > len(keys) {
+			end = len(keys)
+		}
+		RouteBatch(scan, keys[i:end], dstS)
+		RouteBatch(tree, keys[i:end], dstT)
+		for j := 0; j < end-i; j++ {
+			if dstS[j] != dstT[j] {
+				t.Fatalf("msg %d (key %q): scan → %d, tree → %d", i+j, keys[i+j], dstS[j], dstT[j])
+			}
+		}
+	}
+}
+
+// TestCandTourRepair unit-tests the repair path directly: build a
+// tournament for one digest, interleave increments on candidate and
+// non-candidate workers (all logged via bump), then route another run
+// and check it against a scan replica of the same load history.
+func TestCandTourRepair(t *testing.T) {
+	const n = 64
+	mk := func() *greedy {
+		g := &greedy{n: n, loads: make([]int64, n), lidx: LoadIndexTree}
+		g.tree = newLoadTree(g.loads)
+		return g
+	}
+	g, ref := mk(), mk()
+	cand := []int32{3, 17, 5, 40, 9, 22, 31}
+	dg := KeyDigest(0xabcdef0123456789)
+
+	dst := make([]int, 5)
+	g.routeCandsTree(dg, cand, dst)
+	for range dst {
+		ref.routeCands(cand)
+	}
+	if !g.tourReady(dg, len(cand)) {
+		t.Fatal("tournament not cached after first run")
+	}
+	// Foreign-key traffic (within the ≤ c replay budget): bumps on
+	// candidates and non-candidates.
+	for _, w := range []int{5, 5, 40, 2, 60, 9} {
+		g.bump(w)
+		ref.bump(w)
+	}
+	if !g.tourReady(dg, len(cand)) {
+		t.Fatal("tournament not repairable after few increments")
+	}
+	// Short run: must take the repair path and match the scan replica.
+	short := make([]int, 2)
+	g.routeCandsTree(dg, cand, short)
+	for m := range short {
+		if want := ref.routeCands(cand); short[m] != want {
+			t.Fatalf("repaired route %d: got %d, want %d", m, short[m], want)
+		}
+	}
+	for w := range g.loads {
+		if g.loads[w] != ref.loads[w] {
+			t.Fatalf("loads diverged at worker %d: %d vs %d", w, g.loads[w], ref.loads[w])
+		}
+	}
+}

@@ -298,7 +298,19 @@ type greedy struct {
 	digs   []hashing.KeyDigest // scratch: per-batch digests (grows to the largest batch seen)
 	lidx   int8                // Config.LoadIndex (crossover policy for candidate tournaments)
 	tree   *loadTree           // full-vector load index, nil below the crossover
-	ctree  []int32             // scratch: candidate subset tournament (grows to the largest list)
+	ctree  []int32             // scratch: oversized candidate tournaments (grows to the largest list)
+
+	// Persistent candidate-tournament state (loadtree.go). clogOn is set
+	// by the first routeCandsTree call; from then on bump appends every
+	// load increment to clog so cached tournaments can be repaired by
+	// replay instead of rebuilt. Whenever clogOn is true the full-vector
+	// tree is attached (useCandTree requires LoadIndexTree — which
+	// forces it — or c ≥ crossover ≤ n, which auto-attaches it), so no
+	// increment can bypass bump and stale a cached tournament.
+	ctours  []candTour
+	clog    []int32
+	clogGen uint32
+	clogOn  bool
 
 	// Plain (single-goroutine, like the partitioner itself) argmin-path
 	// counters, surfaced through RouteStats: messages routed via a
@@ -338,6 +350,13 @@ func (g *greedy) bump(w int) {
 	g.loads[w]++
 	if g.tree != nil {
 		g.tree.fix(w)
+	}
+	if g.clogOn {
+		if len(g.clog) >= candTourLogMax {
+			g.clogGen++ // cached tournaments rebuild on next use
+			g.clog = g.clog[:0]
+		}
+		g.clog = append(g.clog, int32(w))
 	}
 }
 

@@ -127,28 +127,138 @@ func (t *loadTree) fix(w int) {
 //
 // D-Choices with a large d evaluates an argmin over d deduplicated
 // candidates per head message; the full-vector tree cannot answer
-// subset queries, but within one RUN of a head key the candidate set is
-// fixed and only this router's own increments touch it. routeCandsTree
-// therefore builds a throwaway tournament over the candidate LIST
-// (leaves are list positions, ties prefer the earlier position — the
-// routeCands tie-break) in O(c), then routes each message of the run in
-// O(log c): O(c + r·log c) for an r-message run versus the scan's
-// O(r·c). The scratch array is owned by the greedy core and grows to
-// the largest candidate list seen, so steady state allocates nothing.
+// subset queries, but for one digest the candidate LIST is a pure
+// function of (digest, list length) — the dedup-prefix property makes
+// two lookups with the same deduplicated length return the same list —
+// so a tournament over it (leaves are list positions, ties prefer the
+// earlier position: the routeCands tie-break) stays meaningful ACROSS
+// runs. routeCandsTree keeps a small direct-mapped cache of such
+// tournaments, each stamped with the position it last observed in the
+// core's modification log of load increments (see greedy.clog). On the
+// next run of the same head key the cached tree is repaired by
+// replaying only the increments that landed since — O(changed leaves ·
+// log c) — instead of the O(c) rebuild the previous throwaway design
+// paid on every run, which dominated exactly the short-run regime
+// (skewed streams chop head keys into 1–3 message runs at batch
+// boundaries). Routing stays O(log c) per message and bit-exact with
+// the scans: repair recomputes the same winner nodes a rebuild would.
 
-// useCandTree reports whether a head segment of msgs messages over c
-// candidates should route through the subset tournament. The build
-// costs ≈2 scans' worth of work (c leaves + c−1 winner compares), so
-// the break-even is at three messages: 2c + 3·log c < 3c for any c
-// above the crossover. Below the crossover the scan's tight gather
-// loop wins regardless — except under LoadIndexTree, which applies the
-// tournament at every size past break-even so the parity suite
-// exercises it throughout.
-func (g *greedy) useCandTree(c, msgs int) bool {
-	if msgs < 3 || c < 2 || g.lidx == LoadIndexScan {
+// Candidate tournament cache shape. Slots are direct-mapped by digest
+// low bits (digests are hash outputs, so low bits are well mixed); a
+// conflicting hot key simply rebuilds, never corrupts. Lists longer
+// than candTourMaxCands fall back to the throwaway scratch build so
+// the cache's worst-case footprint stays bounded (~2 MiB: slots ·
+// (2c nodes + 2c-slot position table) · 4 B). The modification log is
+// capped: when it reaches candTourLogMax entries a generation bump
+// empties it, invalidating every cached tournament at once (they
+// rebuild on next use).
+const (
+	candTourSlots    = 128
+	candTourMaxCands = 1024
+	candTourLogMax   = 4096
+)
+
+// candTour is one cached candidate tournament: the (digest, length)
+// identity of the list it was built over, the log generation/position
+// it is synced to, the 2c tournament nodes, and an open-addressed
+// worker→(position+1) table used to map logged increments back to
+// leaves during repair (0 means empty; linear probing at load ≤ ½).
+type candTour struct {
+	dig     KeyDigest
+	c       int32
+	gen     uint32
+	sync    int32
+	tabMask int32
+	node    []int32
+	pos     []int32
+}
+
+// lookupPos returns the list position of worker w in the tournament's
+// candidate list, or -1 when w is not a candidate. cand is the live
+// list (same content the table was built from).
+func (e *candTour) lookupPos(cand []int32, w int32) int {
+	for h := w & e.tabMask; ; h = (h + 1) & e.tabMask {
+		v := e.pos[h]
+		if v == 0 {
+			return -1
+		}
+		if p := v - 1; cand[p] == w {
+			return int(p)
+		}
+	}
+}
+
+// build (re)constructs the tournament and its worker→position table
+// over cand, reusing the entry's slices when capacity allows, and
+// returns the node slice sized to 2c.
+func (e *candTour) build(g *greedy, dg KeyDigest, cand []int32) []int32 {
+	c := len(cand)
+	if cap(e.node) < 2*c {
+		e.node = make([]int32, 2*c)
+	}
+	t := e.node[:2*c]
+	for i := 0; i < c; i++ {
+		t[c+i] = int32(i)
+	}
+	for k := c - 1; k >= 1; k-- {
+		t[k] = g.candWinner(cand, t[2*k], t[2*k+1])
+	}
+	size := 4
+	for size < 2*c {
+		size <<= 1
+	}
+	if cap(e.pos) < size {
+		e.pos = make([]int32, size)
+	}
+	tab := e.pos[:size]
+	for i := range tab {
+		tab[i] = 0
+	}
+	e.pos, e.tabMask = tab, int32(size-1)
+	for i, w := range cand {
+		h := w & e.tabMask
+		for tab[h] != 0 {
+			h = (h + 1) & e.tabMask
+		}
+		tab[h] = int32(i + 1)
+	}
+	e.dig, e.c = dg, int32(c)
+	e.node = t
+	return t
+}
+
+// tourReady reports whether a cached tournament for (dg, c) exists and
+// is repairable more cheaply than a rebuild: same log generation and at
+// most c increments behind (replaying more than c paths costs more than
+// the O(c) rebuild — and then the scan is competitive anyway).
+func (g *greedy) tourReady(dg KeyDigest, c int) bool {
+	if !g.clogOn || c > candTourMaxCands {
 		return false
 	}
-	return g.lidx == LoadIndexTree || c >= loadIndexCrossover
+	e := &g.ctours[int(uint64(dg))&(candTourSlots-1)]
+	return e.dig == dg && int(e.c) == c && e.gen == g.clogGen &&
+		int(e.sync) <= len(g.clog) && len(g.clog)-int(e.sync) <= c
+}
+
+// useCandTree reports whether a head segment of msgs messages of digest
+// dg over c candidates should route through the subset tournament. A
+// cold build costs ≈2 scans' worth of work (c leaves + c−1 winner
+// compares), so the cold break-even is at three messages: 2c + 3·log c
+// < 3c for any c above the crossover. Shorter runs — the regime the
+// persistent cache exists for — go through the tournament only when a
+// synced cached tree is available, so a 1-message run never pays a
+// build it cannot amortize. Below the crossover the scan's tight
+// gather loop wins regardless — except under LoadIndexTree, which
+// applies the tournament at every size past break-even so the parity
+// suite exercises it throughout.
+func (g *greedy) useCandTree(dg KeyDigest, c, msgs int) bool {
+	if msgs < 1 || c < 2 || g.lidx == LoadIndexScan {
+		return false
+	}
+	if g.lidx != LoadIndexTree && c < loadIndexCrossover {
+		return false
+	}
+	return msgs >= 3 || g.tourReady(dg, c)
 }
 
 // candWinner is the subset tournament's comparison: positions into the
@@ -162,13 +272,67 @@ func (g *greedy) candWinner(cand []int32, a, b int32) int32 {
 	return a
 }
 
-// routeCandsTree routes len(dst) consecutive messages of one head key
+// routeCandsTree routes len(dst) consecutive messages of head digest dg
 // over its candidate list through a subset tournament, reproducing
 // len(dst) sequential routeCands calls exactly. Callers guarantee
 // len(cand) ≥ 2 and that nothing else touches the loads between the
 // messages (true within a batch run).
-func (g *greedy) routeCandsTree(cand []int32, dst []int) {
+//
+// The first call enables the modification log: from then on every load
+// increment of this core (they all flow through bump — a scheme whose
+// useCandTree can fire always carries the full-vector tree, so routeAll
+// never takes its plain-increment scan path here) is appended to
+// g.clog, and the tournament cached for dg is stamped with the log
+// position it reflects. A later run of the same digest replays only the
+// increments since that stamp, fixing one leaf-to-root path per logged
+// candidate worker.
+func (g *greedy) routeCandsTree(dg KeyDigest, cand []int32, dst []int) {
 	g.nTreeMin += int64(len(dst))
+	c := len(cand)
+	if !g.clogOn {
+		g.clogOn = true
+		g.ctours = make([]candTour, candTourSlots)
+	}
+	if c > candTourMaxCands {
+		g.routeCandsScratch(cand, dst)
+		return
+	}
+	e := &g.ctours[int(uint64(dg))&(candTourSlots-1)]
+	var t []int32
+	if e.dig == dg && int(e.c) == c && e.gen == g.clogGen &&
+		int(e.sync) <= len(g.clog) && len(g.clog)-int(e.sync) <= c {
+		t = e.node[:2*c]
+		for _, w := range g.clog[e.sync:] {
+			pos := e.lookupPos(cand, w)
+			if pos < 0 {
+				continue
+			}
+			for k := (c + pos) >> 1; k >= 1; k >>= 1 {
+				t[k] = g.candWinner(cand, t[2*k], t[2*k+1])
+			}
+		}
+	} else {
+		t = e.build(g, dg, cand)
+	}
+	for m := range dst {
+		pos := int(t[1])
+		w := int(cand[pos])
+		g.bump(w) // also maintains the full-vector tree and the log
+		for k := (c + pos) >> 1; k >= 1; k >>= 1 {
+			t[k] = g.candWinner(cand, t[2*k], t[2*k+1])
+		}
+		dst[m] = w
+	}
+	// Re-stamp unconditionally: even if bump rolled the log generation
+	// mid-run, the tree reflects every increment up to the new log head.
+	e.gen, e.sync = g.clogGen, int32(len(g.clog))
+}
+
+// routeCandsScratch is the uncached fallback for candidate lists too
+// large for the tournament cache: a throwaway build into the greedy
+// core's scratch array (grows to the largest list seen, so steady state
+// allocates nothing), exactly the pre-cache design.
+func (g *greedy) routeCandsScratch(cand []int32, dst []int) {
 	c := len(cand)
 	if cap(g.ctree) < 2*c {
 		g.ctree = make([]int32, 2*c)
@@ -183,7 +347,7 @@ func (g *greedy) routeCandsTree(cand []int32, dst []int) {
 	for m := range dst {
 		pos := int(t[1])
 		w := int(cand[pos])
-		g.bump(w) // also maintains the full-vector tree
+		g.bump(w)
 		for k := (c + pos) >> 1; k >= 1; k >>= 1 {
 			t[k] = g.candWinner(cand, t[2*k], t[2*k+1])
 		}

@@ -27,6 +27,12 @@ import (
 //     hop, so the reducers pay the per-partial cost roughly once per
 //     (window, key) instead of once per (window, key, worker).
 //
+// Two transport legs ride along: mem-transport (the same topology over
+// internal/transport memory links) and tcp-transport (loopback TCP with
+// batched varint framing). The memory leg is the tentpole's overhead
+// budget — it must stay within ~5% of the direct ring plane in the raw
+// regime; the TCP leg prices leaving the process.
+//
 // When SLB_BENCH_DIR is set, the run writes the measured table as
 // BENCH_pipeline_throughput.json — the engine's entry in the CI perf
 // trajectory, alongside routing's BENCH_* tables.
@@ -43,9 +49,17 @@ func BenchmarkPipelineThroughput(b *testing.B) {
 	planes := []struct {
 		name string
 		dp   Dataplane
+		tr   Transport
+		win  int
 	}{
-		{"channel", DataplaneChannel},
-		{"ring", DataplaneRing},
+		{"channel", DataplaneChannel, TransportDirect, 0},
+		{"ring", DataplaneRing, TransportDirect, 0},
+		{"mem-transport", DataplaneRing, TransportMemory, 0},
+		// The default in-flight window (100) makes a TCP run ack-latency
+		// bound — every burst waits out a loopback syscall round trip —
+		// so the leg would measure latency, not transport throughput. A
+		// deeper window keeps the wire busy between ack cycles.
+		{"tcp-transport", DataplaneRing, TransportTCP, 4096},
 	}
 
 	rate := make(map[string]float64)
@@ -61,6 +75,8 @@ func BenchmarkPipelineThroughput(b *testing.B) {
 					Messages:     reg.msgs,
 					AggMergeCost: reg.cost,
 					Dataplane:    plane.dp,
+					Transport:    plane.tr,
+					Window:       plane.win,
 				}
 				b.ReportAllocs()
 				b.ResetTimer()
@@ -79,7 +95,7 @@ func BenchmarkPipelineThroughput(b *testing.B) {
 
 	if dir := os.Getenv("SLB_BENCH_DIR"); dir != "" {
 		tab := &texttab.Table{
-			Title:   "pipeline throughput: channel vs ring dataplane (W-C, R=4, z=1.4)",
+			Title:   "pipeline throughput: channel vs ring vs transport (W-C, R=4, z=1.4)",
 			Columns: []string{"regime", "dataplane", "msgs/s", "speedup"},
 		}
 		for _, reg := range regimes {

@@ -127,6 +127,18 @@ type Config struct {
 	// across dataplanes (same finals, same replication factors); only
 	// the wall-clock cost differs.
 	Dataplane Dataplane
+	// Transport selects the edge fabric for the data hops (spout→bolt
+	// tuples and bolt→shard partials). TransportDirect (the default)
+	// keeps the in-process dataplane selected by Config.Dataplane;
+	// TransportMemory and TransportTCP run the topology over
+	// internal/transport links (Dataplane is ignored): per-edge SPSC
+	// rings behind the Transport interface, or loopback TCP connections
+	// with varint framing and write coalescing. Finals and replication
+	// factors are bit-equal across all transports at Sources=1; only
+	// the wall-clock cost differs. With TransportTCP and Telemetry set,
+	// per-link wire counters (bytes, frames, flushes, stalls) land in
+	// the registry.
+	Transport Transport
 	// Telemetry, when non-nil, receives the run's live metric series:
 	// per-spout routing activity (core.RouteRecorder), ack-window and
 	// ring publish/acquire stalls, per-bolt queue depths and processed
@@ -149,6 +161,20 @@ const (
 	// atomic in-flight acks, and a worker-side combiner tree in front
 	// of the reduce stage.
 	DataplaneRing
+)
+
+// Transport names an edge fabric; see Config.Transport.
+type Transport int
+
+const (
+	// TransportDirect uses the in-process dataplane (Config.Dataplane).
+	TransportDirect Transport = iota
+	// TransportMemory runs every data hop over internal/transport's
+	// ring-backed in-memory backend.
+	TransportMemory
+	// TransportTCP runs every data hop over loopback TCP connections
+	// with length-prefixed varint frames and write coalescing.
+	TransportTCP
 )
 
 func (c Config) withDefaults() (Config, error) {
@@ -265,6 +291,9 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 	limit := gen.Len()
 	if cfg.Messages > 0 && cfg.Messages < limit {
 		limit = cfg.Messages
+	}
+	if cfg.Transport != TransportDirect {
+		return runTransport(gen, cfg, parts, limit)
 	}
 	if cfg.Dataplane == DataplaneRing {
 		return runRing(gen, cfg, parts, limit)

@@ -84,6 +84,10 @@ func newPlaneTelemetry(cfg Config) *planeTelemetry {
 			telemetry.L("algo", cfg.Algorithm),
 		},
 	}
+	// The transport plane polls its receive endpoints the way the ring
+	// plane polls its rings, so it reports the same stall series
+	// whatever Dataplane says.
+	ringish := cfg.Dataplane == DataplaneRing || cfg.Transport != TransportDirect
 	pt.recs = make([]*core.RouteRecorder, cfg.Sources)
 	pt.ackWait = make([]*telemetry.Counter, cfg.Sources)
 	pt.publishStall = make([]*telemetry.Counter, cfg.Sources)
@@ -91,7 +95,7 @@ func newPlaneTelemetry(cfg Config) *planeTelemetry {
 		ls := pt.with("spout", s)
 		pt.recs[s] = core.NewRouteRecorder(reg, ls...)
 		pt.ackWait[s] = reg.Counter("spout_ack_wait_ns_total", ls...)
-		if cfg.Dataplane == DataplaneRing {
+		if ringish {
 			pt.publishStall[s] = reg.Counter("publish_stall_ns_total", ls...)
 		}
 	}
@@ -100,7 +104,7 @@ func newPlaneTelemetry(cfg Config) *planeTelemetry {
 	for w := range pt.boltMsgs {
 		ls := pt.with("worker", w)
 		pt.boltMsgs[w] = reg.Counter("bolt_msgs_total", ls...)
-		if cfg.Dataplane == DataplaneRing {
+		if ringish {
 			pt.acquireStall[w] = reg.Counter("acquire_stall_ns_total", ls...)
 		}
 	}

@@ -1,0 +1,576 @@
+package dspe
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"slb/internal/aggregation"
+	"slb/internal/core"
+	"slb/internal/metrics"
+	"slb/internal/stream"
+	"slb/internal/transport"
+)
+
+// transportplane.go runs the topology over the internal/transport edge
+// fabric: every spout→bolt and bolt→reducer hop is a named transport
+// link instead of an in-process channel or ring. With the memory
+// backend this is the ring dataplane's data path behind the Transport
+// interface (one SPSC ring per edge, slab sends, polling consumers);
+// with the TCP backend every hop additionally crosses a loopback
+// socket through the varint frame codec, which is what makes the
+// network's cost measurable against the in-process planes.
+//
+// Aggregation follows the CHANNEL plane's semantics: bolt partials
+// travel to the reducer shards with their worker identity intact (no
+// combiner tree), the shards merge via ShardedDriver.MergeShard, and
+// replication is observed driver-side. Finals and replication are
+// therefore bit-equal to both in-process planes at Sources=1 — pinned
+// by TestTransportPlaneParity.
+//
+// Control stays in-process by design: the per-source in-flight window
+// (ack semantics) is the ring plane's padded atomic counter, and
+// window-completeness thresholds are counted at the spouts
+// (ObserveEmits) exactly as in both other planes. The transport
+// models the DATA hops — the paper's serialization/framing/link cost —
+// not a distributed control protocol.
+
+// msgOf packs one in-flight tuple into the wire shape. emit is the
+// spout timestamp in ns for latency-sampled tuples, 0 otherwise.
+func msgOf(tp *tuple, emit int64) transport.Msg {
+	return transport.Msg{
+		Dig:    uint64(tp.dig),
+		Window: tp.window,
+		Weight: tp.val,
+		Emit:   emit,
+		Src:    tp.src,
+		Key:    tp.key,
+	}
+}
+
+// partialMsg packs one bolt partial into the wire shape.
+func partialMsg(p *aggregation.Partial) transport.Msg {
+	return transport.Msg{
+		Dig:    uint64(p.Digest),
+		Window: p.Window,
+		Weight: p.Count,
+		Val0:   p.Val[0],
+		Val1:   p.Val[1],
+		Src:    p.Worker,
+		Key:    p.Key,
+	}
+}
+
+// runTransport executes the topology with every data hop on cfg's
+// transport backend. cfg has defaults applied; parts are the
+// per-source partitioners; limit is the message cap.
+func runTransport(gen stream.Generator, cfg Config, parts []core.Partitioner, limit int64) (Result, error) {
+	shards := cfg.AggShards
+	agg := cfg.AggWindow > 0
+	pt := newPlaneTelemetry(cfg)
+
+	var (
+		fabric transport.Transport
+		tcp    *transport.TCP
+		err    error
+	)
+	switch cfg.Transport {
+	case TransportMemory:
+		fabric = transport.NewMemory()
+	case TransportTCP:
+		tcp, err = transport.NewTCP(cfg.Telemetry)
+		if err != nil {
+			return Result{}, err
+		}
+		fabric = tcp
+	default:
+		return Result{}, fmt.Errorf("dspe: unknown transport %d", cfg.Transport)
+	}
+	defer fabric.Close()
+
+	// Spout→bolt links: one per (source, bolt) pair, so each link is
+	// SPSC like the ring plane's edges. Bolt→shard links likewise.
+	in := make([][]*transport.Link, cfg.Sources)
+	for s := range in {
+		in[s] = make([]*transport.Link, cfg.Workers)
+		for w := range in[s] {
+			if in[s][w], err = fabric.Open(fmt.Sprintf("s%d>w%d", s, w), ringCapFor(cfg)); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	var boltOut [][]*transport.Link
+	if agg {
+		boltOut = make([][]*transport.Link, cfg.Workers)
+		for w := range boltOut {
+			boltOut[w] = make([]*transport.Link, shards)
+			for r := range boltOut[w] {
+				if boltOut[w][r], err = fabric.Open(fmt.Sprintf("w%d>r%d", w, r), partialRingCap); err != nil {
+					return Result{}, err
+				}
+			}
+		}
+	}
+	inflight := make([]inflightCounter, cfg.Sources)
+
+	// First asynchronous link failure (TCP only); spouts and bolts stop
+	// sending when set, and Run surfaces it after the drain.
+	var firstErr atomic.Pointer[error]
+	fail := func(e error) {
+		if e != nil {
+			firstErr.CompareAndSwap(nil, &e)
+		}
+	}
+	failed := func() bool { return firstErr.Load() != nil }
+
+	svcFor := func(w int) time.Duration {
+		d := cfg.ServiceTime
+		if f, ok := cfg.SlowFactor[w]; ok {
+			d = time.Duration(float64(d) * f)
+		}
+		return d
+	}
+
+	var (
+		sd         *aggregation.ShardedDriver
+		reduceBusy []time.Duration
+		reduceWG   sync.WaitGroup
+		onFinal    func(aggregation.Final)
+	)
+	if agg {
+		sd = aggregation.NewShardedDriver(cfg.Workers, shards, cfg.AggWindow, limit, cfg.AggMerger)
+		pt.observeReduce(sd)
+		reduceBusy = make([]time.Duration, shards)
+		onFinal = cfg.OnFinal
+		if onFinal != nil && shards > 1 {
+			var finalMu sync.Mutex
+			user := cfg.OnFinal
+			onFinal = func(f aggregation.Final) {
+				finalMu.Lock()
+				user(f)
+				finalMu.Unlock()
+			}
+		}
+		for r := 0; r < shards; r++ {
+			reduceWG.Add(1)
+			go func(r int) {
+				defer reduceWG.Done()
+				// Per-bolt receive legs of this shard; drained like the
+				// ring plane's root. The merge cost is settled as debt in
+				// ≥ 1 ms chunks (see the channel plane for why).
+				var debt time.Duration
+				settle := func(threshold time.Duration) {
+					if debt > threshold {
+						s0 := time.Now()
+						simulateWork(debt, cfg.Spin)
+						debt -= time.Since(s0)
+					}
+				}
+				buf := make([]transport.Msg, 256)
+				slab := make([]aggregation.Partial, 0, 256)
+				drained := make([]bool, cfg.Workers)
+				remaining := cfg.Workers
+				spins := 0
+				for remaining > 0 {
+					progressed := false
+					for w := 0; w < cfg.Workers; w++ {
+						if drained[w] {
+							continue
+						}
+						n, done := boltOut[w][r].RecvSlab(buf)
+						if n == 0 {
+							if done {
+								drained[w] = true
+								remaining--
+								progressed = true
+							}
+							continue
+						}
+						progressed = true
+						slab = slab[:0]
+						for i := 0; i < n; i++ {
+							m := &buf[i]
+							slab = append(slab, aggregation.Partial{
+								Window: m.Window,
+								Digest: aggregation.KeyDigest(m.Dig),
+								Key:    m.Key,
+								Count:  m.Weight,
+								Val:    aggregation.Value{m.Val0, m.Val1},
+								Worker: m.Src,
+							})
+						}
+						t0 := time.Now()
+						if cfg.AggMergeCost > 0 {
+							debt += cfg.AggMergeCost * time.Duration(len(slab))
+							settle(time.Millisecond)
+						}
+						sd.MergeShard(r, slab, onFinal)
+						d := time.Since(t0)
+						reduceBusy[r] += d
+						pt.addReduce(r, len(slab), d)
+					}
+					if progressed {
+						spins = 0
+					} else {
+						backoff(&spins)
+					}
+				}
+				t0 := time.Now()
+				settle(0)
+				sd.FinishShard(r, onFinal)
+				d := time.Since(t0)
+				reduceBusy[r] += d
+				pt.addReduce(r, 0, d)
+			}(r)
+		}
+	}
+
+	stats := make([]boltStats, cfg.Workers)
+	latSampled := make([]int64, cfg.Workers)
+	boltPartials := make([]int64, cfg.Workers)
+	var bolts sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		bolts.Add(1)
+		go func(w int) {
+			defer bolts.Done()
+			st := &stats[w]
+			st.lat = metrics.NewQuantiles(1 << 14)
+			var acc *aggregation.Accumulator
+			var scratch []aggregation.Partial
+			var pendP [][]transport.Msg
+			if agg {
+				acc = aggregation.NewAccumulatorMerger(w, cfg.AggMerger)
+				pendP = make([][]transport.Msg, shards)
+			}
+			// flushClosed closes windows below `before` and sends each
+			// partial to its shard — worker identity intact, merged (and
+			// its replica observed) at the reducer, exactly the channel
+			// plane's division of labor. Each touched link is flushed so
+			// window finals never sit in a coalescing buffer.
+			flushClosed := func(before int64) {
+				scratch = acc.FlushBefore(before, scratch[:0])
+				pt.addBoltPartials(len(scratch))
+				for i := range scratch {
+					p := &scratch[i]
+					r := aggregation.ShardFor(p.Digest, shards)
+					pendP[r] = append(pendP[r], partialMsg(p))
+				}
+				for r := range pendP {
+					if len(pendP[r]) > 0 {
+						if !failed() {
+							if err := boltOut[w][r].SendSlab(pendP[r]); err != nil {
+								fail(err)
+							} else if err := boltOut[w][r].Sender.Flush(); err != nil {
+								fail(err)
+							}
+						}
+						pendP[r] = pendP[r][:0]
+					}
+				}
+			}
+			buf := make([]transport.Msg, cfg.Batch)
+			drained := make([]bool, cfg.Sources)
+			remaining := cfg.Sources
+			spins := 0
+			for remaining > 0 {
+				progressed := false
+				for s := 0; s < cfg.Sources; s++ {
+					if drained[s] {
+						continue
+					}
+					n, done := in[s][w].RecvSlab(buf)
+					if n == 0 {
+						if done {
+							drained[s] = true
+							remaining--
+							progressed = true
+						}
+						continue
+					}
+					progressed = true
+					acks := 0
+					for i := 0; i < n; i++ {
+						m := &buf[i]
+						if m.Src < 0 {
+							// Watermark tick: flush with one window of slack,
+							// exactly as the other planes. No ack.
+							if acc != nil {
+								flushClosed(m.Window - 1)
+							}
+							continue
+						}
+						simulateWork(svcFor(w), cfg.Spin)
+						if acc != nil {
+							if wm, ok := acc.Watermark(); ok && m.Window > wm {
+								flushClosed(m.Window - 1)
+							}
+							acc.AddSample(m.Window, core.KeyDigest(m.Dig), m.Key, 1, m.Weight)
+						}
+						if m.Emit != 0 {
+							lat := time.Duration(time.Now().UnixNano() - m.Emit)
+							st.lat.Add(float64(lat))
+							st.sum += lat
+							latSampled[w]++
+						}
+						st.count++
+						acks++
+					}
+					if acks > 0 {
+						inflight[s].n.Add(int64(-acks))
+						pt.addBoltMsgs(w, acks)
+					}
+				}
+				if progressed {
+					spins = 0
+				} else if pt != nil {
+					t0 := time.Now()
+					backoff(&spins)
+					pt.addAcquireStall(w, time.Since(t0))
+				} else {
+					backoff(&spins)
+				}
+			}
+			if acc != nil {
+				flushClosed(1 << 62)
+				boltPartials[w] = acc.Flushed()
+				for r := range boltOut[w] {
+					boltOut[w][r].Sender.Close()
+				}
+			}
+		}(w)
+	}
+
+	nextSlab, _ := slabSource(gen, limit)
+	genVals := stream.Values(gen) != nil
+	var tickedWindow atomic.Int64
+
+	start := time.Now()
+	var spouts sync.WaitGroup
+	for s := 0; s < cfg.Sources; s++ {
+		spouts.Add(1)
+		go func(s int) {
+			defer spouts.Done()
+			defer func() {
+				for w := range in[s] {
+					in[s][w].Sender.Close()
+				}
+			}()
+			p := parts[s]
+			keys := make([]string, cfg.Batch)
+			dsts := make([]int, cfg.Batch)
+			var digs []core.KeyDigest
+			var vals []int64
+			if agg {
+				digs = make([]core.KeyDigest, cfg.Batch)
+				// Sampling contract: AggValue hook > recorded generator
+				// values > constant 1 (see Config.AggValue).
+				if cfg.AggValue == nil && genVals {
+					vals = make([]int64, cfg.Batch)
+				}
+			}
+			// Reused per-destination staging, sent with one SendSlab per
+			// touched link, then flushed before waiting on acks (a tuple
+			// sitting in a coalescing buffer can never be acked). Links
+			// whose sender grants in-place writes (the memory backend)
+			// skip the staging copy entirely: messages are constructed
+			// directly in granted ring slots and published per batch.
+			pend := make([][]transport.Msg, cfg.Workers)
+			granters := make([]transport.SlabGranter, cfg.Workers)
+			open := make([][]transport.Msg, cfg.Workers)
+			used := make([]int, cfg.Workers)
+			for w := range pend {
+				pend[w] = make([]transport.Msg, 0, cfg.Batch)
+				if g, ok := in[s][w].Sender.(transport.SlabGranter); ok {
+					granters[w] = g
+				}
+			}
+			var seq int64 // per-spout emit counter for latency sampling
+			for !failed() {
+				n, base := nextSlab(keys, vals)
+				if n == 0 {
+					break
+				}
+				spins := 0
+				var t0 time.Time
+				if pt != nil {
+					t0 = time.Now()
+				}
+				if inflight[s].n.Load() > int64(cfg.Window-n) {
+					// About to block on acks: flush every link first, so
+					// coalesced bytes become visible work downstream (a
+					// tuple sitting in a coalescing buffer can never be
+					// acked). Until the window fills, frames are left to
+					// the byte-threshold coalescer — flushing per batch
+					// would cap TCP frames at a few hundred bytes.
+					for w := range in[s] {
+						if err := in[s][w].Sender.Flush(); err != nil {
+							fail(err)
+						}
+					}
+					for inflight[s].n.Load() > int64(cfg.Window-n) && !failed() {
+						backoff(&spins)
+					}
+				}
+				if pt != nil {
+					pt.addAckWait(s, time.Since(t0))
+					t0 = time.Now()
+				}
+				inflight[s].n.Add(int64(n))
+				if agg {
+					core.RouteBatchDigests(p, keys[:n], digs, dsts)
+					pt.recordRoute(s, p, n, time.Since(t0))
+					// Thresholds before visibility, as in the other planes.
+					sd.ObserveEmits(base, digs[:n])
+					if cw := (base + int64(n) - 1) / cfg.AggWindow; cw > tickedWindow.Load() {
+						for {
+							seen := tickedWindow.Load()
+							if cw <= seen {
+								break
+							}
+							if tickedWindow.CompareAndSwap(seen, cw) {
+								// The winner broadcasts through its OWN links
+								// (they are SPSC; ticks flush immediately so
+								// starved bolts still close windows on time).
+								tick := []transport.Msg{{Src: -1, Window: cw}}
+								for w := range in[s] {
+									if err := in[s][w].SendSlab(tick); err != nil {
+										fail(err)
+										break
+									}
+									if err := in[s][w].Sender.Flush(); err != nil {
+										fail(err)
+										break
+									}
+								}
+								break
+							}
+						}
+					}
+				} else {
+					core.RouteBatch(p, keys[:n], dsts)
+					pt.recordRoute(s, p, n, time.Since(t0))
+				}
+				now := time.Now().UnixNano()
+				for i := 0; i < n; i++ {
+					tp := tuple{key: keys[i], src: int32(s)}
+					if agg {
+						tp.window = (base + int64(i)) / cfg.AggWindow
+						tp.dig = digs[i]
+						tp.val = 1
+						if cfg.AggValue != nil {
+							tp.val = cfg.AggValue(keys[i], base+int64(i))
+						} else if vals != nil {
+							tp.val = vals[i]
+						}
+					}
+					emit := int64(0)
+					if seq&latSampleMask == 0 {
+						emit = now
+					}
+					seq++
+					w := dsts[i]
+					g := granters[w]
+					if g == nil {
+						pend[w] = append(pend[w], msgOf(&tp, emit))
+						continue
+					}
+					if used[w] == len(open[w]) {
+						// Current grant exhausted: commit it and reserve the
+						// next stretch of ring space, spinning while the
+						// link is full (same backpressure as SendSlab).
+						if used[w] > 0 {
+							g.Publish(used[w])
+							used[w] = 0
+						}
+						gspins := 0
+						for {
+							if open[w] = g.Grant(n - i); open[w] != nil {
+								break
+							}
+							if failed() {
+								break
+							}
+							backoff(&gspins)
+						}
+						if open[w] == nil {
+							break
+						}
+					}
+					open[w][used[w]] = msgOf(&tp, emit)
+					used[w]++
+				}
+				for w := range pend {
+					if used[w] > 0 {
+						granters[w].Publish(used[w])
+						open[w], used[w] = nil, 0
+					}
+					if len(pend[w]) > 0 {
+						if err := in[s][w].SendSlab(pend[w]); err != nil {
+							fail(err)
+						}
+						pend[w] = pend[w][:0]
+					}
+				}
+			}
+		}(s)
+	}
+
+	spouts.Wait()
+	bolts.Wait()
+	elapsed := time.Since(start)
+	total := elapsed
+	if agg {
+		reduceWG.Wait()
+		total = time.Since(start)
+	}
+	if tcp != nil {
+		fail(tcp.Err())
+	}
+	if p := firstErr.Load(); p != nil {
+		return Result{}, *p
+	}
+
+	res := Result{
+		Algorithm: cfg.Algorithm,
+		Elapsed:   elapsed,
+		Loads:     make([]int64, cfg.Workers),
+	}
+	if agg {
+		res.Agg = sd.Stats()
+		res.AggTotal = sd.Total()
+		res.AggReplication = sd.Replication()
+		for _, n := range boltPartials {
+			res.AggBoltPartials += n
+		}
+		if total > 0 {
+			for _, busy := range reduceBusy {
+				u := float64(busy) / float64(total)
+				res.AggReducerUtilMean += u / float64(shards)
+				if u > res.AggReducerUtil {
+					res.AggReducerUtil = u
+				}
+			}
+		}
+	}
+	for w := range stats {
+		st := &stats[w]
+		res.Loads[w] = st.count
+		res.Completed += st.count
+		if latSampled[w] > 0 {
+			if avg := st.sum / time.Duration(latSampled[w]); avg > res.MaxAvgLatency {
+				res.MaxAvgLatency = avg
+			}
+		}
+	}
+	pooled := poolLatency(stats)
+	res.P50 = time.Duration(pooled.Quantile(0.50))
+	res.P95 = time.Duration(pooled.Quantile(0.95))
+	res.P99 = time.Duration(pooled.Quantile(0.99))
+	res.Imbalance = metrics.Imbalance(res.Loads)
+	if sec := elapsed.Seconds(); sec > 0 {
+		res.Throughput = float64(res.Completed) / sec
+	}
+	gen.Reset()
+	return res, nil
+}

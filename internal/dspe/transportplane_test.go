@@ -1,0 +1,130 @@
+package dspe
+
+import (
+	"fmt"
+	"testing"
+
+	"slb/internal/workload"
+)
+
+// TestTransportPlaneParity pins the transport tentpole's correctness
+// contract: both transport backends (memory links and loopback TCP)
+// must produce bit-equal finals AND bit-equal replication factors to
+// the direct channel dataplane. Replication is compared with a single
+// source, where routing — and therefore the (window, key, worker)
+// triples — is deterministic.
+func TestTransportPlaneParity(t *testing.T) {
+	for _, algo := range []string{"KG", "W-C"} {
+		for _, shards := range []int{1, 3} {
+			t.Run(fmt.Sprintf("%s/shards=%d", algo, shards), func(t *testing.T) {
+				base := Config{
+					Workers:   8,
+					Sources:   1,
+					Algorithm: algo,
+					AggWindow: 500,
+					AggShards: shards,
+					Messages:  20_000,
+				}
+
+				direct := base
+				direct.Dataplane = DataplaneChannel
+				dFinals, dRes := collectFinals(t, direct, workload.NewZipf(1.2, 300, 20_000, 7))
+
+				for _, tp := range []struct {
+					name string
+					sel  Transport
+				}{{"memory", TransportMemory}, {"tcp", TransportTCP}} {
+					cfg := base
+					cfg.Transport = tp.sel
+					finals, res := collectFinals(t, cfg, workload.NewZipf(1.2, 300, 20_000, 7))
+					if len(finals) != len(dFinals) {
+						t.Fatalf("%s: final count differs: direct %d, transport %d", tp.name, len(dFinals), len(finals))
+					}
+					for id, want := range dFinals {
+						if got, ok := finals[id]; !ok || got != want {
+							t.Fatalf("%s: final %s: direct %v, transport %v (present=%v)", tp.name, id, want, got, ok)
+						}
+					}
+					if res.AggReplication != dRes.AggReplication {
+						t.Errorf("%s: replication differs: direct %v, transport %v", tp.name, dRes.AggReplication, res.AggReplication)
+					}
+					if res.Completed != 20_000 || res.AggTotal != 20_000 {
+						t.Errorf("%s: completed/total: %d/%d, want 20000/20000", tp.name, res.Completed, res.AggTotal)
+					}
+					// No combiner tree on the transport plane: reducers merge
+					// exactly what the bolts flushed, like the channel plane.
+					if res.Agg.Partials != res.AggBoltPartials {
+						t.Errorf("%s: reducers merged %d partials, bolts flushed %d (must be equal)",
+							tp.name, res.Agg.Partials, res.AggBoltPartials)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestTransportPlaneMultiSource relaxes to what stays deterministic
+// under concurrent spouts — the finals — and checks them bit-equal
+// between the direct plane and the TCP transport.
+func TestTransportPlaneMultiSource(t *testing.T) {
+	base := Config{
+		Workers:   10,
+		Sources:   3,
+		Algorithm: "W-C",
+		AggWindow: 400,
+		AggShards: 2,
+		Messages:  18_000,
+	}
+	direct := base
+	direct.Dataplane = DataplaneChannel
+	dFinals, dRes := collectFinals(t, direct, workload.NewZipf(1.4, 200, 18_000, 11))
+
+	cfg := base
+	cfg.Transport = TransportTCP
+	finals, res := collectFinals(t, cfg, workload.NewZipf(1.4, 200, 18_000, 11))
+
+	if len(finals) != len(dFinals) {
+		t.Fatalf("final count differs: direct %d, tcp %d", len(dFinals), len(finals))
+	}
+	for id, want := range dFinals {
+		if got, ok := finals[id]; !ok || got != want {
+			t.Fatalf("final %s: direct %v, tcp %v (present=%v)", id, want, got, ok)
+		}
+	}
+	if dRes.AggTotal != 18_000 || res.AggTotal != 18_000 {
+		t.Errorf("totals: direct %d, tcp %d, want 18000", dRes.AggTotal, res.AggTotal)
+	}
+}
+
+// TestTransportPlaneNoAgg sanity-checks the plain (no aggregation)
+// topology over both transport backends: every message is processed
+// exactly once.
+func TestTransportPlaneNoAgg(t *testing.T) {
+	for _, tp := range []struct {
+		name string
+		sel  Transport
+	}{{"memory", TransportMemory}, {"tcp", TransportTCP}} {
+		t.Run(tp.name, func(t *testing.T) {
+			res, err := Run(workload.NewZipf(1.1, 500, 15_000, 5), Config{
+				Workers:   6,
+				Sources:   3,
+				Algorithm: "PKG",
+				Messages:  15_000,
+				Transport: tp.sel,
+			})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if res.Completed != 15_000 {
+				t.Fatalf("Completed = %d, want 15000", res.Completed)
+			}
+			var sum int64
+			for _, l := range res.Loads {
+				sum += l
+			}
+			if sum != 15_000 {
+				t.Fatalf("Loads sum = %d, want 15000", sum)
+			}
+		})
+	}
+}

@@ -122,6 +122,29 @@ type Config struct {
 	// routing, on the already-computed digest). 0 means 1 (the single
 	// reducer of the unsharded model).
 	AggShards int
+	// LinkDelay, when positive, models the worker→reducer hop as a
+	// synchronous remote link: every flushed partial pays this one-way
+	// delay (ms) between serialization and admission to its shard's
+	// station, on the flushing worker's clock — the cost profile of a
+	// per-partial remote admission, exactly what internal/transport's
+	// frame coalescing exists to avoid. The charge rides the existing
+	// closed-form station recurrence (admitOne at a later arrival time),
+	// so the model stays event-free and exact. 0 disables the delay
+	// model entirely; such runs are bit-identical to builds without it.
+	LinkDelay float64
+	// LinkJitter is the per-hop jitter amplitude (ms): each hop adds a
+	// deterministic hash-derived fraction of it (uniform over [0, 1) in
+	// (worker, shard, hop index)), so repeated runs are bit-identical.
+	// Only meaningful with LinkDelay > 0.
+	LinkJitter float64
+	// LinkSlowOneIn, when positive, gives roughly one in N hops a rare
+	// slow-path transition (a retransmit, a GC pause on the path)
+	// costing LinkSlowPenalty extra ms, selected by the same
+	// deterministic per-hop hash.
+	LinkSlowOneIn int
+	// LinkSlowPenalty is the slow-path extra delay (ms); 0 with
+	// LinkSlowOneIn > 0 means 10× (LinkDelay + LinkJitter).
+	LinkSlowPenalty float64
 	// AggMerger selects the merge operator applied per (window, key):
 	// aggregation.CountMerger (the default, nil), SumMerger, MinMerger,
 	// MaxMerger, DistinctMerger, or any custom Merger.
@@ -173,6 +196,9 @@ func (c Config) withDefaults() (Config, error) {
 		}
 		if c.AggShards <= 0 {
 			c.AggShards = 1
+		}
+		if c.LinkSlowOneIn > 0 && c.LinkSlowPenalty <= 0 {
+			c.LinkSlowPenalty = 10 * (c.LinkDelay + c.LinkJitter)
 		}
 	}
 	c.Core.Workers = c.Workers
@@ -388,6 +414,7 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 		drv      *aggregation.ShardedDriver
 		aggBuf   []aggregation.Partial
 		stations []reducerStation
+		links    *linkDelays
 	)
 	if cfg.AggWindow > 0 {
 		drv = aggregation.NewShardedDriver(cfg.Workers, cfg.AggShards, cfg.AggWindow, limit, cfg.AggMerger)
@@ -396,24 +423,33 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 		for r := range stations {
 			stations[r] = newReducerStation(cfg.AggMergeCost, cfg.AggQueueLen)
 		}
+		links = newLinkDelays(cfg)
 	}
-	// flushWorker drains wk's windows below `before` into the reduce
-	// stage at simulated time `now` and returns the time the worker is
-	// released: it serializes one partial every AggFlushCost and admits
-	// each into ITS digest shard's station, absorbing any backpressure
-	// stall while that shard's queue is full.
-	flushWorker := func(wk *worker, now float64, before int64) float64 {
+	// flushWorker drains worker w's windows below `before` into the
+	// reduce stage at simulated time `now` and returns the time the
+	// worker is released: it serializes one partial every AggFlushCost,
+	// pays the (w, shard) link's hop delay when the delay model is on,
+	// and admits each partial into ITS digest shard's station, absorbing
+	// any backpressure stall while that shard's queue is full. The link
+	// delay is charged as a later arrival inside the station recurrence,
+	// so the whole hop stays closed-form and event-free.
+	flushWorker := func(w int, wk *worker, now float64, before int64) float64 {
 		aggBuf = wk.acc.FlushBefore(before, aggBuf[:0])
 		drv.Merge(aggBuf, cfg.OnFinal)
 		t := now
 		for i := range aggBuf {
 			t += cfg.AggFlushCost // serialize partial i at the worker
 			r := aggregation.ShardFor(aggBuf[i].Digest, cfg.AggShards)
-			t = stations[r].admitOne(t)
+			if links != nil {
+				t = stations[r].admitOne(t + links.hop(w, r))
+			} else {
+				t = stations[r].admitOne(t)
+			}
 			tel.noteAdmit(r, cfg.AggMergeCost, stations[r].peak)
 		}
 		// Anything beyond pure serialization time is admission stall:
-		// the worker was blocked on a full shard queue (backpressure).
+		// the worker was blocked on a full shard queue (backpressure) or,
+		// with the delay model on, waiting out the wire.
 		tel.noteFlush(t - now - cfg.AggFlushCost*float64(len(aggBuf)))
 		return t
 	}
@@ -450,7 +486,7 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 	// never a fragment. The flush cost still lands on the worker's clock
 	// (readyAt), exactly as a traffic-driven flush would.
 	tickIdle := func() {
-		for _, wk := range workers {
+		for i, wk := range workers {
 			if wk.busy || wk.acc.OpenWindows() == 0 {
 				continue
 			}
@@ -458,7 +494,7 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 			if wk.readyAt > start {
 				start = wk.readyAt
 			}
-			if t := flushWorker(wk, start, announced); t > wk.readyAt {
+			if t := flushWorker(i, wk, start, announced); t > wk.readyAt {
 				wk.readyAt = t
 			}
 		}
@@ -565,7 +601,7 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 				// released only once its last partial is serialized AND
 				// admitted into its reducer shard's bounded queue.
 				if wm, ok := wk.acc.Watermark(); ok && m.window > wm {
-					if t := flushWorker(wk, now, m.window-1); t > now {
+					if t := flushWorker(w, wk, now, m.window-1); t > now {
 						wk.readyAt = t
 					}
 				}
@@ -596,7 +632,7 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 					if wk.readyAt > start {
 						start = wk.readyAt
 					}
-					if t := flushWorker(wk, start, announced); t > wk.readyAt {
+					if t := flushWorker(w, wk, start, announced); t > wk.readyAt {
 						wk.readyAt = t
 					}
 				}
@@ -622,12 +658,12 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 		// closes any remainder. The drain still occupies the shard
 		// stations' clocks, so the utilization denominator extends to
 		// the last shard's finish.
-		for _, wk := range workers {
+		for i, wk := range workers {
 			start := now
 			if wk.readyAt > start {
 				start = wk.readyAt
 			}
-			flushWorker(wk, start, 1<<62)
+			flushWorker(i, wk, start, 1<<62)
 		}
 		drv.Finish(cfg.OnFinal)
 		res.Agg = drv.Stats()

@@ -1,0 +1,57 @@
+package eventsim
+
+// linkDelays is the deterministic per-link delay model for the
+// worker→reducer hop (Config.LinkDelay and friends). Each (worker,
+// shard) pair is one link with its own hop counter; a hop's delay is
+//
+//	base + jitter·u + [slow-path penalty]
+//
+// where u ∈ [0, 1) and the slow-path choice both derive from a
+// splitmix-style hash of (worker, shard, hop index). The same config
+// therefore always produces the same delays — the simulation stays
+// bit-reproducible — while consecutive hops on one link still see
+// uncorrelated jitter and rare slow transitions, like a real path.
+type linkDelays struct {
+	base    float64
+	jitter  float64
+	slowIn  uint64 // one in N hops is slow; 0 = never
+	penalty float64
+	hops    []uint64 // per (worker, shard) hop counters
+	shards  int
+}
+
+func newLinkDelays(cfg Config) *linkDelays {
+	if cfg.LinkDelay <= 0 {
+		return nil
+	}
+	return &linkDelays{
+		base:    cfg.LinkDelay,
+		jitter:  cfg.LinkJitter,
+		slowIn:  uint64(cfg.LinkSlowOneIn),
+		penalty: cfg.LinkSlowPenalty,
+		hops:    make([]uint64, cfg.Workers*cfg.AggShards),
+		shards:  cfg.AggShards,
+	}
+}
+
+// hop returns the delay of the next hop on link (w, r) and advances
+// that link's hop counter. Nil receivers (delay model off) are not
+// called — the caller guards, keeping the zero-delay path free.
+func (l *linkDelays) hop(w, r int) float64 {
+	i := w*l.shards + r
+	n := l.hops[i]
+	l.hops[i] = n + 1
+	x := uint64(i)<<32 ^ n ^ 0x9e3779b97f4a7c15
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	d := l.base
+	if l.jitter > 0 {
+		d += l.jitter * float64(x>>40) / float64(1<<24)
+	}
+	if l.slowIn > 0 && x%l.slowIn == 0 {
+		d += l.penalty
+	}
+	return d
+}

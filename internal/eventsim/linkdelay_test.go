@@ -1,0 +1,81 @@
+package eventsim
+
+import "testing"
+
+// delayCfg is the reducer-hop configuration the delay model is priced
+// on: moderate flush cost and R=4, so with zero delay neither
+// algorithm is reducer-bound and the hop delay itself is what moves.
+func delayCfg(algo string, delay float64) Config {
+	cfg := aggCfg(algo)
+	cfg.AggShards = 4
+	cfg.LinkDelay = delay
+	cfg.LinkJitter = delay / 4
+	cfg.LinkSlowOneIn = 512
+	return cfg
+}
+
+// TestLinkDelayDeterministic pins the model's reproducibility contract:
+// identical configs give bit-identical results (the jitter and
+// slow-path choices are hash-derived, not random), and LinkDelay = 0
+// is exactly the delay-free model.
+func TestLinkDelayDeterministic(t *testing.T) {
+	const m = 20000
+	a, err := Run(zipfGen(2.0, 500, m), delayCfg("W-C", 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(zipfGen(2.0, 500, m), delayCfg("W-C", 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Throughput != b.Throughput || a.Duration != b.Duration || a.MaxAvgLatency != b.MaxAvgLatency {
+		t.Fatalf("repeated delay runs diverged: %+v vs %+v", a, b)
+	}
+	zero, err := Run(zipfGen(2.0, 500, m), delayCfg("W-C", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := aggCfg("W-C")
+	plain.AggShards = 4
+	base, err := Run(zipfGen(2.0, 500, m), plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Throughput != base.Throughput || zero.Duration != base.Duration {
+		t.Fatalf("LinkDelay=0 is not bit-identical to the delay-free model: %.6f/%.6f vs %.6f/%.6f",
+			zero.Throughput, zero.Duration, base.Throughput, base.Duration)
+	}
+}
+
+// TestLinkDelayReducerHopSensitivity pins the experiment the model
+// exists for: the hop delay is paid once per flushed partial, so an
+// algorithm's sensitivity to it scales with its replication factor.
+// W-Choices (every worker a candidate, maximal replication) must
+// degrade strictly more than Key Grouping (replication exactly 1) as
+// the link slows, and for both algorithms more delay must never help.
+func TestLinkDelayReducerHopSensitivity(t *testing.T) {
+	const m = 20000
+	degradation := func(algo string) float64 {
+		var thr [3]float64
+		for i, d := range []float64{0, 0.2, 2} {
+			res, err := Run(zipfGen(2.0, 500, m), delayCfg(algo, d))
+			if err != nil {
+				t.Fatal(err)
+			}
+			thr[i] = res.Throughput
+			if res.AggTotal != m {
+				t.Fatalf("%s delay=%v: AggTotal %d, want %d (delay must never drop data)", algo, d, res.AggTotal, m)
+			}
+		}
+		if !(thr[0] >= thr[1] && thr[1] > thr[2]) {
+			t.Fatalf("%s: throughput not monotone in link delay: %v", algo, thr)
+		}
+		return thr[0] / thr[2]
+	}
+	wc := degradation("W-C")
+	kg := degradation("KG")
+	if wc <= kg {
+		t.Fatalf("W-C degradation %.2fx not above KG's %.2fx: replicated partials must pay the hop delay more often", wc, kg)
+	}
+	t.Logf("0→2 ms hop delay: W-C loses %.2fx, KG loses %.2fx", wc, kg)
+}

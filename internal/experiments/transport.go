@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+
+	"slb/internal/core"
+	"slb/internal/dspe"
+	"slb/internal/eventsim"
+	"slb/internal/telemetry"
+	"slb/internal/texttab"
+	"slb/internal/workload"
+)
+
+// Transport experiment parameters: the same deployment as the
+// aggregation experiment (n=16, s=8, z=1.4, R=4) so the numbers sit in
+// one family, with the in-flight window deepened to 4096 on every
+// plane — the default 100 makes a TCP run ack-latency bound (each
+// burst waits out a loopback syscall round trip), and the deeper
+// window is applied uniformly so the plane comparison stays an A/B.
+const (
+	transShards = 4
+	transWindow = 4096
+)
+
+// transMessages is m for the transport sweep at each scale.
+func (s Scale) transMessages() int64 {
+	switch s {
+	case Full:
+		return 1_000_000
+	case Default:
+		return 200_000
+	default:
+		return 30_000
+	}
+}
+
+// transDelays sweeps the eventsim worker→reducer hop delay (ms): free,
+// same-rack, and cross-zone flavors.
+var transDelays = []float64{0, 0.2, 2}
+
+// TransportExperiment prices leaving the single process, from both
+// directions.
+//
+// The first table runs the goroutine engine's W-C aggregation topology
+// over its three dataplanes — the direct SPSC ring plane, the
+// internal/transport memory backend (same rings behind the transport
+// interface), and loopback TCP with batched varint framing — and
+// reports wall-clock throughput plus the TCP wire's own ledger (bytes,
+// frames, bytes/frame, flushes) from the per-link telemetry. Finals
+// and replication are bit-equal across the three planes (pinned by
+// dspe's parity tests); what moves is only the transport cost, so the
+// memory row isolates the interface overhead and the TCP row the
+// framing + kernel socket cost.
+//
+// The second table walks the deterministic engine's per-link delay
+// model (eventsim.Config.LinkDelay) over the worker→reducer hop for
+// each algorithm: every flushed partial pays the hop delay, so an
+// algorithm's sensitivity scales with its replication factor — KG
+// (replication 1) barely notices 2 ms while W-C's degradation is the
+// replication bill resurfacing as wire latency.
+func TransportExperiment(sc Scale) ([]*texttab.Table, error) {
+	m := sc.transMessages()
+
+	live := texttab.New(fmt.Sprintf(
+		"Transport sweep (dspe, wall clock): W-C, n=%d, s=%d, z=%.1f, R=%d, m=%d, window=%d",
+		aggWorkers, aggSources, aggSkew, transShards, m, transWindow),
+		"plane", "events/s", "rel", "replication", "tx-MB", "frames", "B/frame", "flushes")
+	planes := []struct {
+		name string
+		dp   dspe.Dataplane
+		tr   dspe.Transport
+	}{
+		{"direct-ring", dspe.DataplaneRing, dspe.TransportDirect},
+		{"memory", dspe.DataplaneRing, dspe.TransportMemory},
+		{"tcp", dspe.DataplaneRing, dspe.TransportTCP},
+	}
+	var base float64
+	for _, plane := range planes {
+		var reg *telemetry.Registry
+		if plane.tr == dspe.TransportTCP {
+			reg = telemetry.NewRegistry()
+		}
+		gen := workload.NewZipf(aggSkew, ZFKeys, m, Seed)
+		res, err := dspe.Run(gen, dspe.Config{
+			Workers:   aggWorkers,
+			Sources:   aggSources,
+			Algorithm: "W-C",
+			Core:      core.Config{Seed: Seed, Epsilon: Epsilon},
+			Window:    transWindow,
+			AggWindow: m / 50,
+			AggShards: transShards,
+			Dataplane: plane.dp,
+			Transport: plane.tr,
+			Telemetry: reg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if plane.name == "direct-ring" {
+			base = res.Throughput
+		}
+		rel := 0.0
+		if base > 0 {
+			rel = res.Throughput / base
+		}
+		txMB, frames, bpf, flushes := "n/a", "n/a", "n/a", "n/a"
+		if reg != nil {
+			bytes := sumCounter(reg, "transport_tx_bytes_total")
+			fr := sumCounter(reg, "transport_frames_total")
+			txMB = fmt.Sprintf("%.1f", bytes/(1<<20))
+			frames = fmt.Sprintf("%.0f", fr)
+			if fr > 0 {
+				bpf = fmt.Sprintf("%.0f", bytes/fr)
+			}
+			flushes = fmt.Sprintf("%.0f", sumCounter(reg, "transport_flushes_total"))
+		}
+		live.Add(
+			plane.name,
+			fmt.Sprintf("%.0f", res.Throughput),
+			fmt.Sprintf("%.2fx", rel),
+			fmt.Sprintf("%.4f", res.AggReplication),
+			txMB, frames, bpf, flushes,
+		)
+	}
+
+	delay := texttab.New(fmt.Sprintf(
+		"Link-delay sweep (eventsim, deterministic): worker→reducer hop delay, n=%d, s=%d, z=%.1f, R=%d, m=%d, jitter=delay/4, slow 1-in-512",
+		aggWorkers, aggSources, aggSkew, transShards, m),
+		"delay-ms", "algo", "events/s", "Δthr%", "replication", "red-util")
+	baseThr := make(map[string]float64)
+	for _, d := range transDelays {
+		for _, algo := range clusterAlgos {
+			gen := workload.NewZipf(aggSkew, ZFKeys, m, Seed)
+			res, err := eventsim.Run(gen, eventsim.Config{
+				Workers:       aggWorkers,
+				Sources:       aggSources,
+				Algorithm:     algo,
+				Core:          core.Config{Seed: Seed, Epsilon: Epsilon},
+				ServiceTime:   1.0,
+				Window:        100,
+				Messages:      m,
+				AggWindow:     m / 50,
+				AggShards:     transShards,
+				LinkDelay:     d,
+				LinkJitter:    d / 4,
+				LinkSlowOneIn: 512,
+				MeasureAfter:  m / 5,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if d == 0 {
+				baseThr[algo] = res.Throughput
+			}
+			drop := 0.0
+			if b := baseThr[algo]; b > 0 {
+				drop = 100 * (1 - res.Throughput/b)
+			}
+			delay.Add(
+				fmt.Sprintf("%.1f", d),
+				algo,
+				fmt.Sprintf("%.0f", res.Throughput),
+				fmt.Sprintf("%.1f", drop),
+				fmt.Sprintf("%.4f", res.AggReplication),
+				fmt.Sprintf("%.3f", res.ReducerUtil),
+			)
+		}
+	}
+	return []*texttab.Table{live, delay}, nil
+}
+
+// sumCounter totals a counter series across all its label sets (the
+// transport registers one series per link).
+func sumCounter(reg *telemetry.Registry, name string) float64 {
+	var total float64
+	for _, met := range reg.Snapshot().Metrics {
+		if met.Name == name {
+			total += met.Value
+		}
+	}
+	return total
+}

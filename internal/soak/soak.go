@@ -1,6 +1,7 @@
 // Package soak drives long-running drifting-workload runs across every
-// engine in the module — eventsim, the dspe channel plane and the dspe
-// ring plane — while sampling each run's telemetry registry at a fixed
+// engine in the module — eventsim, the dspe channel plane, the dspe
+// ring plane and (with Config.TCP) the dspe engine over the loopback
+// TCP transport — while sampling each run's telemetry registry at a fixed
 // wall-clock interval. It is the library behind cmd/slbsoak: the
 // paper's cluster evaluation reports imbalance, throughput and latency
 // CONTINUOUSLY over long skewed streams, and this harness is how the
@@ -44,9 +45,11 @@ const (
 	EngineEventsim = "eventsim"
 	EngineChannel  = "dspe-channel"
 	EngineRing     = "dspe-ring"
+	EngineTCP      = "dspe-tcp"
 )
 
-// Engines lists every leg of one soak cycle, in execution order.
+// Engines lists every leg of one soak cycle, in execution order; the
+// loopback TCP transport leg joins when Config.TCP is set.
 var Engines = []string{EngineEventsim, EngineChannel, EngineRing}
 
 // Config describes one soak run.
@@ -91,6 +94,11 @@ type Config struct {
 	// AggWindow is the tumbling-window size of the two-phase
 	// aggregation every leg runs; 0 means 512.
 	AggWindow int64
+	// TCP adds a fourth leg to every cycle: the dspe engine over the
+	// loopback TCP transport (internal/transport framing and per-link
+	// coalescing on every hop). It changes the configuration identity —
+	// baselines recorded without the leg are not comparable.
+	TCP bool
 
 	// Emit receives every interval row as it is produced (single
 	// goroutine, in order). nil discards rows.
@@ -157,7 +165,18 @@ func (c Config) String() string {
 	if c.Spin {
 		s += " spin"
 	}
+	if c.TCP {
+		s += " tcp"
+	}
 	return s
+}
+
+// engines returns the legs of one cycle under this configuration.
+func (c Config) engines() []string {
+	if c.TCP {
+		return append(append([]string{}, Engines...), EngineTCP)
+	}
+	return Engines
 }
 
 // Row is one interval sample of a running engine leg, derived from a
@@ -239,13 +258,14 @@ func Run(cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
 	start := time.Now()
 	rep := &Report{Config: cfg, FinalSnapshots: map[string]telemetry.Snapshot{}}
+	engines := cfg.engines()
 	acc := map[string]*Summary{}
-	for _, e := range Engines {
+	for _, e := range engines {
 		acc[e] = &Summary{Engine: e}
 	}
 
 	for cycle := 0; ; cycle++ {
-		for _, engine := range Engines {
+		for _, engine := range engines {
 			if err := runLeg(cfg, engine, cycle, start, rep, acc[engine]); err != nil {
 				return nil, fmt.Errorf("soak: cycle %d %s: %w", cycle, engine, err)
 			}
@@ -256,7 +276,7 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}
 
-	for _, e := range Engines {
+	for _, e := range engines {
 		s := acc[e]
 		if s.ElapsedSec > 0 {
 			s.Throughput = float64(s.Completed) / s.ElapsedSec
@@ -332,14 +352,19 @@ func launch(cfg Config, engine string, cycle int, reg *telemetry.Registry, gen s
 			Telemetry: reg,
 		})
 		return legResult{completed: res.Completed, err: err}
-	case EngineChannel, EngineRing:
+	case EngineChannel, EngineRing, EngineTCP:
 		plane := dspe.DataplaneChannel
+		transport := dspe.TransportDirect
 		if engine == EngineRing {
 			plane = dspe.DataplaneRing
+		}
+		if engine == EngineTCP {
+			transport = dspe.TransportTCP
 		}
 		res, err := dspe.Run(gen, dspe.Config{
 			Workers: cfg.Workers, Sources: cfg.Sources, Algorithm: cfg.Algorithm,
 			Core: coreCfg, ServiceTime: cfg.ServiceTime, Spin: cfg.Spin, Dataplane: plane,
+			Transport: transport,
 			AggWindow: cfg.AggWindow, AggShards: cfg.Shards,
 			Telemetry: reg,
 		})

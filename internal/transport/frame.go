@@ -1,0 +1,192 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Frame codec: slabs of Msg become length-prefixed varint-packed
+// frames, the same packing discipline as the tracefile v2 format —
+// uvarints for unsigned fields, zigzag varints for signed ones, and a
+// per-connection key dictionary so a hot key's bytes (and its 8-byte
+// digest) cross the wire once, after which every recurrence is one
+// small varint reference.
+//
+// Wire layout (all integers varint unless noted):
+//
+//	frame   := uvarint(len(payload)) payload
+//	payload := uvarint(count) msg*count
+//	msg     := uvarint(keyRef) [uvarint(keyLen) keyBytes dig:8LE]
+//	           zigzag(window) zigzag(weight)
+//	           uvarint(val0) uvarint(val1)
+//	           zigzag(emit) zigzag(src)
+//
+// keyRef < len(dict) references an existing entry; keyRef ==
+// len(dict) introduces a new entry (key bytes + raw digest follow, and
+// both sides append it); keyRef == len(dict)+1 is a literal that is
+// NOT added (used once the dictionary is full). Encoder and decoder
+// dictionaries stay in lockstep because frames on one connection are
+// encoded and decoded in order.
+//
+// The dictionary stores the digest WITH the key, so references elide
+// both: this assumes Msg.Dig is a pure function of Msg.Key (true
+// everywhere in the dataplane — digests are the key's hash). A stream
+// that sent the same key with different digests would have later
+// occurrences decoded with the first digest.
+//
+// Decoding never panics: every malformed input — truncated varint,
+// out-of-range reference, oversized key or count, trailing garbage —
+// returns an error wrapping ErrCorrupt.
+
+// Codec limits. A frame larger than frameMaxLen or a key longer than
+// frameMaxKey is rejected outright (no honest encoder produces one),
+// which also bounds what a fuzzer can make the decoder allocate.
+const (
+	frameMaxLen  = 1 << 24
+	frameMaxKey  = 1 << 16
+	frameDictMax = 1 << 15
+)
+
+// ErrCorrupt is wrapped by every decode error.
+var ErrCorrupt = errors.New("transport: corrupt frame")
+
+func zig(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzig(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Encoder packs slabs into frames, carrying the connection's key
+// dictionary. Zero value is ready to use.
+type Encoder struct {
+	dict map[string]uint64
+	buf  []byte
+}
+
+// AppendFrame appends one frame holding msgs to dst and returns the
+// extended slice. The payload is staged in an internal buffer (reused
+// across calls) so the length prefix can be written first.
+func (e *Encoder) AppendFrame(dst []byte, msgs []Msg) []byte {
+	if e.dict == nil {
+		e.dict = make(map[string]uint64)
+	}
+	b := e.buf[:0]
+	b = binary.AppendUvarint(b, uint64(len(msgs)))
+	for i := range msgs {
+		m := &msgs[i]
+		if ref, ok := e.dict[m.Key]; ok {
+			b = binary.AppendUvarint(b, ref)
+		} else {
+			n := uint64(len(e.dict))
+			if n < frameDictMax {
+				e.dict[m.Key] = n
+				b = binary.AppendUvarint(b, n)
+			} else {
+				b = binary.AppendUvarint(b, n+1) // literal, not added
+			}
+			b = binary.AppendUvarint(b, uint64(len(m.Key)))
+			b = append(b, m.Key...)
+			b = binary.LittleEndian.AppendUint64(b, m.Dig)
+		}
+		b = binary.AppendUvarint(b, zig(m.Window))
+		b = binary.AppendUvarint(b, zig(m.Weight))
+		b = binary.AppendUvarint(b, m.Val0)
+		b = binary.AppendUvarint(b, m.Val1)
+		b = binary.AppendUvarint(b, zig(m.Emit))
+		b = binary.AppendUvarint(b, zig(int64(m.Src)))
+	}
+	e.buf = b
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+type dictEntry struct {
+	key string
+	dig uint64
+}
+
+// Decoder unpacks frame payloads, mirroring the encoder's dictionary.
+// Zero value is ready to use.
+type Decoder struct {
+	dict []dictEntry
+}
+
+// DecodeFrame decodes one frame payload (the bytes after the length
+// prefix) and appends the messages to dst. On any malformed input it
+// returns dst unchanged in length-meaning (partial appends may have
+// grown the slice it returns alongside a non-nil error; callers must
+// discard it) and an error wrapping ErrCorrupt.
+func (d *Decoder) DecodeFrame(payload []byte, dst []Msg) ([]Msg, error) {
+	p := payload
+	count, n := binary.Uvarint(p)
+	if n <= 0 {
+		return dst, fmt.Errorf("%w: bad count", ErrCorrupt)
+	}
+	p = p[n:]
+	if count > uint64(len(p)) {
+		return dst, fmt.Errorf("%w: count %d exceeds payload", ErrCorrupt, count)
+	}
+	for i := uint64(0); i < count; i++ {
+		var m Msg
+		ref, n := binary.Uvarint(p)
+		if n <= 0 {
+			return dst, fmt.Errorf("%w: bad key ref", ErrCorrupt)
+		}
+		p = p[n:]
+		switch {
+		case ref < uint64(len(d.dict)):
+			m.Key, m.Dig = d.dict[ref].key, d.dict[ref].dig
+		case ref == uint64(len(d.dict)) || ref == uint64(len(d.dict))+1:
+			klen, n := binary.Uvarint(p)
+			if n <= 0 || klen > frameMaxKey || klen > uint64(len(p)-n) {
+				return dst, fmt.Errorf("%w: bad key length", ErrCorrupt)
+			}
+			p = p[n:]
+			m.Key = string(p[:klen])
+			p = p[klen:]
+			if len(p) < 8 {
+				return dst, fmt.Errorf("%w: truncated digest", ErrCorrupt)
+			}
+			m.Dig = binary.LittleEndian.Uint64(p)
+			p = p[8:]
+			if ref == uint64(len(d.dict)) {
+				if ref >= frameDictMax {
+					return dst, fmt.Errorf("%w: dictionary overflow", ErrCorrupt)
+				}
+				d.dict = append(d.dict, dictEntry{m.Key, m.Dig})
+			}
+		default:
+			return dst, fmt.Errorf("%w: key ref %d out of range", ErrCorrupt, ref)
+		}
+		fields := [4]uint64{}
+		for f := 0; f < 4; f++ {
+			v, n := binary.Uvarint(p)
+			if n <= 0 {
+				return dst, fmt.Errorf("%w: truncated msg %d", ErrCorrupt, i)
+			}
+			p = p[n:]
+			fields[f] = v
+		}
+		m.Window, m.Weight = unzig(fields[0]), unzig(fields[1])
+		m.Val0, m.Val1 = fields[2], fields[3]
+		for f := 0; f < 2; f++ {
+			v, n := binary.Uvarint(p)
+			if n <= 0 {
+				return dst, fmt.Errorf("%w: truncated msg %d", ErrCorrupt, i)
+			}
+			p = p[n:]
+			if f == 0 {
+				m.Emit = unzig(v)
+			} else {
+				s := unzig(v)
+				if s < -(1<<31) || s >= 1<<31 {
+					return dst, fmt.Errorf("%w: src out of range", ErrCorrupt)
+				}
+				m.Src = int32(s)
+			}
+		}
+		dst = append(dst, m)
+	}
+	if len(p) != 0 {
+		return dst, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(p))
+	}
+	return dst, nil
+}

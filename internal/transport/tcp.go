@@ -1,0 +1,324 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"slb/internal/ring"
+	"slb/internal/telemetry"
+)
+
+// coalesceBytes is the per-connection write-coalescing threshold: a
+// SendSlab stages its frame in the connection's output buffer and the
+// buffer goes to the kernel only once it holds this much (or on an
+// explicit Flush), so small slabs share syscalls and packets.
+const coalesceBytes = 32 << 10
+
+// TCP is the wire backend: one loopback (or real) TCP connection per
+// link, frames encoded by the varint codec in frame.go, write-side
+// coalescing, and a per-connection reader goroutine that decodes
+// frames into an SPSC ring — so the receive side has exactly the
+// memory backend's shape and the consumer polls it identically.
+type TCP struct {
+	reg *telemetry.Registry
+	ln  net.Listener
+	wg  sync.WaitGroup
+
+	mu    sync.Mutex
+	links map[string]*Link
+	rings map[string]*ring.SPSC[Msg]
+	stats map[string]*linkStats
+	conns []net.Conn
+
+	closed atomic.Bool
+	err    atomic.Pointer[error]
+}
+
+// NewTCP starts a loopback listener and returns an empty transport.
+// Per-link telemetry lands in reg when it is non-nil.
+func NewTCP(reg *telemetry.Registry) (*TCP, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	t := &TCP{
+		reg:   reg,
+		ln:    ln,
+		links: make(map[string]*Link),
+		rings: make(map[string]*ring.SPSC[Msg]),
+		stats: make(map[string]*linkStats),
+	}
+	t.wg.Add(1)
+	go t.accept()
+	return t, nil
+}
+
+// Addr returns the listener address (for tests and diagnostics).
+func (t *TCP) Addr() net.Addr { return t.ln.Addr() }
+
+// Err returns the first asynchronous link error (reader side), if any.
+func (t *TCP) Err() error {
+	if p := t.err.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+func (t *TCP) fail(err error) {
+	if err == nil {
+		return
+	}
+	t.err.CompareAndSwap(nil, &err)
+}
+
+// Open implements Transport: it registers the link's receive ring,
+// dials the listener, and sends the link-name header so the accept
+// side can bind the connection to the ring. The receive ring is
+// registered before dialing, so the reader goroutine always finds it.
+func (t *TCP) Open(name string, capacity int) (*Link, error) {
+	t.mu.Lock()
+	if l, ok := t.links[name]; ok {
+		t.mu.Unlock()
+		return l, nil
+	}
+	if t.closed.Load() {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if capacity < 2 {
+		capacity = 2
+	}
+	r := ring.New[Msg](capacity)
+	st := newLinkStats(t.reg, name)
+	t.rings[name] = r
+	t.stats[name] = st
+	t.mu.Unlock()
+
+	conn, err := net.Dial("tcp", t.ln.Addr().String())
+	if err != nil {
+		return nil, err
+	}
+	hdr := binary.AppendUvarint(nil, uint64(len(name)))
+	hdr = append(hdr, name...)
+	if _, err := conn.Write(hdr); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	s := &tcpSender{conn: conn, stats: st}
+	l := &Link{Name: name, Sender: s, Receiver: (*memReceiver)(r)}
+	t.mu.Lock()
+	t.links[name] = l
+	t.conns = append(t.conns, conn)
+	t.mu.Unlock()
+	return l, nil
+}
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	t.ln.Close()
+	t.mu.Lock()
+	conns := t.conns
+	t.conns = nil
+	t.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	t.wg.Wait()
+	return t.Err()
+}
+
+func (t *TCP) accept() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go t.serve(conn)
+	}
+}
+
+// serve is the per-connection reader: it binds the connection to its
+// link's receive ring via the name header, then decodes frames into
+// the ring until EOF (producer closed) or an error. Ring-full pushes
+// back off exactly like the memory backend's producer, counting each
+// stall burst in the link's telemetry.
+func (t *TCP) serve(conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil || nameLen > frameMaxKey {
+		t.fail(fmt.Errorf("transport: bad link header: %v", err))
+		return
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBuf); err != nil {
+		t.fail(fmt.Errorf("transport: bad link header: %w", err))
+		return
+	}
+	t.mu.Lock()
+	r := t.rings[string(nameBuf)]
+	st := t.stats[string(nameBuf)]
+	t.mu.Unlock()
+	if r == nil {
+		t.fail(fmt.Errorf("transport: connection for unknown link %q", nameBuf))
+		return
+	}
+	defer r.Close()
+
+	var dec Decoder
+	payload := make([]byte, 0, coalesceBytes)
+	slab := make([]Msg, 0, 512)
+	for {
+		frameLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			if err != io.EOF {
+				t.fail(fmt.Errorf("transport: link %s: %w", nameBuf, err))
+			}
+			return
+		}
+		if frameLen > frameMaxLen {
+			t.fail(fmt.Errorf("%w: frame of %d bytes on link %s", ErrCorrupt, frameLen, nameBuf))
+			return
+		}
+		if uint64(cap(payload)) < frameLen {
+			payload = make([]byte, frameLen)
+		}
+		payload = payload[:frameLen]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			t.fail(fmt.Errorf("transport: link %s: %w", nameBuf, err))
+			return
+		}
+		slab, err = dec.DecodeFrame(payload, slab[:0])
+		if err != nil {
+			t.fail(fmt.Errorf("transport: link %s: %w", nameBuf, err))
+			return
+		}
+		rem := slab
+		spins := 0
+		for len(rem) > 0 {
+			dst := r.Grant(len(rem))
+			if dst == nil {
+				if spins == 0 {
+					st.addStall()
+				}
+				backoff(&spins)
+				continue
+			}
+			spins = 0
+			copy(dst, rem)
+			r.Publish(len(dst))
+			rem = rem[len(dst):]
+		}
+	}
+}
+
+// tcpSender is the producer end of one TCP link.
+type tcpSender struct {
+	conn  net.Conn
+	enc   Encoder
+	wbuf  []byte
+	stats *linkStats
+	err   error
+}
+
+// SendSlab implements Sender: encode into the coalescing buffer, flush
+// when it crosses the threshold.
+func (s *tcpSender) SendSlab(msgs []Msg) error {
+	if s.err != nil {
+		return s.err
+	}
+	s.wbuf = s.enc.AppendFrame(s.wbuf, msgs)
+	s.stats.addFrames(1)
+	if len(s.wbuf) >= coalesceBytes {
+		return s.Flush()
+	}
+	return nil
+}
+
+// Flush implements Sender.
+func (s *tcpSender) Flush() error {
+	if s.err != nil {
+		return s.err
+	}
+	if len(s.wbuf) == 0 {
+		return nil
+	}
+	n, err := s.conn.Write(s.wbuf)
+	s.stats.addBytes(int64(n))
+	s.stats.addFlushes(1)
+	s.wbuf = s.wbuf[:0]
+	if err != nil {
+		s.err = err
+	}
+	return err
+}
+
+// Close implements Sender: flush, then half-close so the peer's reader
+// drains buffered frames and sees a clean EOF.
+func (s *tcpSender) Close() error {
+	err := s.Flush()
+	if tc, ok := s.conn.(*net.TCPConn); ok {
+		if cerr := tc.CloseWrite(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+	if cerr := s.conn.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// linkStats is the per-link telemetry bundle; a zero value (nil
+// registry) makes every add a no-op.
+type linkStats struct {
+	bytes, frames, flushes, stalls *telemetry.Counter
+}
+
+func newLinkStats(reg *telemetry.Registry, name string) *linkStats {
+	if reg == nil {
+		return &linkStats{}
+	}
+	l := telemetry.L("link", name)
+	return &linkStats{
+		bytes:   reg.Counter("transport_tx_bytes_total", l),
+		frames:  reg.Counter("transport_frames_total", l),
+		flushes: reg.Counter("transport_flushes_total", l),
+		stalls:  reg.Counter("transport_send_stalls_total", l),
+	}
+}
+
+func (s *linkStats) addBytes(n int64) {
+	if s.bytes != nil {
+		s.bytes.Add(n)
+	}
+}
+
+func (s *linkStats) addFrames(n int64) {
+	if s.frames != nil {
+		s.frames.Add(n)
+	}
+}
+
+func (s *linkStats) addFlushes(n int64) {
+	if s.flushes != nil {
+		s.flushes.Add(n)
+	}
+}
+
+func (s *linkStats) addStall() {
+	if s.stalls != nil {
+		s.stalls.Inc()
+	}
+}

@@ -1,0 +1,110 @@
+// Package transport is the edge fabric for the goroutine dataplane: it
+// moves slabs of tuples between spouts, bolts, and reducer shards over
+// named point-to-point links, behind one interface with two backends.
+//
+// The memory backend maps each link onto one internal/ring SPSC ring of
+// Msg values — a Grant/Publish copy on send and an Acquire/copy/Release
+// on receive — so steady-state traffic allocates nothing and stays
+// within a few percent of writing the ring directly. The TCP backend
+// carries the same slabs over loopback (or real) connections using a
+// length-prefixed varint frame codec (frame.go) with per-connection
+// write coalescing and reused buffers; a per-connection reader
+// goroutine decodes frames back into an SPSC ring, so the receive side
+// is identical in shape to the memory backend. Per-link telemetry
+// (bytes, frames, flushes, send stalls) lands in the engine's
+// internal/telemetry registry.
+//
+// # Contract
+//
+// Links are single-producer single-consumer: exactly one goroutine
+// sends on a link's Sender and exactly one receives on its Receiver.
+// SendSlab copies the slab in (possibly blocking while the link is
+// full); Flush pushes any coalesced bytes to the peer (a no-op for the
+// memory backend, whose sends are immediately visible). Close marks
+// the producer side done; after the receiver drains every in-flight
+// message, RecvSlab reports done. RecvSlab is non-blocking — it
+// returns 0 when no messages are ready — because consumers multiplex
+// many links round-robin, exactly like the ring dataplane's bolts.
+// Message order is preserved per link; nothing is dropped.
+package transport
+
+import "errors"
+
+// Msg is the one tuple shape that crosses links. The dataplane maps
+// spout→bolt tuples onto it (Weight = per-message value, Emit = emit
+// timestamp in ns when latency-sampled, Src = producing source, or -1
+// for a watermark tick) and bolt→reducer partials onto it (Weight =
+// partial count, Val0/Val1 = the accumulated aggregation value, Src =
+// producing worker). Key travels alongside its digest because finals
+// are keyed by string; the frame codec dictionary-encodes it so a hot
+// key's bytes cross a TCP link once per dictionary reset, not once per
+// message.
+type Msg struct {
+	Dig    uint64
+	Window int64
+	Weight int64
+	Val0   uint64
+	Val1   uint64
+	Emit   int64
+	Src    int32
+	Key    string
+}
+
+// Sender is the producer end of one link.
+type Sender interface {
+	// SendSlab copies the slab onto the link, blocking while the link
+	// is full. It returns an error only when the link is broken (peer
+	// gone, connection failed); the memory backend never fails.
+	SendSlab(msgs []Msg) error
+	// Flush forces any coalesced bytes out to the peer.
+	Flush() error
+	// Close flushes, then marks the producer done. The receiver drains
+	// in-flight messages and then observes done.
+	Close() error
+}
+
+// SlabGranter is an optional Sender fast path. In-process backends
+// expose the underlying ring's grant/publish cycle so producers can
+// construct messages directly in link memory — the zero-copy path —
+// instead of staging a slab and having SendSlab copy it. Grant returns
+// up to max contiguous writable slots (nil when the link is full);
+// Publish commits the first n of the most recent grant. Granted slots
+// that are never published are simply reused by the next Grant.
+// Senders that cross a process boundary (TCP) do not implement it:
+// their encoder must read a staged slab anyway.
+type SlabGranter interface {
+	Grant(max int) []Msg
+	Publish(n int)
+}
+
+// Receiver is the consumer end of one link.
+type Receiver interface {
+	// RecvSlab copies up to len(buf) ready messages into buf and
+	// returns how many. It never blocks: n == 0 means nothing is ready
+	// right now. done reports that the producer closed AND every
+	// message has been received; once done, n is always 0.
+	RecvSlab(buf []Msg) (n int, done bool)
+}
+
+// Link is one named point-to-point edge.
+type Link struct {
+	Name string
+	Sender
+	Receiver
+}
+
+// Transport hands out links by name and owns their shared resources.
+type Transport interface {
+	// Open creates (or returns the existing) link with this name and
+	// per-link buffer capacity of at least cap messages. Both ends are
+	// usable immediately; the capacity is rounded up as the backend
+	// requires. Open must be called before goroutines race on the link.
+	Open(name string, cap int) (*Link, error)
+	// Close tears down every link and shared resource. Senders must be
+	// closed first; Close does not wait for unread messages.
+	Close() error
+}
+
+// ErrClosed is returned by sends on a link whose transport or peer is
+// already gone.
+var ErrClosed = errors.New("transport: link closed")

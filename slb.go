@@ -152,6 +152,46 @@
 // reference regime (AggShards = 4, 50 µs merge cost), where the
 // combiner tree's traffic cut is structural.
 //
+// # Transport
+//
+// The goroutine runtime can also leave the single process: setting
+// EngineConfig.Transport routes the spout→bolt and bolt→shard hops
+// through internal/transport, a batched per-edge message layer with
+// explicit flush/drain semantics (Sender.SendSlab/Flush/Close on the
+// write side, non-blocking Receiver.RecvSlab polls on the read side).
+// Two backends ship:
+//
+//   - TransportMemory runs the interface over the same SPSC rings as
+//     DataplaneRing — including a zero-copy Grant/Publish fast path
+//     that stages outgoing messages directly in the ring slots — so it
+//     prices exactly the interface boundary: zero allocations per
+//     operation in steady state and within ~5% of the direct ring
+//     plane's pipeline throughput (≈0.97x measured means).
+//   - TransportTCP moves every edge over a real socket (loopback in
+//     the tests and benchmarks) with varint length-prefixed frame
+//     encoding, a per-frame key dictionary, ~32 KB write coalescing
+//     on reused buffers, and per-link telemetry counters
+//     (transport_tx_bytes_total, transport_frames_total,
+//     transport_flushes_total, transport_send_stalls_total, labeled
+//     link=). Spouts flush lazily — only when the in-flight ack
+//     window is about to block — so coalescing stays effective;
+//     sustained loopback pipeline throughput is ≈780k msgs/s with
+//     EngineConfig.Window = 4096 (the default window of 100 is
+//     ack-latency bound over a kernel socket).
+//
+// Everything observable — finals, replication factors, completed
+// counts — is bit-identical across TransportDirect, TransportMemory
+// and TransportTCP at Sources = 1, pinned by dspe's parity tests. The
+// deterministic engine prices the same hop analytically:
+// ClusterConfig.LinkDelay (with LinkJitter and the rare
+// LinkSlowOneIn/LinkSlowPenalty slow path, all hash-derived and
+// bit-reproducible) charges each flushed partial a worker→reducer
+// link delay, so an algorithm's sensitivity to wire latency scales
+// with its replication factor — at 2 ms, W-Choices loses ≈1.6x where
+// KG loses ≈1.05x. The `transport` experiment (cmd/slbstorm) sweeps
+// both: dataplane throughput with the TCP wire ledger, and the
+// per-algorithm delay sensitivity.
+//
 // # Telemetry
 //
 // Every engine can publish its live metric series into a label-aware
@@ -186,7 +226,8 @@
 // internal/eventsim/telemetry.go.
 //
 // cmd/slbsoak drives all of this as a soak harness: drifting workloads
-// (NewDriftStream) cycled across eventsim and both dspe dataplanes for
+// (NewDriftStream) cycled across eventsim, both dspe dataplanes and
+// (with -tcp, default under -short) the loopback TCP transport for
 // minutes to hours, each leg's registry sampled on an interval into
 // JSONL rows (per-shard reducer utilization, queue depths, routing
 // rates, stalls), a per-engine summary written as a BENCH_soak JSON
@@ -471,6 +512,22 @@ type Dataplane = dspe.Dataplane
 const (
 	DataplaneChannel = dspe.DataplaneChannel
 	DataplaneRing    = dspe.DataplaneRing
+)
+
+// Transport selects how the goroutine runtime's tuples cross executor
+// boundaries (EngineConfig.Transport): direct in-process handoff over
+// the selected Dataplane (the default), or the internal/transport
+// batched message layer — in-memory rings behind the transport
+// interface, or loopback TCP with varint framing and write coalescing.
+// Results are bit-identical across transports at Sources = 1; see the
+// package doc's Transport section.
+type Transport = dspe.Transport
+
+// The goroutine runtime's transports (see Transport).
+const (
+	TransportDirect = dspe.TransportDirect
+	TransportMemory = dspe.TransportMemory
+	TransportTCP    = dspe.TransportTCP
 )
 
 // EngineResult reports wall-clock throughput and latency of a topology.
