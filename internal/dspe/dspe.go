@@ -139,6 +139,12 @@ type Config struct {
 	// per-link wire counters (bytes, frames, flushes, stalls) land in
 	// the registry.
 	Transport Transport
+	// adaptiveWindow records that the caller left Window at its default:
+	// the TCP transport plane then grows the per-spout ack window
+	// adaptively (doubling on ack stalls up to adaptiveWindowMax) instead
+	// of pinning it at 100, which over a kernel socket is ack-latency
+	// bound. Explicitly set windows are always honored as-is.
+	adaptiveWindow bool
 	// Telemetry, when non-nil, receives the run's live metric series:
 	// per-spout routing activity (core.RouteRecorder), ack-window and
 	// ring publish/acquire stalls, per-bolt queue depths and processed
@@ -186,6 +192,7 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Window <= 0 {
 		c.Window = 100
+		c.adaptiveWindow = true
 	}
 	if c.Batch <= 0 {
 		c.Batch = 64

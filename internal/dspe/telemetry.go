@@ -16,6 +16,10 @@ package dspe
 //	route_*                      per spout — see core.NewRouteRecorder
 //	spout_ack_wait_ns_total      per spout: blocked acquiring in-flight
 //	                             window slots (ack backpressure)
+//	spout_ack_window             per spout gauge, transport plane: the
+//	                             current in-flight ack window (grows
+//	                             adaptively over TCP when Config.Window
+//	                             was left at its default)
 //	publish_stall_ns_total       per spout, ring plane: blocked
 //	                             publishing into a full tuple ring
 //	queue_depth                  per worker gauge: channel plane in tuple
@@ -62,6 +66,7 @@ type planeTelemetry struct {
 
 	recs         []*core.RouteRecorder // per spout
 	ackWait      []*telemetry.Counter  // per spout
+	ackWindow    []*telemetry.Gauge    // per spout (transport plane)
 	publishStall []*telemetry.Counter  // per spout (ring plane)
 	boltMsgs     []*telemetry.Counter  // per worker
 	acquireStall []*telemetry.Counter  // per worker (ring plane)
@@ -90,11 +95,15 @@ func newPlaneTelemetry(cfg Config) *planeTelemetry {
 	ringish := cfg.Dataplane == DataplaneRing || cfg.Transport != TransportDirect
 	pt.recs = make([]*core.RouteRecorder, cfg.Sources)
 	pt.ackWait = make([]*telemetry.Counter, cfg.Sources)
+	pt.ackWindow = make([]*telemetry.Gauge, cfg.Sources)
 	pt.publishStall = make([]*telemetry.Counter, cfg.Sources)
 	for s := range pt.recs {
 		ls := pt.with("spout", s)
 		pt.recs[s] = core.NewRouteRecorder(reg, ls...)
 		pt.ackWait[s] = reg.Counter("spout_ack_wait_ns_total", ls...)
+		if cfg.Transport != TransportDirect {
+			pt.ackWindow[s] = reg.Gauge("spout_ack_window", ls...)
+		}
 		if ringish {
 			pt.publishStall[s] = reg.Counter("publish_stall_ns_total", ls...)
 		}
@@ -138,6 +147,14 @@ func (pt *planeTelemetry) recordRoute(s int, p core.Partitioner, n int, elapsed 
 func (pt *planeTelemetry) addAckWait(s int, d time.Duration) {
 	if pt != nil && d > 0 {
 		pt.ackWait[s].Add(d.Nanoseconds())
+	}
+}
+
+// setAckWindow publishes spout s's current (possibly adaptively grown)
+// in-flight ack window (transport plane only; nil-safe).
+func (pt *planeTelemetry) setAckWindow(s int, win int64) {
+	if pt != nil && pt.ackWindow[s] != nil {
+		pt.ackWindow[s].SetInt(win)
 	}
 }
 

@@ -35,6 +35,24 @@ import (
 // (ObserveEmits) exactly as in both other planes. The transport
 // models the DATA hops — the paper's serialization/framing/link cost —
 // not a distributed control protocol.
+//
+// Over TCP the fixed default window (100) is ack-latency bound: each
+// burst waits out a loopback round trip before the next can start. When
+// the caller left Config.Window at its default, the spout therefore
+// grows its window ADAPTIVELY: every time it finds itself blocked on
+// acks with all links flushed, it doubles the window, up to
+// adaptiveWindowMax — converging on a depth where the pipe stays full
+// without the caller having to know the link's bandwidth-delay product.
+// An explicitly set Window is always honored as a fixed cap (the
+// `transport` experiment pins Window=4096 on every plane so its A/B
+// stays one). Window depth never changes results: each spout routes its
+// own stream deterministically, so finals and replication stay
+// bit-equal regardless of ack timing.
+
+// adaptiveWindowMax caps the adaptive ack window's growth; past this
+// depth a loopback link is bandwidth- not latency-bound and deeper
+// windows only add buffer bloat.
+const adaptiveWindowMax = 8192
 
 // msgOf packs one in-flight tuple into the wire shape. emit is the
 // spout timestamp in ns for latency-sampled tuples, 0 otherwise.
@@ -91,11 +109,18 @@ func runTransport(gen stream.Generator, cfg Config, parts []core.Partitioner, li
 
 	// Spout→bolt links: one per (source, bolt) pair, so each link is
 	// SPSC like the ring plane's edges. Bolt→shard links likewise.
+	// When the ack window may grow adaptively, the receive rings are
+	// deepened so the grown window — not ring capacity — bounds the
+	// in-flight depth (skew can concentrate a whole window on one edge).
+	linkCap := ringCapFor(cfg)
+	if cfg.adaptiveWindow && cfg.Transport == TransportTCP && linkCap < adaptiveWindowMax/2 {
+		linkCap = adaptiveWindowMax / 2
+	}
 	in := make([][]*transport.Link, cfg.Sources)
 	for s := range in {
 		in[s] = make([]*transport.Link, cfg.Workers)
 		for w := range in[s] {
-			if in[s][w], err = fabric.Open(fmt.Sprintf("s%d>w%d", s, w), ringCapFor(cfg)); err != nil {
+			if in[s][w], err = fabric.Open(fmt.Sprintf("s%d>w%d", s, w), linkCap); err != nil {
 				return Result{}, err
 			}
 		}
@@ -385,6 +410,14 @@ func runTransport(gen stream.Generator, cfg Config, parts []core.Partitioner, li
 					granters[w] = g
 				}
 			}
+			// win is the spout's in-flight ack window. With the window
+			// left at its default over TCP it grows adaptively: an ack
+			// stall with every link flushed means the window, not the
+			// bolts, is the limiter, so it doubles (up to
+			// adaptiveWindowMax) until the pipe stays full.
+			win := int64(cfg.Window)
+			adaptive := cfg.adaptiveWindow && cfg.Transport == TransportTCP
+			pt.setAckWindow(s, win)
 			var seq int64 // per-spout emit counter for latency sampling
 			for !failed() {
 				n, base := nextSlab(keys, vals)
@@ -396,7 +429,7 @@ func runTransport(gen stream.Generator, cfg Config, parts []core.Partitioner, li
 				if pt != nil {
 					t0 = time.Now()
 				}
-				if inflight[s].n.Load() > int64(cfg.Window-n) {
+				if inflight[s].n.Load() > win-int64(n) {
 					// About to block on acks: flush every link first, so
 					// coalesced bytes become visible work downstream (a
 					// tuple sitting in a coalescing buffer can never be
@@ -408,8 +441,17 @@ func runTransport(gen stream.Generator, cfg Config, parts []core.Partitioner, li
 							fail(err)
 						}
 					}
-					for inflight[s].n.Load() > int64(cfg.Window-n) && !failed() {
+					stalled := false
+					for inflight[s].n.Load() > win-int64(n) && !failed() {
+						stalled = true
 						backoff(&spins)
+					}
+					if stalled && adaptive && win < adaptiveWindowMax {
+						win *= 2
+						if win > adaptiveWindowMax {
+							win = adaptiveWindowMax
+						}
+						pt.setAckWindow(s, win)
 					}
 				}
 				if pt != nil {

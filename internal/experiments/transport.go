@@ -44,9 +44,11 @@ var transDelays = []float64{0, 0.2, 2}
 // The first table runs the goroutine engine's W-C aggregation topology
 // over its three dataplanes — the direct SPSC ring plane, the
 // internal/transport memory backend (same rings behind the transport
-// interface), and loopback TCP with batched varint framing — and
-// reports wall-clock throughput plus the TCP wire's own ledger (bytes,
-// frames, bytes/frame, flushes) from the per-link telemetry. Finals
+// interface), and loopback TCP with the columnar dictionary codec —
+// and reports wall-clock throughput plus the TCP wire's own ledger
+// (tx/rx bytes, bytes per message, frames, bytes/frame, flushes,
+// dictionary hit rate and epoch resets) from the per-link telemetry.
+// Finals
 // and replication are bit-equal across the three planes (pinned by
 // dspe's parity tests); what moves is only the transport cost, so the
 // memory row isolates the interface overhead and the TCP row the
@@ -64,7 +66,7 @@ func TransportExperiment(sc Scale) ([]*texttab.Table, error) {
 	live := texttab.New(fmt.Sprintf(
 		"Transport sweep (dspe, wall clock): W-C, n=%d, s=%d, z=%.1f, R=%d, m=%d, window=%d",
 		aggWorkers, aggSources, aggSkew, transShards, m, transWindow),
-		"plane", "events/s", "rel", "replication", "tx-MB", "frames", "B/frame", "flushes")
+		"plane", "events/s", "rel", "replication", "tx-MB", "rx-MB", "B/msg", "frames", "B/frame", "flushes", "dict-hit%", "resets")
 	planes := []struct {
 		name string
 		dp   dspe.Dataplane
@@ -103,23 +105,32 @@ func TransportExperiment(sc Scale) ([]*texttab.Table, error) {
 		if base > 0 {
 			rel = res.Throughput / base
 		}
-		txMB, frames, bpf, flushes := "n/a", "n/a", "n/a", "n/a"
+		txMB, rxMB, bpm, frames, bpf, flushes, hitPct, resets := "n/a", "n/a", "n/a", "n/a", "n/a", "n/a", "n/a", "n/a"
 		if reg != nil {
 			bytes := sumCounter(reg, "transport_tx_bytes_total")
 			fr := sumCounter(reg, "transport_frames_total")
+			msgs := sumCounter(reg, "transport_tx_msgs_total")
 			txMB = fmt.Sprintf("%.1f", bytes/(1<<20))
+			rxMB = fmt.Sprintf("%.1f", sumCounter(reg, "transport_rx_bytes_total")/(1<<20))
+			if msgs > 0 {
+				bpm = fmt.Sprintf("%.2f", bytes/msgs)
+			}
 			frames = fmt.Sprintf("%.0f", fr)
 			if fr > 0 {
 				bpf = fmt.Sprintf("%.0f", bytes/fr)
 			}
 			flushes = fmt.Sprintf("%.0f", sumCounter(reg, "transport_flushes_total"))
+			if msgs > 0 {
+				hitPct = fmt.Sprintf("%.1f", 100*sumCounter(reg, "transport_dict_hits_total")/msgs)
+			}
+			resets = fmt.Sprintf("%.0f", sumCounter(reg, "transport_dict_resets_total"))
 		}
 		live.Add(
 			plane.name,
 			fmt.Sprintf("%.0f", res.Throughput),
 			fmt.Sprintf("%.2fx", rel),
 			fmt.Sprintf("%.4f", res.AggReplication),
-			txMB, frames, bpf, flushes,
+			txMB, rxMB, bpm, frames, bpf, flushes, hitPct, resets,
 		)
 	}
 

@@ -212,6 +212,14 @@ type Row struct {
 	// PublishStallNs is the interval's spout publish stall (ring plane
 	// only).
 	PublishStallNs int64 `json:"publish_stall_ns,omitempty"`
+	// TxBytes, BytesPerMsg, DictHits and DictResets are the transport
+	// wire ledger (TCP leg only): cumulative transmitted bytes, bytes
+	// per wire message, and the frame codec's cumulative dictionary
+	// hits and epoch resets across the leg's links.
+	TxBytes     int64   `json:"tx_bytes,omitempty"`
+	BytesPerMsg float64 `json:"bytes_per_msg,omitempty"`
+	DictHits    int64   `json:"dict_hits,omitempty"`
+	DictResets  int64   `json:"dict_resets,omitempty"`
 }
 
 // Summary rolls one engine's legs up across the whole soak.
@@ -403,6 +411,12 @@ func rowFrom(cfg Config, engine string, cycle int, start time.Time, cur, prev sa
 	row.QueueDepth = sumByName(cur.snap, "queue_depth")
 	row.ReduceOpenWindows = sumByName(cur.snap, "reduce_open_windows")
 	row.PublishStallNs = int64(sumByName(cur.snap, "publish_stall_ns_total") - sumByName(prev.snap, "publish_stall_ns_total"))
+	row.TxBytes = int64(sumByName(cur.snap, "transport_tx_bytes_total"))
+	if msgs := sumByName(cur.snap, "transport_tx_msgs_total"); msgs > 0 {
+		row.BytesPerMsg = float64(row.TxBytes) / msgs
+	}
+	row.DictHits = int64(sumByName(cur.snap, "transport_dict_hits_total"))
+	row.DictResets = int64(sumByName(cur.snap, "transport_dict_resets_total"))
 
 	// Per-shard utilization: busy-time delta over the interval's
 	// denominator — wall time for the dspe planes, simulated time for

@@ -1,0 +1,145 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// frame_record.go is the PR-8 record-layout codec, retained verbatim as
+// the A/B reference for BenchmarkFrameCodec (and the cross-layout
+// equivalence test): one interleaved varint record per message, every
+// field shipped for every message, dictionary without epochs (full ⇒
+// literals forever). It is not used on any wire path — tcp.go speaks
+// only the columnar v2 codec in frame.go.
+//
+// Record wire layout (all integers varint unless noted):
+//
+//	payload := uvarint(count) msg*count
+//	msg     := uvarint(keyRef) [uvarint(keyLen) keyBytes dig:8LE]
+//	           zigzag(window) zigzag(weight)
+//	           uvarint(val0) uvarint(val1)
+//	           zigzag(emit) zigzag(src)
+//
+// keyRef < len(dict) references an existing entry; keyRef == len(dict)
+// introduces a new entry; keyRef == len(dict)+1 is a literal that is
+// NOT added (used once the dictionary is full).
+
+type recordEncoder struct {
+	dict map[string]uint64
+	buf  []byte
+}
+
+func (e *recordEncoder) AppendFrame(dst []byte, msgs []Msg) []byte {
+	if e.dict == nil {
+		e.dict = make(map[string]uint64)
+	}
+	b := e.buf[:0]
+	b = binary.AppendUvarint(b, uint64(len(msgs)))
+	for i := range msgs {
+		m := &msgs[i]
+		if ref, ok := e.dict[m.Key]; ok {
+			b = binary.AppendUvarint(b, ref)
+		} else {
+			n := uint64(len(e.dict))
+			if n < frameDictMax {
+				e.dict[m.Key] = n
+				b = binary.AppendUvarint(b, n)
+			} else {
+				b = binary.AppendUvarint(b, n+1) // literal, not added
+			}
+			b = binary.AppendUvarint(b, uint64(len(m.Key)))
+			b = append(b, m.Key...)
+			b = binary.LittleEndian.AppendUint64(b, m.Dig)
+		}
+		b = binary.AppendUvarint(b, zig(m.Window))
+		b = binary.AppendUvarint(b, zig(m.Weight))
+		b = binary.AppendUvarint(b, m.Val0)
+		b = binary.AppendUvarint(b, m.Val1)
+		b = binary.AppendUvarint(b, zig(m.Emit))
+		b = binary.AppendUvarint(b, zig(int64(m.Src)))
+	}
+	e.buf = b
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+type recordDecoder struct {
+	dict []dictEntry
+}
+
+func (d *recordDecoder) DecodeFrame(payload []byte, dst []Msg) ([]Msg, error) {
+	p := payload
+	count, n := binary.Uvarint(p)
+	if n <= 0 {
+		return dst, fmt.Errorf("%w: bad count", ErrCorrupt)
+	}
+	p = p[n:]
+	if count > uint64(len(p)) {
+		return dst, fmt.Errorf("%w: count %d exceeds payload", ErrCorrupt, count)
+	}
+	for i := uint64(0); i < count; i++ {
+		var m Msg
+		ref, n := binary.Uvarint(p)
+		if n <= 0 {
+			return dst, fmt.Errorf("%w: bad key ref", ErrCorrupt)
+		}
+		p = p[n:]
+		switch {
+		case ref < uint64(len(d.dict)):
+			m.Key, m.Dig = d.dict[ref].key, d.dict[ref].dig
+		case ref == uint64(len(d.dict)) || ref == uint64(len(d.dict))+1:
+			klen, n := binary.Uvarint(p)
+			if n <= 0 || klen > frameMaxKey || klen > uint64(len(p)-n) {
+				return dst, fmt.Errorf("%w: bad key length", ErrCorrupt)
+			}
+			p = p[n:]
+			m.Key = string(p[:klen])
+			p = p[klen:]
+			if len(p) < 8 {
+				return dst, fmt.Errorf("%w: truncated digest", ErrCorrupt)
+			}
+			m.Dig = binary.LittleEndian.Uint64(p)
+			p = p[8:]
+			if ref == uint64(len(d.dict)) {
+				if ref >= frameDictMax {
+					return dst, fmt.Errorf("%w: dictionary overflow", ErrCorrupt)
+				}
+				d.dict = append(d.dict, dictEntry{m.Key, m.Dig})
+			}
+		default:
+			return dst, fmt.Errorf("%w: key ref %d out of range", ErrCorrupt, ref)
+		}
+		fields := [4]uint64{}
+		for f := 0; f < 4; f++ {
+			v, n := binary.Uvarint(p)
+			if n <= 0 {
+				return dst, fmt.Errorf("%w: truncated msg %d", ErrCorrupt, i)
+			}
+			p = p[n:]
+			fields[f] = v
+		}
+		m.Window, m.Weight = unzig(fields[0]), unzig(fields[1])
+		m.Val0, m.Val1 = fields[2], fields[3]
+		for f := 0; f < 2; f++ {
+			v, n := binary.Uvarint(p)
+			if n <= 0 {
+				return dst, fmt.Errorf("%w: truncated msg %d", ErrCorrupt, i)
+			}
+			p = p[n:]
+			if f == 0 {
+				m.Emit = unzig(v)
+			} else {
+				s := unzig(v)
+				if s < -(1<<31) || s >= 1<<31 {
+					return dst, fmt.Errorf("%w: src out of range", ErrCorrupt)
+				}
+				m.Src = int32(s)
+			}
+		}
+		dst = append(dst, m)
+	}
+	if len(p) != 0 {
+		return dst, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(p))
+	}
+	return dst, nil
+}

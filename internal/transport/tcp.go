@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/bits"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -13,17 +14,27 @@ import (
 	"slb/internal/telemetry"
 )
 
-// coalesceBytes is the per-connection write-coalescing threshold: a
-// SendSlab stages its frame in the connection's output buffer and the
-// buffer goes to the kernel only once it holds this much (or on an
-// explicit Flush), so small slabs share syscalls and packets.
+// coalesceBytes is the per-link write-coalescing threshold: SendSlab
+// encodes frames into the active buffer and hands the buffer to the
+// writer stage only once it holds this much (or on an explicit Flush),
+// so small slabs share syscalls and packets.
 const coalesceBytes = 32 << 10
 
+// senderBufs is the sender's buffer-pool depth: the active encoding
+// buffer plus the buffers the writer stage may hold in flight. Three
+// buffers double-buffer the encode/write overlap (encode of frame N
+// proceeds while the socket write of N−1 is in the kernel) with one
+// spare so a fast encoder can queue a second buffer instead of
+// stalling the moment the writer blocks.
+const senderBufs = 3
+
 // TCP is the wire backend: one loopback (or real) TCP connection per
-// link, frames encoded by the varint codec in frame.go, write-side
-// coalescing, and a per-connection reader goroutine that decodes
-// frames into an SPSC ring — so the receive side has exactly the
-// memory backend's shape and the consumer polls it identically.
+// link, frames encoded by the columnar varint codec in frame.go over a
+// persistent per-link key dictionary, a pipelined encoder→writer
+// sender (vectored writes via net.Buffers), and a per-connection
+// reader goroutine that decodes frames into an SPSC ring — so the
+// receive side has exactly the memory backend's shape and the consumer
+// polls it identically.
 type TCP struct {
 	reg *telemetry.Registry
 	ln  net.Listener
@@ -109,7 +120,7 @@ func (t *TCP) Open(name string, capacity int) (*Link, error) {
 		conn.Close()
 		return nil, err
 	}
-	s := &tcpSender{conn: conn, stats: st}
+	s := newTCPSender(conn, st)
 	l := &Link{Name: name, Sender: s, Receiver: (*memReceiver)(r)}
 	t.mu.Lock()
 	t.links[name] = l
@@ -149,9 +160,12 @@ func (t *TCP) accept() {
 
 // serve is the per-connection reader: it binds the connection to its
 // link's receive ring via the name header, then decodes frames into
-// the ring until EOF (producer closed) or an error. Ring-full pushes
-// back off exactly like the memory backend's producer, counting each
-// stall burst in the link's telemetry.
+// the ring until EOF (producer closed) or an error. The frame payload
+// buffer, the decode slab and the decoder's key arena are all per-link
+// and reused, so a steady-state frame (every key a dictionary hit)
+// decodes with zero allocations. Ring-full pushes back off exactly
+// like the memory backend's producer, counting each stall burst in the
+// link's telemetry.
 func (t *TCP) serve(conn net.Conn) {
 	defer t.wg.Done()
 	defer conn.Close()
@@ -199,6 +213,7 @@ func (t *TCP) serve(conn net.Conn) {
 			t.fail(fmt.Errorf("transport: link %s: %w", nameBuf, err))
 			return
 		}
+		st.addRxBytes(int64(frameLen) + int64(uvarintLen(frameLen)))
 		slab, err = dec.DecodeFrame(payload, slab[:0])
 		if err != nil {
 			t.fail(fmt.Errorf("transport: link %s: %w", nameBuf, err))
@@ -223,51 +238,168 @@ func (t *TCP) serve(conn net.Conn) {
 	}
 }
 
-// tcpSender is the producer end of one TCP link.
+// uvarintLen is the encoded size of x as a uvarint.
+func uvarintLen(x uint64) int {
+	return (bits.Len64(x|1) + 6) / 7
+}
+
+// tcpSender is the producer end of one TCP link, split into two
+// pipelined stages: the caller's goroutine ENCODES slabs into the
+// active coalescing buffer, and a dedicated WRITER goroutine moves
+// filled buffers to the kernel — so the encode of frame N overlaps the
+// socket write of frame N−1. Buffers rotate through a fixed pool
+// (free → encode → out → write → free); when several are queued the
+// writer gathers them into one vectored net.Buffers writev call.
+// SendSlab/Flush/Close stay single-producer per the Link contract; the
+// channels carry the buffers across the stage boundary.
 type tcpSender struct {
-	conn  net.Conn
-	enc   Encoder
-	wbuf  []byte
-	stats *linkStats
-	err   error
+	conn   net.Conn
+	enc    Encoder
+	cur    []byte        // active encoding buffer
+	out    chan []byte   // filled buffers → writer stage
+	free   chan []byte   // writer stage → reusable buffers
+	done   chan struct{} // writer exited
+	stats  *linkStats
+	werr   atomic.Pointer[error] // first writer-side error
+	err    error                 // sticky producer-side error
+	closed bool
 }
 
-// SendSlab implements Sender: encode into the coalescing buffer, flush
-// when it crosses the threshold.
+func newTCPSender(conn net.Conn, st *linkStats) *tcpSender {
+	s := &tcpSender{
+		conn:  conn,
+		out:   make(chan []byte, senderBufs),
+		free:  make(chan []byte, senderBufs),
+		done:  make(chan struct{}),
+		stats: st,
+		cur:   make([]byte, 0, coalesceBytes+coalesceBytes/4),
+	}
+	for i := 0; i < senderBufs-1; i++ {
+		s.free <- make([]byte, 0, coalesceBytes+coalesceBytes/4)
+	}
+	go s.writeLoop()
+	return s
+}
+
+// writeLoop is the writer stage: it drains filled buffers, gathers
+// whatever is already queued into one vectored write, and returns the
+// buffers to the pool. After a write error it keeps draining (and
+// recycling) so the encoder stage can observe the error instead of
+// blocking on a full pipeline.
+func (s *tcpSender) writeLoop() {
+	defer close(s.done)
+	var vec net.Buffers
+	pend := make([][]byte, 0, senderBufs)
+	open := true
+	for open {
+		b, ok := <-s.out
+		if !ok {
+			return
+		}
+		pend = append(pend[:0], b)
+		for len(pend) < senderBufs {
+			select {
+			case b2, ok2 := <-s.out:
+				if !ok2 {
+					open = false
+				} else {
+					pend = append(pend, b2)
+					continue
+				}
+			default:
+			}
+			break
+		}
+		if s.werr.Load() == nil {
+			vec = vec[:0]
+			for _, p := range pend {
+				vec = append(vec, p)
+			}
+			n, err := vec.WriteTo(s.conn)
+			s.stats.addBytes(n)
+			s.stats.addFlushes(1)
+			if err != nil {
+				s.werr.CompareAndSwap(nil, &err)
+			}
+		}
+		for _, p := range pend {
+			s.free <- p[:0]
+		}
+	}
+}
+
+// checkErr folds the writer stage's asynchronous error into the
+// producer-side sticky error.
+func (s *tcpSender) checkErr() error {
+	if s.err == nil {
+		if p := s.werr.Load(); p != nil {
+			s.err = *p
+		}
+	}
+	return s.err
+}
+
+// rotate hands the active buffer to the writer stage and takes a fresh
+// one from the pool (blocking only while the writer owns every other
+// buffer — the pipeline's backpressure).
+func (s *tcpSender) rotate() {
+	s.out <- s.cur
+	s.cur = <-s.free
+}
+
+// SendSlab implements Sender: encode into the active buffer, rotate it
+// to the writer stage when it crosses the coalescing threshold.
 func (s *tcpSender) SendSlab(msgs []Msg) error {
-	if s.err != nil {
-		return s.err
+	if s.closed {
+		return ErrClosed
 	}
-	s.wbuf = s.enc.AppendFrame(s.wbuf, msgs)
+	if err := s.checkErr(); err != nil {
+		return err
+	}
+	st0 := s.enc.Stats()
+	s.cur = s.enc.AppendFrame(s.cur, msgs)
+	st1 := s.enc.Stats()
 	s.stats.addFrames(1)
-	if len(s.wbuf) >= coalesceBytes {
-		return s.Flush()
+	s.stats.addMsgs(int64(len(msgs)))
+	s.stats.addDict(int64(st1.Hits-st0.Hits), int64(st1.Resets-st0.Resets))
+	if len(s.cur) >= coalesceBytes {
+		s.rotate()
 	}
-	return nil
+	return s.checkErr()
 }
 
-// Flush implements Sender.
+// Flush implements Sender: it hands any coalesced bytes to the writer
+// stage. The write itself completes asynchronously (per-link ordering
+// is preserved; a later SendSlab/Flush/Close surfaces any error), so a
+// flush never stalls the encoder on the kernel.
 func (s *tcpSender) Flush() error {
-	if s.err != nil {
-		return s.err
+	if s.closed {
+		return ErrClosed
 	}
-	if len(s.wbuf) == 0 {
-		return nil
+	if err := s.checkErr(); err != nil {
+		return err
 	}
-	n, err := s.conn.Write(s.wbuf)
-	s.stats.addBytes(int64(n))
-	s.stats.addFlushes(1)
-	s.wbuf = s.wbuf[:0]
-	if err != nil {
-		s.err = err
+	if len(s.cur) > 0 {
+		s.rotate()
 	}
-	return err
+	return s.checkErr()
 }
 
-// Close implements Sender: flush, then half-close so the peer's reader
-// drains buffered frames and sees a clean EOF.
+// Close implements Sender: flush, drain the writer stage, then
+// half-close so the peer's reader drains buffered frames and sees a
+// clean EOF.
 func (s *tcpSender) Close() error {
-	err := s.Flush()
+	if s.closed {
+		return s.checkErr()
+	}
+	s.closed = true
+	if len(s.cur) > 0 {
+		s.out <- s.cur
+		s.cur = nil
+	}
+	close(s.out)
+	<-s.done
+	err := s.checkErr()
 	if tc, ok := s.conn.(*net.TCPConn); ok {
 		if cerr := tc.CloseWrite(); err == nil {
 			err = cerr
@@ -283,7 +415,8 @@ func (s *tcpSender) Close() error {
 // linkStats is the per-link telemetry bundle; a zero value (nil
 // registry) makes every add a no-op.
 type linkStats struct {
-	bytes, frames, flushes, stalls *telemetry.Counter
+	bytes, rxBytes, frames, msgs  *telemetry.Counter
+	flushes, stalls, hits, resets *telemetry.Counter
 }
 
 func newLinkStats(reg *telemetry.Registry, name string) *linkStats {
@@ -293,9 +426,13 @@ func newLinkStats(reg *telemetry.Registry, name string) *linkStats {
 	l := telemetry.L("link", name)
 	return &linkStats{
 		bytes:   reg.Counter("transport_tx_bytes_total", l),
+		rxBytes: reg.Counter("transport_rx_bytes_total", l),
 		frames:  reg.Counter("transport_frames_total", l),
+		msgs:    reg.Counter("transport_tx_msgs_total", l),
 		flushes: reg.Counter("transport_flushes_total", l),
 		stalls:  reg.Counter("transport_send_stalls_total", l),
+		hits:    reg.Counter("transport_dict_hits_total", l),
+		resets:  reg.Counter("transport_dict_resets_total", l),
 	}
 }
 
@@ -305,9 +442,21 @@ func (s *linkStats) addBytes(n int64) {
 	}
 }
 
+func (s *linkStats) addRxBytes(n int64) {
+	if s.rxBytes != nil {
+		s.rxBytes.Add(n)
+	}
+}
+
 func (s *linkStats) addFrames(n int64) {
 	if s.frames != nil {
 		s.frames.Add(n)
+	}
+}
+
+func (s *linkStats) addMsgs(n int64) {
+	if s.msgs != nil {
+		s.msgs.Add(n)
 	}
 }
 
@@ -320,5 +469,14 @@ func (s *linkStats) addFlushes(n int64) {
 func (s *linkStats) addStall() {
 	if s.stalls != nil {
 		s.stalls.Inc()
+	}
+}
+
+func (s *linkStats) addDict(hits, resets int64) {
+	if s.hits != nil && hits > 0 {
+		s.hits.Add(hits)
+	}
+	if s.resets != nil && resets > 0 {
+		s.resets.Add(resets)
 	}
 }

@@ -6,21 +6,30 @@
 // Msg values — a Grant/Publish copy on send and an Acquire/copy/Release
 // on receive — so steady-state traffic allocates nothing and stays
 // within a few percent of writing the ring directly. The TCP backend
-// carries the same slabs over loopback (or real) connections using a
-// length-prefixed varint frame codec (frame.go) with per-connection
-// write coalescing and reused buffers; a per-connection reader
-// goroutine decodes frames back into an SPSC ring, so the receive side
-// is identical in shape to the memory backend. Per-link telemetry
-// (bytes, frames, flushes, send stalls) lands in the engine's
-// internal/telemetry registry.
+// carries the same slabs over loopback (or real) connections using the
+// columnar wire-format-v2 codec (frame.go): struct-of-arrays frames
+// over a persistent per-link key dictionary with an epoch-reset
+// protocol, so a hot key's bytes cross the wire once per epoch and a
+// steady-state message costs a few bytes. The sender is pipelined —
+// the caller's goroutine encodes into a coalescing buffer while a
+// dedicated writer goroutine moves filled buffers to the kernel with
+// vectored writes (tcp.go) — and a per-connection reader goroutine
+// decodes frames into an SPSC ring through a reusable key arena, so
+// the receive side is identical in shape to the memory backend and
+// steady-state decode allocates nothing. Per-link telemetry (tx/rx
+// bytes, frames, messages, flushes, send stalls, dictionary hits and
+// resets) lands in the engine's internal/telemetry registry.
 //
 // # Contract
 //
 // Links are single-producer single-consumer: exactly one goroutine
 // sends on a link's Sender and exactly one receives on its Receiver.
 // SendSlab copies the slab in (possibly blocking while the link is
-// full); Flush pushes any coalesced bytes to the peer (a no-op for the
-// memory backend, whose sends are immediately visible). Close marks
+// full); Flush pushes any coalesced bytes toward the peer — for the
+// TCP backend it hands them to the writer stage and returns without
+// waiting for the kernel (per-link ordering is preserved, and write
+// errors surface on a later SendSlab/Flush/Close); for the memory
+// backend it is a no-op, sends being immediately visible. Close marks
 // the producer side done; after the receiver drains every in-flight
 // message, RecvSlab reports done. RecvSlab is non-blocking — it
 // returns 0 when no messages are ready — because consumers multiplex

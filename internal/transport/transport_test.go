@@ -187,8 +187,11 @@ func TestTCPThroughputFloor(t *testing.T) {
 }
 
 // TestTCPTelemetry verifies the per-link counters land in the registry
-// with the link label: bytes and flushes after a flush, frames per
-// SendSlab.
+// with the link label: frames and messages per SendSlab, dictionary
+// hits once a key repeats, and both byte directions. Flush is
+// asynchronous (the writer stage owns the socket), so the sender is
+// closed — which drains the writer — before byte/flush counters are
+// read.
 func TestTCPTelemetry(t *testing.T) {
 	reg := telemetry.NewRegistry()
 	tr, err := NewTCP(reg)
@@ -201,27 +204,116 @@ func TestTCPTelemetry(t *testing.T) {
 		t.Fatal(err)
 	}
 	slab := []Msg{{Key: "a", Dig: 1, Weight: 2}, {Key: "b", Dig: 2, Weight: 3}}
-	if err := l.SendSlab(slab); err != nil {
-		t.Fatal(err)
+	for i := 0; i < 2; i++ { // second slab is all dictionary hits
+		if err := l.SendSlab(slab); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if err := l.Sender.(*tcpSender).Flush(); err != nil {
 		t.Fatal(err)
 	}
 	recv := make([]Msg, 8)
-	for got := 0; got < len(slab); {
+	for got := 0; got < 2*len(slab); {
 		n, _ := l.RecvSlab(recv)
 		got += n
 	}
+	if err := l.Sender.Close(); err != nil {
+		t.Fatal(err)
+	}
 	lab := telemetry.L("link", "w1>r0")
 	snap := reg.Snapshot()
-	if v := snap.Value("transport_frames_total", lab); v != 1 {
-		t.Fatalf("transport_frames_total = %v, want 1", v)
+	for name, want := range map[string]float64{
+		"transport_frames_total":      2,
+		"transport_tx_msgs_total":     4,
+		"transport_dict_hits_total":   2,
+		"transport_dict_resets_total": 0,
+	} {
+		if v := snap.Value(name, lab); v != want {
+			t.Fatalf("%s = %v, want %v", name, v, want)
+		}
 	}
-	if v := snap.Value("transport_flushes_total", lab); v != 1 {
-		t.Fatalf("transport_flushes_total = %v, want 1", v)
+	if v := snap.Value("transport_flushes_total", lab); v < 1 {
+		t.Fatalf("transport_flushes_total = %v, want >= 1", v)
 	}
-	if v := snap.Value("transport_tx_bytes_total", lab); v <= 0 {
-		t.Fatalf("transport_tx_bytes_total = %v, want > 0", v)
+	txBytes := snap.Value("transport_tx_bytes_total", lab)
+	if txBytes <= 0 {
+		t.Fatalf("transport_tx_bytes_total = %v, want > 0", txBytes)
+	}
+	if v := snap.Value("transport_rx_bytes_total", lab); v != txBytes {
+		t.Fatalf("transport_rx_bytes_total = %v, want %v (all tx bytes received)", v, txBytes)
+	}
+}
+
+// TestTCPSenderPipelineStress drives the encoder/writer split hard:
+// per link, the producer goroutine interleaves SendSlab and Flush while
+// the writer goroutine owns the socket and the reader goroutine decodes
+// — the race detector (CI runs this package under -race) checks the
+// stage handoff, and the drain check proves no slab is lost or
+// reordered across buffer rotations and the Close drain.
+func TestTCPSenderPipelineStress(t *testing.T) {
+	tr, err := NewTCP(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	const links, rounds = 4, 300
+	done := make(chan error, links)
+	for li := 0; li < links; li++ {
+		l, err := tr.Open(fmt.Sprintf("s%d>w0", li), 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			slab := make([]Msg, 64)
+			for r := 0; r < rounds; r++ {
+				for i := range slab {
+					key := fmt.Sprintf("key-%d", (r*len(slab)+i)%997)
+					slab[i] = Msg{Dig: digestOf(key), Key: key, Weight: int64(r), Window: int64(r) / 10}
+				}
+				if err := l.SendSlab(slab); err != nil {
+					done <- err
+					return
+				}
+				if r%7 == 0 {
+					if err := l.Sender.Flush(); err != nil {
+						done <- err
+						return
+					}
+				}
+			}
+			done <- l.Sender.Close()
+		}()
+		go func() {
+			recv := make([]Msg, 256)
+			got := 0
+			for {
+				n, fin := l.RecvSlab(recv)
+				for i := 0; i < n; i++ {
+					key := fmt.Sprintf("key-%d", got%997)
+					if recv[i].Key != key || recv[i].Dig != digestOf(key) {
+						done <- fmt.Errorf("msg %d: key %q dig %d, want %q %d", got, recv[i].Key, recv[i].Dig, key, digestOf(key))
+						return
+					}
+					got++
+				}
+				if fin {
+					break
+				}
+			}
+			if got != rounds*64 {
+				done <- fmt.Errorf("drained %d msgs, want %d", got, rounds*64)
+				return
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 2*links; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -247,10 +339,16 @@ func benchLink(b *testing.B, l *Link) {
 		l.Sender.Close()
 	}()
 	recv := make([]Msg, 512)
+	spins := 0
 	for {
-		_, done := l.RecvSlab(recv)
+		n, done := l.RecvSlab(recv)
 		if done {
 			break
+		}
+		if n == 0 {
+			backoff(&spins)
+		} else {
+			spins = 0
 		}
 	}
 	b.StopTimer()

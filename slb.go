@@ -168,16 +168,33 @@
 //     operation in steady state and within ~5% of the direct ring
 //     plane's pipeline throughput (≈0.97x measured means).
 //   - TransportTCP moves every edge over a real socket (loopback in
-//     the tests and benchmarks) with varint length-prefixed frame
-//     encoding, a per-frame key dictionary, ~32 KB write coalescing
-//     on reused buffers, and per-link telemetry counters
-//     (transport_tx_bytes_total, transport_frames_total,
-//     transport_flushes_total, transport_send_stalls_total, labeled
-//     link=). Spouts flush lazily — only when the in-flight ack
-//     window is about to block — so coalescing stays effective;
-//     sustained loopback pipeline throughput is ≈780k msgs/s with
-//     EngineConfig.Window = 4096 (the default window of 100 is
-//     ack-latency bound over a kernel socket).
+//     the tests and benchmarks) speaking wire format v2: COLUMNAR
+//     length-prefixed frames (per-field columns with varint/zigzag
+//     coding, delta-coded windows, elided all-zero and uniform
+//     columns, a sparse emit column) over a PERSISTENT per-link key
+//     dictionary — a hot key's bytes and digest cross the wire once
+//     per dictionary epoch, and every later occurrence is a 1-2 byte
+//     reference (≈2-4 B per steady-state message, vs ≈8 B for the
+//     PR-8 record layout; epoch resets bound the dictionary at 32k
+//     entries and a frame-carried epoch counter turns any
+//     desynchronization into a hard decode error). The sender is
+//     pipelined: the caller's goroutine encodes into ~32 KB
+//     coalescing buffers while a writer goroutine drives the kernel
+//     with vectored writes, and the receive side decodes through a
+//     per-link key arena into an SPSC ring with zero steady-state
+//     allocations (hard-asserted). Per-link telemetry counters cover
+//     both directions and the dictionary (transport_tx_bytes_total,
+//     transport_rx_bytes_total, transport_tx_msgs_total,
+//     transport_frames_total, transport_flushes_total,
+//     transport_send_stalls_total, transport_dict_hits_total,
+//     transport_dict_resets_total, labeled link=). Spouts flush
+//     lazily — only when the in-flight ack window is about to block —
+//     and when EngineConfig.Window is left at its default the TCP
+//     plane grows each spout's ack window adaptively (doubling on ack
+//     stalls up to 8192, published as spout_ack_window) instead of
+//     staying ack-latency bound at 100. Sustained loopback link
+//     throughput is ≈34M msgs/s single-core (≈2.2x the PR-8 record
+//     codec on the same host and harness).
 //
 // Everything observable — finals, replication factors, completed
 // counts — is bit-identical across TransportDirect, TransportMemory
