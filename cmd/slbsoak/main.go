@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	slbsoak [-short] [-tcp] [-duration D] [-interval D] [-cycles N]
+//	slbsoak [-short] [-tcp] [-faults] [-duration D] [-interval D] [-cycles N]
 //	        [-algo NAME] [-workers N] [-sources N] [-shards N]
 //	        [-messages N] [-keys N] [-z S] [-epoch N] [-stride N]
 //	        [-seed N] [-service D]
@@ -21,6 +21,7 @@
 //
 //	slbsoak -duration 2h -jsonl soak.jsonl -summary bench/BENCH_soak_0.json
 //	slbsoak -short -baseline ci/BENCH_soak_baseline.json   # CI smoke gate
+//	slbsoak -short -faults -baseline ci                    # CI chaos-soak gate
 //
 // With -baseline (a BENCH_soak JSON file, or a directory of
 // accumulated BENCH_soak*.json artifacts) the run exits nonzero when
@@ -59,6 +60,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload/partitioner seed (each cycle offsets it)")
 	service := flag.Duration("service", 20*time.Microsecond, "dspe per-message bolt service time")
 	tcp := flag.Bool("tcp", false, "add a dspe loopback-TCP-transport leg to each cycle (changes the baseline config identity)")
+	faults := flag.Bool("faults", false, "inject deterministic chaos (frame drops + connection severs) into the TCP leg; implies -tcp and changes the baseline config identity")
 	spin := flag.Bool("spin", false, "busy-wait the dspe service time (faithful CPU load for long soaks; burns host CPU)")
 	jsonl := flag.String("jsonl", "", "also append interval rows to this JSONL file")
 	snapshotPath := flag.String("snapshot", "", "write the final per-engine telemetry snapshots to this JSON file")
@@ -120,7 +122,7 @@ func main() {
 		Algorithm: *algo, Workers: *workers, Sources: *sources, Shards: *shards,
 		Messages: *messages, Keys: *keys, Zipf: *zipf, EpochLen: *epoch,
 		Stride: *stride, Seed: *seed, ServiceTime: *service, Spin: *spin,
-		TCP: *tcp,
+		TCP: *tcp, Faults: *faults,
 		Emit: func(r soak.Row) {
 			enc.Encode(r)
 			if jsonlFile != nil {

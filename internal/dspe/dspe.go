@@ -52,6 +52,7 @@ import (
 	"slb/internal/metrics"
 	"slb/internal/stream"
 	"slb/internal/telemetry"
+	"slb/internal/transport"
 )
 
 // Config describes one topology run.
@@ -145,6 +146,20 @@ type Config struct {
 	// of pinning it at 100, which over a kernel socket is ack-latency
 	// bound. Explicitly set windows are always honored as-is.
 	adaptiveWindow bool
+	// Chaos, when non-nil, wraps the transport fabric (memory or TCP)
+	// in deterministic fault injection — dropped buffer writes and
+	// severed connections per the schedule — while the engine's results
+	// stay bit-equal to a fault-free run: the TCP backend recovers
+	// through reconnect + retransmit + receive-edge dedup, the memory
+	// backend through FIFO-preserving holdback. TCP delivery timers are
+	// tightened automatically so recovery is fast relative to the run.
+	// Ignored for TransportDirect.
+	Chaos *transport.ChaosConfig
+	// OnFaultStats, when set together with Chaos, receives the per-link
+	// injected-fault ledger after the run drains — the hook the
+	// fault-parity tests use to assert a run actually suffered the
+	// schedule it survived.
+	OnFaultStats func(map[string]transport.ChaosLinkStats)
 	// Telemetry, when non-nil, receives the run's live metric series:
 	// per-spout routing activity (core.RouteRecorder), ack-window and
 	// ring publish/acquire stalls, per-bolt queue depths and processed

@@ -97,13 +97,30 @@ func runTransport(gen stream.Generator, cfg Config, parts []core.Partitioner, li
 	case TransportMemory:
 		fabric = transport.NewMemory()
 	case TransportTCP:
-		tcp, err = transport.NewTCP(cfg.Telemetry)
+		tcpCfg := transport.TCPConfig{}
+		if cfg.Chaos != nil {
+			// Chaos runs sever links on purpose: shrink the delivery
+			// timers so each recovery episode costs milliseconds, and
+			// widen the reconnect budget so the schedule, not the budget,
+			// decides how much abuse the run takes.
+			tcpCfg = transport.TCPConfig{
+				ResendTimeout: 25 * time.Millisecond,
+				RedialBackoff: 200 * time.Microsecond,
+				MaxReconnects: 1 << 20,
+			}
+		}
+		tcp, err = transport.NewTCPWithConfig(cfg.Telemetry, tcpCfg)
 		if err != nil {
 			return Result{}, err
 		}
 		fabric = tcp
 	default:
 		return Result{}, fmt.Errorf("dspe: unknown transport %d", cfg.Transport)
+	}
+	var chaos *transport.Chaos
+	if cfg.Chaos != nil {
+		chaos = transport.NewChaos(fabric, *cfg.Chaos)
+		fabric = chaos
 	}
 	defer fabric.Close()
 
@@ -568,6 +585,9 @@ func runTransport(gen stream.Generator, cfg Config, parts []core.Partitioner, li
 	}
 	if tcp != nil {
 		fail(tcp.Err())
+	}
+	if chaos != nil && cfg.OnFaultStats != nil {
+		cfg.OnFaultStats(chaos.Stats())
 	}
 	if p := firstErr.Load(); p != nil {
 		return Result{}, *p

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"slb/internal/transport"
 	"slb/internal/workload"
 )
 
@@ -124,6 +125,85 @@ func TestTransportPlaneNoAgg(t *testing.T) {
 			}
 			if sum != 15_000 {
 				t.Fatalf("Loads sum = %d, want 15000", sum)
+			}
+		})
+	}
+}
+
+// TestTransportPlaneFaultParity is the tentpole's exactness pin: a
+// topology run whose transport suffers deterministic chaos — at least
+// 1% of sender-side buffer writes dropped and every data link severed
+// at least once — must produce finals and replication factors
+// bit-equal to the fault-free direct plane. Both transport backends
+// are exercised; the single-source case also compares replication
+// (deterministic routing), the multi-source case compares finals.
+func TestTransportPlaneFaultParity(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		sources int
+	}{{"single-source", 1}, {"multi-source", 3}} {
+		t.Run(tc.name, func(t *testing.T) {
+			base := Config{
+				Workers:   6,
+				Sources:   tc.sources,
+				Algorithm: "W-C",
+				AggWindow: 400,
+				AggShards: 2,
+				Messages:  12_000,
+			}
+			direct := base
+			direct.Dataplane = DataplaneChannel
+			dFinals, dRes := collectFinals(t, direct, workload.NewZipf(1.2, 250, 12_000, 7))
+
+			for _, tp := range []struct {
+				name string
+				sel  Transport
+			}{{"memory", TransportMemory}, {"tcp", TransportTCP}} {
+				t.Run(tp.name, func(t *testing.T) {
+					var faults map[string]transport.ChaosLinkStats
+					cfg := base
+					cfg.Transport = tp.sel
+					// SeverEvery=2 severs on every second buffer write; even
+					// the quietest link makes two (its final flush and its
+					// FIN), so every link is guaranteed a sever.
+					cfg.Chaos = &transport.ChaosConfig{Seed: 23, DropOneIn: 4, SeverEvery: 2}
+					cfg.OnFaultStats = func(st map[string]transport.ChaosLinkStats) { faults = st }
+					finals, res := collectFinals(t, cfg, workload.NewZipf(1.2, 250, 12_000, 7))
+
+					if len(finals) != len(dFinals) {
+						t.Fatalf("final count differs: fault-free %d, chaos %d", len(dFinals), len(finals))
+					}
+					for id, want := range dFinals {
+						if got, ok := finals[id]; !ok || got != want {
+							t.Fatalf("final %s: fault-free %v, chaos %v (present=%v)", id, want, got, ok)
+						}
+					}
+					if tc.sources == 1 && res.AggReplication != dRes.AggReplication {
+						t.Errorf("replication differs: fault-free %v, chaos %v", dRes.AggReplication, res.AggReplication)
+					}
+					if res.Completed != 12_000 || res.AggTotal != 12_000 {
+						t.Errorf("completed/total: %d/%d, want 12000/12000", res.Completed, res.AggTotal)
+					}
+
+					// The run must actually have suffered the schedule: every
+					// data link severed at least once, and >= 1% of judged
+					// writes dropped overall.
+					var writes, dropped int64
+					for link, st := range faults {
+						writes += st.Writes
+						dropped += st.Dropped
+						if st.Severed == 0 {
+							t.Errorf("link %s was never severed (writes=%d)", link, st.Writes)
+						}
+					}
+					wantLinks := tc.sources*base.Workers + base.Workers*base.AggShards
+					if len(faults) != wantLinks {
+						t.Errorf("fault ledger covers %d links, want %d", len(faults), wantLinks)
+					}
+					if dropped*100 < writes {
+						t.Errorf("dropped %d of %d writes, want >= 1%%", dropped, writes)
+					}
+				})
 			}
 		})
 	}

@@ -145,6 +145,20 @@ type Config struct {
 	// LinkSlowPenalty is the slow-path extra delay (ms); 0 with
 	// LinkSlowOneIn > 0 means 10× (LinkDelay + LinkJitter).
 	LinkSlowPenalty float64
+	// LinkOutagePeriod, when positive, gives every worker→reducer link a
+	// periodic outage: once per this many ms the link goes dark for
+	// LinkOutageDuration ms, with a deterministic per-link phase so
+	// links fail staggered rather than in lockstep. A partial whose
+	// arrival lands inside the dark window is lost and retransmitted
+	// when the link recovers — charged as a deferred arrival inside the
+	// closed-form station recurrence, the simulation-side cost profile
+	// of internal/transport's reconnect-and-resend episode. Result
+	// reports the retransmission count and total outage wait. Works with
+	// or without LinkDelay; 0 disables outages.
+	LinkOutagePeriod float64
+	// LinkOutageDuration is the dark time per outage cycle (ms); 0 with
+	// LinkOutagePeriod > 0 means a tenth of the period.
+	LinkOutageDuration float64
 	// AggMerger selects the merge operator applied per (window, key):
 	// aggregation.CountMerger (the default, nil), SumMerger, MinMerger,
 	// MaxMerger, DistinctMerger, or any custom Merger.
@@ -200,6 +214,9 @@ func (c Config) withDefaults() (Config, error) {
 		if c.LinkSlowOneIn > 0 && c.LinkSlowPenalty <= 0 {
 			c.LinkSlowPenalty = 10 * (c.LinkDelay + c.LinkJitter)
 		}
+		if c.LinkOutagePeriod > 0 && c.LinkOutageDuration <= 0 {
+			c.LinkOutageDuration = c.LinkOutagePeriod / 10
+		}
 	}
 	c.Core.Workers = c.Workers
 	return c, nil
@@ -250,6 +267,13 @@ type Result struct {
 	// ReducerPeakQueue is the largest backlog (unmerged partials,
 	// including the one in service) any single reducer shard ever held.
 	ReducerPeakQueue int
+	// LinkRetransmits is how many partials arrived into a link outage
+	// window and had to be retransmitted after the link recovered. 0
+	// unless Config.LinkOutagePeriod was set.
+	LinkRetransmits int64
+	// LinkOutageWaitMs is the total extra arrival delay (ms) those
+	// retransmissions cost across all links.
+	LinkOutageWaitMs float64
 }
 
 // Event kinds.
@@ -441,7 +465,7 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 			t += cfg.AggFlushCost // serialize partial i at the worker
 			r := aggregation.ShardFor(aggBuf[i].Digest, cfg.AggShards)
 			if links != nil {
-				t = stations[r].admitOne(t + links.hop(w, r))
+				t = stations[r].admitOne(links.deliver(w, r, t))
 			} else {
 				t = stations[r].admitOne(t)
 			}
@@ -690,6 +714,10 @@ func Run(gen stream.Generator, cfg Config) (Result, error) {
 			if stations[r].peak > res.ReducerPeakQueue {
 				res.ReducerPeakQueue = stations[r].peak
 			}
+		}
+		if links != nil {
+			res.LinkRetransmits = links.retransmits
+			res.LinkOutageWaitMs = links.outageWait
 		}
 	}
 	for i, wk := range workers {

@@ -79,3 +79,60 @@ func TestLinkDelayReducerHopSensitivity(t *testing.T) {
 	}
 	t.Logf("0→2 ms hop delay: W-C loses %.2fx, KG loses %.2fx", wc, kg)
 }
+
+// TestLinkOutageWindows pins the outage model: configured outages are
+// deterministic (bit-identical repeated runs, including the
+// retransmission ledger), actually engage (retransmits > 0), never
+// drop data, and only ever cost throughput relative to the same
+// config without outages.
+func TestLinkOutageWindows(t *testing.T) {
+	const m = 20000
+	outage := func() Config {
+		cfg := delayCfg("W-C", 0.2)
+		cfg.LinkOutagePeriod = 50 // every 50 ms each link goes dark ...
+		cfg.LinkOutageDuration = 5
+		return cfg
+	}
+	a, err := Run(zipfGen(2.0, 500, m), outage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(zipfGen(2.0, 500, m), outage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Throughput != b.Throughput || a.Duration != b.Duration ||
+		a.LinkRetransmits != b.LinkRetransmits || a.LinkOutageWaitMs != b.LinkOutageWaitMs {
+		t.Fatalf("repeated outage runs diverged: %+v vs %+v", a, b)
+	}
+	if a.LinkRetransmits == 0 || a.LinkOutageWaitMs <= 0 {
+		t.Fatalf("outage windows never engaged: retransmits=%d wait=%.3f", a.LinkRetransmits, a.LinkOutageWaitMs)
+	}
+	if a.AggTotal != m {
+		t.Fatalf("AggTotal %d, want %d (outages must never drop data)", a.AggTotal, m)
+	}
+	clean, err := Run(zipfGen(2.0, 500, m), delayCfg("W-C", 0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.LinkRetransmits != 0 {
+		t.Fatalf("outage-free run reports %d retransmits", clean.LinkRetransmits)
+	}
+	if a.Throughput > clean.Throughput {
+		t.Fatalf("outages improved throughput: %.1f with vs %.1f without", a.Throughput, clean.Throughput)
+	}
+	// Outages without a hop delay must also work: the model activates
+	// on LinkOutagePeriod alone.
+	bare := delayCfg("W-C", 0)
+	bare.LinkOutagePeriod = 50
+	bareRes, err := Run(zipfGen(2.0, 500, m), bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bareRes.LinkRetransmits == 0 {
+		t.Fatalf("outages without LinkDelay never engaged")
+	}
+	if bareRes.AggTotal != m {
+		t.Fatalf("bare outage run AggTotal %d, want %d", bareRes.AggTotal, m)
+	}
+}

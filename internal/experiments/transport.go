@@ -8,6 +8,7 @@ import (
 	"slb/internal/eventsim"
 	"slb/internal/telemetry"
 	"slb/internal/texttab"
+	"slb/internal/transport"
 	"slb/internal/workload"
 )
 
@@ -54,12 +55,25 @@ var transDelays = []float64{0, 0.2, 2}
 // memory row isolates the interface overhead and the TCP row the
 // framing + kernel socket cost.
 //
-// The second table walks the deterministic engine's per-link delay
+// The second table degrades the TCP plane with the deterministic chaos
+// wrapper — dropped frames and severed connections at two loss levels —
+// and prices the recovery machinery per algorithm: reconnect episodes,
+// retransmitted frames/bytes, duplicate drops at the receive edge, and
+// accumulated outage time. Exactness is untouched (the fault-parity
+// tests pin bit-equal finals); only throughput and wire overhead move,
+// and the retransmission bill orders by replication: W-C ≥ D-C ≥ KG.
+//
+// The third table walks the deterministic engine's per-link delay
 // model (eventsim.Config.LinkDelay) over the worker→reducer hop for
 // each algorithm: every flushed partial pays the hop delay, so an
 // algorithm's sensitivity scales with its replication factor — KG
 // (replication 1) barely notices 2 ms while W-C's degradation is the
 // replication bill resurfacing as wire latency.
+//
+// The fourth table adds periodic per-link outage windows to the
+// deterministic engine (eventsim.Config.LinkOutagePeriod/Duration):
+// partials arriving while a link is dark are lost and retransmitted on
+// recovery, the closed-form analogue of the live chaos sweep above.
 func TransportExperiment(sc Scale) ([]*texttab.Table, error) {
 	m := sc.transMessages()
 
@@ -134,6 +148,68 @@ func TransportExperiment(sc Scale) ([]*texttab.Table, error) {
 		)
 	}
 
+	// Degraded links: the same W-C/D-C/KG topologies over loopback TCP
+	// with the chaos wrapper dropping frames and severing connections on
+	// a deterministic schedule. Finals stay bit-equal to the fault-free
+	// run (pinned by dspe's fault-parity test); what the table prices is
+	// the recovery machinery — reconnect episodes, retransmitted frames
+	// and bytes, receive-edge duplicate drops — and the throughput it
+	// costs. Retransmission cost tracks wire traffic, which tracks
+	// replication: W-C resends the most bytes, then D-C, then KG.
+	faultLevels := []struct {
+		name  string
+		chaos *transport.ChaosConfig
+	}{
+		{"none", nil},
+		{"0.5%", &transport.ChaosConfig{Seed: Seed, DropOneIn: 200, SeverEvery: 4096}},
+		{"2%", &transport.ChaosConfig{Seed: Seed, DropOneIn: 50, SeverEvery: 1024}},
+	}
+	degraded := texttab.New(fmt.Sprintf(
+		"Degraded links (dspe, loopback TCP + chaos): n=%d, s=%d, z=%.1f, R=%d, m=%d, window=%d",
+		aggWorkers, aggSources, aggSkew, transShards, m, transWindow),
+		"loss", "algo", "events/s", "Δthr%", "reconnects", "retrans-frames", "retrans-MB", "dup-drops", "outage-ms")
+	faultBase := make(map[string]float64)
+	for _, lvl := range faultLevels {
+		for _, algo := range []string{"KG", "D-C", "W-C"} {
+			reg := telemetry.NewRegistry()
+			gen := workload.NewZipf(aggSkew, ZFKeys, m, Seed)
+			res, err := dspe.Run(gen, dspe.Config{
+				Workers:   aggWorkers,
+				Sources:   aggSources,
+				Algorithm: algo,
+				Core:      core.Config{Seed: Seed, Epsilon: Epsilon},
+				Window:    transWindow,
+				AggWindow: m / 50,
+				AggShards: transShards,
+				Dataplane: dspe.DataplaneRing,
+				Transport: dspe.TransportTCP,
+				Telemetry: reg,
+				Chaos:     lvl.chaos,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if lvl.chaos == nil {
+				faultBase[algo] = res.Throughput
+			}
+			drop := 0.0
+			if b := faultBase[algo]; b > 0 {
+				drop = 100 * (1 - res.Throughput/b)
+			}
+			degraded.Add(
+				lvl.name,
+				algo,
+				fmt.Sprintf("%.0f", res.Throughput),
+				fmt.Sprintf("%.1f", drop),
+				fmt.Sprintf("%.0f", sumCounter(reg, "transport_reconnects_total")),
+				fmt.Sprintf("%.0f", sumCounter(reg, "transport_retransmit_frames_total")),
+				fmt.Sprintf("%.2f", sumCounter(reg, "transport_retransmit_bytes_total")/(1<<20)),
+				fmt.Sprintf("%.0f", sumCounter(reg, "transport_dup_msgs_dropped_total")),
+				fmt.Sprintf("%.0f", 1000*sumCounter(reg, "transport_outage_seconds")),
+			)
+		}
+	}
+
 	delay := texttab.New(fmt.Sprintf(
 		"Link-delay sweep (eventsim, deterministic): worker→reducer hop delay, n=%d, s=%d, z=%.1f, R=%d, m=%d, jitter=delay/4, slow 1-in-512",
 		aggWorkers, aggSources, aggSkew, transShards, m),
@@ -177,7 +253,63 @@ func TransportExperiment(sc Scale) ([]*texttab.Table, error) {
 			)
 		}
 	}
-	return []*texttab.Table{live, delay}, nil
+
+	// Outage windows in the deterministic engine: each worker→reducer
+	// link periodically goes dark (staggered per-link phase); partials
+	// arriving in a dark window are lost and retransmitted when the link
+	// recovers, charged as deferred arrivals in the closed-form
+	// recurrence. The table walks the dark fraction (duration/period) at
+	// a fixed 50 ms cycle.
+	outage := texttab.New(fmt.Sprintf(
+		"Link-outage sweep (eventsim, deterministic): 50ms cycle, staggered per-link phase, n=%d, s=%d, z=%.1f, R=%d, m=%d, hop=0.2ms",
+		aggWorkers, aggSources, aggSkew, transShards, m),
+		"dark%", "algo", "events/s", "Δthr%", "retransmits", "outage-wait-ms", "replication")
+	outBase := make(map[string]float64)
+	for _, darkPct := range []float64{0, 2, 10} {
+		period := 50.0
+		if darkPct == 0 {
+			period = 0 // outage model off; duration would otherwise default to period/10
+		}
+		for _, algo := range clusterAlgos {
+			gen := workload.NewZipf(aggSkew, ZFKeys, m, Seed)
+			res, err := eventsim.Run(gen, eventsim.Config{
+				Workers:            aggWorkers,
+				Sources:            aggSources,
+				Algorithm:          algo,
+				Core:               core.Config{Seed: Seed, Epsilon: Epsilon},
+				ServiceTime:        1.0,
+				Window:             100,
+				Messages:           m,
+				AggWindow:          m / 50,
+				AggShards:          transShards,
+				LinkDelay:          0.2,
+				LinkJitter:         0.05,
+				LinkOutagePeriod:   period,
+				LinkOutageDuration: period * darkPct / 100,
+				MeasureAfter:       m / 5,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if darkPct == 0 {
+				outBase[algo] = res.Throughput
+			}
+			drop := 0.0
+			if b := outBase[algo]; b > 0 {
+				drop = 100 * (1 - res.Throughput/b)
+			}
+			outage.Add(
+				fmt.Sprintf("%.0f", darkPct),
+				algo,
+				fmt.Sprintf("%.0f", res.Throughput),
+				fmt.Sprintf("%.1f", drop),
+				fmt.Sprintf("%d", res.LinkRetransmits),
+				fmt.Sprintf("%.0f", res.LinkOutageWaitMs),
+				fmt.Sprintf("%.4f", res.AggReplication),
+			)
+		}
+	}
+	return []*texttab.Table{live, degraded, delay, outage}, nil
 }
 
 // sumCounter totals a counter series across all its label sets (the

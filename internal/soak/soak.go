@@ -36,6 +36,7 @@ import (
 	"slb/internal/eventsim"
 	"slb/internal/stream"
 	"slb/internal/telemetry"
+	"slb/internal/transport"
 	"slb/internal/workload"
 )
 
@@ -99,6 +100,11 @@ type Config struct {
 	// coalescing on every hop). It changes the configuration identity —
 	// baselines recorded without the leg are not comparable.
 	TCP bool
+	// Faults wraps the TCP leg's transport in the deterministic chaos
+	// schedule (frame drops plus periodic connection severs, seeded from
+	// Seed+cycle), soaking the reconnect-and-resend machinery instead of
+	// a clean wire. Implies TCP; changes the configuration identity.
+	Faults bool
 
 	// Emit receives every interval row as it is produced (single
 	// goroutine, in order). nil discards rows.
@@ -151,7 +157,19 @@ func (c Config) withDefaults() Config {
 	if c.AggWindow <= 0 {
 		c.AggWindow = 512
 	}
+	if c.Faults {
+		c.TCP = true
+	}
 	return c
+}
+
+// soakChaos is the fault schedule of a Faults soak's TCP leg: roughly
+// one frame in 200 dropped and a sever every 4096 sender-side buffer
+// writes — frequent enough that every leg rides through many
+// reconnect-and-resend episodes, rare enough that throughput stays
+// comparable across runs.
+func soakChaos(seed uint64) *transport.ChaosConfig {
+	return &transport.ChaosConfig{Seed: seed, DropOneIn: 200, SeverEvery: 4096}
 }
 
 // String renders the canonical configuration identity the regression
@@ -167,6 +185,9 @@ func (c Config) String() string {
 	}
 	if c.TCP {
 		s += " tcp"
+	}
+	if c.Faults {
+		s += " faults"
 	}
 	return s
 }
@@ -220,6 +241,18 @@ type Row struct {
 	BytesPerMsg float64 `json:"bytes_per_msg,omitempty"`
 	DictHits    int64   `json:"dict_hits,omitempty"`
 	DictResets  int64   `json:"dict_resets,omitempty"`
+	// Reconnects, RetransmitFrames, RetransmitBytes, DupMsgs and
+	// OutageSec are the transport fault ledger (TCP leg only):
+	// cumulative reconnect episodes, frames and bytes retransmitted
+	// after severs or drops, duplicate messages discarded at the receive
+	// edge, and total time links spent disconnected. All stay 0 on a
+	// clean wire; under Config.Faults they are the soak's evidence that
+	// the recovery machinery ran.
+	Reconnects       int64   `json:"reconnects,omitempty"`
+	RetransmitFrames int64   `json:"retransmit_frames,omitempty"`
+	RetransmitBytes  int64   `json:"retransmit_bytes,omitempty"`
+	DupMsgs          int64   `json:"dup_msgs,omitempty"`
+	OutageSec        float64 `json:"outage_sec,omitempty"`
 }
 
 // Summary rolls one engine's legs up across the whole soak.
@@ -362,17 +395,21 @@ func launch(cfg Config, engine string, cycle int, reg *telemetry.Registry, gen s
 		return legResult{completed: res.Completed, err: err}
 	case EngineChannel, EngineRing, EngineTCP:
 		plane := dspe.DataplaneChannel
-		transport := dspe.TransportDirect
+		tr := dspe.TransportDirect
+		var chaos *transport.ChaosConfig
 		if engine == EngineRing {
 			plane = dspe.DataplaneRing
 		}
 		if engine == EngineTCP {
-			transport = dspe.TransportTCP
+			tr = dspe.TransportTCP
+			if cfg.Faults {
+				chaos = soakChaos(cfg.Seed + uint64(cycle))
+			}
 		}
 		res, err := dspe.Run(gen, dspe.Config{
 			Workers: cfg.Workers, Sources: cfg.Sources, Algorithm: cfg.Algorithm,
 			Core: coreCfg, ServiceTime: cfg.ServiceTime, Spin: cfg.Spin, Dataplane: plane,
-			Transport: transport,
+			Transport: tr, Chaos: chaos,
 			AggWindow: cfg.AggWindow, AggShards: cfg.Shards,
 			Telemetry: reg,
 		})
@@ -417,6 +454,11 @@ func rowFrom(cfg Config, engine string, cycle int, start time.Time, cur, prev sa
 	}
 	row.DictHits = int64(sumByName(cur.snap, "transport_dict_hits_total"))
 	row.DictResets = int64(sumByName(cur.snap, "transport_dict_resets_total"))
+	row.Reconnects = int64(sumByName(cur.snap, "transport_reconnects_total"))
+	row.RetransmitFrames = int64(sumByName(cur.snap, "transport_retransmit_frames_total"))
+	row.RetransmitBytes = int64(sumByName(cur.snap, "transport_retransmit_bytes_total"))
+	row.DupMsgs = int64(sumByName(cur.snap, "transport_dup_msgs_dropped_total"))
+	row.OutageSec = sumByName(cur.snap, "transport_outage_seconds")
 
 	// Per-shard utilization: busy-time delta over the interval's
 	// denominator — wall time for the dspe planes, simulated time for

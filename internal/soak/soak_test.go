@@ -102,6 +102,58 @@ func TestConfigStringCanonical(t *testing.T) {
 	if s := (Config{Spin: true}).String(); s != want+" spin" {
 		t.Fatalf("spin config string %q", s)
 	}
+	// Faults implies the TCP leg, and both marks land in the identity so
+	// chaos baselines never gate clean runs (or vice versa).
+	if s := (Config{Faults: true}).String(); s != want+" tcp faults" {
+		t.Fatalf("faults config string %q", s)
+	}
+}
+
+// TestRunFaultsLeg soaks the TCP leg under the chaos schedule: the leg
+// must still drain every message while its fault ledger proves the
+// recovery machinery actually ran.
+func TestRunFaultsLeg(t *testing.T) {
+	var rows []Row
+	cfg := shortConfig(func(r Row) { rows = append(rows, r) })
+	cfg.Faults = true
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tcpFinal *Row
+	for i := range rows {
+		if rows[i].Engine == EngineTCP && rows[i].Final {
+			tcpFinal = &rows[i]
+		}
+	}
+	if tcpFinal == nil {
+		t.Fatal("faults soak emitted no final TCP row")
+	}
+	if tcpFinal.Completed != 30_000 {
+		t.Fatalf("TCP leg completed %d under faults, want 30000", tcpFinal.Completed)
+	}
+	if tcpFinal.Reconnects == 0 {
+		t.Fatal("faults soak recorded no reconnects")
+	}
+	if tcpFinal.RetransmitFrames == 0 || tcpFinal.RetransmitBytes == 0 {
+		t.Fatalf("faults soak recorded no retransmissions: frames=%d bytes=%d",
+			tcpFinal.RetransmitFrames, tcpFinal.RetransmitBytes)
+	}
+	if tcpFinal.OutageSec <= 0 {
+		t.Fatalf("faults soak recorded no outage time: %g", tcpFinal.OutageSec)
+	}
+	found := false
+	for _, s := range rep.Summaries {
+		if s.Engine == EngineTCP {
+			found = true
+			if s.Completed != 30_000 {
+				t.Fatalf("TCP summary completed %d, want 30000", s.Completed)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no TCP summary in faults soak report")
+	}
 }
 
 func report(throughput map[string]float64) *Report {

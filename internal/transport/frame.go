@@ -125,16 +125,24 @@ type Encoder struct {
 	// aggregation table is keyed by it), so the codec adopting the same
 	// identity adds no new collision surface — and a uint64 map lookup
 	// costs a fraction of hashing the key bytes per message.
-	dict   map[uint64]uint32
-	epoch  uint64
-	stats  EncoderStats
-	buf    []byte // payload assembly, reused across frames
-	newbuf []byte // new-keys column scratch
-	refbuf []byte // keyRefs column scratch
+	dict       map[uint64]uint32
+	epoch      uint64
+	forceReset bool
+	stats      EncoderStats
+	buf        []byte // payload assembly, reused across frames
+	newbuf     []byte // new-keys column scratch
+	refbuf     []byte // keyRefs column scratch
 }
 
 // Stats returns the cumulative dictionary ledger.
 func (e *Encoder) Stats() EncoderStats { return e.stats }
+
+// ResetEpoch forces the next AppendFrame to start a new dictionary
+// epoch (clear + fReset), regardless of occupancy. The TCP sender calls
+// it after a reconnect: the reset frame is the link's documented resync
+// point — post-reconnect frames depend only on keys introduced since
+// the reset, never on dictionary context from before the outage.
+func (e *Encoder) ResetEpoch() { e.forceReset = true }
 
 // AppendFrame appends one frame holding msgs to dst and returns the
 // extended slice. The payload is staged in internal buffers (reused
@@ -145,10 +153,11 @@ func (e *Encoder) AppendFrame(dst []byte, msgs []Msg) []byte {
 		e.dict = make(map[uint64]uint32, 1024)
 	}
 	var flags byte
-	if len(e.dict) >= frameDictMax {
+	if e.forceReset || len(e.dict) >= frameDictMax {
 		clear(e.dict)
 		e.epoch++
 		e.stats.Resets++
+		e.forceReset = false
 		flags |= fReset
 	}
 

@@ -280,7 +280,12 @@ func TestFrameDecodeCorrupt(t *testing.T) {
 // decodes or errors, on a fresh decoder and again on a decoder with a
 // warm dictionary (the stateful paths). Seeds cover valid columnar
 // frames (with and without optional columns and a dictionary reset),
-// every targeted corruption from the unit test, and the empty input.
+// every targeted corruption from the unit test, the empty input, and
+// the desync shapes a faulty wire can produce: frames replayed from an
+// older dictionary epoch (what a reconnect without the documented
+// epoch reset would deliver), a post-reset frame on a cold decoder,
+// and raw resync-protocol bytes — an ack record and a FIN envelope —
+// landing in the frame decoder.
 func FuzzFrameDecode(f *testing.F) {
 	var enc Encoder
 	valid := enc.AppendFrame(nil, randMsgs(7, 8))
@@ -301,9 +306,24 @@ func FuzzFrameDecode(f *testing.F) {
 		}
 		enc3.AppendFrame(nil, slab)
 	}
+	preReset := enc3.AppendFrame(nil, randMsgs(11, 6)) // old-epoch frame pre reset
+	_, np := binary.Uvarint(preReset)
+	enc3.ResetEpoch() // the reconnect resync point: dictionary epoch reset
 	reset := enc3.AppendFrame(nil, []Msg{{Key: "fresh", Dig: 42, Weight: 1}})
 	_, n3 := binary.Uvarint(reset)
 	f.Add(reset[n3:])
+	// Reordered-epoch desync: the pre-reset frame carries stale
+	// dictionary refs and an old epoch — exactly what a reconnected
+	// link would replay if the sender skipped the epoch reset.
+	f.Add(preReset[np:])
+	postReset := enc3.AppendFrame(nil, randMsgs(13, 5)) // warm post-reset frame
+	_, n4 := binary.Uvarint(postReset)
+	f.Add(postReset[n4:])
+	// Resync-protocol bytes astray in the frame stream: a cumulative
+	// ack record (8 bytes little-endian) and a FIN envelope
+	// (uvarint 0, uvarint finSeq).
+	f.Add([]byte{0x2a, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00})
+	f.Add([]byte{0x00, 0x1b})
 	f.Add([]byte{})
 	f.Add([]byte{0x01, 0x00, 0x20, 0x00})
 	f.Add([]byte{0x01, 0x05, 0x20, 0x00})

@@ -9,6 +9,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"slb/internal/ring"
 	"slb/internal/telemetry"
@@ -20,49 +21,86 @@ import (
 // so small slabs share syscalls and packets.
 const coalesceBytes = 32 << 10
 
-// senderBufs is the sender's buffer-pool depth: the active encoding
-// buffer plus the buffers the writer stage may hold in flight. Three
-// buffers double-buffer the encode/write overlap (encode of frame N
-// proceeds while the socket write of N−1 is in the kernel) with one
-// spare so a fast encoder can queue a second buffer instead of
-// stalling the moment the writer blocks.
-const senderBufs = 3
+// senderGather bounds how many queued buffers the writer folds into one
+// vectored writev call on the fault-free path.
+const senderGather = 4
+
+// ackEveryBytes is the receiver's ack cadence under sustained load: a
+// cumulative ack goes out at least once per this many received payload
+// bytes, so the sender's bounded resend window drains steadily instead
+// of oscillating between full and empty. Idle links ack as soon as the
+// read buffer empties.
+const ackEveryBytes = 2 * coalesceBytes
+
+// finMarker is the reserved sequence value that introduces a FIN
+// record; real frame sequence numbers start at 1.
+const finMarker = 0
 
 // TCP is the wire backend: one loopback (or real) TCP connection per
 // link, frames encoded by the columnar varint codec in frame.go over a
-// persistent per-link key dictionary, a pipelined encoder→writer
-// sender (vectored writes via net.Buffers), and a per-connection
-// reader goroutine that decodes frames into an SPSC ring — so the
-// receive side has exactly the memory backend's shape and the consumer
-// polls it identically.
+// persistent per-link key dictionary, and a delivery layer that
+// survives connection loss with exactness intact.
+//
+// Wire protocol, per link, dialer → listener:
+//
+//	hello = uvarint(len(name)) name uvarint(firstSeq)
+//	data  = uvarint(seq)  uvarint(len(payload)) payload   (seq ≥ 1)
+//	fin   = uvarint(0)    uvarint(finSeq)                 (finSeq = lastSeq+1)
+//
+// and listener → dialer on the same connection, a stream of 8-byte
+// little-endian cumulative acks. Every frame carries a link sequence
+// number; the sender retains written-but-unacked coalescing buffers (a
+// bounded window — SendSlab backpressures when it fills) and, when a
+// connection dies, redials with jittered exponential backoff and
+// retransmits from the last cumulative ack. The receiver keeps
+// per-link sequence state across connections: in-order frames are
+// decoded and published, re-sent frames it already owns are counted
+// and discarded (the dedup edge that turns at-least-once delivery back
+// into exactly-once), and a sequence gap kills the connection so the
+// sender's retransmission closes it. A frame is acked once decoded —
+// receipt, not consumption — so ring backpressure never masquerades as
+// loss; keepalive re-acks while the ring is full keep the sender's
+// retransmission timer quiet.
+//
+// The receive side still lands in an SPSC ring through a reusable key
+// arena, so the consumer polls it exactly like the memory backend.
 type TCP struct {
-	reg *telemetry.Registry
-	ln  net.Listener
-	wg  sync.WaitGroup
+	reg   *telemetry.Registry
+	cfg   TCPConfig
+	ln    net.Listener
+	wg    sync.WaitGroup
+	chaos *chaosState // nil unless wrapped by NewChaos
 
-	mu    sync.Mutex
-	links map[string]*Link
-	rings map[string]*ring.SPSC[Msg]
-	stats map[string]*linkStats
-	conns []net.Conn
+	mu      sync.Mutex
+	links   map[string]*Link
+	recvs   map[string]*tcpRecvState
+	senders []*tcpSender
+	conns   []net.Conn
 
 	closed atomic.Bool
 	err    atomic.Pointer[error]
 }
 
-// NewTCP starts a loopback listener and returns an empty transport.
-// Per-link telemetry lands in reg when it is non-nil.
+// NewTCP starts a loopback listener and returns an empty transport with
+// default delivery tuning. Per-link telemetry lands in reg when it is
+// non-nil.
 func NewTCP(reg *telemetry.Registry) (*TCP, error) {
+	return NewTCPWithConfig(reg, TCPConfig{})
+}
+
+// NewTCPWithConfig is NewTCP with explicit delivery tuning (resend
+// window, retransmission timeout, reconnect budget).
+func NewTCPWithConfig(reg *telemetry.Registry, cfg TCPConfig) (*TCP, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
 	t := &TCP{
 		reg:   reg,
+		cfg:   cfg.withDefaults(),
 		ln:    ln,
 		links: make(map[string]*Link),
-		rings: make(map[string]*ring.SPSC[Msg]),
-		stats: make(map[string]*linkStats),
+		recvs: make(map[string]*tcpRecvState),
 	}
 	t.wg.Add(1)
 	go t.accept()
@@ -72,7 +110,9 @@ func NewTCP(reg *telemetry.Registry) (*TCP, error) {
 // Addr returns the listener address (for tests and diagnostics).
 func (t *TCP) Addr() net.Addr { return t.ln.Addr() }
 
-// Err returns the first asynchronous link error (reader side), if any.
+// Err returns the first hard error of any link (or of the transport
+// itself), if any. Per-link errors are also scoped to their Link — a
+// broken peer never poisons sibling links' sends.
 func (t *TCP) Err() error {
 	if p := t.err.Load(); p != nil {
 		return *p
@@ -87,10 +127,27 @@ func (t *TCP) fail(err error) {
 	t.err.CompareAndSwap(nil, &err)
 }
 
-// Open implements Transport: it registers the link's receive ring,
-// dials the listener, and sends the link-name header so the accept
-// side can bind the connection to the ring. The receive ring is
-// registered before dialing, so the reader goroutine always finds it.
+// failLink records a hard, unrecoverable error against one link: the
+// link's shared error slot poisons its sender, the transport-level Err
+// aggregates it, and the receive ring closes so the consumer drains
+// and observes done instead of waiting for frames that cannot arrive.
+// Sibling links are untouched.
+func (t *TCP) failLink(rs *tcpRecvState, err error) {
+	rs.lerr.CompareAndSwap(nil, &err)
+	t.fail(err)
+	rs.ring.Close()
+	t.mu.Lock()
+	s := rs.sender
+	t.mu.Unlock()
+	if s != nil {
+		s.wakeWriter()
+	}
+}
+
+// Open implements Transport: it registers the link's receive state,
+// dials the listener with the hello header, and starts the sender's
+// writer and ack-reader goroutines. The receive state is registered
+// before dialing, so the serving goroutine always finds it.
 func (t *TCP) Open(name string, capacity int) (*Link, error) {
 	t.mu.Lock()
 	if l, ok := t.links[name]; ok {
@@ -106,25 +163,35 @@ func (t *TCP) Open(name string, capacity int) (*Link, error) {
 	}
 	r := ring.New[Msg](capacity)
 	st := newLinkStats(t.reg, name)
-	t.rings[name] = r
-	t.stats[name] = st
+	lerr := &atomic.Pointer[error]{}
+	rs := &tcpRecvState{
+		name:    name,
+		ring:    r,
+		st:      st,
+		lerr:    lerr,
+		nextSeq: 1,
+		payload: make([]byte, 0, coalesceBytes),
+		slab:    make([]Msg, 0, 512),
+	}
+	t.recvs[name] = rs
 	t.mu.Unlock()
 
-	conn, err := net.Dial("tcp", t.ln.Addr().String())
+	s := newTCPSender(t, name, st, rs, lerr)
+	t.mu.Lock()
+	rs.sender = s
+	t.mu.Unlock()
+	conn, err := s.dialHello()
 	if err != nil {
 		return nil, err
 	}
-	hdr := binary.AppendUvarint(nil, uint64(len(name)))
-	hdr = append(hdr, name...)
-	if _, err := conn.Write(hdr); err != nil {
-		conn.Close()
-		return nil, err
-	}
-	s := newTCPSender(conn, st)
-	l := &Link{Name: name, Sender: s, Receiver: (*memReceiver)(r)}
+	sc := &senderConn{c: conn}
+	go s.ackLoop(sc)
+	go s.writeLoop(sc)
+
+	l := &Link{Name: name, Sender: s, Receiver: (*memReceiver)(r), err: lerr}
 	t.mu.Lock()
 	t.links[name] = l
-	t.conns = append(t.conns, conn)
+	t.senders = append(t.senders, s)
 	t.mu.Unlock()
 	return l, nil
 }
@@ -138,7 +205,11 @@ func (t *TCP) Close() error {
 	t.mu.Lock()
 	conns := t.conns
 	t.conns = nil
+	senders := t.senders
 	t.mu.Unlock()
+	for _, s := range senders {
+		s.shutdown()
+	}
 	for _, c := range conns {
 		c.Close()
 	}
@@ -153,86 +224,223 @@ func (t *TCP) accept() {
 		if err != nil {
 			return // listener closed
 		}
+		t.mu.Lock()
+		t.conns = append(t.conns, conn)
+		t.mu.Unlock()
 		t.wg.Add(1)
 		go t.serve(conn)
 	}
 }
 
-// serve is the per-connection reader: it binds the connection to its
-// link's receive ring via the name header, then decodes frames into
-// the ring until EOF (producer closed) or an error. The frame payload
-// buffer, the decode slab and the decoder's key arena are all per-link
-// and reused, so a steady-state frame (every key a dictionary hit)
-// decodes with zero allocations. Ring-full pushes back off exactly
-// like the memory backend's producer, counting each stall burst in the
-// link's telemetry.
+// tcpRecvState is one link's receive-side delivery state. It is shared
+// by every connection the link's sender ever dials: the decoder, the
+// expected sequence number and the FIN latch all survive reconnects,
+// which is exactly what makes retransmitted frames detectable as
+// duplicates.
+type tcpRecvState struct {
+	name   string
+	ring   *ring.SPSC[Msg]
+	st     *linkStats
+	lerr   *atomic.Pointer[error] // shared with the sender; first hard error
+	sender *tcpSender             // guarded by TCP.mu
+
+	mu      sync.Mutex // serializes serve() bodies across reconnects
+	dec     Decoder
+	nextSeq uint64
+	// finished latches once the FIN is decoded: every frame through the
+	// FIN was received in order. It is atomic because the sender's
+	// writer reads it during reconnect to confirm delivery when the
+	// final ack died with the connection (serve writes it under mu).
+	finished atomic.Bool
+	payload  []byte
+	slab     []Msg
+}
+
+// serve is the per-connection receive loop. It binds the connection to
+// its link via the hello header, then replays the connection's records
+// into the link's persistent sequence state. Transient connection
+// errors just return — the sender's reconnect machinery recovers;
+// protocol violations and decode failures are hard link errors.
 func (t *TCP) serve(conn net.Conn) {
 	defer t.wg.Done()
 	defer conn.Close()
 	br := bufio.NewReaderSize(conn, 64<<10)
 	nameLen, err := binary.ReadUvarint(br)
 	if err != nil || nameLen > frameMaxKey {
-		t.fail(fmt.Errorf("transport: bad link header: %v", err))
+		t.fail(fmt.Errorf("transport: bad link hello: %v", err))
 		return
 	}
 	nameBuf := make([]byte, nameLen)
 	if _, err := io.ReadFull(br, nameBuf); err != nil {
-		t.fail(fmt.Errorf("transport: bad link header: %w", err))
+		t.fail(fmt.Errorf("transport: bad link hello: %w", err))
+		return
+	}
+	firstSeq, err := binary.ReadUvarint(br)
+	if err != nil {
+		t.fail(fmt.Errorf("transport: bad link hello: %w", err))
 		return
 	}
 	t.mu.Lock()
-	r := t.rings[string(nameBuf)]
-	st := t.stats[string(nameBuf)]
+	rs := t.recvs[string(nameBuf)]
 	t.mu.Unlock()
-	if r == nil {
+	if rs == nil {
 		t.fail(fmt.Errorf("transport: connection for unknown link %q", nameBuf))
 		return
 	}
-	defer r.Close()
+	if ch := t.chaos; ch != nil && firstSeq > 1 {
+		ch.delayAccept()
+	}
+	// One connection at a time replays into the link state: a
+	// reconnect's serve waits here until the previous connection's
+	// serve observes its closed socket and returns.
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.lerr.Load() != nil {
+		return
+	}
+	if firstSeq > rs.nextSeq {
+		t.failLink(rs, fmt.Errorf("transport: link %s: resume at seq %d but expected %d: frames permanently lost", rs.name, firstSeq, rs.nextSeq))
+		return
+	}
 
-	var dec Decoder
-	payload := make([]byte, 0, coalesceBytes)
-	slab := make([]Msg, 0, 512)
-	for {
+	st := rs.st
+	connOK := true
+	ackedOut := uint64(0)
+	sinceAck := 0
+	var ackBuf [8]byte
+	writeAck := func(seq uint64) {
+		binary.LittleEndian.PutUint64(ackBuf[:], seq)
+		if _, werr := conn.Write(ackBuf[:]); werr != nil {
+			connOK = false
+		}
+	}
+	flushAck := func() {
+		if a := rs.nextSeq - 1; connOK && a > ackedOut {
+			writeAck(a)
+			ackedOut = a
+			sinceAck = 0
+		}
+	}
+	// Resync handshake: unconditionally ack the current high-water mark
+	// at the head of every connection — even ack 0 on a fresh link. A
+	// reconnecting sender reads this ack synchronously before
+	// retransmitting: acks in flight on the previous connection die with
+	// its socket, and replaying from a stale resume point would resend
+	// frames the receiver already holds.
+	ackedOut = rs.nextSeq - 1
+	writeAck(ackedOut)
+	for connOK {
+		if br.Buffered() == 0 || sinceAck >= ackEveryBytes {
+			flushAck()
+			if !connOK {
+				return
+			}
+		}
+		seq, err := binary.ReadUvarint(br)
+		if err != nil {
+			return // conn died mid-stream: the sender's reconnect recovers
+		}
+		if seq == finMarker {
+			finSeq, err := binary.ReadUvarint(br)
+			if err != nil {
+				return
+			}
+			switch {
+			case finSeq == rs.nextSeq && !rs.finished.Load():
+				rs.nextSeq++
+				rs.finished.Store(true)
+				rs.ring.Close()
+			case finSeq < rs.nextSeq:
+				// Duplicate FIN after a reconnect: re-acked below.
+			default:
+				return // gap before the FIN: the sender must resend first
+			}
+			flushAck()
+			continue
+		}
 		frameLen, err := binary.ReadUvarint(br)
 		if err != nil {
-			if err != io.EOF {
-				t.fail(fmt.Errorf("transport: link %s: %w", nameBuf, err))
-			}
 			return
 		}
 		if frameLen > frameMaxLen {
-			t.fail(fmt.Errorf("%w: frame of %d bytes on link %s", ErrCorrupt, frameLen, nameBuf))
+			t.failLink(rs, fmt.Errorf("%w: frame of %d bytes on link %s", ErrCorrupt, frameLen, rs.name))
 			return
 		}
-		if uint64(cap(payload)) < frameLen {
-			payload = make([]byte, frameLen)
+		rx := int(frameLen) + uvarintLen(frameLen) + uvarintLen(seq)
+		switch {
+		case seq < rs.nextSeq:
+			// Retransmission overlap: this frame was already decoded and
+			// published once. Count its messages (the payload's leading
+			// varint) and discard the bytes without touching the decoder
+			// — the dedup edge that keeps delivery exactly-once.
+			peek, perr := br.Peek(min(int(frameLen), binary.MaxVarintLen64))
+			if perr != nil {
+				return
+			}
+			count, _ := binary.Uvarint(peek)
+			if _, derr := br.Discard(int(frameLen)); derr != nil {
+				return
+			}
+			st.addDupMsgs(int64(count))
+			st.addRxBytes(int64(rx))
+			sinceAck += rx
+			continue
+		case seq > rs.nextSeq:
+			// Frames vanished in flight (dropped or half-written before
+			// the conn died): kill the connection; the sender
+			// retransmits everything past the last cumulative ack.
+			return
 		}
-		payload = payload[:frameLen]
+		if rs.finished.Load() {
+			t.failLink(rs, fmt.Errorf("transport: link %s: data frame %d after fin", rs.name, seq))
+			return
+		}
+		if uint64(cap(rs.payload)) < frameLen {
+			rs.payload = make([]byte, frameLen)
+		}
+		payload := rs.payload[:frameLen]
 		if _, err := io.ReadFull(br, payload); err != nil {
-			t.fail(fmt.Errorf("transport: link %s: %w", nameBuf, err))
 			return
 		}
-		st.addRxBytes(int64(frameLen) + int64(uvarintLen(frameLen)))
-		slab, err = dec.DecodeFrame(payload, slab[:0])
+		st.addRxBytes(int64(rx))
+		sinceAck += rx
+		slab, err := rs.dec.DecodeFrame(payload, rs.slab[:0])
+		rs.slab = slab
 		if err != nil {
-			t.fail(fmt.Errorf("transport: link %s: %w", nameBuf, err))
+			t.failLink(rs, fmt.Errorf("transport: link %s: %w", rs.name, err))
 			return
 		}
+		// The frame is decoded and owned by this process: advance the
+		// sequence (and ack) before publishing, so ring backpressure
+		// can never starve the sender's retransmission timer into
+		// spurious resends. Acks mean "received", not "consumed".
+		rs.nextSeq++
 		rem := slab
 		spins := 0
+		var lastBeat time.Time
 		for len(rem) > 0 {
-			dst := r.Grant(len(rem))
+			dst := rs.ring.Grant(len(rem))
 			if dst == nil {
 				if spins == 0 {
 					st.addStall()
+					flushAck()
+					lastBeat = time.Now()
+				} else if connOK && time.Since(lastBeat) > t.cfg.ResendTimeout/4 {
+					// Keepalive re-ack while the ring backpressures:
+					// any ack record counts as liveness on the sender
+					// side, so the RTO only fires for real loss.
+					writeAck(rs.nextSeq - 1)
+					lastBeat = time.Now()
+				}
+				if t.closed.Load() || rs.lerr.Load() != nil {
+					return
 				}
 				backoff(&spins)
 				continue
 			}
 			spins = 0
 			copy(dst, rem)
-			r.Publish(len(dst))
+			rs.ring.Publish(len(dst))
 			rem = rem[len(dst):]
 		}
 	}
@@ -243,112 +451,490 @@ func uvarintLen(x uint64) int {
 	return (bits.Len64(x|1) + 6) / 7
 }
 
-// tcpSender is the producer end of one TCP link, split into two
-// pipelined stages: the caller's goroutine ENCODES slabs into the
-// active coalescing buffer, and a dedicated WRITER goroutine moves
-// filled buffers to the kernel — so the encode of frame N overlaps the
-// socket write of frame N−1. Buffers rotate through a fixed pool
-// (free → encode → out → write → free); when several are queued the
-// writer gathers them into one vectored net.Buffers writev call.
-// SendSlab/Flush/Close stay single-producer per the Link contract; the
-// channels carry the buffers across the stage boundary.
+// tcpSender is the producer end of one TCP link, split into pipelined
+// stages: the caller's goroutine ENCODES slabs (with their sequence
+// envelope) into the active coalescing buffer, a WRITER goroutine moves
+// filled buffers to the kernel and owns reconnection/retransmission,
+// and a per-connection ACK-READER goroutine advances the cumulative
+// ack and arms the retransmission timeout. Buffers rotate free →
+// encode → out → write → retained-until-acked → free; the bounded pool
+// is the resend window, and rotate blocking on the free channel is the
+// backpressure that keeps it bounded.
 type tcpSender struct {
-	conn   net.Conn
-	enc    Encoder
-	cur    []byte        // active encoding buffer
-	out    chan []byte   // filled buffers → writer stage
-	free   chan []byte   // writer stage → reusable buffers
-	done   chan struct{} // writer exited
-	stats  *linkStats
-	werr   atomic.Pointer[error] // first writer-side error
-	err    error                 // sticky producer-side error
-	closed bool
+	t     *TCP
+	name  string
+	cfg   TCPConfig
+	stats *linkStats
+	rs    *tcpRecvState
+
+	// Producer-owned.
+	enc     Encoder
+	cur     *sendBuf
+	nextSeq uint64
+	finSeq  uint64 // set by Close before close(out); read by the writer after
+	err     error  // sticky producer-side error
+	closed  bool
+	closing atomic.Bool // producer entered Close; shutdown must not poison
+
+	out  chan *sendBuf
+	free chan *sendBuf
+	done chan struct{} // writer exited
+
+	// Shared.
+	lerr      *atomic.Pointer[error] // first hard error; shared with recv side
+	needReset atomic.Bool            // reconnect → encoder: reset dictionary epoch
+	acked     atomic.Uint64          // highest cumulative ack seen
+	written   atomic.Uint64          // highest seq written (or chaos-dropped)
+	wake      chan struct{}          // ack progress / conn death → writer
+
+	// Writer-owned.
+	retained   []*sendBuf // written but unacked, in seq order
+	reconnects int
+	finWritten bool
+	rng        uint64
+	vec        net.Buffers
 }
 
-func newTCPSender(conn net.Conn, st *linkStats) *tcpSender {
+func newTCPSender(t *TCP, name string, st *linkStats, rs *tcpRecvState, lerr *atomic.Pointer[error]) *tcpSender {
 	s := &tcpSender{
-		conn:  conn,
-		out:   make(chan []byte, senderBufs),
-		free:  make(chan []byte, senderBufs),
-		done:  make(chan struct{}),
+		t:     t,
+		name:  name,
+		cfg:   t.cfg,
 		stats: st,
-		cur:   make([]byte, 0, coalesceBytes+coalesceBytes/4),
+		rs:    rs,
+		cur:   &sendBuf{b: make([]byte, 0, coalesceBytes+coalesceBytes/4)},
+		out:   make(chan *sendBuf, t.cfg.RetainedBufs),
+		free:  make(chan *sendBuf, t.cfg.RetainedBufs),
+		done:  make(chan struct{}),
+		lerr:  lerr,
+		wake:  make(chan struct{}, 1),
+		rng:   mix64(t.cfg.Seed ^ hashName(name)),
 	}
-	for i := 0; i < senderBufs-1; i++ {
-		s.free <- make([]byte, 0, coalesceBytes+coalesceBytes/4)
+	s.nextSeq = 1
+	for i := 0; i < t.cfg.RetainedBufs-1; i++ {
+		s.free <- &sendBuf{b: make([]byte, 0, coalesceBytes+coalesceBytes/4)}
 	}
-	go s.writeLoop()
 	return s
 }
 
-// writeLoop is the writer stage: it drains filled buffers, gathers
-// whatever is already queued into one vectored write, and returns the
-// buffers to the pool. After a write error it keeps draining (and
-// recycling) so the encoder stage can observe the error instead of
-// blocking on a full pipeline.
-func (s *tcpSender) writeLoop() {
-	defer close(s.done)
-	var vec net.Buffers
-	pend := make([][]byte, 0, senderBufs)
-	open := true
-	for open {
-		b, ok := <-s.out
-		if !ok {
-			return
-		}
-		pend = append(pend[:0], b)
-		for len(pend) < senderBufs {
-			select {
-			case b2, ok2 := <-s.out:
-				if !ok2 {
-					open = false
-				} else {
-					pend = append(pend, b2)
-					continue
-				}
-			default:
-			}
-			break
-		}
-		if s.werr.Load() == nil {
-			vec = vec[:0]
-			for _, p := range pend {
-				vec = append(vec, p)
-			}
-			n, err := vec.WriteTo(s.conn)
-			s.stats.addBytes(n)
-			s.stats.addFlushes(1)
-			if err != nil {
-				s.werr.CompareAndSwap(nil, &err)
-			}
-		}
-		for _, p := range pend {
-			s.free <- p[:0]
-		}
+// dialHello dials the listener and writes the hello header announcing
+// the link name and the first sequence number this connection will
+// carry (acked+1 — the resume point after a reconnect).
+func (s *tcpSender) dialHello() (net.Conn, error) {
+	conn, err := net.Dial("tcp", s.t.ln.Addr().String())
+	if err != nil {
+		return nil, err
+	}
+	hdr := binary.AppendUvarint(nil, uint64(len(s.name)))
+	hdr = append(hdr, s.name...)
+	hdr = binary.AppendUvarint(hdr, s.acked.Load()+1)
+	if _, err := conn.Write(hdr); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+// readHandshakeAck synchronously reads the resync ack the receiver
+// writes at the head of every accepted connection, so a reconnect
+// learns the true resume point before retransmitting anything. Without
+// it, acks destroyed with the previous socket would leave the sender
+// replaying from a stale mark — and under a deterministic fault
+// schedule the unsynchronized replay can repeat the exact write
+// pattern that killed the last connection, livelocking the link.
+func (s *tcpSender) readHandshakeAck(conn net.Conn) (uint64, error) {
+	d := s.cfg.ResendTimeout
+	if ch := s.t.chaos; ch != nil {
+		d += ch.cfg.AcceptDelay
+	}
+	conn.SetReadDeadline(time.Now().Add(d))
+	var rec [8]byte
+	if _, err := io.ReadFull(conn, rec[:]); err != nil {
+		return 0, err
+	}
+	conn.SetReadDeadline(time.Time{})
+	return binary.LittleEndian.Uint64(rec[:]), nil
+}
+
+func (s *tcpSender) wakeWriter() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
 	}
 }
 
-// checkErr folds the writer stage's asynchronous error into the
-// producer-side sticky error.
+// fail records a hard, unrecoverable sender-side error: the shared
+// link error poisons both ends, the transport aggregates it, and the
+// receive ring closes so the consumer is not left waiting for frames
+// that can no longer arrive.
+func (s *tcpSender) fail(err error) {
+	s.lerr.CompareAndSwap(nil, &err)
+	s.t.fail(err)
+	s.rs.ring.Close()
+	s.wakeWriter()
+}
+
+// shutdown is the transport-Close path for senders whose producer never
+// called Close (abnormal teardown): mark the link failed so the writer
+// stops reconnecting and the producer unblocks. Cleanly closed senders
+// are left untouched.
+func (s *tcpSender) shutdown() {
+	if s.closing.Load() {
+		// The producer is (or finished) closing cleanly: the writer
+		// terminates on its own — the transport's closed flag bounds any
+		// reconnect wait — so wait for it instead of poisoning the link.
+		<-s.done
+		return
+	}
+	select {
+	case <-s.done:
+		return
+	default:
+	}
+	err := ErrClosed
+	s.lerr.CompareAndSwap(nil, &err)
+	s.wakeWriter()
+}
+
+// checkErr folds the shared link error into the producer-side sticky
+// error.
 func (s *tcpSender) checkErr() error {
 	if s.err == nil {
-		if p := s.werr.Load(); p != nil {
+		if p := s.lerr.Load(); p != nil {
 			s.err = *p
 		}
 	}
 	return s.err
 }
 
+// ackTo advances the cumulative ack high-water mark.
+func (s *tcpSender) ackTo(seq uint64) {
+	for {
+		old := s.acked.Load()
+		if seq <= old || s.acked.CompareAndSwap(old, seq) {
+			return
+		}
+	}
+}
+
+func (s *tcpSender) bumpWritten(seq uint64) {
+	if seq > s.written.Load() {
+		s.written.Store(seq)
+	}
+}
+
+// ackLoop reads the reverse channel of one connection: 8-byte
+// little-endian cumulative acks. It doubles as the retransmission
+// timer — a full ResendTimeout with no ack record while frames are
+// outstanding means the tail was lost (a dropped tail never surfaces
+// as a receiver-side gap), so the connection is declared dead and the
+// writer retransmits. Any record, even a duplicate ack, counts as
+// liveness; idle connections with nothing outstanding just rearm.
+func (s *tcpSender) ackLoop(sc *senderConn) {
+	var rec [8]byte
+	have := 0
+	for {
+		sc.c.SetReadDeadline(time.Now().Add(s.cfg.ResendTimeout))
+		n, err := sc.c.Read(rec[have:])
+		have += n
+		if have == 8 {
+			have = 0
+			s.ackTo(binary.LittleEndian.Uint64(rec[:]))
+			s.wakeWriter()
+		}
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() && !sc.dead.Load() {
+				if have > 0 || s.acked.Load() >= s.written.Load() {
+					continue // partial record in flight, or idle: rearm
+				}
+			}
+			sc.kill()
+			s.wakeWriter()
+			return
+		}
+	}
+}
+
+// writeLoop is the writer stage: it recycles acked buffers back to the
+// pool, moves filled buffers to the kernel (vectored on the fault-free
+// path), writes the FIN once the producer closes, and owns reconnection
+// — retransmitting everything past the last cumulative ack on a fresh
+// connection. It exits when the FIN is acked (clean) or the link goes
+// hard-error (draining the pipeline so the producer never deadlocks).
+func (s *tcpSender) writeLoop(sc *senderConn) {
+	defer close(s.done)
+	outOpen := true
+	pend := make([]*sendBuf, 0, senderGather)
+	for {
+		// Recycle buffers the cumulative ack has released.
+		a := s.acked.Load()
+		for len(s.retained) > 0 && s.retained[0].last <= a {
+			b := s.retained[0]
+			s.retained = s.retained[1:]
+			b.reset()
+			s.free <- b
+		}
+
+		if s.lerr.Load() != nil {
+			if sc != nil {
+				sc.kill()
+			}
+			s.drain(outOpen)
+			return
+		}
+
+		if !outOpen && s.finWritten && a >= s.finSeq {
+			// Everything through the FIN is acked: clean exit.
+			if sc != nil {
+				sc.c.Close()
+			}
+			return
+		}
+
+		if sc == nil || sc.dead.Load() {
+			sc = s.reconnect(sc)
+			continue
+		}
+
+		if !outOpen && !s.finWritten {
+			s.writeFin(sc)
+			continue
+		}
+
+		if outOpen {
+			select {
+			case b, ok := <-s.out:
+				if !ok {
+					outOpen = false
+					continue
+				}
+				pend = append(pend[:0], b)
+			gather:
+				for len(pend) < senderGather {
+					select {
+					case b2, ok2 := <-s.out:
+						if !ok2 {
+							outOpen = false
+							break gather
+						}
+						pend = append(pend, b2)
+					default:
+						break gather
+					}
+				}
+				s.writeBufs(sc, pend)
+			case <-s.wake:
+			}
+			continue
+		}
+		// FIN written; wait for ack progress or conn death (the
+		// ack-reader's timeout guarantees one of them).
+		<-s.wake
+	}
+}
+
+// drain unblocks the producer after a hard error: every buffer goes
+// straight back to the pool so rotate and Close never block on a dead
+// pipeline. It parks on the out channel until the producer closes it.
+func (s *tcpSender) drain(outOpen bool) {
+	for _, b := range s.retained {
+		b.reset()
+		s.free <- b
+	}
+	s.retained = s.retained[:0]
+	for outOpen {
+		b, ok := <-s.out
+		if !ok {
+			return
+		}
+		b.reset()
+		s.free <- b
+	}
+}
+
+// writeBufs ships freshly filled buffers. Fault-free, they fold into
+// one vectored write; under chaos each buffer gets its own verdict.
+// Every buffer is retained for retransmission regardless of write
+// outcome — only a cumulative ack releases it.
+func (s *tcpSender) writeBufs(sc *senderConn, pend []*sendBuf) {
+	if s.t.chaos != nil {
+		for _, b := range pend {
+			s.retained = append(s.retained, b)
+			if !sc.dead.Load() {
+				s.writeBuf(sc, b, false)
+			}
+		}
+		s.stats.addFlushes(1)
+		return
+	}
+	s.vec = s.vec[:0]
+	last := uint64(0)
+	for _, b := range pend {
+		s.vec = append(s.vec, b.b)
+		s.retained = append(s.retained, b)
+		last = b.last
+	}
+	n, err := s.vec.WriteTo(sc.c)
+	s.stats.addBytes(n)
+	s.stats.addFlushes(1)
+	if err != nil {
+		sc.kill()
+		return
+	}
+	s.bumpWritten(last)
+}
+
+// writeBuf writes one enveloped buffer, applying the chaos schedule: a
+// drop means the bytes vanish (the buffer stays retained; the
+// receiver-side gap or the ack timeout triggers the resend), a sever
+// kills the connection. Reports whether the connection survived.
+func (s *tcpSender) writeBuf(sc *senderConn, b *sendBuf, retrans bool) bool {
+	if ch := s.t.chaos; ch != nil {
+		switch ch.verdict(s.name) {
+		case chaosDrop:
+			s.bumpWritten(b.last) // outstanding: keeps the RTO armed
+			return true
+		case chaosSever:
+			sc.kill()
+			return false
+		}
+	}
+	n, err := sc.c.Write(b.b)
+	s.stats.addBytes(int64(n))
+	if retrans {
+		s.stats.addRetrans(int64(b.last-b.first+1), int64(len(b.b)))
+	}
+	if err != nil {
+		sc.kill()
+		return false
+	}
+	s.bumpWritten(b.last)
+	return true
+}
+
+// writeFin ships the FIN record announcing the final sequence number.
+func (s *tcpSender) writeFin(sc *senderConn) {
+	var rec [1 + binary.MaxVarintLen64]byte
+	rec[0] = finMarker
+	n := 1 + binary.PutUvarint(rec[1:], s.finSeq)
+	if ch := s.t.chaos; ch != nil {
+		switch ch.verdict(s.name) {
+		case chaosDrop:
+			s.finWritten = true // vanished in flight: the RTO re-sends it
+			s.bumpWritten(s.finSeq)
+			return
+		case chaosSever:
+			sc.kill()
+			return
+		}
+	}
+	if _, err := sc.c.Write(rec[:n]); err != nil {
+		sc.kill()
+		return
+	}
+	s.finWritten = true
+	s.bumpWritten(s.finSeq)
+}
+
+// reconnect closes the dead connection, redials with jittered
+// exponential backoff within the configured budget, and retransmits
+// everything past the last cumulative ack (plus the FIN if it was
+// already sent). Exhausting either budget — total reconnects or one
+// episode's dial attempts — is a hard link error: the run fails
+// loudly, never a short count.
+func (s *tcpSender) reconnect(old *senderConn) *senderConn {
+	if old != nil {
+		old.kill()
+	}
+	if s.finWritten && s.rs.finished.Load() {
+		// The receiver already decoded the FIN, so every frame through
+		// it was delivered in order — only the final ack died with the
+		// connection. Confirm delivery through the shared receive state
+		// instead of redialing: this closes the teardown race where the
+		// consumer observes done (and the transport starts closing)
+		// before the last ack crosses back.
+		s.ackTo(s.finSeq)
+		return nil
+	}
+	if s.cfg.MaxReconnects < 0 {
+		s.fail(fmt.Errorf("transport: link %s: connection lost and reconnection is disabled", s.name))
+		return nil
+	}
+	if s.reconnects >= s.cfg.MaxReconnects {
+		s.fail(fmt.Errorf("transport: link %s: reconnect budget exhausted after %d reconnects", s.name, s.reconnects))
+		return nil
+	}
+	s.reconnects++
+	s.stats.addReconnect()
+	t0 := time.Now()
+	wait := s.cfg.RedialBackoff
+	maxWait := s.cfg.RedialBackoff * 64
+	var conn net.Conn
+	for attempt := 1; ; attempt++ {
+		if s.t.closed.Load() {
+			s.fail(ErrClosed)
+			return nil
+		}
+		c, err := s.dialHello()
+		if err == nil {
+			var ack uint64
+			if ack, err = s.readHandshakeAck(c); err == nil {
+				s.ackTo(ack)
+				conn = c
+				break
+			}
+			c.Close()
+		}
+		if attempt >= s.cfg.RedialAttempts {
+			s.fail(fmt.Errorf("transport: link %s: redial failed after %d attempts: %w", s.name, attempt, err))
+			return nil
+		}
+		s.rng = mix64(s.rng + 0x9e3779b97f4a7c15)
+		half := wait / 2
+		time.Sleep(half + time.Duration(s.rng%uint64(half+1)))
+		if wait < maxWait {
+			wait *= 2
+		}
+	}
+	s.stats.addOutage(time.Since(t0).Seconds())
+	sc := &senderConn{c: conn}
+	go s.ackLoop(sc)
+	// The next freshly encoded frame restarts the dictionary epoch with
+	// a reset frame — the documented resync point: post-reconnect
+	// frames never depend on dictionary context from before the outage.
+	// Retransmitted frames replay their original bytes; the receiver's
+	// decoder re-walks them in sequence order (duplicates are skipped
+	// without touching it), so its dictionary state stays consistent.
+	s.needReset.Store(true)
+	resume := s.acked.Load()
+	for _, b := range s.retained {
+		if b.last <= resume {
+			continue // already delivered: the writer loop recycles it
+		}
+		if !s.writeBuf(sc, b, true) {
+			return sc // died again: the next loop iteration retries
+		}
+	}
+	if s.finWritten {
+		s.writeFin(sc)
+	}
+	return sc
+}
+
 // rotate hands the active buffer to the writer stage and takes a fresh
-// one from the pool (blocking only while the writer owns every other
-// buffer — the pipeline's backpressure).
+// one from the pool. Blocking on the free channel is the resend
+// window's backpressure: every buffer is either free, in flight to the
+// writer, or retained awaiting its ack.
 func (s *tcpSender) rotate() {
 	s.out <- s.cur
 	s.cur = <-s.free
 }
 
-// SendSlab implements Sender: encode into the active buffer, rotate it
-// to the writer stage when it crosses the coalescing threshold.
+// SendSlab implements Sender: stamp the next sequence number, encode
+// the slab as one frame into the active buffer, and rotate the buffer
+// to the writer once it crosses the coalescing threshold. The sequence
+// envelope is written inline, so a retransmission later replays the
+// buffer bytes verbatim.
 func (s *tcpSender) SendSlab(msgs []Msg) error {
 	if s.closed {
 		return ErrClosed
@@ -356,13 +942,24 @@ func (s *tcpSender) SendSlab(msgs []Msg) error {
 	if err := s.checkErr(); err != nil {
 		return err
 	}
+	if s.needReset.CompareAndSwap(true, false) {
+		s.enc.ResetEpoch()
+	}
 	st0 := s.enc.Stats()
-	s.cur = s.enc.AppendFrame(s.cur, msgs)
+	b := s.cur
+	seq := s.nextSeq
+	s.nextSeq++
+	b.b = binary.AppendUvarint(b.b, seq)
+	b.b = s.enc.AppendFrame(b.b, msgs)
+	if b.first == 0 {
+		b.first = seq
+	}
+	b.last = seq
 	st1 := s.enc.Stats()
 	s.stats.addFrames(1)
 	s.stats.addMsgs(int64(len(msgs)))
 	s.stats.addDict(int64(st1.Hits-st0.Hits), int64(st1.Resets-st0.Resets))
-	if len(s.cur) >= coalesceBytes {
+	if len(b.b) >= coalesceBytes {
 		s.rotate()
 	}
 	return s.checkErr()
@@ -379,37 +976,30 @@ func (s *tcpSender) Flush() error {
 	if err := s.checkErr(); err != nil {
 		return err
 	}
-	if len(s.cur) > 0 {
+	if len(s.cur.b) > 0 {
 		s.rotate()
 	}
 	return s.checkErr()
 }
 
-// Close implements Sender: flush, drain the writer stage, then
-// half-close so the peer's reader drains buffered frames and sees a
-// clean EOF.
+// Close implements Sender: flush, hand the writer the FIN sequence,
+// and wait for the writer to exit — which it does only once the FIN
+// (and therefore every frame before it) is acked, or the link goes
+// hard-error. A clean Close is an end-to-end delivery guarantee.
 func (s *tcpSender) Close() error {
 	if s.closed {
 		return s.checkErr()
 	}
 	s.closed = true
-	if len(s.cur) > 0 {
+	s.closing.Store(true)
+	if s.cur != nil && len(s.cur.b) > 0 {
 		s.out <- s.cur
 		s.cur = nil
 	}
+	s.finSeq = s.nextSeq
 	close(s.out)
 	<-s.done
-	err := s.checkErr()
-	if tc, ok := s.conn.(*net.TCPConn); ok {
-		if cerr := tc.CloseWrite(); err == nil {
-			err = cerr
-		}
-		return err
-	}
-	if cerr := s.conn.Close(); err == nil {
-		err = cerr
-	}
-	return err
+	return s.checkErr()
 }
 
 // linkStats is the per-link telemetry bundle; a zero value (nil
@@ -417,6 +1007,10 @@ func (s *tcpSender) Close() error {
 type linkStats struct {
 	bytes, rxBytes, frames, msgs  *telemetry.Counter
 	flushes, stalls, hits, resets *telemetry.Counter
+	reconnects                    *telemetry.Counter
+	retransFrames, retransBytes   *telemetry.Counter
+	dupMsgs                       *telemetry.Counter
+	outageSec                     *telemetry.Gauge
 }
 
 func newLinkStats(reg *telemetry.Registry, name string) *linkStats {
@@ -425,14 +1019,19 @@ func newLinkStats(reg *telemetry.Registry, name string) *linkStats {
 	}
 	l := telemetry.L("link", name)
 	return &linkStats{
-		bytes:   reg.Counter("transport_tx_bytes_total", l),
-		rxBytes: reg.Counter("transport_rx_bytes_total", l),
-		frames:  reg.Counter("transport_frames_total", l),
-		msgs:    reg.Counter("transport_tx_msgs_total", l),
-		flushes: reg.Counter("transport_flushes_total", l),
-		stalls:  reg.Counter("transport_send_stalls_total", l),
-		hits:    reg.Counter("transport_dict_hits_total", l),
-		resets:  reg.Counter("transport_dict_resets_total", l),
+		bytes:         reg.Counter("transport_tx_bytes_total", l),
+		rxBytes:       reg.Counter("transport_rx_bytes_total", l),
+		frames:        reg.Counter("transport_frames_total", l),
+		msgs:          reg.Counter("transport_tx_msgs_total", l),
+		flushes:       reg.Counter("transport_flushes_total", l),
+		stalls:        reg.Counter("transport_send_stalls_total", l),
+		hits:          reg.Counter("transport_dict_hits_total", l),
+		resets:        reg.Counter("transport_dict_resets_total", l),
+		reconnects:    reg.Counter("transport_reconnects_total", l),
+		retransFrames: reg.Counter("transport_retransmit_frames_total", l),
+		retransBytes:  reg.Counter("transport_retransmit_bytes_total", l),
+		dupMsgs:       reg.Counter("transport_dup_msgs_dropped_total", l),
+		outageSec:     reg.Gauge("transport_outage_seconds", l),
 	}
 }
 
@@ -478,5 +1077,30 @@ func (s *linkStats) addDict(hits, resets int64) {
 	}
 	if s.resets != nil && resets > 0 {
 		s.resets.Add(resets)
+	}
+}
+
+func (s *linkStats) addReconnect() {
+	if s.reconnects != nil {
+		s.reconnects.Inc()
+	}
+}
+
+func (s *linkStats) addRetrans(frames, bytes int64) {
+	if s.retransFrames != nil {
+		s.retransFrames.Add(frames)
+		s.retransBytes.Add(bytes)
+	}
+}
+
+func (s *linkStats) addDupMsgs(n int64) {
+	if s.dupMsgs != nil && n > 0 {
+		s.dupMsgs.Add(n)
+	}
+}
+
+func (s *linkStats) addOutage(sec float64) {
+	if s.outageSec != nil {
+		s.outageSec.Add(sec)
 	}
 }

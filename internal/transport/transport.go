@@ -35,9 +35,39 @@
 // returns 0 when no messages are ready — because consumers multiplex
 // many links round-robin, exactly like the ring dataplane's bolts.
 // Message order is preserved per link; nothing is dropped.
+//
+// # Delivery under faults
+//
+// The TCP backend keeps that contract when connections die. Every
+// coalescing buffer carries a sequence number; the receiver streams
+// cumulative acks back and the sender retains a bounded window of
+// unacked buffers (TCPConfig.RetainedBufs). When a connection is lost
+// — write error, receiver-detected sequence gap, or ack timeout
+// (TCPConfig.ResendTimeout) — the sender redials under jittered
+// exponential backoff (TCPConfig.RedialBackoff, RedialAttempts,
+// MaxReconnects), resets the codec's dictionary epoch (a fresh
+// connection always starts a fresh epoch: the documented resync point
+// that makes mid-stream loss unable to desynchronize the
+// dictionaries), reads the resync handshake — each accepted connection
+// opens with the receiver's current cumulative ack, before any data —
+// and replays only what that mark says is still undelivered. The wire
+// is therefore at-least-once; the receiver's sequence state, which
+// persists across connections, discards duplicates at the receive
+// edge, so the link as a whole delivers every message exactly once, in
+// order. With MaxReconnects < 0 a lost connection is a hard error on
+// that link (Link.Err) — never silent loss. The Chaos wrapper injects
+// a deterministic fault schedule (seeded drops, periodic severs,
+// accept delays) over either backend for tests and soaks, and the
+// recovery machinery reports transport_reconnects_total,
+// transport_retransmit_frames_total, transport_retransmit_bytes_total,
+// transport_dup_msgs_dropped_total and transport_outage_seconds
+// per link.
 package transport
 
-import "errors"
+import (
+	"errors"
+	"sync/atomic"
+)
 
 // Msg is the one tuple shape that crosses links. The dataplane maps
 // spout→bolt tuples onto it (Weight = per-message value, Emit = emit
@@ -100,6 +130,24 @@ type Link struct {
 	Name string
 	Sender
 	Receiver
+
+	// err is the link-scoped first hard error (TCP backend); nil for
+	// backends that cannot fail per-link.
+	err *atomic.Pointer[error]
+}
+
+// Err reports the link's first hard delivery error, if any. Errors are
+// scoped per link: one broken peer surfaces here (and on the
+// transport's aggregate Err) without poisoning sibling links' sends.
+// Backends that cannot fail per-link (memory) always report nil.
+func (l *Link) Err() error {
+	if l.err == nil {
+		return nil
+	}
+	if p := l.err.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // Transport hands out links by name and owns their shared resources.
